@@ -1,0 +1,267 @@
+// Command decibel is a small CLI over a Decibel dataset: init, branch,
+// commit, insert, delete, scan, diff, merge and log against a dataset
+// directory, with a choice of storage engine.
+//
+// Usage:
+//
+//	decibel -dir data -engine hybrid init col1,col2,...
+//	decibel -dir data insert <branch> <pk> <v1> <v2> ...
+//	decibel -dir data delete <branch> <pk>
+//	decibel -dir data commit <branch> [message]
+//	decibel -dir data branch <name> <from-branch>
+//	decibel -dir data scan <branch>
+//	decibel -dir data diff <branchA> <branchB>
+//	decibel -dir data merge <into> <other> [two|three] [first|second]
+//	decibel -dir data log
+//	decibel -dir data stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"decibel/internal/core"
+	"decibel/internal/hy"
+	"decibel/internal/record"
+	"decibel/internal/tf"
+	"decibel/internal/vf"
+	"decibel/internal/vgraph"
+)
+
+func main() {
+	dir := flag.String("dir", "decibel-data", "dataset directory")
+	engine := flag.String("engine", "hybrid", "storage engine: tuple-first | version-first | hybrid")
+	table := flag.String("table", "r", "table name")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: decibel [flags] <command> [args]  (see -h)")
+		os.Exit(2)
+	}
+	if err := run(*dir, *engine, *table, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "decibel:", err)
+		os.Exit(1)
+	}
+}
+
+func factoryFor(name string) (core.Factory, error) {
+	switch name {
+	case "tuple-first", "tf":
+		return tf.Factory, nil
+	case "version-first", "vf":
+		return vf.Factory, nil
+	case "hybrid", "hy":
+		return hy.Factory, nil
+	default:
+		return nil, fmt.Errorf("unknown engine %q", name)
+	}
+}
+
+func run(dir, engine, table string, args []string) error {
+	factory, err := factoryFor(engine)
+	if err != nil {
+		return err
+	}
+	db, err := core.Open(dir, factory, core.Options{})
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	cmd, rest := args[0], args[1:]
+
+	branchID := func(name string) (vgraph.BranchID, error) {
+		b, ok := db.Graph().BranchByName(name)
+		if !ok {
+			return 0, fmt.Errorf("branch %q does not exist", name)
+		}
+		return b.ID, nil
+	}
+
+	switch cmd {
+	case "init":
+		cols := []record.Column{{Name: "id", Type: record.Int64}}
+		if len(rest) > 0 {
+			for _, c := range strings.Split(rest[0], ",") {
+				cols = append(cols, record.Column{Name: c, Type: record.Int64})
+			}
+		} else {
+			cols = append(cols, record.Column{Name: "value", Type: record.Int64})
+		}
+		schema, err := record.NewSchema(cols...)
+		if err != nil {
+			return err
+		}
+		if _, err := db.CreateTable(table, schema); err != nil {
+			return err
+		}
+		master, c0, err := db.Init("init")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("initialized %s: branch %q, commit %d\n", dir, master.Name, c0.ID)
+		return nil
+
+	case "insert":
+		if len(rest) < 2 {
+			return fmt.Errorf("insert <branch> <pk> <values...>")
+		}
+		bid, err := branchID(rest[0])
+		if err != nil {
+			return err
+		}
+		t, ok := db.Table(table)
+		if !ok {
+			return fmt.Errorf("table %q does not exist", table)
+		}
+		rec := record.New(t.Schema())
+		for i, v := range rest[1:] {
+			if i >= t.Schema().NumColumns() {
+				break
+			}
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return fmt.Errorf("column %d: %w", i, err)
+			}
+			rec.Set(i, n)
+		}
+		return t.Insert(bid, rec)
+
+	case "delete":
+		if len(rest) != 2 {
+			return fmt.Errorf("delete <branch> <pk>")
+		}
+		bid, err := branchID(rest[0])
+		if err != nil {
+			return err
+		}
+		pk, err := strconv.ParseInt(rest[1], 10, 64)
+		if err != nil {
+			return err
+		}
+		t, _ := db.Table(table)
+		return t.Delete(bid, pk)
+
+	case "commit":
+		if len(rest) < 1 {
+			return fmt.Errorf("commit <branch> [message]")
+		}
+		bid, err := branchID(rest[0])
+		if err != nil {
+			return err
+		}
+		msg := strings.Join(rest[1:], " ")
+		c, err := db.Commit(bid, msg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("commit %d on %s\n", c.ID, rest[0])
+		return nil
+
+	case "branch":
+		if len(rest) != 2 {
+			return fmt.Errorf("branch <name> <from-branch>")
+		}
+		b, err := db.BranchFromHead(rest[0], rest[1])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("branch %q created from %q (head commit %d)\n", b.Name, rest[1], b.From)
+		return nil
+
+	case "scan":
+		if len(rest) != 1 {
+			return fmt.Errorf("scan <branch>")
+		}
+		bid, err := branchID(rest[0])
+		if err != nil {
+			return err
+		}
+		t, _ := db.Table(table)
+		n := 0
+		err = t.Scan(bid, func(rec *record.Record) bool {
+			fmt.Println(rec.String())
+			n++
+			return true
+		})
+		fmt.Printf("%d records\n", n)
+		return err
+
+	case "diff":
+		if len(rest) != 2 {
+			return fmt.Errorf("diff <branchA> <branchB>")
+		}
+		a, err := branchID(rest[0])
+		if err != nil {
+			return err
+		}
+		bb, err := branchID(rest[1])
+		if err != nil {
+			return err
+		}
+		t, _ := db.Table(table)
+		return t.Diff(a, bb, func(rec *record.Record, inA bool) bool {
+			side := "+B"
+			if inA {
+				side = "+A"
+			}
+			fmt.Printf("%s %s\n", side, rec.String())
+			return true
+		})
+
+	case "merge":
+		if len(rest) < 2 {
+			return fmt.Errorf("merge <into> <other> [two|three] [first|second]")
+		}
+		into, err := branchID(rest[0])
+		if err != nil {
+			return err
+		}
+		other, err := branchID(rest[1])
+		if err != nil {
+			return err
+		}
+		kind := core.ThreeWay
+		if len(rest) > 2 && rest[2] == "two" {
+			kind = core.TwoWay
+		}
+		precFirst := true
+		if len(rest) > 3 && rest[3] == "second" {
+			precFirst = false
+		}
+		mc, st, err := db.Merge(into, other, "merge "+rest[1], kind, precFirst)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("merge commit %d: %d conflicts, %d records changed in %s, %d in %s\n",
+			mc.ID, st.Conflicts, st.ChangedA, rest[0], st.ChangedB, rest[1])
+		return nil
+
+	case "log":
+		for _, b := range db.Graph().Branches() {
+			status := "active"
+			if !b.Active {
+				status = "retired"
+			}
+			fmt.Printf("branch %-12s head=commit %-4d (%s)\n", b.Name, b.Head, status)
+		}
+		fmt.Printf("%d commits total\n", db.Graph().NumCommits())
+		return nil
+
+	case "stats":
+		st, err := db.Stats()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("records:        %d (%d live across heads)\n", st.Records, st.LiveRecords)
+		fmt.Printf("data bytes:     %d\n", st.DataBytes)
+		fmt.Printf("index bytes:    %d\n", st.IndexBytes)
+		fmt.Printf("history bytes:  %d\n", st.CommitBytes)
+		fmt.Printf("segments:       %d\n", st.SegmentCount)
+		return nil
+
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}

@@ -1,0 +1,112 @@
+// Curation pattern (Section 1.1): a team collaboratively maintains a
+// canonical dataset. Fixes are developed on branches, validated, and
+// merged back; conflicting edits are detected at field granularity and
+// resolved by precedence.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"decibel/internal/core"
+	"decibel/internal/hy"
+	"decibel/internal/record"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "decibel-curation-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := core.Open(dir, hy.Factory, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// pois(id, lat, lon, category) — an OpenStreetMap-style catalog.
+	schema := record.MustSchema(
+		record.Column{Name: "id", Type: record.Int64},
+		record.Column{Name: "lat", Type: record.Int64},
+		record.Column{Name: "lon", Type: record.Int64},
+		record.Column{Name: "category", Type: record.Int64},
+	)
+	if _, err := db.CreateTable("pois", schema); err != nil {
+		log.Fatal(err)
+	}
+	master, _, err := db.Init("canonical map")
+	if err != nil {
+		log.Fatal(err)
+	}
+	pois, _ := db.Table("pois")
+
+	add := func(pk, lat, lon, cat int64) *record.Record {
+		rec := record.New(schema)
+		rec.SetPK(pk)
+		rec.Set(1, lat)
+		rec.Set(2, lon)
+		rec.Set(3, cat)
+		return rec
+	}
+
+	// Seed the canonical catalog.
+	for pk := int64(1); pk <= 100; pk++ {
+		if err := pois.Insert(master.ID, add(pk, pk*10, pk*20, pk%5)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	db.Commit(master.ID, "seed catalog")
+
+	// Curator A fixes geometry in one region on a dev branch.
+	geo, _ := db.BranchFromHead("fix-geometry", "master")
+	for pk := int64(1); pk <= 10; pk++ {
+		pois.Insert(geo.ID, add(pk, pk*10+1, pk*20+1, pk%5)) // nudge lat/lon
+	}
+	db.Commit(geo.ID, "geometry pass")
+
+	// Curator B re-categorizes some of the same POIs on another branch.
+	cats, _ := db.BranchFromHead("fix-categories", "master")
+	for pk := int64(5); pk <= 15; pk++ {
+		pois.Insert(cats.ID, add(pk, pk*10, pk*20, 4)) // category only
+	}
+	db.Commit(cats.ID, "category pass")
+
+	// Meanwhile production edits the canonical version too: POI 7 moves.
+	pois.Insert(master.ID, add(7, 777, 7777, 7%5))
+	db.Commit(master.ID, "hotfix POI 7")
+
+	// Merge the geometry pass. POI 7 was moved both in master and in the
+	// branch: a field-level conflict on lat/lon, resolved in favor of
+	// the canonical version (precedence first).
+	_, st1, err := db.Merge(master.ID, geo.ID, "merge geometry pass", core.ThreeWay, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("merge fix-geometry:  %d records from branch, %d conflicts (canonical wins)\n", st1.ChangedB, st1.Conflicts)
+
+	// Merge the category pass. Its edits touch the *category* field of
+	// POIs whose *geometry* just changed — disjoint fields, so they
+	// auto-merge without conflicts.
+	_, st2, err := db.Merge(master.ID, cats.ID, "merge category pass", core.ThreeWay, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("merge fix-categories: %d records from branch, %d conflicts\n", st2.ChangedB, st2.Conflicts)
+
+	// Verify the merged canonical state: POI 7 keeps the hotfix
+	// position, POI 5 has both the geometry nudge and category 4.
+	pois.Scan(master.ID, func(rec *record.Record) bool {
+		switch rec.PK() {
+		case 5:
+			fmt.Printf("POI 5: lat=%d lon=%d category=%d (geometry + category merged)\n",
+				rec.Get(1), rec.Get(2), rec.Get(3))
+		case 7:
+			fmt.Printf("POI 7: lat=%d lon=%d category=%d (hotfix preserved)\n",
+				rec.Get(1), rec.Get(2), rec.Get(3))
+		}
+		return true
+	})
+}

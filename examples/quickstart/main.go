@@ -1,0 +1,106 @@
+// Quickstart: create a Decibel dataset, branch it, modify both
+// branches, diff them, and merge the changes back — the basic workflow
+// of Section 2.2.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"decibel/internal/core"
+	"decibel/internal/hy"
+	"decibel/internal/record"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "decibel-quickstart-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Open a dataset backed by the hybrid storage engine.
+	db, err := core.Open(dir, hy.Factory, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// One relation: products(id, price, stock).
+	schema := record.MustSchema(
+		record.Column{Name: "id", Type: record.Int64},
+		record.Column{Name: "price", Type: record.Int64},
+		record.Column{Name: "stock", Type: record.Int64},
+	)
+	if _, err := db.CreateTable("products", schema); err != nil {
+		log.Fatal(err)
+	}
+	master, _, err := db.Init("initial catalog")
+	if err != nil {
+		log.Fatal(err)
+	}
+	products, _ := db.Table("products")
+
+	// Populate and commit version 1.
+	for pk := int64(1); pk <= 5; pk++ {
+		rec := record.New(schema)
+		rec.SetPK(pk)
+		rec.Set(1, pk*100) // price
+		rec.Set(2, 10)     // stock
+		if err := products.Insert(master.ID, rec); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, err := db.Commit(master.ID, "five products"); err != nil {
+		log.Fatal(err)
+	}
+
+	// Branch: a pricing experiment works in isolation.
+	pricing, err := db.BranchFromHead("pricing-experiment", "master")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sale := record.New(schema)
+	sale.SetPK(3)
+	sale.Set(1, 150) // discounted price
+	sale.Set(2, 10)
+	if err := products.Insert(pricing.ID, sale); err != nil {
+		log.Fatal(err)
+	}
+
+	// Meanwhile master keeps selling: stock of product 5 drops.
+	sold := record.New(schema)
+	sold.SetPK(5)
+	sold.Set(1, 500)
+	sold.Set(2, 7)
+	if err := products.Insert(master.ID, sold); err != nil {
+		log.Fatal(err)
+	}
+
+	// Diff the branches.
+	fmt.Println("diff(pricing-experiment, master):")
+	products.Diff(pricing.ID, master.ID, func(rec *record.Record, inA bool) bool {
+		side := "only in master:            "
+		if inA {
+			side = "only in pricing-experiment:"
+		}
+		fmt.Printf("  %s %v\n", side, rec)
+		return true
+	})
+
+	// Merge the experiment back. Non-overlapping field updates
+	// auto-merge: the discount (price of 3) and the sale (stock of 5)
+	// both survive.
+	if _, st, err := db.Merge(master.ID, pricing.ID, "adopt discount", core.ThreeWay, true); err != nil {
+		log.Fatal(err)
+	} else {
+		fmt.Printf("\nmerged with %d conflicts\n", st.Conflicts)
+	}
+
+	fmt.Println("\nmaster after merge:")
+	products.Scan(master.ID, func(rec *record.Record) bool {
+		fmt.Printf("  %v\n", rec)
+		return true
+	})
+}

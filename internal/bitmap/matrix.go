@@ -1,0 +1,136 @@
+package bitmap
+
+// Matrix is the tuple-oriented bitmap layout from Section 3.1: T rows,
+// one per tuple, where bit i of row j says whether tuple j is live in
+// branch i. All rows live in one contiguous block of memory; when the
+// number of branches outgrows the per-row stride, the whole matrix is
+// re-laid-out with a doubled stride ("the entire bitmap may need to be
+// expanded (and copied) once a certain threshold of branches has been
+// passed", Section 3.2), amortizing the branch cost.
+type Matrix struct {
+	words       []uint64
+	strideWords int // words per tuple row
+	tuples      int
+	branches    int
+}
+
+// NewMatrix returns an empty tuple-oriented matrix with capacity for at
+// least one word of branches per tuple.
+func NewMatrix() *Matrix {
+	return &Matrix{strideWords: 1}
+}
+
+// NumTuples returns the number of tuple rows.
+func (m *Matrix) NumTuples() int { return m.tuples }
+
+// NumBranches returns the number of branch columns.
+func (m *Matrix) NumBranches() int { return m.branches }
+
+// AppendTuple adds a new all-zero row and returns its index. This is the
+// tuple-oriented insert path: "only that the new row in the bitmap for
+// the inserted tuple be appended".
+func (m *Matrix) AppendTuple() int {
+	idx := m.tuples
+	m.tuples++
+	need := m.tuples * m.strideWords
+	if need > cap(m.words) {
+		grown := make([]uint64, need, max(need, 2*cap(m.words)))
+		copy(grown, m.words)
+		m.words = grown
+	} else {
+		old := len(m.words)
+		m.words = m.words[:need]
+		for i := old; i < need; i++ {
+			m.words[i] = 0
+		}
+	}
+	return idx
+}
+
+// AddBranch adds a new branch column initialized to all zeros and
+// returns its index, doubling the row stride if required.
+func (m *Matrix) AddBranch() int {
+	idx := m.branches
+	m.branches++
+	if m.branches > m.strideWords*wordBits {
+		m.regrow(m.strideWords * 2)
+	}
+	return idx
+}
+
+// CloneBranch adds a new branch column whose bits are copied from the
+// parent column, implementing the branch operation of Section 3.2.
+func (m *Matrix) CloneBranch(parent int) int {
+	child := m.AddBranch()
+	for t := 0; t < m.tuples; t++ {
+		if m.Get(t, parent) {
+			m.Set(t, child)
+		}
+	}
+	return child
+}
+
+func (m *Matrix) regrow(newStride int) {
+	nw := make([]uint64, m.tuples*newStride)
+	for t := 0; t < m.tuples; t++ {
+		copy(nw[t*newStride:], m.words[t*m.strideWords:(t+1)*m.strideWords])
+	}
+	m.words = nw
+	m.strideWords = newStride
+}
+
+func (m *Matrix) checkBounds(tuple, branch int) {
+	if tuple < 0 || tuple >= m.tuples || branch < 0 || branch >= m.branches {
+		panic("bitmap: matrix index out of range")
+	}
+}
+
+// Set marks tuple as live in branch.
+func (m *Matrix) Set(tuple, branch int) {
+	m.checkBounds(tuple, branch)
+	m.words[tuple*m.strideWords+branch/wordBits] |= 1 << uint(branch%wordBits)
+}
+
+// Clear marks tuple as not live in branch.
+func (m *Matrix) Clear(tuple, branch int) {
+	m.checkBounds(tuple, branch)
+	m.words[tuple*m.strideWords+branch/wordBits] &^= 1 << uint(branch%wordBits)
+}
+
+// Get reports whether tuple is live in branch.
+func (m *Matrix) Get(tuple, branch int) bool {
+	m.checkBounds(tuple, branch)
+	return m.words[tuple*m.strideWords+branch/wordBits]&(1<<uint(branch%wordBits)) != 0
+}
+
+// Row returns the branch-membership bitmap of a single tuple. This is
+// the fast path for multi-branch scans in the tuple-oriented layout: a
+// single pass over the heap file can emit each tuple annotated with all
+// the branches it is live in.
+func (m *Matrix) Row(tuple int) *Bitmap {
+	if tuple < 0 || tuple >= m.tuples {
+		panic("bitmap: matrix row out of range")
+	}
+	row := &Bitmap{words: make([]uint64, m.strideWords), n: m.branches}
+	copy(row.words, m.words[tuple*m.strideWords:(tuple+1)*m.strideWords])
+	row.clearTail()
+	return row
+}
+
+// Column materializes the tuple-liveness bitmap of one branch. In the
+// tuple-oriented layout this requires scanning the entire matrix, which
+// is exactly the cost the paper attributes to single-branch scans on
+// tuple-oriented bitmaps.
+func (m *Matrix) Column(branch int) *Bitmap {
+	if branch < 0 || branch >= m.branches {
+		panic("bitmap: matrix column out of range")
+	}
+	col := New(m.tuples)
+	wi, mask := branch/wordBits, uint64(1)<<uint(branch%wordBits)
+	for t := 0; t < m.tuples; t++ {
+		if m.words[t*m.strideWords+wi]&mask != 0 {
+			col.Set(t)
+		}
+	}
+	return col
+}

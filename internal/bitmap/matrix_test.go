@@ -1,0 +1,154 @@
+package bitmap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixBasic(t *testing.T) {
+	m := NewMatrix()
+	b0 := m.AddBranch()
+	t0 := m.AppendTuple()
+	t1 := m.AppendTuple()
+	m.Set(t0, b0)
+	if !m.Get(t0, b0) || m.Get(t1, b0) {
+		t.Fatal("set/get wrong")
+	}
+	m.Clear(t0, b0)
+	if m.Get(t0, b0) {
+		t.Fatal("clear failed")
+	}
+}
+
+func TestMatrixCloneBranch(t *testing.T) {
+	m := NewMatrix()
+	parent := m.AddBranch()
+	for i := 0; i < 100; i++ {
+		m.AppendTuple()
+		if i%3 == 0 {
+			m.Set(i, parent)
+		}
+	}
+	child := m.CloneBranch(parent)
+	for i := 0; i < 100; i++ {
+		if m.Get(i, child) != (i%3 == 0) {
+			t.Fatalf("tuple %d: clone bit mismatch", i)
+		}
+	}
+	// Mutating the child must not affect the parent.
+	m.Set(1, child)
+	if m.Get(1, parent) {
+		t.Fatal("child write leaked into parent")
+	}
+}
+
+func TestMatrixStrideDoubling(t *testing.T) {
+	m := NewMatrix()
+	for i := 0; i < 10; i++ {
+		m.AppendTuple()
+	}
+	// Force several stride regrowths: 64 -> 128 -> 256 branches.
+	for b := 0; b < 200; b++ {
+		m.AddBranch()
+		m.Set(b%10, b)
+	}
+	for b := 0; b < 200; b++ {
+		for tup := 0; tup < 10; tup++ {
+			want := tup == b%10
+			if m.Get(tup, b) != want {
+				t.Fatalf("after regrow: (%d,%d) = %v, want %v", tup, b, m.Get(tup, b), want)
+			}
+		}
+	}
+}
+
+func TestMatrixRowColumn(t *testing.T) {
+	m := NewMatrix()
+	for b := 0; b < 70; b++ {
+		m.AddBranch()
+	}
+	for tup := 0; tup < 50; tup++ {
+		m.AppendTuple()
+	}
+	m.Set(10, 3)
+	m.Set(10, 69)
+	m.Set(20, 3)
+	row := m.Row(10)
+	if !row.Get(3) || !row.Get(69) || row.Count() != 2 {
+		t.Fatalf("row = %v", row)
+	}
+	col := m.Column(3)
+	if !col.Get(10) || !col.Get(20) || col.Count() != 2 {
+		t.Fatalf("col = %v", col)
+	}
+}
+
+func TestMatrixBoundsPanic(t *testing.T) {
+	m := NewMatrix()
+	m.AddBranch()
+	m.AppendTuple()
+	for _, fn := range []func(){
+		func() { m.Set(1, 0) },
+		func() { m.Set(0, 1) },
+		func() { m.Row(2) },
+		func() { m.Column(5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("out-of-range access did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: a Matrix and a per-branch []*Bitmap model stay in agreement
+// under a random operation sequence, including across stride regrowth.
+func TestQuickMatrixVsColumnModel(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := NewMatrix()
+		var model []*Bitmap
+		m.AddBranch()
+		model = append(model, New(0))
+		for op := 0; op < 300; op++ {
+			switch r.Intn(4) {
+			case 0:
+				m.AppendTuple()
+			case 1:
+				if r.Intn(10) == 0 || m.NumBranches() == 0 {
+					m.AddBranch()
+					model = append(model, New(0))
+				} else {
+					p := r.Intn(m.NumBranches())
+					m.CloneBranch(p)
+					model = append(model, model[p].Clone())
+				}
+			case 2:
+				if m.NumTuples() > 0 {
+					tup, br := r.Intn(m.NumTuples()), r.Intn(m.NumBranches())
+					m.Set(tup, br)
+					model[br].Set(tup)
+				}
+			case 3:
+				if m.NumTuples() > 0 {
+					tup, br := r.Intn(m.NumTuples()), r.Intn(m.NumBranches())
+					m.Clear(tup, br)
+					model[br].Clear(tup)
+				}
+			}
+		}
+		for b := 0; b < m.NumBranches(); b++ {
+			if !m.Column(b).Equal(model[b]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,404 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"decibel/internal/heap"
+	"decibel/internal/lock"
+	"decibel/internal/record"
+	"decibel/internal/vgraph"
+	"decibel/internal/wal"
+)
+
+// Database is a Decibel dataset: a collection of relations versioned
+// together under one version graph (Section 2.2.1: "the main unit of
+// storage is the dataset ... a collection of relations"). All relations
+// share the same storage scheme, buffer pool and branch structure; a
+// commit snapshots every relation atomically.
+type Database struct {
+	mu      sync.Mutex
+	dir     string
+	opt     Options
+	factory Factory
+
+	graph   *vgraph.Graph
+	pool    *heap.Pool
+	locks   *lock.Manager
+	journal *wal.Log
+
+	tables map[string]*Table
+	order  []string // table creation order
+
+	nextTxn uint64
+}
+
+// Table is one versioned relation inside a Database.
+type Table struct {
+	name   string
+	schema *record.Schema
+	engine Engine
+	db     *Database
+}
+
+// catalog is the persisted table list.
+type catalog struct {
+	Tables []catalogTable `json:"tables"`
+}
+
+type catalogTable struct {
+	Name    string          `json:"name"`
+	Columns []catalogColumn `json:"columns"`
+}
+
+type catalogColumn struct {
+	Name string `json:"name"`
+	Type uint8  `json:"type"`
+}
+
+// Open opens (or creates) the dataset at dir using the given storage
+// engine factory. Existing tables are reloaded from the catalog;
+// committed state is recovered and uncommitted modifications are rolled
+// back by the engines.
+func Open(dir string, factory Factory, opt Options) (*Database, error) {
+	if factory == nil {
+		return nil, errors.New("core: nil engine factory")
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "tables"), 0o755); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	graph, err := vgraph.New(filepath.Join(dir, "graph.json"))
+	if err != nil {
+		return nil, err
+	}
+	journal, err := wal.Open(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		return nil, err
+	}
+	db := &Database{
+		dir:     dir,
+		opt:     opt,
+		factory: factory,
+		graph:   graph,
+		pool:    heap.NewPool(opt.PoolPages, opt.PageSize),
+		locks:   lock.NewManager(0),
+		journal: journal,
+		tables:  make(map[string]*Table),
+	}
+	if err := db.loadCatalog(); err != nil {
+		journal.Close()
+		return nil, err
+	}
+	return db, nil
+}
+
+func (db *Database) catalogPath() string { return filepath.Join(db.dir, "catalog.json") }
+
+func (db *Database) loadCatalog() error {
+	data, err := os.ReadFile(db.catalogPath())
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	var cat catalog
+	if err := json.Unmarshal(data, &cat); err != nil {
+		return fmt.Errorf("core: corrupt catalog: %w", err)
+	}
+	for _, ct := range cat.Tables {
+		cols := make([]record.Column, len(ct.Columns))
+		for i, c := range ct.Columns {
+			cols[i] = record.Column{Name: c.Name, Type: record.Type(c.Type)}
+		}
+		schema, err := record.NewSchema(cols...)
+		if err != nil {
+			return err
+		}
+		if _, err := db.attachTable(ct.Name, schema); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (db *Database) saveCatalogLocked() error {
+	var cat catalog
+	for _, name := range db.order {
+		t := db.tables[name]
+		ct := catalogTable{Name: name}
+		for i := 0; i < t.schema.NumColumns(); i++ {
+			c := t.schema.Column(i)
+			ct.Columns = append(ct.Columns, catalogColumn{Name: c.Name, Type: uint8(c.Type)})
+		}
+		cat.Tables = append(cat.Tables, ct)
+	}
+	data, err := json.Marshal(&cat)
+	if err != nil {
+		return err
+	}
+	tmp := db.catalogPath() + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, db.catalogPath())
+}
+
+func (db *Database) attachTable(name string, schema *record.Schema) (*Table, error) {
+	tdir := filepath.Join(db.dir, "tables", name)
+	if err := os.MkdirAll(tdir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	env := &Env{Dir: tdir, Schema: schema, Graph: db.graph, Pool: db.pool, Opt: db.opt}
+	eng, err := db.factory(env)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{name: name, schema: schema, engine: eng, db: db}
+	db.tables[name] = t
+	db.order = append(db.order, name)
+	return t, nil
+}
+
+// CreateTable adds a relation to the dataset. Tables must be created
+// before Init (the init transaction "creates the two tables as well as
+// populates them with initial data", Section 2.2.3).
+func (db *Database) CreateTable(name string, schema *record.Schema) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.graph.Initialized() {
+		return nil, errors.New("core: cannot create tables after init")
+	}
+	if name == "" {
+		return nil, errors.New("core: empty table name")
+	}
+	if _, dup := db.tables[name]; dup {
+		return nil, fmt.Errorf("core: table %q already exists", name)
+	}
+	t, err := db.attachTable(name, schema)
+	if err != nil {
+		return nil, err
+	}
+	return t, db.saveCatalogLocked()
+}
+
+// Table returns the named relation.
+func (db *Database) Table(name string) (*Table, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[name]
+	return t, ok
+}
+
+// Tables returns the dataset's relations in creation order.
+func (db *Database) Tables() []*Table {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]*Table, 0, len(db.order))
+	for _, n := range db.order {
+		out = append(out, db.tables[n])
+	}
+	return out
+}
+
+// Graph exposes the version graph (read-mostly: heads, LCA, ancestry).
+func (db *Database) Graph() *vgraph.Graph { return db.graph }
+
+// Init creates the master branch and the initial (empty) version of
+// every relation.
+func (db *Database) Init(message string) (*vgraph.Branch, *vgraph.Commit, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if len(db.tables) == 0 {
+		return nil, nil, errors.New("core: init requires at least one table")
+	}
+	master, c0, err := db.graph.Init(message)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := db.journalOp("init", message); err != nil {
+		return nil, nil, err
+	}
+	for _, name := range db.order {
+		if err := db.tables[name].engine.Init(master, c0); err != nil {
+			return nil, nil, err
+		}
+	}
+	return master, c0, nil
+}
+
+// Branch creates a named branch from any existing commit.
+func (db *Database) Branch(name string, from vgraph.CommitID) (*vgraph.Branch, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	fromCommit, ok := db.graph.Commit(from)
+	if !ok {
+		return nil, fmt.Errorf("core: commit %d does not exist", from)
+	}
+	b, err := db.graph.NewBranch(name, from)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.journalOp("branch", name); err != nil {
+		return nil, err
+	}
+	for _, tname := range db.order {
+		if err := db.tables[tname].engine.Branch(b, fromCommit); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// BranchFromHead creates a branch off the current head of an existing
+// branch.
+func (db *Database) BranchFromHead(name, parent string) (*vgraph.Branch, error) {
+	pb, ok := db.graph.BranchByName(parent)
+	if !ok {
+		return nil, fmt.Errorf("core: branch %q does not exist", parent)
+	}
+	return db.Branch(name, pb.Head)
+}
+
+// Commit snapshots the branch's current state across all relations as a
+// new version.
+func (db *Database) Commit(branch vgraph.BranchID, message string) (*vgraph.Commit, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	c, err := db.graph.NewCommit(branch, message)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.journalOp("commit", message); err != nil {
+		return nil, err
+	}
+	for _, tname := range db.order {
+		if err := db.tables[tname].engine.Commit(c); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Merge merges the head of branch other into branch into across all
+// relations, committing the result as a merge version. precedenceFirst
+// selects whether into (true) or other (false) wins conflicts.
+func (db *Database) Merge(into, other vgraph.BranchID, message string, kind MergeKind, precedenceFirst bool) (*vgraph.Commit, MergeStats, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var agg MergeStats
+	mc, err := db.graph.NewMergeCommit(into, other, message, precedenceFirst)
+	if err != nil {
+		return nil, agg, err
+	}
+	if err := db.journalOp("merge", message); err != nil {
+		return nil, agg, err
+	}
+	for _, tname := range db.order {
+		st, err := db.tables[tname].engine.Merge(into, other, mc, kind)
+		if err != nil {
+			return nil, agg, err
+		}
+		agg.Conflicts += st.Conflicts
+		agg.ChangedA += st.ChangedA
+		agg.ChangedB += st.ChangedB
+		agg.DiffBytes += st.DiffBytes
+		agg.Materialized += st.Materialized
+		agg.TuplesScanned += st.TuplesScanned
+	}
+	return mc, agg, nil
+}
+
+func (db *Database) journalOp(op, detail string) error {
+	_, err := db.journal.AppendGroup([]byte(op + ":" + detail))
+	if err == nil && db.opt.Fsync {
+		return db.journal.Sync()
+	}
+	return err
+}
+
+// Stats aggregates storage statistics across relations.
+func (db *Database) Stats() (Stats, error) {
+	var agg Stats
+	for _, t := range db.Tables() {
+		st, err := t.engine.Stats()
+		if err != nil {
+			return agg, err
+		}
+		agg.Records += st.Records
+		agg.DataBytes += st.DataBytes
+		agg.IndexBytes += st.IndexBytes
+		agg.CommitBytes += st.CommitBytes
+		agg.SegmentCount += st.SegmentCount
+		agg.LiveRecords += st.LiveRecords
+	}
+	return agg, nil
+}
+
+// Flush writes all buffered state to disk.
+func (db *Database) Flush() error {
+	for _, t := range db.Tables() {
+		if err := t.engine.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close flushes and closes every engine and the journal.
+func (db *Database) Close() error {
+	var first error
+	for _, t := range db.Tables() {
+		if err := t.engine.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if err := db.journal.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() *record.Schema { return t.schema }
+
+// Engine exposes the underlying storage engine (benchmarks use this).
+func (t *Table) Engine() Engine { return t.engine }
+
+// Insert upserts a record into a branch head.
+func (t *Table) Insert(branch vgraph.BranchID, rec *record.Record) error {
+	return t.engine.Insert(branch, rec)
+}
+
+// Delete removes a key from a branch head.
+func (t *Table) Delete(branch vgraph.BranchID, pk int64) error {
+	return t.engine.Delete(branch, pk)
+}
+
+// Scan emits the records live in a branch head (Query 1).
+func (t *Table) Scan(branch vgraph.BranchID, fn ScanFunc) error {
+	return t.engine.ScanBranch(branch, fn)
+}
+
+// ScanCommit emits the records of a committed version (checkout read).
+func (t *Table) ScanCommit(c *vgraph.Commit, fn ScanFunc) error {
+	return t.engine.ScanCommit(c, fn)
+}
+
+// ScanMulti emits records live in any of the branches with membership
+// annotations (Query 4).
+func (t *Table) ScanMulti(branches []vgraph.BranchID, fn MultiScanFunc) error {
+	return t.engine.ScanMulti(branches, fn)
+}
+
+// Diff streams the symmetric difference of two branch heads (Query 2).
+func (t *Table) Diff(a, b vgraph.BranchID, fn DiffFunc) error {
+	return t.engine.Diff(a, b, fn)
+}

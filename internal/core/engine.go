@@ -1,0 +1,164 @@
+// Package core defines Decibel's public API: the Database/Session
+// facade (Section 2.2), the storage Engine contract that the
+// tuple-first, version-first, and hybrid schemes implement (Section 3),
+// and the versioned operations — branch, commit, checkout, diff, merge,
+// and the single- and multi-branch scans the benchmark queries build
+// on.
+package core
+
+import (
+	"decibel/internal/bitmap"
+	"decibel/internal/heap"
+	"decibel/internal/record"
+	"decibel/internal/vgraph"
+)
+
+// ScanFunc receives each record of a scan; returning false stops the
+// scan. The record may alias engine buffers and must not be retained
+// across calls (Clone it to keep it).
+type ScanFunc func(rec *record.Record) bool
+
+// MultiScanFunc receives each record live in at least one of the
+// scanned branches, annotated with a membership bitmap whose bit i
+// corresponds to the i-th requested branch. This is the output shape of
+// Query 4: "a list of records annotated with their active branches".
+type MultiScanFunc func(rec *record.Record, membership *bitmap.Bitmap) bool
+
+// DiffFunc receives the records of a diff(A, B). inA is true for the
+// positive difference (records in A but not in B) and false for the
+// negative difference (records in B but not in A).
+type DiffFunc func(rec *record.Record, inA bool) bool
+
+// MergeKind selects the conflict model of a merge.
+type MergeKind int
+
+const (
+	// TwoWay detects conflicts at tuple granularity and takes every
+	// conflicting record wholesale from the precedence branch.
+	TwoWay MergeKind = iota
+	// ThreeWay compares both branches field-by-field against their
+	// lowest common ancestor; non-overlapping field updates auto-merge
+	// and only overlapping fields fall back to precedence (Section
+	// 2.2.3).
+	ThreeWay
+)
+
+func (k MergeKind) String() string {
+	if k == TwoWay {
+		return "two-way"
+	}
+	return "three-way"
+}
+
+// MergeStats summarizes a merge for the caller and the benchmark
+// harness (Table 3 reports merge throughput over the diffed bytes).
+type MergeStats struct {
+	Conflicts     int   // records with conflicting modifications
+	ChangedA      int   // records modified in the first branch since the LCA
+	ChangedB      int   // records modified in the second branch since the LCA
+	DiffBytes     int64 // bytes of records diffed between the branches
+	Materialized  int   // resolved records physically written by the merge
+	TuplesScanned int64 // records read to perform the merge
+}
+
+// Stats reports an engine's storage footprint.
+type Stats struct {
+	Records      int64 // record slots stored, dead copies included
+	DataBytes    int64 // heap/segment file bytes
+	IndexBytes   int64 // in-memory bitmap/index bytes (approximate)
+	CommitBytes  int64 // on-disk commit history bytes
+	SegmentCount int   // number of heap/segment files
+	LiveRecords  int64 // records live in at least one branch head (approximate)
+}
+
+// Env is the shared environment a Database hands to its engines.
+type Env struct {
+	Dir    string         // engine-private directory (exists)
+	Schema *record.Schema // table schema
+	Graph  *vgraph.Graph  // shared version graph
+	Pool   *heap.Pool     // shared buffer pool
+	Opt    Options        // global options
+}
+
+// Options tunes storage behaviour. The zero value gives sensible
+// defaults (4 MB pages, branch-oriented bitmaps).
+type Options struct {
+	PageSize      int  // heap page size in bytes (0 = heap.DefaultPageSize)
+	PoolPages     int  // buffer pool capacity in pages (0 = 64)
+	CommitFanout  int  // commit-log composite layer fanout (0 = default)
+	TupleOriented bool // tuple-first: use the tuple-oriented bitmap matrix
+	Fsync         bool // fsync on commit (off for benchmarks, like the paper's load phase)
+}
+
+// Factory constructs an engine rooted at env.Dir. Implemented by
+// tf.Factory, vf.Factory and hy.Factory.
+type Factory func(env *Env) (Engine, error)
+
+// Engine is the storage-engine contract of Section 3. One Engine stores
+// one relation across all branches and versions. Version-graph
+// mutations are performed by the Database before the corresponding
+// engine hook runs, so engines may consult env.Graph for parents,
+// sequence numbers and LCAs.
+//
+// Write operations address branch heads ("it is expected that most
+// operations will occur on the heads of the branches"); reads address
+// either branch heads (ScanBranch, ScanMulti, Diff) or any committed
+// version (ScanCommit).
+type Engine interface {
+	// Kind returns the scheme name: "tuple-first", "version-first" or
+	// "hybrid".
+	Kind() string
+
+	// Init prepares storage for the initial master branch and its empty
+	// init commit.
+	Init(master *vgraph.Branch, c0 *vgraph.Commit) error
+
+	// Branch creates storage for a new branch rooted at commit from
+	// (which may be any commit on any branch, head or historical).
+	Branch(child *vgraph.Branch, from *vgraph.Commit) error
+
+	// Commit snapshots the current state of c.Branch as version c.
+	Commit(c *vgraph.Commit) error
+
+	// Insert upserts a record into the head of a branch: a new record
+	// copy is appended and any previous copy with the same primary key
+	// stops being live in that branch (Decibel copies complete records
+	// on each update).
+	Insert(branch vgraph.BranchID, rec *record.Record) error
+
+	// Delete removes the record with the given primary key from the
+	// branch head. Deleting an absent key is a no-op returning nil.
+	Delete(branch vgraph.BranchID, pk int64) error
+
+	// ScanBranch emits every record live in the branch head (Query 1).
+	ScanBranch(branch vgraph.BranchID, fn ScanFunc) error
+
+	// ScanCommit emits every record live in the given committed
+	// version; this is how a checked-out historical version is read.
+	ScanCommit(c *vgraph.Commit, fn ScanFunc) error
+
+	// ScanMulti emits every record live in at least one of the branch
+	// heads, annotated with its membership (Query 4).
+	ScanMulti(branches []vgraph.BranchID, fn MultiScanFunc) error
+
+	// Diff streams the symmetric difference of two branch heads
+	// (Query 2): records live in a but not b (inA=true) and records
+	// live in b but not a (inA=false).
+	Diff(a, b vgraph.BranchID, fn DiffFunc) error
+
+	// Merge merges the head of branch other into branch into. mc is the
+	// already-created merge commit (its Parents are the two heads, its
+	// PrecedenceFirst selects the winning side). After Merge returns,
+	// the head of into reflects the merged state and mc is its
+	// committed snapshot.
+	Merge(into, other vgraph.BranchID, mc *vgraph.Commit, kind MergeKind) (MergeStats, error)
+
+	// Stats reports the storage footprint.
+	Stats() (Stats, error)
+
+	// Flush writes buffered state to disk without closing.
+	Flush() error
+
+	// Close flushes and releases all resources.
+	Close() error
+}

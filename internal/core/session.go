@@ -1,0 +1,214 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"decibel/internal/lock"
+	"decibel/internal/record"
+	"decibel/internal/vgraph"
+)
+
+// Session captures a user's state — "the commit (or the branch) that
+// the operations the user issues will read or modify" (Section 2.2.3).
+// Sessions acquire branch-level locks under strict two-phase locking:
+// writes take an exclusive lock on the branch head, reads a shared
+// lock; all locks are held until Commit or Close.
+type Session struct {
+	mu     sync.Mutex
+	db     *Database
+	txn    uint64
+	branch *vgraph.Branch // current working branch (writes allowed at head)
+	commit *vgraph.Commit // checked-out commit (reads see this version)
+	closed bool
+}
+
+// NewSession opens a session positioned at the head of master.
+func (db *Database) NewSession() (*Session, error) {
+	db.mu.Lock()
+	db.nextTxn++
+	txn := db.nextTxn
+	db.mu.Unlock()
+	s := &Session{db: db, txn: txn}
+	if master, ok := db.graph.BranchByName(vgraph.MasterName); ok {
+		if err := s.Checkout(master.Name); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func branchResource(b vgraph.BranchID) string { return fmt.Sprintf("branch:%d", b) }
+
+// Checkout positions the session at the head of the named branch.
+func (s *Session) Checkout(branch string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("core: session closed")
+	}
+	b, ok := s.db.graph.BranchByName(branch)
+	if !ok {
+		return fmt.Errorf("core: branch %q does not exist", branch)
+	}
+	head, _ := s.db.graph.Commit(b.Head)
+	s.branch = b
+	s.commit = head
+	return nil
+}
+
+// CheckoutCommit positions the session at a historical version:
+// subsequent reads "revert the state of the dataset back to that state
+// within their own session". Writes are rejected until the session
+// checks out a branch head again.
+func (s *Session) CheckoutCommit(id vgraph.CommitID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("core: session closed")
+	}
+	c, ok := s.db.graph.Commit(id)
+	if !ok {
+		return fmt.Errorf("core: commit %d does not exist", id)
+	}
+	s.commit = c
+	s.branch = nil
+	if b, ok := s.db.graph.BranchOf(id); ok {
+		s.branch = b
+	}
+	return nil
+}
+
+// Branch returns the session's current branch (nil when detached at a
+// historical commit).
+func (s *Session) Branch() *vgraph.Branch {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.branch
+}
+
+// Commit returns the session's checked-out commit.
+func (s *Session) Commit() *vgraph.Commit {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.commit
+}
+
+// atHead reports whether the session may write: it must be positioned
+// at the head of a branch ("most operations will occur on the heads of
+// the branches"; commits to non-head versions are not allowed).
+func (s *Session) atHead() (*vgraph.Branch, error) {
+	if s.closed {
+		return nil, errors.New("core: session closed")
+	}
+	if s.branch == nil {
+		return nil, errors.New("core: session is detached at a historical commit; checkout a branch to write")
+	}
+	b, _ := s.db.graph.Branch(s.branch.ID)
+	if s.commit == nil || b.Head != s.commit.ID {
+		return nil, errors.New("core: session is not at the branch head; checkout the branch to write")
+	}
+	return b, nil
+}
+
+// Insert upserts a record into the session's branch head under an
+// exclusive branch lock.
+func (s *Session) Insert(table string, rec *record.Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, err := s.atHead()
+	if err != nil {
+		return err
+	}
+	t, ok := s.db.Table(table)
+	if !ok {
+		return fmt.Errorf("core: table %q does not exist", table)
+	}
+	if err := s.db.locks.Acquire(s.txn, branchResource(b.ID), lock.Exclusive); err != nil {
+		return err
+	}
+	return t.Insert(b.ID, rec)
+}
+
+// Delete removes a key from the session's branch head under an
+// exclusive branch lock.
+func (s *Session) Delete(table string, pk int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, err := s.atHead()
+	if err != nil {
+		return err
+	}
+	t, ok := s.db.Table(table)
+	if !ok {
+		return fmt.Errorf("core: table %q does not exist", table)
+	}
+	if err := s.db.locks.Acquire(s.txn, branchResource(b.ID), lock.Exclusive); err != nil {
+		return err
+	}
+	return t.Delete(b.ID, pk)
+}
+
+// Scan reads the session's current version of a table under a shared
+// branch lock (historical checkouts read the committed snapshot and
+// need no lock: versions are immutable).
+func (s *Session) Scan(table string, fn ScanFunc) error {
+	s.mu.Lock()
+	t, ok := s.db.Table(table)
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("core: table %q does not exist", table)
+	}
+	branch := s.branch
+	commit := s.commit
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return errors.New("core: session closed")
+	}
+	if branch != nil {
+		if cur, _ := s.db.graph.Branch(branch.ID); cur != nil && commit != nil && cur.Head == commit.ID {
+			if err := s.db.locks.Acquire(s.txn, branchResource(branch.ID), lock.Shared); err != nil {
+				return err
+			}
+			return t.Scan(branch.ID, fn)
+		}
+	}
+	if commit == nil {
+		return errors.New("core: session has no checked-out version")
+	}
+	return t.ScanCommit(commit, fn)
+}
+
+// CommitWork commits the session's branch, making its updates
+// atomically visible, and releases all locks (end of the 2PL
+// transaction).
+func (s *Session) CommitWork(message string) (*vgraph.Commit, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, err := s.atHead()
+	if err != nil {
+		return nil, err
+	}
+	if err := s.db.locks.Acquire(s.txn, branchResource(b.ID), lock.Exclusive); err != nil {
+		return nil, err
+	}
+	c, err := s.db.Commit(b.ID, message)
+	s.db.locks.ReleaseAll(s.txn)
+	if err != nil {
+		return nil, err
+	}
+	s.commit = c
+	return c, nil
+}
+
+// Close releases the session's locks without committing.
+func (s *Session) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.closed {
+		s.db.locks.ReleaseAll(s.txn)
+		s.closed = true
+	}
+}

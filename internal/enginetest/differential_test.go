@@ -1,0 +1,445 @@
+package enginetest
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"decibel/internal/bitmap"
+	"decibel/internal/core"
+	"decibel/internal/hy"
+	"decibel/internal/record"
+	"decibel/internal/tf"
+	"decibel/internal/vf"
+	"decibel/internal/vgraph"
+)
+
+// harness drives one workload through all engines plus the model.
+type harness struct {
+	t      *testing.T
+	schema *record.Schema
+	dbs    map[string]*core.Database
+	model  *Model
+	graph  *vgraph.Graph // graph of the first db (all evolve identically)
+	names  []string
+}
+
+func testSchema() *record.Schema {
+	return record.MustSchema(
+		record.Column{Name: "id", Type: record.Int64},
+		record.Column{Name: "a", Type: record.Int64},
+		record.Column{Name: "b", Type: record.Int64},
+		record.Column{Name: "c", Type: record.Int32},
+	)
+}
+
+func newHarness(t *testing.T) *harness {
+	t.Helper()
+	h := &harness{t: t, schema: testSchema(), dbs: make(map[string]*core.Database), model: NewModel(testSchema())}
+	opt := core.Options{PageSize: 4096, PoolPages: 16}
+	for _, name := range []string{"tuple-first", "tuple-first-toriented", "version-first", "hybrid"} {
+		o := opt
+		if name == "tuple-first-toriented" {
+			o.TupleOriented = true
+		}
+		factory := tf.Factory
+		switch name {
+		case "version-first":
+			factory = vf.Factory
+		case "hybrid":
+			factory = hy.Factory
+		}
+		db, err := core.Open(t.TempDir(), factory, o)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := db.CreateTable("t", h.schema); err != nil {
+			t.Fatal(err)
+		}
+		h.dbs[name] = db
+		h.names = append(h.names, name)
+	}
+	t.Cleanup(func() {
+		for _, db := range h.dbs {
+			db.Close()
+		}
+	})
+	return h
+}
+
+func (h *harness) init() (*vgraph.Branch, *vgraph.Commit) {
+	var master *vgraph.Branch
+	var c0 *vgraph.Commit
+	for _, name := range h.names {
+		m, c, err := h.dbs[name].Init("init")
+		if err != nil {
+			h.t.Fatalf("%s init: %v", name, err)
+		}
+		master, c0 = m, c
+	}
+	h.graph = h.dbs[h.names[0]].Graph()
+	h.model.Init(master, c0)
+	return master, c0
+}
+
+func (h *harness) branch(name string, from vgraph.CommitID) *vgraph.Branch {
+	var b *vgraph.Branch
+	for _, n := range h.names {
+		nb, err := h.dbs[n].Branch(name, from)
+		if err != nil {
+			h.t.Fatalf("%s branch: %v", n, err)
+		}
+		b = nb
+	}
+	fc, _ := h.graph.Commit(from)
+	h.model.Branch(b, fc)
+	return b
+}
+
+func (h *harness) commit(b vgraph.BranchID) *vgraph.Commit {
+	var c *vgraph.Commit
+	for _, n := range h.names {
+		nc, err := h.dbs[n].Commit(b, "c")
+		if err != nil {
+			h.t.Fatalf("%s commit: %v", n, err)
+		}
+		c = nc
+	}
+	h.model.Commit(c)
+	return c
+}
+
+func (h *harness) insert(b vgraph.BranchID, rec *record.Record) {
+	for _, n := range h.names {
+		tbl, _ := h.dbs[n].Table("t")
+		if err := tbl.Insert(b, rec); err != nil {
+			h.t.Fatalf("%s insert: %v", n, err)
+		}
+	}
+	h.model.Insert(b, rec)
+}
+
+func (h *harness) delete(b vgraph.BranchID, pk int64) {
+	for _, n := range h.names {
+		tbl, _ := h.dbs[n].Table("t")
+		if err := tbl.Delete(b, pk); err != nil {
+			h.t.Fatalf("%s delete: %v", n, err)
+		}
+	}
+	h.model.Delete(b, pk)
+}
+
+func (h *harness) merge(into, other vgraph.BranchID, kind core.MergeKind, precFirst bool) {
+	var conflicts []int
+	var mc *vgraph.Commit
+	for _, n := range h.names {
+		c, st, err := h.dbs[n].Merge(into, other, "m", kind, precFirst)
+		if err != nil {
+			h.t.Fatalf("%s merge: %v", n, err)
+		}
+		conflicts = append(conflicts, st.Conflicts)
+		mc = c
+	}
+	want := h.model.Merge(h.graph, into, other, mc, kind)
+	for i, n := range h.names {
+		if conflicts[i] != want {
+			h.t.Errorf("%s merge conflicts = %d, model says %d", n, conflicts[i], want)
+		}
+	}
+}
+
+// branchScanSet collects a branch scan as a set of record byte strings.
+func (h *harness) branchScanSet(db *core.Database, b vgraph.BranchID) map[string]bool {
+	tbl, _ := db.Table("t")
+	out := make(map[string]bool)
+	err := tbl.Scan(b, func(rec *record.Record) bool {
+		out[string(rec.Bytes())] = true
+		return true
+	})
+	if err != nil {
+		h.t.Fatalf("scan: %v", err)
+	}
+	return out
+}
+
+func stateSet(s state) map[string]bool {
+	out := make(map[string]bool, len(s))
+	for _, v := range s {
+		out[v] = true
+	}
+	return out
+}
+
+func describeSetDiff(a, b map[string]bool) string {
+	var onlyA, onlyB int
+	for k := range a {
+		if !b[k] {
+			onlyA++
+		}
+	}
+	for k := range b {
+		if !a[k] {
+			onlyB++
+		}
+	}
+	return fmt.Sprintf("%d records only in engine, %d only in model (engine=%d model=%d)", onlyA, onlyB, len(a), len(b))
+}
+
+// verify checks every branch scan, sampled commits, diffs and
+// multi-branch scans across all engines against the model.
+func (h *harness) verify(r *rand.Rand, commits []*vgraph.Commit) {
+	branches := h.graph.Branches()
+	// Branch scans.
+	for _, br := range branches {
+		want := stateSet(h.model.BranchState(br.ID))
+		for _, n := range h.names {
+			got := h.branchScanSet(h.dbs[n], br.ID)
+			if !setsEqual(got, want) {
+				h.t.Errorf("%s: branch %s scan mismatch: %s", n, br.Name, describeSetDiff(got, want))
+				if n == "version-first" {
+					tbl, _ := h.dbs[n].Table("t")
+					eng := tbl.Engine().(*vf.Engine)
+					h.t.Log(eng.DumpLineage(br.ID))
+					for k := range got {
+						if !want[k] {
+							rec, _ := record.FromBytes(h.schema, []byte(k))
+							h.t.Logf("extra pk=%d:\n%s", rec.PK(), eng.DumpKey(rec.PK()))
+						}
+					}
+					for k := range want {
+						if !got[k] {
+							rec, _ := record.FromBytes(h.schema, []byte(k))
+							h.t.Logf("missing pk=%d:\n%s", rec.PK(), eng.DumpKey(rec.PK()))
+						}
+					}
+				}
+			}
+		}
+	}
+	// Commit checkouts (sampled).
+	for i := 0; i < 5 && len(commits) > 0; i++ {
+		c := commits[r.Intn(len(commits))]
+		want := stateSet(h.model.CommitState(c.ID))
+		for _, n := range h.names {
+			tbl, _ := h.dbs[n].Table("t")
+			got := make(map[string]bool)
+			if err := tbl.ScanCommit(c, func(rec *record.Record) bool {
+				got[string(rec.Bytes())] = true
+				return true
+			}); err != nil {
+				h.t.Fatalf("%s scanCommit: %v", n, err)
+			}
+			if !setsEqual(got, want) {
+				h.t.Errorf("%s: commit %d checkout mismatch: %s", n, c.ID, describeSetDiff(got, want))
+			}
+		}
+	}
+	// Diffs (sampled pairs).
+	for i := 0; i < 4 && len(branches) >= 2; i++ {
+		a := branches[r.Intn(len(branches))].ID
+		b := branches[r.Intn(len(branches))].ID
+		if a == b {
+			continue
+		}
+		want := h.model.Diff(a, b)
+		for _, n := range h.names {
+			tbl, _ := h.dbs[n].Table("t")
+			got := make(map[string]bool)
+			if err := tbl.Diff(a, b, func(rec *record.Record, inA bool) bool {
+				side := "\x00B"
+				if inA {
+					side = "\x00A"
+				}
+				got[string(rec.Bytes())+side] = true
+				return true
+			}); err != nil {
+				h.t.Fatalf("%s diff: %v", n, err)
+			}
+			if !setsEqual(got, want) {
+				h.t.Errorf("%s: diff(%d,%d) mismatch: %s", n, a, b, describeSetDiff(got, want))
+			}
+		}
+	}
+	// Multi-branch scan: per-branch projection must equal single scans.
+	ids := make([]vgraph.BranchID, 0, len(branches))
+	for _, br := range branches {
+		ids = append(ids, br.ID)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, n := range h.names {
+		tbl, _ := h.dbs[n].Table("t")
+		proj := make([]map[string]bool, len(ids))
+		for i := range proj {
+			proj[i] = make(map[string]bool)
+		}
+		if err := tbl.ScanMulti(ids, func(rec *record.Record, member *bitmap.Bitmap) bool {
+			if !member.Any() {
+				h.t.Errorf("%s: ScanMulti emitted record with empty membership", n)
+			}
+			for i := range ids {
+				if member.Get(i) {
+					proj[i][string(rec.Bytes())] = true
+				}
+			}
+			return true
+		}); err != nil {
+			h.t.Fatalf("%s scanMulti: %v", n, err)
+		}
+		for i, id := range ids {
+			want := stateSet(h.model.BranchState(id))
+			if !setsEqual(proj[i], want) {
+				h.t.Errorf("%s: ScanMulti projection of branch %d mismatch: %s", n, id, describeSetDiff(proj[i], want))
+			}
+		}
+	}
+}
+
+func setsEqual(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// mkRec builds a record with random payload for pk.
+func mkRec(schema *record.Schema, r *rand.Rand, pk int64) *record.Record {
+	rec := record.New(schema)
+	rec.SetPK(pk)
+	for i := 1; i < schema.NumColumns(); i++ {
+		rec.Set(i, r.Int63())
+	}
+	return rec
+}
+
+// runWorkload drives a seeded random versioned workload and verifies
+// continuously.
+func runWorkload(t *testing.T, seed int64, ops int, allowMerge bool, threeWay bool) {
+	h := newHarness(t)
+	r := rand.New(rand.NewSource(seed))
+	master, c0 := h.init()
+	commits := []*vgraph.Commit{c0}
+	branches := []*vgraph.Branch{master}
+	nextPK := int64(1)
+	nextBranch := 1
+	_ = master
+
+	for op := 0; op < ops; op++ {
+		switch k := r.Intn(100); {
+		case k < 50: // insert
+			b := branches[r.Intn(len(branches))]
+			h.insert(b.ID, mkRec(h.schema, r, nextPK))
+			nextPK++
+		case k < 70: // update existing
+			b := branches[r.Intn(len(branches))]
+			st := h.model.BranchState(b.ID)
+			if pk, ok := anyKey(r, st); ok {
+				h.insert(b.ID, mkRec(h.schema, r, pk))
+			}
+		case k < 80: // delete
+			b := branches[r.Intn(len(branches))]
+			st := h.model.BranchState(b.ID)
+			if pk, ok := anyKey(r, st); ok {
+				h.delete(b.ID, pk)
+			}
+		case k < 90: // commit
+			b := branches[r.Intn(len(branches))]
+			commits = append(commits, h.commit(b.ID))
+		case k < 96: // branch (mostly from head, sometimes historical)
+			var from vgraph.CommitID
+			if r.Intn(4) == 0 {
+				from = commits[r.Intn(len(commits))].ID
+			} else {
+				pb := branches[r.Intn(len(branches))]
+				cur, _ := h.graph.Branch(pb.ID)
+				from = cur.Head
+			}
+			nb := h.branch(fmt.Sprintf("b%d", nextBranch), from)
+			nextBranch++
+			branches = append(branches, nb)
+		default: // merge
+			if !allowMerge || len(branches) < 2 {
+				continue
+			}
+			i, j := r.Intn(len(branches)), r.Intn(len(branches))
+			if i == j {
+				continue
+			}
+			kind := core.TwoWay
+			if threeWay {
+				kind = core.ThreeWay
+			}
+			h.merge(branches[i].ID, branches[j].ID, kind, r.Intn(2) == 0)
+			mb, _ := h.graph.Branch(branches[i].ID)
+			mcommit, _ := h.graph.Commit(mb.Head)
+			commits = append(commits, mcommit)
+		}
+		if op%50 == 49 {
+			h.verify(r, commits)
+			if h.t.Failed() {
+				h.t.Fatalf("divergence detected at op %d (seed %d)", op, seed)
+			}
+		}
+	}
+	h.verify(r, commits)
+	if h.t.Failed() {
+		h.t.Fatalf("divergence detected at end (seed %d)", seed)
+	}
+}
+
+func TestDifferentialLinear(t *testing.T) {
+	runWorkload(t, 1, 300, false, false)
+}
+
+func TestDifferentialBranchingNoMerge(t *testing.T) {
+	runWorkload(t, 2, 300, false, false)
+}
+
+func TestDifferentialTwoWayMerges(t *testing.T) {
+	runWorkload(t, 3, 300, true, false)
+}
+
+func TestDifferentialThreeWayMerges(t *testing.T) {
+	runWorkload(t, 4, 300, true, true)
+}
+
+func TestDifferentialManySeedsTwoWay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for seed := int64(10); seed < 16; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			runWorkload(t, seed, 200, true, false)
+		})
+	}
+}
+
+func TestDifferentialManySeedsThreeWay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for seed := int64(20); seed < 26; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			runWorkload(t, seed, 200, true, true)
+		})
+	}
+}
+
+func anyKey(r *rand.Rand, s state) (int64, bool) {
+	if len(s) == 0 {
+		return 0, false
+	}
+	keys := make([]int64, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys[r.Intn(len(keys))], true
+}

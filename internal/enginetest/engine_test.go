@@ -1,0 +1,577 @@
+package enginetest
+
+import (
+	"testing"
+
+	"decibel/internal/core"
+	"decibel/internal/hy"
+	"decibel/internal/record"
+	"decibel/internal/tf"
+	"decibel/internal/vf"
+	"decibel/internal/vgraph"
+)
+
+// engineCases enumerates every engine configuration under test.
+func engineCases() []struct {
+	name    string
+	factory core.Factory
+	opt     core.Options
+} {
+	base := core.Options{PageSize: 4096, PoolPages: 16}
+	to := base
+	to.TupleOriented = true
+	return []struct {
+		name    string
+		factory core.Factory
+		opt     core.Options
+	}{
+		{"tuple-first", tf.Factory, base},
+		{"tuple-first-toriented", tf.Factory, to},
+		{"version-first", vf.Factory, base},
+		{"hybrid", hy.Factory, base},
+	}
+}
+
+func openDB(t *testing.T, dir string, factory core.Factory, opt core.Options) *core.Database {
+	t.Helper()
+	db, err := core.Open(dir, factory, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func scanPKs(t *testing.T, db *core.Database, b vgraph.BranchID) map[int64]int64 {
+	t.Helper()
+	tbl, _ := db.Table("t")
+	out := make(map[int64]int64)
+	if err := tbl.Scan(b, func(rec *record.Record) bool {
+		out[rec.PK()] = rec.Get(1)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func simpleRec(s *record.Schema, pk, v int64) *record.Record {
+	r := record.New(s)
+	r.SetPK(pk)
+	r.Set(1, v)
+	return r
+}
+
+// TestEngineBasicLifecycle covers insert/update/delete/commit/checkout
+// on every engine.
+func TestEngineBasicLifecycle(t *testing.T) {
+	for _, tc := range engineCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			db := openDB(t, t.TempDir(), tc.factory, tc.opt)
+			defer db.Close()
+			schema := testSchema()
+			if _, err := db.CreateTable("t", schema); err != nil {
+				t.Fatal(err)
+			}
+			master, _, err := db.Init("init")
+			if err != nil {
+				t.Fatal(err)
+			}
+			tbl, _ := db.Table("t")
+			for pk := int64(1); pk <= 10; pk++ {
+				if err := tbl.Insert(master.ID, simpleRec(schema, pk, pk*10)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			c1, err := db.Commit(master.ID, "ten rows")
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Update 3, delete 7.
+			if err := tbl.Insert(master.ID, simpleRec(schema, 3, 999)); err != nil {
+				t.Fatal(err)
+			}
+			if err := tbl.Delete(master.ID, 7); err != nil {
+				t.Fatal(err)
+			}
+			got := scanPKs(t, db, master.ID)
+			if len(got) != 9 || got[3] != 999 || got[1] != 10 {
+				t.Fatalf("head state = %v", got)
+			}
+			if _, deleted := got[7]; deleted {
+				t.Fatal("pk 7 still visible")
+			}
+			// Historical checkout still sees the committed state.
+			snap := make(map[int64]int64)
+			if err := tbl.ScanCommit(c1, func(rec *record.Record) bool {
+				snap[rec.PK()] = rec.Get(1)
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if len(snap) != 10 || snap[3] != 30 || snap[7] != 70 {
+				t.Fatalf("commit snapshot = %v", snap)
+			}
+			// Deleting a missing key is a no-op.
+			if err := tbl.Delete(master.ID, 12345); err != nil {
+				t.Fatal(err)
+			}
+			if len(scanPKs(t, db, master.ID)) != 9 {
+				t.Fatal("no-op delete changed state")
+			}
+		})
+	}
+}
+
+// TestEngineBranchIsolation verifies writes to a child are invisible to
+// the parent and vice versa.
+func TestEngineBranchIsolation(t *testing.T) {
+	for _, tc := range engineCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			db := openDB(t, t.TempDir(), tc.factory, tc.opt)
+			defer db.Close()
+			schema := testSchema()
+			db.CreateTable("t", schema)
+			master, _, _ := db.Init("init")
+			tbl, _ := db.Table("t")
+			tbl.Insert(master.ID, simpleRec(schema, 1, 100))
+			db.Commit(master.ID, "c")
+			dev, err := db.BranchFromHead("dev", "master")
+			if err != nil {
+				t.Fatal(err)
+			}
+			tbl.Insert(dev.ID, simpleRec(schema, 2, 200))    // child-only insert
+			tbl.Insert(dev.ID, simpleRec(schema, 1, 111))    // child-only update
+			tbl.Insert(master.ID, simpleRec(schema, 3, 300)) // parent-only insert
+			tbl.Delete(master.ID, 1)                         // parent-only delete
+
+			m := scanPKs(t, db, master.ID)
+			d := scanPKs(t, db, dev.ID)
+			if len(m) != 1 || m[3] != 300 {
+				t.Fatalf("master = %v", m)
+			}
+			if len(d) != 2 || d[1] != 111 || d[2] != 200 {
+				t.Fatalf("dev = %v", d)
+			}
+		})
+	}
+}
+
+// TestEngineBranchFromHistoricalCommit branches off a non-head commit.
+func TestEngineBranchFromHistoricalCommit(t *testing.T) {
+	for _, tc := range engineCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			db := openDB(t, t.TempDir(), tc.factory, tc.opt)
+			defer db.Close()
+			schema := testSchema()
+			db.CreateTable("t", schema)
+			master, _, _ := db.Init("init")
+			tbl, _ := db.Table("t")
+			tbl.Insert(master.ID, simpleRec(schema, 1, 1))
+			c1, _ := db.Commit(master.ID, "v1")
+			tbl.Insert(master.ID, simpleRec(schema, 2, 2))
+			db.Commit(master.ID, "v2")
+			tbl.Insert(master.ID, simpleRec(schema, 3, 3))
+
+			old, err := db.Branch("old", c1.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := scanPKs(t, db, old.ID)
+			if len(got) != 1 || got[1] != 1 {
+				t.Fatalf("historical branch state = %v (want only pk 1)", got)
+			}
+			// The historical branch is writable going forward.
+			tbl.Insert(old.ID, simpleRec(schema, 9, 9))
+			got = scanPKs(t, db, old.ID)
+			if len(got) != 2 || got[9] != 9 {
+				t.Fatalf("after write: %v", got)
+			}
+			// Master unaffected.
+			if m := scanPKs(t, db, master.ID); len(m) != 3 {
+				t.Fatalf("master = %v", m)
+			}
+		})
+	}
+}
+
+// TestEngineUncommittedRollbackOnReopen verifies the transaction
+// semantics of Section 2.2.3: updates not covered by a commit are
+// rolled back when the dataset is reopened.
+func TestEngineUncommittedRollbackOnReopen(t *testing.T) {
+	for _, tc := range engineCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			schema := testSchema()
+			db := openDB(t, dir, tc.factory, tc.opt)
+			db.CreateTable("t", schema)
+			master, _, _ := db.Init("init")
+			tbl, _ := db.Table("t")
+			tbl.Insert(master.ID, simpleRec(schema, 1, 1))
+			db.Commit(master.ID, "v1")
+			tbl.Insert(master.ID, simpleRec(schema, 2, 2)) // uncommitted
+			if err := db.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			db2 := openDB(t, dir, tc.factory, tc.opt)
+			defer db2.Close()
+			m, _ := db2.Graph().BranchByName("master")
+			got := scanPKs(t, db2, m.ID)
+			if len(got) != 1 || got[1] != 1 {
+				t.Fatalf("state after reopen = %v (want committed state only)", got)
+			}
+			// The reopened dataset accepts new writes and commits.
+			tbl2, _ := db2.Table("t")
+			if err := tbl2.Insert(m.ID, simpleRec(schema, 5, 5)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := db2.Commit(m.ID, "v2"); err != nil {
+				t.Fatal(err)
+			}
+			got = scanPKs(t, db2, m.ID)
+			if len(got) != 2 || got[5] != 5 {
+				t.Fatalf("after reopen write: %v", got)
+			}
+		})
+	}
+}
+
+// TestEngineReopenPreservesBranchesAndHistory exercises full reload of
+// a branched dataset.
+func TestEngineReopenPreservesBranchesAndHistory(t *testing.T) {
+	for _, tc := range engineCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			schema := testSchema()
+			db := openDB(t, dir, tc.factory, tc.opt)
+			db.CreateTable("t", schema)
+			master, _, _ := db.Init("init")
+			tbl, _ := db.Table("t")
+			tbl.Insert(master.ID, simpleRec(schema, 1, 1))
+			c1, _ := db.Commit(master.ID, "v1")
+			dev, _ := db.BranchFromHead("dev", "master")
+			tbl.Insert(dev.ID, simpleRec(schema, 2, 2))
+			db.Commit(dev.ID, "dev v1")
+			tbl.Insert(master.ID, simpleRec(schema, 3, 3))
+			c3, _ := db.Commit(master.ID, "v2")
+			db.Close()
+
+			db2 := openDB(t, dir, tc.factory, tc.opt)
+			defer db2.Close()
+			m, _ := db2.Graph().BranchByName("master")
+			d, _ := db2.Graph().BranchByName("dev")
+			if got := scanPKs(t, db2, m.ID); len(got) != 2 || got[3] != 3 {
+				t.Fatalf("master after reopen = %v", got)
+			}
+			if got := scanPKs(t, db2, d.ID); len(got) != 2 || got[2] != 2 {
+				t.Fatalf("dev after reopen = %v", got)
+			}
+			// Historical checkouts still work.
+			tbl2, _ := db2.Table("t")
+			for _, c := range []*vgraph.Commit{c1, c3} {
+				cc, ok := db2.Graph().Commit(c.ID)
+				if !ok {
+					t.Fatalf("commit %d missing after reopen", c.ID)
+				}
+				n := 0
+				if err := tbl2.ScanCommit(cc, func(*record.Record) bool { n++; return true }); err != nil {
+					t.Fatal(err)
+				}
+				want := 1
+				if c.ID == c3.ID {
+					want = 2
+				}
+				if n != want {
+					t.Fatalf("commit %d has %d records after reopen, want %d", c.ID, n, want)
+				}
+			}
+		})
+	}
+}
+
+// TestEngineMergeAfterReopen verifies merges work on a reloaded
+// dataset (commit logs, overrides and segment metadata all survive).
+func TestEngineMergeAfterReopen(t *testing.T) {
+	for _, tc := range engineCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			schema := testSchema()
+			db := openDB(t, dir, tc.factory, tc.opt)
+			db.CreateTable("t", schema)
+			master, _, _ := db.Init("init")
+			tbl, _ := db.Table("t")
+			tbl.Insert(master.ID, simpleRec(schema, 1, 1))
+			db.Commit(master.ID, "base")
+			dev, _ := db.BranchFromHead("dev", "master")
+			tbl.Insert(dev.ID, simpleRec(schema, 2, 2))
+			db.Commit(dev.ID, "dev")
+			tbl.Insert(master.ID, simpleRec(schema, 3, 3))
+			db.Commit(master.ID, "more")
+			db.Close()
+
+			db2 := openDB(t, dir, tc.factory, tc.opt)
+			defer db2.Close()
+			m, _ := db2.Graph().BranchByName("master")
+			d, _ := db2.Graph().BranchByName("dev")
+			if _, st, err := db2.Merge(m.ID, d.ID, "merge", core.ThreeWay, true); err != nil {
+				t.Fatal(err)
+			} else if st.Conflicts != 0 {
+				t.Fatalf("unexpected conflicts: %d", st.Conflicts)
+			}
+			got := scanPKs(t, db2, m.ID)
+			if len(got) != 3 || got[2] != 2 {
+				t.Fatalf("merged state = %v", got)
+			}
+		})
+	}
+}
+
+// TestEngineMergeConflictPrecedence checks both precedence directions
+// for both merge kinds on a concrete conflicting update.
+func TestEngineMergeConflictPrecedence(t *testing.T) {
+	for _, tc := range engineCases() {
+		for _, kind := range []core.MergeKind{core.TwoWay, core.ThreeWay} {
+			for _, precFirst := range []bool{true, false} {
+				name := tc.name + "/" + kind.String()
+				if precFirst {
+					name += "/precA"
+				} else {
+					name += "/precB"
+				}
+				t.Run(name, func(t *testing.T) {
+					db := openDB(t, t.TempDir(), tc.factory, tc.opt)
+					defer db.Close()
+					schema := testSchema()
+					db.CreateTable("t", schema)
+					master, _, _ := db.Init("init")
+					tbl, _ := db.Table("t")
+					base := record.New(schema)
+					base.SetPK(1)
+					base.Set(1, 10)
+					base.Set(2, 20)
+					tbl.Insert(master.ID, base)
+					db.Commit(master.ID, "base")
+					dev, _ := db.BranchFromHead("dev", "master")
+
+					// master changes col1, dev changes col1 (conflict) and
+					// col2 (mergeable in three-way).
+					up1 := base.Clone()
+					up1.Set(1, 11)
+					tbl.Insert(master.ID, up1)
+					up2 := base.Clone()
+					up2.Set(1, 12)
+					up2.Set(2, 22)
+					tbl.Insert(dev.ID, up2)
+
+					_, st, err := db.Merge(master.ID, dev.ID, "m", kind, precFirst)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if st.Conflicts != 1 {
+						t.Fatalf("conflicts = %d, want 1", st.Conflicts)
+					}
+					var got *record.Record
+					tbl.Scan(master.ID, func(rec *record.Record) bool {
+						if rec.PK() == 1 {
+							got = rec.Clone()
+						}
+						return true
+					})
+					if got == nil {
+						t.Fatal("pk 1 missing after merge")
+					}
+					switch {
+					case kind == core.TwoWay && precFirst:
+						if got.Get(1) != 11 || got.Get(2) != 20 {
+							t.Fatalf("two-way precA: %v", got)
+						}
+					case kind == core.TwoWay && !precFirst:
+						if got.Get(1) != 12 || got.Get(2) != 22 {
+							t.Fatalf("two-way precB: %v", got)
+						}
+					case kind == core.ThreeWay && precFirst:
+						// Field-level: col1 conflict -> A wins; col2 auto-merges.
+						if got.Get(1) != 11 || got.Get(2) != 22 {
+							t.Fatalf("three-way precA: %v", got)
+						}
+					default:
+						if got.Get(1) != 12 || got.Get(2) != 22 {
+							t.Fatalf("three-way precB: %v", got)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestEngineStats sanity-checks the storage statistics.
+func TestEngineStats(t *testing.T) {
+	for _, tc := range engineCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			db := openDB(t, t.TempDir(), tc.factory, tc.opt)
+			defer db.Close()
+			schema := testSchema()
+			db.CreateTable("t", schema)
+			master, _, _ := db.Init("init")
+			tbl, _ := db.Table("t")
+			for pk := int64(1); pk <= 50; pk++ {
+				tbl.Insert(master.ID, simpleRec(schema, pk, pk))
+			}
+			db.Commit(master.ID, "c")
+			st, err := db.Stats()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Records < 50 {
+				t.Fatalf("records = %d", st.Records)
+			}
+			if st.DataBytes < 50*int64(schema.RecordSize()) {
+				t.Fatalf("data bytes = %d", st.DataBytes)
+			}
+			if st.LiveRecords != 50 {
+				t.Fatalf("live records = %d", st.LiveRecords)
+			}
+			if st.SegmentCount < 1 {
+				t.Fatal("no segments")
+			}
+		})
+	}
+}
+
+// TestSessionWorkflow exercises the Session 2PL surface end to end.
+func TestSessionWorkflow(t *testing.T) {
+	for _, tc := range engineCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			db := openDB(t, t.TempDir(), tc.factory, tc.opt)
+			defer db.Close()
+			schema := testSchema()
+			db.CreateTable("t", schema)
+			db.Init("init")
+
+			s, err := db.NewSession()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			if err := s.Insert("t", simpleRec(schema, 1, 1)); err != nil {
+				t.Fatal(err)
+			}
+			c1, err := s.CommitWork("v1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Insert("t", simpleRec(schema, 2, 2)); err != nil {
+				t.Fatal(err)
+			}
+			s.CommitWork("v2")
+
+			// A second session checks out the historical commit and reads
+			// the old state without seeing v2.
+			s2, err := db.NewSession()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s2.Close()
+			if err := s2.CheckoutCommit(c1.ID); err != nil {
+				t.Fatal(err)
+			}
+			n := 0
+			if err := s2.Scan("t", func(*record.Record) bool { n++; return true }); err != nil {
+				t.Fatal(err)
+			}
+			if n != 1 {
+				t.Fatalf("historical session sees %d records, want 1", n)
+			}
+			// Writes from a detached historical position are rejected.
+			if err := s2.Insert("t", simpleRec(schema, 9, 9)); err == nil {
+				t.Fatal("write at non-head commit accepted")
+			}
+		})
+	}
+}
+
+// TestDatabaseCatalogReload verifies multi-table datasets reload with
+// their schemas.
+func TestDatabaseCatalogReload(t *testing.T) {
+	dir := t.TempDir()
+	schemaR := testSchema()
+	schemaS := record.MustSchema(
+		record.Column{Name: "id", Type: record.Int64},
+		record.Column{Name: "x", Type: record.Int32},
+	)
+	db := openDB(t, dir, hy.Factory, core.Options{PageSize: 4096, PoolPages: 8})
+	db.CreateTable("r", schemaR)
+	db.CreateTable("s", schemaS)
+	master, _, _ := db.Init("init")
+	tr, _ := db.Table("r")
+	ts, _ := db.Table("s")
+	tr.Insert(master.ID, simpleRec(schemaR, 1, 1))
+	sRec := record.New(schemaS)
+	sRec.SetPK(7)
+	sRec.Set(1, 70)
+	ts.Insert(master.ID, sRec)
+	db.Commit(master.ID, "both tables")
+	db.Close()
+
+	db2 := openDB(t, dir, hy.Factory, core.Options{PageSize: 4096, PoolPages: 8})
+	defer db2.Close()
+	if len(db2.Tables()) != 2 {
+		t.Fatalf("tables after reload = %d", len(db2.Tables()))
+	}
+	s2, ok := db2.Table("s")
+	if !ok || !s2.Schema().Equal(schemaS) {
+		t.Fatal("schema s lost or changed")
+	}
+	m, _ := db2.Graph().BranchByName("master")
+	n := 0
+	s2.Scan(m.ID, func(rec *record.Record) bool {
+		if rec.PK() != 7 || rec.Get(1) != 70 {
+			t.Fatalf("bad record %v", rec)
+		}
+		n++
+		return true
+	})
+	if n != 1 {
+		t.Fatalf("table s has %d records", n)
+	}
+	if _, err := db2.CreateTable("late", schemaS); err == nil {
+		t.Fatal("table created after init")
+	}
+}
+
+// TestMergeStatsThroughputFields ensures DiffBytes is populated (Table
+// 3 computes MB/s relative to the diff size).
+func TestMergeStatsThroughputFields(t *testing.T) {
+	for _, tc := range engineCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			db := openDB(t, t.TempDir(), tc.factory, tc.opt)
+			defer db.Close()
+			schema := testSchema()
+			db.CreateTable("t", schema)
+			master, _, _ := db.Init("init")
+			tbl, _ := db.Table("t")
+			for pk := int64(1); pk <= 20; pk++ {
+				tbl.Insert(master.ID, simpleRec(schema, pk, pk))
+			}
+			db.Commit(master.ID, "base")
+			dev, _ := db.BranchFromHead("dev", "master")
+			for pk := int64(21); pk <= 30; pk++ {
+				tbl.Insert(dev.ID, simpleRec(schema, pk, pk))
+			}
+			_, st, err := db.Merge(master.ID, dev.ID, "m", core.ThreeWay, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.ChangedB != 10 || st.ChangedA != 0 {
+				t.Fatalf("changed A=%d B=%d", st.ChangedA, st.ChangedB)
+			}
+			if st.DiffBytes < 10*int64(schema.RecordSize()) {
+				t.Fatalf("diff bytes = %d", st.DiffBytes)
+			}
+			if got := scanPKs(t, db, master.ID); len(got) != 30 {
+				t.Fatalf("merged size = %d", len(got))
+			}
+		})
+	}
+}

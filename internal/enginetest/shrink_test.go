@@ -1,0 +1,182 @@
+package enginetest
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"decibel/internal/core"
+	"decibel/internal/record"
+	"decibel/internal/vf"
+	"decibel/internal/vgraph"
+)
+
+// TestVFShrink fuzzes the version-first engine against the model with
+// many small seeded workloads; on failure it prints a minimal replay
+// trace. Version-first has the subtlest merge machinery (lineage
+// intervals plus overrides), so it gets this dedicated shrinker on top
+// of the cross-engine differential tests.
+func TestVFShrink(t *testing.T) {
+	seeds := int64(40)
+	if !testing.Short() {
+		seeds = 150
+	}
+	for seed := int64(0); seed < seeds; seed++ {
+		for _, ops := range []int{25, 50} {
+			trace, ok := tryVF(t, seed, ops)
+			if !ok {
+				t.Logf("seed=%d ops=%d FAILS; trace:", seed, ops)
+				for _, line := range trace {
+					t.Log(line)
+				}
+				t.FailNow()
+			}
+		}
+	}
+	t.Log("no small failures found")
+}
+
+func tryVF(t *testing.T, seed int64, ops int) ([]string, bool) {
+	dir := t.TempDir()
+	db, err := core.Open(dir, vf.Factory, core.Options{PageSize: 4096, PoolPages: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	schema := testSchema()
+	if _, err := db.CreateTable("t", schema); err != nil {
+		t.Fatal(err)
+	}
+	model := NewModel(schema)
+	r := rand.New(rand.NewSource(seed))
+	master, c0, err := db.Init("init")
+	if err != nil {
+		t.Fatal(err)
+	}
+	model.Init(master, c0)
+	g := db.Graph()
+	tbl, _ := db.Table("t")
+	var trace []string
+	branches := []*vgraph.Branch{master}
+	commits := []*vgraph.Commit{c0}
+	nextPK := int64(1)
+	nextBranch := 1
+
+	check := func() bool {
+		for _, br := range g.Branches() {
+			want := stateSet(model.BranchState(br.ID))
+			got := make(map[string]bool)
+			tbl.Scan(br.ID, func(rec *record.Record) bool { got[string(rec.Bytes())] = true; return true })
+			if !setsEqual(got, want) {
+				var missing, extra []int64
+				wantPK := map[int64]string{}
+				for pk, v := range model.BranchState(br.ID) {
+					wantPK[pk] = v
+				}
+				gotPK := map[int64]bool{}
+				tbl.Scan(br.ID, func(rec *record.Record) bool { gotPK[rec.PK()] = true; return true })
+				for pk := range wantPK {
+					if !gotPK[pk] {
+						missing = append(missing, pk)
+					}
+				}
+				for pk := range gotPK {
+					if _, ok := wantPK[pk]; !ok {
+						extra = append(extra, pk)
+					}
+				}
+				sort.Slice(missing, func(i, j int) bool { return missing[i] < missing[j] })
+				trace = append(trace, fmt.Sprintf("DIVERGE branch=%s missing=%v extra=%v", br.Name, missing, extra))
+				return false
+			}
+		}
+		return true
+	}
+
+	for op := 0; op < ops; op++ {
+		switch k := r.Intn(100); {
+		case k < 40:
+			b := branches[r.Intn(len(branches))]
+			rec := record.New(schema)
+			rec.SetPK(nextPK)
+			for i := 1; i < schema.NumColumns(); i++ {
+				rec.Set(i, int64(op*100+i))
+			}
+			trace = append(trace, fmt.Sprintf("op%d insert pk=%d branch=%d", op, nextPK, b.ID))
+			tbl.Insert(b.ID, rec)
+			model.Insert(b.ID, rec)
+			nextPK++
+		case k < 55:
+			b := branches[r.Intn(len(branches))]
+			if pk, ok := anyKey(r, model.BranchState(b.ID)); ok {
+				rec := record.New(schema)
+				rec.SetPK(pk)
+				for i := 1; i < schema.NumColumns(); i++ {
+					rec.Set(i, int64(op*1000+i))
+				}
+				trace = append(trace, fmt.Sprintf("op%d update pk=%d branch=%d", op, pk, b.ID))
+				tbl.Insert(b.ID, rec)
+				model.Insert(b.ID, rec)
+			}
+		case k < 65:
+			b := branches[r.Intn(len(branches))]
+			if pk, ok := anyKey(r, model.BranchState(b.ID)); ok {
+				trace = append(trace, fmt.Sprintf("op%d delete pk=%d branch=%d", op, pk, b.ID))
+				tbl.Delete(b.ID, pk)
+				model.Delete(b.ID, pk)
+			}
+		case k < 78:
+			b := branches[r.Intn(len(branches))]
+			c, err := db.Commit(b.ID, "c")
+			if err != nil {
+				t.Fatal(err)
+			}
+			model.Commit(c)
+			commits = append(commits, c)
+			trace = append(trace, fmt.Sprintf("op%d commit branch=%d -> c%d", op, b.ID, c.ID))
+		case k < 90:
+			var from vgraph.CommitID
+			if r.Intn(3) == 0 {
+				from = commits[r.Intn(len(commits))].ID
+			} else {
+				pb := branches[r.Intn(len(branches))]
+				cur, _ := g.Branch(pb.ID)
+				from = cur.Head
+			}
+			nb, err := db.Branch(fmt.Sprintf("b%d", nextBranch), from)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fc, _ := g.Commit(from)
+			model.Branch(nb, fc)
+			branches = append(branches, nb)
+			trace = append(trace, fmt.Sprintf("op%d branch %s from c%d (branch %d seq %d)", op, nb.Name, from, fc.Branch, fc.Seq))
+			nextBranch++
+		default:
+			if len(branches) < 2 {
+				continue
+			}
+			i, j := r.Intn(len(branches)), r.Intn(len(branches))
+			if i == j {
+				continue
+			}
+			kind := core.TwoWay
+			if r.Intn(2) == 0 {
+				kind = core.ThreeWay
+			}
+			prec := r.Intn(2) == 0
+			mc, _, err := db.Merge(branches[i].ID, branches[j].ID, "m", kind, prec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			model.Merge(g, branches[i].ID, branches[j].ID, mc, kind)
+			commits = append(commits, mc)
+			trace = append(trace, fmt.Sprintf("op%d merge into=%d other=%d kind=%v precFirst=%v -> c%d", op, branches[i].ID, branches[j].ID, kind, prec, mc.ID))
+		}
+		if !check() {
+			return trace, false
+		}
+	}
+	return trace, true
+}

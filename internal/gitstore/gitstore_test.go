@@ -1,0 +1,270 @@
+package gitstore
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"decibel/internal/record"
+)
+
+func testSchema() *record.Schema {
+	return record.MustSchema(
+		record.Column{Name: "id", Type: record.Int64},
+		record.Column{Name: "a", Type: record.Int32},
+		record.Column{Name: "b", Type: record.Int32},
+	)
+}
+
+func mkRec(s *record.Schema, pk, v int64) *record.Record {
+	r := record.New(s)
+	r.SetPK(pk)
+	r.Set(1, v)
+	r.Set(2, v*2)
+	return r
+}
+
+func TestObjectRoundTrip(t *testing.T) {
+	r, err := InitRepo(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("hello versioned world")
+	h, err := r.writeObject(typeBlob, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent write.
+	h2, err := r.writeObject(typeBlob, data)
+	if err != nil || h2 != h {
+		t.Fatalf("rewrite changed hash: %v %v", h, h2)
+	}
+	typ, got, err := r.readObject(h)
+	if err != nil || typ != typeBlob || !bytes.Equal(got, data) {
+		t.Fatalf("read back: %v %s %q", err, typ, got)
+	}
+}
+
+func TestTreeAndCommitRoundTrip(t *testing.T) {
+	r, _ := InitRepo(t.TempDir())
+	b1, _ := r.writeObject(typeBlob, []byte("one"))
+	b2, _ := r.writeObject(typeBlob, []byte("two"))
+	tree, err := r.writeTree([]treeEntry{{Name: "z", Blob: b2}, {Name: "a", Blob: b1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := r.readTree(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].Name != "a" || entries[1].Name != "z" {
+		t.Fatalf("entries = %v", entries)
+	}
+	ch, err := r.writeCommit(tree, nil, "first")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch2, err := r.writeCommit(tree, []Hash{ch}, "second")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := r.readCommit(ch2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Tree != tree || len(c.Parents) != 1 || c.Parents[0] != ch {
+		t.Fatalf("commit = %+v", c)
+	}
+}
+
+func TestDeltaRoundTrip(t *testing.T) {
+	base := bytes.Repeat([]byte("abcdefghijklmnop"), 100)
+	target := append([]byte("PREFIX-"), base...)
+	target = append(target, []byte("-SUFFIX")...)
+	delta := makeDelta(base, target)
+	if len(delta) >= len(target) {
+		t.Fatalf("delta (%d) not smaller than target (%d)", len(delta), len(target))
+	}
+	got, err := applyDelta(base, delta)
+	if err != nil || !bytes.Equal(got, target) {
+		t.Fatalf("delta round trip failed: %v", err)
+	}
+}
+
+func TestQuickDeltaRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		base := make([]byte, r.Intn(2000))
+		r.Read(base)
+		// Target shares chunks with base plus random edits.
+		var target []byte
+		for len(target) < 1500 {
+			if len(base) > 64 && r.Intn(2) == 0 {
+				off := r.Intn(len(base) - 64)
+				target = append(target, base[off:off+64]...)
+			} else {
+				chunk := make([]byte, r.Intn(40)+1)
+				r.Read(chunk)
+				target = append(target, chunk...)
+			}
+		}
+		got, err := applyDelta(base, makeDelta(base, target))
+		return err == nil && bytes.Equal(got, target)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepackPreservesObjects(t *testing.T) {
+	r, _ := InitRepo(t.TempDir())
+	// Incompressible shared content: zlib cannot shrink the loose
+	// objects, so the delta chains must provide the savings.
+	rnd := rand.New(rand.NewSource(7))
+	base := make([]byte, 16<<10)
+	rnd.Read(base)
+	var hashes []Hash
+	var contents [][]byte
+	for i := 0; i < 20; i++ {
+		// Successive versions share most content: ideal delta chains.
+		data := append([]byte(nil), base...)
+		tail := make([]byte, 100)
+		rnd.Read(tail)
+		data = append(data, tail...)
+		h, err := r.writeObject(typeBlob, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hashes = append(hashes, h)
+		contents = append(contents, data)
+	}
+	preSize, _ := r.RepoSizeBytes()
+	if err := r.Repack(10); err != nil {
+		t.Fatal(err)
+	}
+	loose, packed := r.CountObjects()
+	if loose != 0 || packed != 20 {
+		t.Fatalf("after repack: loose=%d packed=%d", loose, packed)
+	}
+	postSize, _ := r.RepoSizeBytes()
+	if postSize >= preSize {
+		t.Fatalf("repack did not shrink: %d -> %d", preSize, postSize)
+	}
+	for i, h := range hashes {
+		typ, got, err := r.readObject(h)
+		if err != nil || typ != typeBlob || !bytes.Equal(got, contents[i]) {
+			t.Fatalf("object %d lost after repack: %v", i, err)
+		}
+	}
+}
+
+func TestTableCommitCheckout(t *testing.T) {
+	for _, layout := range []Layout{OneFile, FilePerTuple} {
+		for _, format := range []Format{Binary, CSV} {
+			name := layout.String() + "/" + format.String()
+			t.Run(name, func(t *testing.T) {
+				s := testSchema()
+				tbl, err := NewTable(t.TempDir(), s, layout, format)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for pk := int64(1); pk <= 10; pk++ {
+					tbl.Insert("master", mkRec(s, pk, pk*10))
+				}
+				c1, err := tbl.Commit("master", "ten")
+				if err != nil {
+					t.Fatal(err)
+				}
+				tbl.Insert("master", mkRec(s, 3, 999))
+				tbl.Delete("master", 7)
+				c2, err := tbl.Commit("master", "edit")
+				if err != nil {
+					t.Fatal(err)
+				}
+				files1, bytes1, err := tbl.Checkout(c1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				files2, bytes2, err := tbl.Checkout(c2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if layout == FilePerTuple {
+					if files1 != 10 || files2 != 9 {
+						t.Fatalf("files = %d, %d", files1, files2)
+					}
+				} else if files1 != 1 || files2 != 1 {
+					t.Fatalf("one-file files = %d, %d", files1, files2)
+				}
+				if bytes1 == 0 || bytes2 == 0 {
+					t.Fatal("empty checkout")
+				}
+				if tbl.Records("master") != 9 {
+					t.Fatalf("records = %d", tbl.Records("master"))
+				}
+			})
+		}
+	}
+}
+
+func TestTableBranchIsolation(t *testing.T) {
+	s := testSchema()
+	tbl, err := NewTable(t.TempDir(), s, FilePerTuple, Binary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.Insert("master", mkRec(s, 1, 1))
+	tbl.Commit("master", "base")
+	if err := tbl.Branch("dev", "master"); err != nil {
+		t.Fatal(err)
+	}
+	tbl.Insert("dev", mkRec(s, 2, 2))
+	if tbl.Records("master") != 1 || tbl.Records("dev") != 2 {
+		t.Fatalf("isolation broken: master=%d dev=%d", tbl.Records("master"), tbl.Records("dev"))
+	}
+	if err := tbl.Branch("dev", "master"); err == nil {
+		t.Fatal("duplicate branch accepted")
+	}
+	// Commit on dev links to the shared parent.
+	ch, _ := tbl.Commit("dev", "dev work")
+	c, _ := tbl.repo.readCommit(ch)
+	mh, _ := tbl.Head("master")
+	if len(c.Parents) != 1 || c.Parents[0] != mh {
+		t.Fatalf("dev parent = %v, want master head", c.Parents)
+	}
+}
+
+func TestCSVLargerThanBinary(t *testing.T) {
+	s := record.Benchmark(256)
+	r := record.New(s)
+	r.SetPK(123456789)
+	for i := 1; i < s.NumColumns(); i++ {
+		r.Set(i, 1<<30)
+	}
+	tblBin, _ := NewTable(t.TempDir(), s, OneFile, Binary)
+	tblCSV, _ := NewTable(t.TempDir(), s, OneFile, CSV)
+	tblBin.Insert("master", r)
+	tblCSV.Insert("master", r)
+	if tblCSV.DataSizeBytes("master") <= tblBin.DataSizeBytes("master") {
+		t.Fatalf("csv (%d) not larger than binary (%d)",
+			tblCSV.DataSizeBytes("master"), tblBin.DataSizeBytes("master"))
+	}
+}
+
+func TestUnchangedCommitReusesBlobs(t *testing.T) {
+	s := testSchema()
+	tbl, _ := NewTable(t.TempDir(), s, FilePerTuple, Binary)
+	for pk := int64(1); pk <= 100; pk++ {
+		tbl.Insert("master", mkRec(s, pk, pk))
+	}
+	tbl.Commit("master", "hundred")
+	loose1, _ := tbl.repo.CountObjects()
+	// Change one tuple: exactly one new blob + tree + commit.
+	tbl.Insert("master", mkRec(s, 50, 9999))
+	tbl.Commit("master", "one change")
+	loose2, _ := tbl.repo.CountObjects()
+	if loose2-loose1 != 3 {
+		t.Fatalf("new objects = %d, want 3 (blob+tree+commit)", loose2-loose1)
+	}
+}

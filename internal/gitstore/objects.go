@@ -1,0 +1,297 @@
+// Package gitstore implements the git-based baseline of Section 5.7:
+// a content-addressed object store with git's storage mechanics —
+// SHA-1-addressed, zlib-compressed loose objects (blobs, trees,
+// commits), branch refs, and packfiles built by exhaustive delta-base
+// search during repack. On top of it, Table implements the Decibel API
+// (insert/update/delete, branch, commit, checkout) in the two layouts
+// the paper evaluates ("git 1 file" and "git file/tup") and the two
+// on-disk formats (binary and CSV).
+//
+// The point of this package is to reproduce the costs Tables 6 and 7
+// measure: commit time proportional to the data hashed, checkout time
+// dominated by object reassembly, repack time dominated by the
+// exhaustive delta search, and the space behaviour of delta chains.
+package gitstore
+
+import (
+	"bytes"
+	"compress/zlib"
+	"crypto/sha1"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Hash is a SHA-1 object name.
+type Hash [sha1.Size]byte
+
+func (h Hash) String() string { return hex.EncodeToString(h[:]) }
+
+// objType is the git object kind.
+type objType string
+
+const (
+	typeBlob   objType = "blob"
+	typeTree   objType = "tree"
+	typeCommit objType = "commit"
+)
+
+// Repo is a minimal git-mechanics repository.
+type Repo struct {
+	dir  string
+	refs map[string]Hash // branch -> commit
+	// Loose object presence cache (hash -> true). Contents live on disk.
+	loose map[Hash]bool
+	// pack holds packed objects after Repack (hash -> packed entry).
+	pack map[Hash]packEntry
+}
+
+type packEntry struct {
+	base Hash // zero Hash = stored whole
+	data []byte
+	full bool
+}
+
+// InitRepo creates a repository at dir.
+func InitRepo(dir string) (*Repo, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
+		return nil, fmt.Errorf("gitstore: %w", err)
+	}
+	return &Repo{
+		dir:   dir,
+		refs:  make(map[string]Hash),
+		loose: make(map[Hash]bool),
+		pack:  make(map[Hash]packEntry),
+	}, nil
+}
+
+func (r *Repo) objectPath(h Hash) string {
+	s := h.String()
+	return filepath.Join(r.dir, "objects", s[:2], s[2:])
+}
+
+// hashObject computes the git object name: sha1("<type> <len>\x00" + data).
+func hashObject(t objType, data []byte) Hash {
+	hsh := sha1.New()
+	fmt.Fprintf(hsh, "%s %d\x00", t, len(data))
+	hsh.Write(data)
+	var out Hash
+	copy(out[:], hsh.Sum(nil))
+	return out
+}
+
+// writeObject stores a loose object (zlib-compressed), returning its
+// hash. Writing an existing object is a cheap no-op, as in git.
+func (r *Repo) writeObject(t objType, data []byte) (Hash, error) {
+	h := hashObject(t, data)
+	if r.loose[h] {
+		return h, nil
+	}
+	if _, packed := r.pack[h]; packed {
+		return h, nil
+	}
+	path := r.objectPath(h)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return h, fmt.Errorf("gitstore: %w", err)
+	}
+	var buf bytes.Buffer
+	zw := zlib.NewWriter(&buf)
+	fmt.Fprintf(zw, "%s %d\x00", t, len(data))
+	zw.Write(data)
+	zw.Close()
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		return h, fmt.Errorf("gitstore: %w", err)
+	}
+	r.loose[h] = true
+	return h, nil
+}
+
+// readRaw loads an object's raw form (header + payload) from the loose
+// store or the pack, resolving delta chains. Deltas are encoded over
+// the raw form.
+func (r *Repo) readRaw(h Hash) ([]byte, error) {
+	if pe, ok := r.pack[h]; ok {
+		if pe.full {
+			return pe.data, nil
+		}
+		base, err := r.readRaw(pe.base)
+		if err != nil {
+			return nil, err
+		}
+		return applyDelta(base, pe.data)
+	}
+	f, err := os.Open(r.objectPath(h))
+	if err != nil {
+		return nil, fmt.Errorf("gitstore: object %s: %w", h, err)
+	}
+	defer f.Close()
+	zr, err := zlib.NewReader(f)
+	if err != nil {
+		return nil, fmt.Errorf("gitstore: %w", err)
+	}
+	defer zr.Close()
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		return nil, fmt.Errorf("gitstore: %w", err)
+	}
+	return raw, nil
+}
+
+// readObject loads an object's type and payload.
+func (r *Repo) readObject(h Hash) (objType, []byte, error) {
+	raw, err := r.readRaw(h)
+	if err != nil {
+		return "", nil, err
+	}
+	return splitHeader(raw)
+}
+
+func splitHeader(raw []byte) (objType, []byte, error) {
+	i := bytes.IndexByte(raw, 0)
+	if i < 0 {
+		return "", nil, errors.New("gitstore: corrupt object header")
+	}
+	parts := strings.SplitN(string(raw[:i]), " ", 2)
+	return objType(parts[0]), raw[i+1:], nil
+}
+
+// treeEntry is one (name, blob) pair in a tree object.
+type treeEntry struct {
+	Name string
+	Blob Hash
+}
+
+// writeTree serializes a sorted tree object.
+func (r *Repo) writeTree(entries []treeEntry) (Hash, error) {
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	var buf bytes.Buffer
+	for _, e := range entries {
+		fmt.Fprintf(&buf, "100644 %s\x00", e.Name)
+		buf.Write(e.Blob[:])
+	}
+	return r.writeObject(typeTree, buf.Bytes())
+}
+
+// readTree parses a tree object.
+func (r *Repo) readTree(h Hash) ([]treeEntry, error) {
+	t, data, err := r.readObject(h)
+	if err != nil {
+		return nil, err
+	}
+	if t != typeTree {
+		return nil, fmt.Errorf("gitstore: %s is a %s, not a tree", h, t)
+	}
+	var out []treeEntry
+	for len(data) > 0 {
+		i := bytes.IndexByte(data, 0)
+		if i < 0 || len(data) < i+1+sha1.Size {
+			return nil, errors.New("gitstore: corrupt tree")
+		}
+		head := string(data[:i])
+		sp := strings.IndexByte(head, ' ')
+		var e treeEntry
+		e.Name = head[sp+1:]
+		copy(e.Blob[:], data[i+1:i+1+sha1.Size])
+		out = append(out, e)
+		data = data[i+1+sha1.Size:]
+	}
+	return out, nil
+}
+
+// Commit metadata object.
+type Commit struct {
+	Hash    Hash
+	Tree    Hash
+	Parents []Hash
+	Message string
+}
+
+// writeCommit serializes a commit object.
+func (r *Repo) writeCommit(tree Hash, parents []Hash, msg string) (Hash, error) {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "tree %s\n", tree)
+	for _, p := range parents {
+		fmt.Fprintf(&buf, "parent %s\n", p)
+	}
+	fmt.Fprintf(&buf, "\n%s\n", msg)
+	return r.writeObject(typeCommit, buf.Bytes())
+}
+
+// readCommit parses a commit object.
+func (r *Repo) readCommit(h Hash) (*Commit, error) {
+	t, data, err := r.readObject(h)
+	if err != nil {
+		return nil, err
+	}
+	if t != typeCommit {
+		return nil, fmt.Errorf("gitstore: %s is a %s, not a commit", h, t)
+	}
+	c := &Commit{Hash: h}
+	lines := strings.Split(string(data), "\n")
+	i := 0
+	for ; i < len(lines); i++ {
+		line := lines[i]
+		if line == "" {
+			i++
+			break
+		}
+		switch {
+		case strings.HasPrefix(line, "tree "):
+			b, err := hex.DecodeString(line[5:])
+			if err != nil {
+				return nil, err
+			}
+			copy(c.Tree[:], b)
+		case strings.HasPrefix(line, "parent "):
+			b, err := hex.DecodeString(line[7:])
+			if err != nil {
+				return nil, err
+			}
+			var p Hash
+			copy(p[:], b)
+			c.Parents = append(c.Parents, p)
+		}
+	}
+	c.Message = strings.Join(lines[i:], "\n")
+	return c, nil
+}
+
+// SetRef points a branch at a commit.
+func (r *Repo) SetRef(branch string, h Hash) { r.refs[branch] = h }
+
+// Ref resolves a branch name.
+func (r *Repo) Ref(branch string) (Hash, bool) {
+	h, ok := r.refs[branch]
+	return h, ok
+}
+
+// RepoSizeBytes walks the object store and pack, returning total bytes.
+func (r *Repo) RepoSizeBytes() (int64, error) {
+	var total int64
+	err := filepath.Walk(filepath.Join(r.dir, "objects"), func(_ string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() {
+			total += info.Size()
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	if fi, err := os.Stat(filepath.Join(r.dir, "packfile")); err == nil {
+		total += fi.Size()
+	}
+	return total, nil
+}
+
+// CountObjects reports the number of loose and packed objects.
+func (r *Repo) CountObjects() (loose, packed int) {
+	return len(r.loose), len(r.pack)
+}

@@ -1,0 +1,702 @@
+// Package hy implements Decibel's hybrid storage scheme (Section 3.4):
+// records live in version-first-style segment files for locality, while
+// liveness is tracked by tuple-first-style bitmaps kept local to each
+// segment. A global branch-segment bitmap relates each branch to the
+// segments containing records live in it, letting scans skip segments
+// and multi-branch operations intersect small per-segment bitmaps
+// instead of one giant index.
+package hy
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"decibel/internal/bitmap"
+	"decibel/internal/core"
+	"decibel/internal/heap"
+	"decibel/internal/record"
+	"decibel/internal/vgraph"
+)
+
+// segID indexes the engine's segment table.
+type segID int
+
+// pos addresses one record copy.
+type pos struct {
+	Seg  segID
+	Slot int64
+}
+
+var deletedPos = pos{Seg: -1, Slot: -1}
+
+// hseg is one segment: a heap file plus its local bitmap index, "one
+// bitmap per (segment, branch) tracking only the set of branches which
+// inherit records contained in that segment".
+type hseg struct {
+	id     segID
+	owner  vgraph.BranchID // branch whose head this segment is/was
+	file   *heap.File
+	frozen bool
+	local  map[vgraph.BranchID]*bitmap.Bitmap
+}
+
+// liveCount returns the number of records live in the branch within
+// this segment (drives the global branch-segment bitmap).
+func (s *hseg) liveCount(b vgraph.BranchID) int {
+	if bm, ok := s.local[b]; ok {
+		return bm.Count()
+	}
+	return 0
+}
+
+// logKey identifies a per-(branch, segment) commit history file: "in
+// hybrid, each (branch, segment) has its own file" (Section 5.3).
+type logKey struct {
+	Branch vgraph.BranchID
+	Seg    segID
+}
+
+// Engine is the hybrid storage engine.
+type Engine struct {
+	mu  sync.Mutex
+	env *core.Env
+
+	segs    []*hseg
+	headSeg map[vgraph.BranchID]segID
+	pk      map[vgraph.BranchID]*pkIndex
+
+	logs     map[logKey]*bitmap.CommitLog
+	startSeq map[logKey]int // branch commit seq at which the log begins
+}
+
+// persisted catalog.
+type segMetaJSON struct {
+	ID     segID           `json:"id"`
+	Owner  vgraph.BranchID `json:"owner"`
+	Frozen bool            `json:"frozen"`
+}
+
+type metaJSON struct {
+	Segments []segMetaJSON             `json:"segments"`
+	HeadSeg  map[vgraph.BranchID]segID `json:"headSeg"`
+	StartSeq map[string]int            `json:"startSeq"` // "branch:seg" -> seq
+}
+
+// Factory builds a hybrid engine; it satisfies core.Factory.
+func Factory(env *core.Env) (core.Engine, error) {
+	e := &Engine{
+		env:      env,
+		headSeg:  make(map[vgraph.BranchID]segID),
+		pk:       make(map[vgraph.BranchID]*pkIndex),
+		logs:     make(map[logKey]*bitmap.CommitLog),
+		startSeq: make(map[logKey]int),
+	}
+	if err := e.recover(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Kind implements core.Engine.
+func (e *Engine) Kind() string { return "hybrid" }
+
+func (e *Engine) metaPath() string { return filepath.Join(e.env.Dir, "segments.json") }
+func (e *Engine) segPath(id segID) string {
+	return filepath.Join(e.env.Dir, fmt.Sprintf("seg%d.dat", id))
+}
+func (e *Engine) logPath(k logKey) string {
+	return filepath.Join(e.env.Dir, "commits", fmt.Sprintf("b%d_s%d.hist", k.Branch, k.Seg))
+}
+
+func (e *Engine) openLog(k logKey) (*bitmap.CommitLog, error) {
+	if l, ok := e.logs[k]; ok {
+		return l, nil
+	}
+	l, err := bitmap.OpenCommitLog(e.logPath(k), e.env.Opt.CommitFanout)
+	if err != nil {
+		return nil, err
+	}
+	e.logs[k] = l
+	return l, nil
+}
+
+func (e *Engine) persistLocked() error {
+	m := metaJSON{HeadSeg: e.headSeg, StartSeq: make(map[string]int)}
+	for _, s := range e.segs {
+		m.Segments = append(m.Segments, segMetaJSON{ID: s.id, Owner: s.owner, Frozen: s.frozen})
+	}
+	for k, seq := range e.startSeq {
+		m.StartSeq[fmt.Sprintf("%d:%d", k.Branch, k.Seg)] = seq
+	}
+	data, err := json.Marshal(&m)
+	if err != nil {
+		return fmt.Errorf("hy: %w", err)
+	}
+	tmp := e.metaPath() + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("hy: %w", err)
+	}
+	return os.Rename(tmp, e.metaPath())
+}
+
+// recover reloads the catalog, restores each (branch, segment) bitmap
+// to its last committed snapshot, and rebuilds the primary-key indexes.
+func (e *Engine) recover() error {
+	data, err := os.ReadFile(e.metaPath())
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("hy: %w", err)
+	}
+	var m metaJSON
+	if err := json.Unmarshal(data, &m); err != nil {
+		return fmt.Errorf("hy: corrupt catalog: %w", err)
+	}
+	sort.Slice(m.Segments, func(i, j int) bool { return m.Segments[i].ID < m.Segments[j].ID })
+	for _, sm := range m.Segments {
+		f, err := heap.Open(e.env.Pool, e.segPath(sm.ID), e.env.Schema.RecordSize())
+		if err != nil {
+			return err
+		}
+		if sm.Frozen {
+			f.Freeze()
+		}
+		e.segs = append(e.segs, &hseg{
+			id: sm.ID, owner: sm.Owner, file: f, frozen: sm.Frozen,
+			local: make(map[vgraph.BranchID]*bitmap.Bitmap),
+		})
+	}
+	e.headSeg = m.HeadSeg
+	if e.headSeg == nil {
+		e.headSeg = make(map[vgraph.BranchID]segID)
+	}
+	for key, seq := range m.StartSeq {
+		var b vgraph.BranchID
+		var s segID
+		if _, err := fmt.Sscanf(key, "%d:%d", &b, &s); err != nil {
+			return fmt.Errorf("hy: corrupt startSeq key %q", key)
+		}
+		k := logKey{Branch: b, Seg: s}
+		e.startSeq[k] = seq
+		l, err := e.openLog(k)
+		if err != nil {
+			return err
+		}
+		e.segs[s].local[b] = l.Head()
+	}
+	// Rebuild primary-key indexes from the restored bitmaps.
+	for _, br := range e.env.Graph.Branches() {
+		idx := newPKIndex()
+		e.pk[br.ID] = idx
+		rec := record.New(e.env.Schema)
+		for _, s := range e.segs {
+			bm, ok := s.local[br.ID]
+			if !ok {
+				continue
+			}
+			var scanErr error
+			bm.ForEach(func(slot int) bool {
+				if err := s.file.Read(int64(slot), rec.Bytes()); err != nil {
+					scanErr = err
+					return false
+				}
+				idx.set(rec.PK(), pos{Seg: s.id, Slot: int64(slot)})
+				return true
+			})
+			if scanErr != nil {
+				return scanErr
+			}
+		}
+	}
+	return nil
+}
+
+func (e *Engine) newSegmentLocked(owner vgraph.BranchID) (*hseg, error) {
+	id := segID(len(e.segs))
+	f, err := heap.Open(e.env.Pool, e.segPath(id), e.env.Schema.RecordSize())
+	if err != nil {
+		return nil, err
+	}
+	s := &hseg{id: id, owner: owner, file: f, local: make(map[vgraph.BranchID]*bitmap.Bitmap)}
+	e.segs = append(e.segs, s)
+	return s, nil
+}
+
+// Init implements core.Engine.
+func (e *Engine) Init(master *vgraph.Branch, c0 *vgraph.Commit) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, err := e.newSegmentLocked(master.ID)
+	if err != nil {
+		return err
+	}
+	s.local[master.ID] = bitmap.New(0)
+	e.headSeg[master.ID] = s.id
+	e.pk[master.ID] = newPKIndex()
+	return e.commitLocked(c0)
+}
+
+// branchSegments returns the segments holding records live in the
+// branch, consulting the global branch-segment relation (bit-wise: a
+// segment qualifies if the branch's local bitmap there has any set
+// bit). This is the segment-skipping fast path of Section 3.4.
+func (e *Engine) branchSegmentsLocked(b vgraph.BranchID) []*hseg {
+	var out []*hseg
+	for _, s := range e.segs {
+		if bm, ok := s.local[b]; ok && bm.Any() {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Branch implements core.Engine (Section 3.4): the parent's old head
+// freezes into an internal segment whose bitmap now carries both
+// branches; parent and child each get a fresh head segment.
+func (e *Engine) Branch(child *vgraph.Branch, from *vgraph.Commit) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	parent := from.Branch
+
+	snap, err := e.checkoutLocked(parent, from.Seq)
+	if err != nil {
+		return err
+	}
+	// Fast path: branching from the parent's current state clones the
+	// parent's per-segment bitmaps directly and forks the pk index.
+	current := make(map[segID]*bitmap.Bitmap)
+	for _, s := range e.segs {
+		if bm, ok := s.local[parent]; ok && bm.Any() {
+			current[s.id] = bm
+		}
+	}
+	atHead := len(snap) == len(current)
+	if atHead {
+		for id, bm := range current {
+			if sn, ok := snap[id]; !ok || !sn.Equal(bm) {
+				atHead = false
+				break
+			}
+		}
+	}
+
+	for id, bm := range snap {
+		e.segs[id].local[child.ID] = bm.Clone()
+	}
+	// Freeze the parent's head and open fresh heads for both branches.
+	if old, ok := e.headSeg[parent]; ok {
+		s := e.segs[old]
+		if !s.frozen {
+			s.frozen = true
+			s.file.Freeze()
+		}
+	}
+	np, err := e.newSegmentLocked(parent)
+	if err != nil {
+		return err
+	}
+	np.local[parent] = bitmap.New(0)
+	e.headSeg[parent] = np.id
+	nc, err := e.newSegmentLocked(child.ID)
+	if err != nil {
+		return err
+	}
+	nc.local[child.ID] = bitmap.New(0)
+	e.headSeg[child.ID] = nc.id
+
+	if atHead {
+		if pidx, ok := e.pk[parent]; ok {
+			a, b := pidx.fork()
+			e.pk[parent] = a
+			e.pk[child.ID] = b
+			return e.persistLocked()
+		}
+	}
+	idx := newPKIndex()
+	rec := record.New(e.env.Schema)
+	for id, bm := range snap {
+		s := e.segs[id]
+		var scanErr error
+		bm.ForEach(func(slot int) bool {
+			if err := s.file.Read(int64(slot), rec.Bytes()); err != nil {
+				scanErr = err
+				return false
+			}
+			idx.set(rec.PK(), pos{Seg: id, Slot: int64(slot)})
+			return true
+		})
+		if scanErr != nil {
+			return scanErr
+		}
+	}
+	e.pk[child.ID] = idx
+	return e.persistLocked()
+}
+
+// Commit implements core.Engine: append each (branch, segment) local
+// bitmap delta to its history file.
+func (e *Engine) Commit(c *vgraph.Commit) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.commitLocked(c)
+}
+
+func (e *Engine) commitLocked(c *vgraph.Commit) error {
+	for _, s := range e.segs {
+		bm, ok := s.local[c.Branch]
+		if !ok {
+			continue
+		}
+		k := logKey{Branch: c.Branch, Seg: s.id}
+		l, err := e.openLog(k)
+		if err != nil {
+			return err
+		}
+		if l.NumCommits() == 0 {
+			e.startSeq[k] = c.Seq
+		}
+		want := c.Seq - e.startSeq[k]
+		if got := l.NumCommits(); got != want {
+			return fmt.Errorf("hy: commit seq %d maps to log entry %d but log has %d (branch %d seg %d)",
+				c.Seq, want, got, c.Branch, s.id)
+		}
+		if _, err := l.Append(bm); err != nil {
+			return err
+		}
+		if e.env.Opt.Fsync {
+			if err := l.Sync(); err != nil {
+				return err
+			}
+			if err := s.file.Sync(); err != nil {
+				return err
+			}
+		}
+	}
+	return e.persistLocked()
+}
+
+// checkoutLocked reconstructs the per-segment liveness of branch b at
+// commit seq.
+func (e *Engine) checkoutLocked(b vgraph.BranchID, seq int) (map[segID]*bitmap.Bitmap, error) {
+	out := make(map[segID]*bitmap.Bitmap)
+	for k, start := range e.startSeq {
+		if k.Branch != b || start > seq {
+			continue
+		}
+		l, err := e.openLog(k)
+		if err != nil {
+			return nil, err
+		}
+		bm, err := l.Checkout(seq - start)
+		if err != nil {
+			return nil, err
+		}
+		if bm.Any() {
+			out[k.Seg] = bm
+		}
+	}
+	return out, nil
+}
+
+// Insert implements core.Engine: append to the branch's head segment,
+// set its bit there, unset the previous copy's bit wherever it lives.
+func (e *Engine) Insert(branch vgraph.BranchID, rec *record.Record) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	idx, ok := e.pk[branch]
+	if !ok {
+		return fmt.Errorf("hy: unknown branch %d", branch)
+	}
+	head, ok := e.headSeg[branch]
+	if !ok {
+		return fmt.Errorf("hy: branch %d has no head segment", branch)
+	}
+	s := e.segs[head]
+	slot, err := s.file.Append(rec.Bytes())
+	if err != nil {
+		return err
+	}
+	if old, ok := idx.get(rec.PK()); ok && old != deletedPos {
+		if bm, ok := e.segs[old.Seg].local[branch]; ok {
+			bm.Clear(int(old.Slot))
+		}
+	}
+	bm := s.local[branch]
+	if bm == nil {
+		bm = bitmap.New(0)
+		s.local[branch] = bm
+	}
+	bm.Set(int(slot))
+	idx.set(rec.PK(), pos{Seg: head, Slot: slot})
+	return nil
+}
+
+// Delete implements core.Engine.
+func (e *Engine) Delete(branch vgraph.BranchID, pk int64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	idx, ok := e.pk[branch]
+	if !ok {
+		return fmt.Errorf("hy: unknown branch %d", branch)
+	}
+	old, ok := idx.get(pk)
+	if !ok || old == deletedPos {
+		return nil
+	}
+	if bm, ok := e.segs[old.Seg].local[branch]; ok {
+		bm.Clear(int(old.Slot))
+	}
+	idx.set(pk, deletedPos)
+	return nil
+}
+
+// scanSegments sequentially scans the given segments, emitting records
+// whose bit is set in pick(segment). Unlike tuple-first, only segments
+// with live records are read.
+func (e *Engine) scanSegments(segs []*hseg, pick func(*hseg) *bitmap.Bitmap, fn core.ScanFunc) error {
+	schema := e.env.Schema
+	for _, s := range segs {
+		bm := pick(s)
+		if bm == nil || !bm.Any() {
+			continue
+		}
+		stop := false
+		err := s.file.ScanLive(bm, func(slot int64, buf []byte) bool {
+			if !bm.Get(int(slot)) {
+				return true
+			}
+			rec, err := record.FromBytes(schema, buf)
+			if err != nil {
+				return false
+			}
+			if !fn(rec) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+	}
+	return nil
+}
+
+// ScanBranch implements core.Engine (Query 1).
+func (e *Engine) ScanBranch(branch vgraph.BranchID, fn core.ScanFunc) error {
+	e.mu.Lock()
+	segs := e.branchSegmentsLocked(branch)
+	pickers := make(map[segID]*bitmap.Bitmap, len(segs))
+	for _, s := range segs {
+		pickers[s.id] = s.local[branch].Clone()
+	}
+	e.mu.Unlock()
+	return e.scanSegments(segs, func(s *hseg) *bitmap.Bitmap { return pickers[s.id] }, fn)
+}
+
+// ScanCommit implements core.Engine.
+func (e *Engine) ScanCommit(c *vgraph.Commit, fn core.ScanFunc) error {
+	e.mu.Lock()
+	snap, err := e.checkoutLocked(c.Branch, c.Seq)
+	if err != nil {
+		e.mu.Unlock()
+		return err
+	}
+	var segs []*hseg
+	for id := range snap {
+		segs = append(segs, e.segs[id])
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].id < segs[j].id })
+	e.mu.Unlock()
+	return e.scanSegments(segs, func(s *hseg) *bitmap.Bitmap { return snap[s.id] }, fn)
+}
+
+// ScanMulti implements core.Engine (Query 4): the global
+// branch-segment relation selects the segments containing records live
+// in any scanned branch; each is scanned once with membership computed
+// from its small local bitmaps.
+func (e *Engine) ScanMulti(branches []vgraph.BranchID, fn core.MultiScanFunc) error {
+	e.mu.Lock()
+	type segScan struct {
+		s    *hseg
+		cols []*bitmap.Bitmap // per requested branch, nil if absent
+	}
+	var scans []segScan
+	for _, s := range e.segs {
+		sc := segScan{s: s, cols: make([]*bitmap.Bitmap, len(branches))}
+		any := false
+		for i, b := range branches {
+			if bm, ok := s.local[b]; ok && bm.Any() {
+				sc.cols[i] = bm.Clone()
+				any = true
+			}
+		}
+		if any {
+			scans = append(scans, sc)
+		}
+	}
+	e.mu.Unlock()
+
+	schema := e.env.Schema
+	member := bitmap.New(len(branches))
+	for _, sc := range scans {
+		stop := false
+		err := sc.s.file.Scan(0, sc.s.file.Count(), func(slot int64, buf []byte) bool {
+			any := false
+			for i, col := range sc.cols {
+				live := col != nil && col.Get(int(slot))
+				member.SetTo(i, live)
+				any = any || live
+			}
+			if !any {
+				return true
+			}
+			rec, err := record.FromBytes(schema, buf)
+			if err != nil {
+				return false
+			}
+			if !fn(rec, member) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Diff implements core.Engine (Query 2): per-segment bitmap XORs over
+// only the segments live in either branch.
+func (e *Engine) Diff(a, b vgraph.BranchID, fn core.DiffFunc) error {
+	e.mu.Lock()
+	type segDiff struct {
+		s       *hseg
+		x, colA *bitmap.Bitmap
+	}
+	var diffs []segDiff
+	for _, s := range e.segs {
+		colA, okA := s.local[a]
+		colB, okB := s.local[b]
+		if !okA && !okB {
+			continue
+		}
+		if colA == nil {
+			colA = bitmap.New(0)
+		}
+		if colB == nil {
+			colB = bitmap.New(0)
+		}
+		x := bitmap.Xor(colA, colB)
+		if !x.Any() {
+			continue
+		}
+		diffs = append(diffs, segDiff{s: s, x: x, colA: colA.Clone()})
+	}
+	e.mu.Unlock()
+
+	schema := e.env.Schema
+	for _, d := range diffs {
+		stop := false
+		err := d.s.file.ScanLive(d.x, func(slot int64, buf []byte) bool {
+			if !d.x.Get(int(slot)) {
+				return true
+			}
+			rec, err := record.FromBytes(schema, buf)
+			if err != nil {
+				return false
+			}
+			if !fn(rec, d.colA.Get(int(slot))) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Stats implements core.Engine.
+func (e *Engine) Stats() (core.Stats, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := core.Stats{SegmentCount: len(e.segs)}
+	for _, s := range e.segs {
+		st.Records += s.file.Count()
+		st.DataBytes += s.file.SizeBytes()
+		for _, bm := range s.local {
+			st.IndexBytes += int64(bm.Len()+7) / 8
+		}
+	}
+	for _, idx := range e.pk {
+		st.IndexBytes += idx.bytes()
+	}
+	for _, b := range e.env.Graph.Branches() {
+		for _, s := range e.segs {
+			if bm, ok := s.local[b.ID]; ok {
+				st.LiveRecords += int64(bm.Count())
+			}
+		}
+	}
+	for _, l := range e.logs {
+		sz, err := l.Size()
+		if err != nil {
+			return st, err
+		}
+		st.CommitBytes += sz
+	}
+	return st, nil
+}
+
+// Flush implements core.Engine.
+func (e *Engine) Flush() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, s := range e.segs {
+		if err := s.file.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close implements core.Engine.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var first error
+	if err := e.persistLocked(); err != nil {
+		first = err
+	}
+	for _, l := range e.logs {
+		if err := l.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, s := range e.segs {
+		if err := s.file.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

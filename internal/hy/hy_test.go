@@ -1,0 +1,232 @@
+package hy
+
+import (
+	"testing"
+
+	"decibel/internal/core"
+	"decibel/internal/heap"
+	"decibel/internal/record"
+	"decibel/internal/vgraph"
+)
+
+func testEnv(t *testing.T) (*core.Env, *vgraph.Graph) {
+	t.Helper()
+	g, err := vgraph.New("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := record.MustSchema(
+		record.Column{Name: "id", Type: record.Int64},
+		record.Column{Name: "v", Type: record.Int64},
+	)
+	return &core.Env{
+		Dir:    t.TempDir(),
+		Schema: schema,
+		Graph:  g,
+		Pool:   heap.NewPool(16, 4096),
+		Opt:    core.Options{PageSize: 4096, PoolPages: 16},
+	}, g
+}
+
+func rec(s *record.Schema, pk, v int64) *record.Record {
+	r := record.New(s)
+	r.SetPK(pk)
+	r.Set(1, v)
+	return r
+}
+
+func TestPKIndexPosFork(t *testing.T) {
+	p := newPKIndex()
+	p.set(1, pos{Seg: 2, Slot: 5})
+	a, b := p.fork()
+	a.set(1, pos{Seg: 3, Slot: 0})
+	if got := b.live(1); got != (pos{Seg: 2, Slot: 5}) {
+		t.Fatalf("sibling sees %v", got)
+	}
+	if got := a.live(1); got != (pos{Seg: 3, Slot: 0}) {
+		t.Fatalf("overlay lost write: %v", got)
+	}
+	a.set(1, deletedPos)
+	if a.live(1) != deletedPos {
+		t.Fatal("delete marker not live-resolved")
+	}
+	if b.live(99) != deletedPos {
+		t.Fatal("missing key not deletedPos")
+	}
+	if p.bytes() <= 0 || a.bytes() <= p.bytes() {
+		t.Fatal("bytes accounting wrong")
+	}
+}
+
+// TestSegmentLifecycle checks the branch operation's segment dance:
+// the parent's head freezes into an internal segment and both branches
+// get fresh heads (Section 3.4).
+func TestSegmentLifecycle(t *testing.T) {
+	env, g := testEnv(t)
+	eng, err := Factory(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	e := eng.(*Engine)
+	master, c0, _ := g.Init("init")
+	if err := e.Init(master, c0); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.segs) != 1 {
+		t.Fatalf("segments after init = %d", len(e.segs))
+	}
+	oldHead := e.headSeg[master.ID]
+
+	e.Insert(master.ID, rec(env.Schema, 1, 1))
+	c1, _ := g.NewCommit(master.ID, "c1")
+	e.Commit(c1)
+
+	child, _ := g.NewBranch("dev", c1.ID)
+	if err := e.Branch(child, c1); err != nil {
+		t.Fatal(err)
+	}
+	// Three segments now: frozen old head + two fresh heads.
+	if len(e.segs) != 3 {
+		t.Fatalf("segments after branch = %d", len(e.segs))
+	}
+	if !e.segs[oldHead].frozen {
+		t.Fatal("old parent head not frozen")
+	}
+	if e.headSeg[master.ID] == oldHead || e.headSeg[child.ID] == oldHead {
+		t.Fatal("head segments not replaced")
+	}
+	if e.headSeg[master.ID] == e.headSeg[child.ID] {
+		t.Fatal("parent and child share a head segment")
+	}
+	// The frozen segment's bitmap carries both branches.
+	s := e.segs[oldHead]
+	if s.local[master.ID] == nil || s.local[child.ID] == nil {
+		t.Fatal("internal segment missing a branch bitmap")
+	}
+	// Appends to the frozen file fail; inserts route to the new heads.
+	if _, err := s.file.Append(rec(env.Schema, 9, 9).Bytes()); err == nil {
+		t.Fatal("append to frozen segment succeeded")
+	}
+	if err := e.Insert(master.ID, rec(env.Schema, 2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if e.segs[e.headSeg[master.ID]].file.Count() != 1 {
+		t.Fatal("insert did not land in the new head segment")
+	}
+}
+
+// TestBranchSegmentSkipping verifies the global branch-segment relation
+// lets scans skip segments without live records.
+func TestBranchSegmentSkipping(t *testing.T) {
+	env, g := testEnv(t)
+	eng, _ := Factory(env)
+	defer eng.Close()
+	e := eng.(*Engine)
+	master, c0, _ := g.Init("init")
+	e.Init(master, c0)
+	e.Insert(master.ID, rec(env.Schema, 1, 1))
+	c1, _ := g.NewCommit(master.ID, "c1")
+	e.Commit(c1)
+	dev, _ := g.NewBranch("dev", c1.ID)
+	e.Branch(dev, c1)
+	// dev deletes the only record: no segment holds live dev records.
+	e.Delete(dev.ID, 1)
+	if segs := e.branchSegmentsLocked(dev.ID); len(segs) != 0 {
+		t.Fatalf("dev still maps to %d segments", len(segs))
+	}
+	// master unaffected: one segment with its record.
+	if segs := e.branchSegmentsLocked(master.ID); len(segs) != 1 {
+		t.Fatalf("master maps to %d segments", len(segs))
+	}
+}
+
+// TestCheckoutStartSeq verifies per-(branch, segment) history files
+// start at the right commit seq and checkouts reconstruct per-segment
+// bitmaps for any commit.
+func TestCheckoutStartSeq(t *testing.T) {
+	env, g := testEnv(t)
+	eng, _ := Factory(env)
+	defer eng.Close()
+	e := eng.(*Engine)
+	master, c0, _ := g.Init("init")
+	e.Init(master, c0)
+
+	e.Insert(master.ID, rec(env.Schema, 1, 1))
+	c1, _ := g.NewCommit(master.ID, "c1")
+	e.Commit(c1)
+
+	// Branch: master gets a new head segment whose history starts at
+	// the *next* master commit.
+	dev, _ := g.NewBranch("dev", c1.ID)
+	e.Branch(dev, c1)
+	e.Insert(master.ID, rec(env.Schema, 2, 2))
+	c2, _ := g.NewCommit(master.ID, "c2")
+	e.Commit(c2)
+
+	newHead := e.headSeg[master.ID]
+	k := logKey{Branch: master.ID, Seg: newHead}
+	if start, ok := e.startSeq[k]; !ok || start != c2.Seq {
+		t.Fatalf("new head history startSeq = %d, want %d", start, c2.Seq)
+	}
+	// Checkout at c1: only the original segment contributes.
+	snap, err := e.checkoutLocked(master.ID, c1.Seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) != 1 {
+		t.Fatalf("c1 snapshot spans %d segments", len(snap))
+	}
+	// Checkout at c2: both.
+	snap, err = e.checkoutLocked(master.ID, c2.Seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, bm := range snap {
+		total += bm.Count()
+	}
+	if len(snap) != 2 || total != 2 {
+		t.Fatalf("c2 snapshot: %d segments, %d live", len(snap), total)
+	}
+}
+
+// TestMergeAdoptsIntoForeignSegment checks that adopting the other
+// branch's record marks it live in the other branch's segment under
+// the merged branch's bitmap ("creating new bitmaps for the child
+// within a segment if necessary").
+func TestMergeAdoptsIntoForeignSegment(t *testing.T) {
+	env, g := testEnv(t)
+	eng, _ := Factory(env)
+	defer eng.Close()
+	e := eng.(*Engine)
+	master, c0, _ := g.Init("init")
+	e.Init(master, c0)
+	c1, _ := g.NewCommit(master.ID, "c1")
+	e.Commit(c1)
+	dev, _ := g.NewBranch("dev", c1.ID)
+	e.Branch(dev, c1)
+	e.Insert(dev.ID, rec(env.Schema, 7, 70))
+	c2, _ := g.NewCommit(dev.ID, "dev c")
+	e.Commit(c2)
+
+	devSeg := e.headSeg[dev.ID]
+	mc, _ := g.NewMergeCommit(master.ID, dev.ID, "merge", true)
+	if _, err := e.Merge(master.ID, dev.ID, mc, core.ThreeWay); err != nil {
+		t.Fatal(err)
+	}
+	bm := e.segs[devSeg].local[master.ID]
+	if bm == nil || bm.Count() != 1 {
+		t.Fatal("master bitmap missing in dev's segment after merge")
+	}
+	// The record is now visible in master without copying it.
+	n := 0
+	e.ScanBranch(master.ID, func(r *record.Record) bool { n++; return true })
+	if n != 1 {
+		t.Fatalf("master sees %d records", n)
+	}
+	st, _ := e.Stats()
+	if st.Records != 1 {
+		t.Fatalf("merge copied records: %d stored", st.Records)
+	}
+}

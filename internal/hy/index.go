@@ -1,0 +1,48 @@
+package hy
+
+// pkIndex is the hybrid engine's per-branch primary-key index, mapping
+// keys to (segment, slot) positions with overlay-chain sharing across
+// branch points (same design as the tuple-first index, with positional
+// values).
+type pkIndex struct {
+	m      map[int64]pos
+	parent *pkIndex
+}
+
+func newPKIndex() *pkIndex { return &pkIndex{m: make(map[int64]pos)} }
+
+// get returns pk's position; deletedPos means deleted. ok is false if
+// the key was never seen on this branch.
+func (p *pkIndex) get(pk int64) (pos, bool) {
+	for q := p; q != nil; q = q.parent {
+		if v, ok := q.m[pk]; ok {
+			return v, true
+		}
+	}
+	return pos{}, false
+}
+
+// live returns pk's live position, or deletedPos when absent/deleted.
+func (p *pkIndex) live(pk int64) pos {
+	v, ok := p.get(pk)
+	if !ok || v == deletedPos {
+		return deletedPos
+	}
+	return v
+}
+
+func (p *pkIndex) set(pk int64, v pos) { p.m[pk] = v }
+
+// fork freezes p and returns two overlays sharing it.
+func (p *pkIndex) fork() (*pkIndex, *pkIndex) {
+	return &pkIndex{m: make(map[int64]pos), parent: p},
+		&pkIndex{m: make(map[int64]pos), parent: p}
+}
+
+func (p *pkIndex) bytes() int64 {
+	var n int64
+	for q := p; q != nil; q = q.parent {
+		n += int64(len(q.m)) * 24
+	}
+	return n
+}

@@ -1,0 +1,156 @@
+// Package lock implements the branch-level two-phase locking Decibel
+// uses for concurrency control (Section 2.2.3: "Concurrent transactions
+// by multiple users on the same version (but different sessions) are
+// isolated from each other through two-phase locking" and "Concurrent
+// commits to a branch are prevented via the use of two-phase locking").
+//
+// Locks are shared/exclusive on named resources (Decibel locks branch
+// heads). Deadlocks are resolved by timeout: an acquisition that cannot
+// be granted within the manager's timeout aborts with ErrTimeout and
+// the caller is expected to release its locks and retry, the classic
+// timeout-based 2PL policy.
+package lock
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// Mode is a lock mode.
+type Mode int
+
+// Lock modes.
+const (
+	Shared Mode = iota
+	Exclusive
+)
+
+// ErrTimeout is returned when a lock cannot be acquired in time; the
+// caller should treat it as a deadlock-avoidance abort.
+var ErrTimeout = errors.New("lock: acquisition timed out (possible deadlock)")
+
+// DefaultTimeout bounds lock waits.
+const DefaultTimeout = 5 * time.Second
+
+type entry struct {
+	sharedBy  map[uint64]int // txn -> count
+	exclusive uint64         // txn holding exclusive (0 = none)
+	exclCount int
+}
+
+// Manager grants shared/exclusive locks to transactions identified by
+// opaque uint64 IDs.
+type Manager struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	locks   map[string]*entry
+	timeout time.Duration
+}
+
+// NewManager creates a lock manager with the given wait timeout
+// (<= 0 selects DefaultTimeout).
+func NewManager(timeout time.Duration) *Manager {
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	m := &Manager{locks: make(map[string]*entry), timeout: timeout}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// Acquire blocks until txn holds the resource in the requested mode or
+// the timeout elapses. Lock upgrades (shared held, exclusive requested)
+// are supported when txn is the sole shared holder.
+func (m *Manager) Acquire(txn uint64, resource string, mode Mode) error {
+	deadline := time.Now().Add(m.timeout)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	// Wake blocked waiters periodically so deadline checks run even if
+	// no Release broadcasts.
+	timer := time.AfterFunc(m.timeout, func() { m.cond.Broadcast() })
+	defer timer.Stop()
+
+	for {
+		e := m.locks[resource]
+		if e == nil {
+			e = &entry{sharedBy: make(map[uint64]int)}
+			m.locks[resource] = e
+		}
+		if m.grantable(e, txn, mode) {
+			if mode == Shared {
+				e.sharedBy[txn]++
+			} else {
+				e.exclusive = txn
+				e.exclCount++
+			}
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return ErrTimeout
+		}
+		m.cond.Wait()
+	}
+}
+
+func (m *Manager) grantable(e *entry, txn uint64, mode Mode) bool {
+	if mode == Shared {
+		return e.exclusive == 0 || e.exclusive == txn
+	}
+	if e.exclusive != 0 {
+		return e.exclusive == txn
+	}
+	// Exclusive: no other shared holders (upgrade allowed if sole).
+	for holder := range e.sharedBy {
+		if holder != txn {
+			return false
+		}
+	}
+	return true
+}
+
+// Release drops one hold of txn on resource in the given mode.
+func (m *Manager) Release(txn uint64, resource string, mode Mode) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.locks[resource]
+	if e == nil {
+		return
+	}
+	if mode == Shared {
+		if e.sharedBy[txn] > 0 {
+			e.sharedBy[txn]--
+			if e.sharedBy[txn] == 0 {
+				delete(e.sharedBy, txn)
+			}
+		}
+	} else if e.exclusive == txn {
+		e.exclCount--
+		if e.exclCount == 0 {
+			e.exclusive = 0
+		}
+	}
+	if len(e.sharedBy) == 0 && e.exclusive == 0 {
+		delete(m.locks, resource)
+	}
+	m.cond.Broadcast()
+}
+
+// ReleaseAll drops every lock txn holds (transaction end in strict
+// 2PL).
+func (m *Manager) ReleaseAll(txn uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for res, e := range m.locks {
+		delete(e.sharedBy, txn)
+		if e.exclusive == txn {
+			e.exclusive = 0
+			e.exclCount = 0
+		}
+		if len(e.sharedBy) == 0 && e.exclusive == 0 {
+			delete(m.locks, res)
+		}
+	}
+	m.cond.Broadcast()
+}

@@ -1,0 +1,136 @@
+package lock
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSharedCompatible(t *testing.T) {
+	m := NewManager(time.Second)
+	if err := m.Acquire(1, "branch:0", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(2, "branch:0", Shared); err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(1)
+	m.ReleaseAll(2)
+}
+
+func TestExclusiveBlocksShared(t *testing.T) {
+	m := NewManager(50 * time.Millisecond)
+	if err := m.Acquire(1, "b", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(2, "b", Shared); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("shared under exclusive: %v", err)
+	}
+	m.Release(1, "b", Exclusive)
+	if err := m.Acquire(2, "b", Shared); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSharedBlocksExclusiveFromOther(t *testing.T) {
+	m := NewManager(50 * time.Millisecond)
+	m.Acquire(1, "b", Shared)
+	if err := m.Acquire(2, "b", Exclusive); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("exclusive under foreign shared: %v", err)
+	}
+}
+
+func TestUpgradeSoleHolder(t *testing.T) {
+	m := NewManager(time.Second)
+	m.Acquire(1, "b", Shared)
+	if err := m.Acquire(1, "b", Exclusive); err != nil {
+		t.Fatalf("upgrade failed: %v", err)
+	}
+}
+
+func TestReentrantExclusive(t *testing.T) {
+	m := NewManager(time.Second)
+	m.Acquire(1, "b", Exclusive)
+	if err := m.Acquire(1, "b", Exclusive); err != nil {
+		t.Fatalf("reentrant exclusive failed: %v", err)
+	}
+	m.Release(1, "b", Exclusive)
+	// Still held once.
+	if err := m.Acquire(2, "b", Shared); !errors.Is(err, ErrTimeout) {
+		t.Fatal("exclusive dropped too early")
+	}
+	m.Release(1, "b", Exclusive)
+	if err := m.Acquire(2, "b", Shared); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockedAcquireWakesOnRelease(t *testing.T) {
+	m := NewManager(5 * time.Second)
+	m.Acquire(1, "b", Exclusive)
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(2, "b", Exclusive) }()
+	time.Sleep(20 * time.Millisecond)
+	m.Release(1, "b", Exclusive)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter never woke")
+	}
+}
+
+func TestReleaseAllWakesWaiters(t *testing.T) {
+	m := NewManager(5 * time.Second)
+	m.Acquire(1, "x", Exclusive)
+	m.Acquire(1, "y", Exclusive)
+	var wg sync.WaitGroup
+	var failures atomic.Int32
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		res := "x"
+		if i%2 == 0 {
+			res = "y"
+		}
+		go func(txn uint64, res string) {
+			defer wg.Done()
+			if err := m.Acquire(txn, res, Shared); err != nil {
+				failures.Add(1)
+			}
+		}(uint64(10+i), res)
+	}
+	time.Sleep(20 * time.Millisecond)
+	m.ReleaseAll(1)
+	wg.Wait()
+	if failures.Load() != 0 {
+		t.Fatalf("%d waiters failed", failures.Load())
+	}
+}
+
+func TestConcurrentCountersUnderExclusion(t *testing.T) {
+	m := NewManager(10 * time.Second)
+	counter := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(txn uint64) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if err := m.Acquire(txn, "ctr", Exclusive); err != nil {
+					t.Error(err)
+					return
+				}
+				counter++
+				m.Release(txn, "ctr", Exclusive)
+			}
+		}(uint64(i + 1))
+	}
+	wg.Wait()
+	if counter != 16*50 {
+		t.Fatalf("counter = %d, want %d (lost updates)", counter, 16*50)
+	}
+}

@@ -1,0 +1,200 @@
+// Package query implements the versioned query operators of Decibel's
+// benchmark (Table 1): single-version scans with predicates, positive
+// diffs between versions, primary-key joins across versions, and
+// HEAD() scans over all branch heads. Operators are engine-agnostic:
+// every storage scheme pays its own cost through the core.Engine scan
+// interfaces, which is exactly what the benchmark measures.
+package query
+
+import (
+	"decibel/internal/bitmap"
+	"decibel/internal/core"
+	"decibel/internal/record"
+	"decibel/internal/vgraph"
+)
+
+// Predicate filters records.
+type Predicate func(*record.Record) bool
+
+// True matches every record.
+func True(*record.Record) bool { return true }
+
+// ColumnEquals matches records whose column equals v.
+func ColumnEquals(col int, v int64) Predicate {
+	return func(r *record.Record) bool { return r.Get(col) == v }
+}
+
+// ColumnLess matches records whose column is less than v. The paper's
+// Query 4 uses "a very non-selective predicate"; a large v gives that.
+func ColumnLess(col int, v int64) Predicate {
+	return func(r *record.Record) bool { return r.Get(col) < v }
+}
+
+// ColumnMod matches records whose column value modulo m equals rem,
+// handy for building predicates of a chosen selectivity over uniform
+// data.
+func ColumnMod(col int, m, rem int64) Predicate {
+	return func(r *record.Record) bool {
+		v := r.Get(col) % m
+		if v < 0 {
+			v += m
+		}
+		return v == rem
+	}
+}
+
+// And combines predicates conjunctively.
+func And(ps ...Predicate) Predicate {
+	return func(r *record.Record) bool {
+		for _, p := range ps {
+			if !p(r) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Or combines predicates disjunctively.
+func Or(ps ...Predicate) Predicate {
+	return func(r *record.Record) bool {
+		for _, p := range ps {
+			if p(r) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Not negates a predicate.
+func Not(p Predicate) Predicate {
+	return func(r *record.Record) bool { return !p(r) }
+}
+
+// SingleVersionScan is Query 1: emit all records live in one branch
+// head that satisfy the predicate.
+//
+//	SELECT * FROM R WHERE R.Version = 'v01'
+func SingleVersionScan(t *core.Table, branch vgraph.BranchID, pred Predicate, fn core.ScanFunc) error {
+	return t.Scan(branch, func(rec *record.Record) bool {
+		if !pred(rec) {
+			return true
+		}
+		return fn(rec)
+	})
+}
+
+// CommitScan is Query 1 against a historical version (checkout read).
+func CommitScan(t *core.Table, c *vgraph.Commit, pred Predicate, fn core.ScanFunc) error {
+	return t.ScanCommit(c, func(rec *record.Record) bool {
+		if !pred(rec) {
+			return true
+		}
+		return fn(rec)
+	})
+}
+
+// PositiveDiff is Query 2: emit the records in branch a that do not
+// appear in branch b.
+//
+//	SELECT * FROM R WHERE R.Version='v01'
+//	AND R.id NOT IN (SELECT id FROM R WHERE R.Version='v02')
+func PositiveDiff(t *core.Table, a, b vgraph.BranchID, fn core.ScanFunc) error {
+	return t.Diff(a, b, func(rec *record.Record, inA bool) bool {
+		if !inA {
+			return true
+		}
+		return fn(rec)
+	})
+}
+
+// JoinedPair is one output row of a version join.
+type JoinedPair struct {
+	Left  *record.Record
+	Right *record.Record
+}
+
+// VersionJoin is Query 3: a primary-key join between two branch heads,
+// emitting pairs whose left record satisfies the predicate.
+//
+//	SELECT * FROM R AS R1, R AS R2
+//	WHERE R1.Version='v01' AND <pred>(R1)
+//	AND R1.id = R2.id AND R2.Version='v02'
+//
+// Implemented as a hash join: build a table over the filtered left
+// branch, probe with a scan of the right branch.
+func VersionJoin(t *core.Table, left, right vgraph.BranchID, pred Predicate, fn func(JoinedPair) bool) error {
+	build := make(map[int64]*record.Record)
+	if err := t.Scan(left, func(rec *record.Record) bool {
+		if pred(rec) {
+			build[rec.PK()] = rec.Clone()
+		}
+		return true
+	}); err != nil {
+		return err
+	}
+	if len(build) == 0 {
+		return nil
+	}
+	return t.Scan(right, func(rec *record.Record) bool {
+		l, ok := build[rec.PK()]
+		if !ok {
+			return true
+		}
+		return fn(JoinedPair{Left: l, Right: rec})
+	})
+}
+
+// HeadRecord is one output row of a HEAD() scan: a record plus the
+// branches whose heads contain it.
+type HeadRecord struct {
+	Record   *record.Record
+	Branches []vgraph.BranchID
+}
+
+// HeadScan is Query 4: emit every record live in the head of any
+// branch satisfying the predicate, annotated with its active branches.
+//
+//	SELECT * FROM R WHERE HEAD(R.Version) = true
+func HeadScan(g *vgraph.Graph, t *core.Table, pred Predicate, fn func(HeadRecord) bool) error {
+	branches := g.Branches()
+	ids := make([]vgraph.BranchID, len(branches))
+	for i, b := range branches {
+		ids[i] = b.ID
+	}
+	return HeadScanBranches(t, ids, pred, fn)
+}
+
+// HeadScanBranches is HeadScan restricted to an explicit branch list
+// (the benchmark scans the heads of active branches).
+func HeadScanBranches(t *core.Table, ids []vgraph.BranchID, pred Predicate, fn func(HeadRecord) bool) error {
+	return t.ScanMulti(ids, func(rec *record.Record, member *bitmap.Bitmap) bool {
+		if !pred(rec) {
+			return true
+		}
+		var active []vgraph.BranchID
+		member.ForEach(func(i int) bool {
+			active = append(active, ids[i])
+			return true
+		})
+		return fn(HeadRecord{Record: rec, Branches: active})
+	})
+}
+
+// Count runs a counting aggregate over a single-version scan.
+func Count(t *core.Table, branch vgraph.BranchID, pred Predicate) (int, error) {
+	n := 0
+	err := SingleVersionScan(t, branch, pred, func(*record.Record) bool { n++; return true })
+	return n, err
+}
+
+// Sum aggregates one column over a single-version scan.
+func Sum(t *core.Table, branch vgraph.BranchID, col int, pred Predicate) (int64, error) {
+	var s int64
+	err := SingleVersionScan(t, branch, pred, func(rec *record.Record) bool {
+		s += rec.Get(col)
+		return true
+	})
+	return s, err
+}

@@ -1,0 +1,219 @@
+package query
+
+import (
+	"sort"
+	"testing"
+
+	"decibel/internal/core"
+	"decibel/internal/hy"
+	"decibel/internal/record"
+	"decibel/internal/tf"
+	"decibel/internal/vf"
+	"decibel/internal/vgraph"
+)
+
+func schema() *record.Schema {
+	return record.MustSchema(
+		record.Column{Name: "id", Type: record.Int64},
+		record.Column{Name: "v", Type: record.Int64},
+	)
+}
+
+func rec(s *record.Schema, pk, v int64) *record.Record {
+	r := record.New(s)
+	r.SetPK(pk)
+	r.Set(1, v)
+	return r
+}
+
+// fixture builds: master with pks 1..10 (v = pk), committed; branch dev
+// with pk 3 updated (v=33), pk 10 deleted, pk 11 added.
+func fixture(t *testing.T, factory core.Factory) (*core.Database, *core.Table, *vgraph.Branch, *vgraph.Branch) {
+	t.Helper()
+	db, err := core.Open(t.TempDir(), factory, core.Options{PageSize: 4096, PoolPages: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	s := schema()
+	if _, err := db.CreateTable("r", s); err != nil {
+		t.Fatal(err)
+	}
+	master, _, err := db.Init("init")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := db.Table("r")
+	for pk := int64(1); pk <= 10; pk++ {
+		tbl.Insert(master.ID, rec(s, pk, pk))
+	}
+	db.Commit(master.ID, "base")
+	dev, err := db.BranchFromHead("dev", "master")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.Insert(dev.ID, rec(s, 3, 33))
+	tbl.Delete(dev.ID, 10)
+	tbl.Insert(dev.ID, rec(s, 11, 11))
+	return db, tbl, master, dev
+}
+
+func factories() map[string]core.Factory {
+	return map[string]core.Factory{
+		"tuple-first":   tf.Factory,
+		"version-first": vf.Factory,
+		"hybrid":        hy.Factory,
+	}
+}
+
+func TestQ1SingleVersionScan(t *testing.T) {
+	for name, f := range factories() {
+		t.Run(name, func(t *testing.T) {
+			_, tbl, master, dev := fixture(t, f)
+			n, err := Count(tbl, master.ID, True)
+			if err != nil || n != 10 {
+				t.Fatalf("master count = %d (%v)", n, err)
+			}
+			n, _ = Count(tbl, dev.ID, True)
+			if n != 10 { // 10 - deleted + added
+				t.Fatalf("dev count = %d", n)
+			}
+			// Predicate pushdown.
+			n, _ = Count(tbl, dev.ID, ColumnEquals(1, 33))
+			if n != 1 {
+				t.Fatalf("pred count = %d", n)
+			}
+			n, _ = Count(tbl, master.ID, ColumnLess(1, 6))
+			if n != 5 {
+				t.Fatalf("less count = %d", n)
+			}
+		})
+	}
+}
+
+func TestQ2PositiveDiff(t *testing.T) {
+	for name, f := range factories() {
+		t.Run(name, func(t *testing.T) {
+			_, tbl, master, dev := fixture(t, f)
+			// dev-not-master: updated 3 (new copy), added 11.
+			var pks []int64
+			err := PositiveDiff(tbl, dev.ID, master.ID, func(r *record.Record) bool {
+				pks = append(pks, r.PK())
+				return true
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sort.Slice(pks, func(i, j int) bool { return pks[i] < pks[j] })
+			if len(pks) != 2 || pks[0] != 3 || pks[1] != 11 {
+				t.Fatalf("dev-not-master = %v", pks)
+			}
+			// master-not-dev: old copy of 3, deleted 10.
+			pks = nil
+			PositiveDiff(tbl, master.ID, dev.ID, func(r *record.Record) bool {
+				pks = append(pks, r.PK())
+				return true
+			})
+			sort.Slice(pks, func(i, j int) bool { return pks[i] < pks[j] })
+			if len(pks) != 2 || pks[0] != 3 || pks[1] != 10 {
+				t.Fatalf("master-not-dev = %v", pks)
+			}
+		})
+	}
+}
+
+func TestQ3VersionJoin(t *testing.T) {
+	for name, f := range factories() {
+		t.Run(name, func(t *testing.T) {
+			_, tbl, master, dev := fixture(t, f)
+			// Join all shared keys: 1..9 (10 deleted in dev, 11 absent in master).
+			n := 0
+			err := VersionJoin(tbl, master.ID, dev.ID, True, func(p JoinedPair) bool {
+				if p.Left.PK() != p.Right.PK() {
+					t.Fatalf("join key mismatch: %d vs %d", p.Left.PK(), p.Right.PK())
+				}
+				if p.Left.PK() == 3 && (p.Left.Get(1) != 3 || p.Right.Get(1) != 33) {
+					t.Fatalf("versions swapped: %v %v", p.Left, p.Right)
+				}
+				n++
+				return true
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != 9 {
+				t.Fatalf("join rows = %d, want 9", n)
+			}
+			// Selective predicate on the left side.
+			n = 0
+			VersionJoin(tbl, master.ID, dev.ID, ColumnEquals(1, 5), func(JoinedPair) bool { n++; return true })
+			if n != 1 {
+				t.Fatalf("selective join rows = %d", n)
+			}
+		})
+	}
+}
+
+func TestQ4HeadScan(t *testing.T) {
+	for name, f := range factories() {
+		t.Run(name, func(t *testing.T) {
+			db, tbl, master, dev := fixture(t, f)
+			perBranch := map[vgraph.BranchID]int{}
+			rows := 0
+			err := HeadScan(db.Graph(), tbl, True, func(hr HeadRecord) bool {
+				rows++
+				if len(hr.Branches) == 0 {
+					t.Fatal("record with no active branches")
+				}
+				for _, b := range hr.Branches {
+					perBranch[b]++
+				}
+				return true
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if perBranch[master.ID] != 10 || perBranch[dev.ID] != 10 {
+				t.Fatalf("per-branch counts = %v", perBranch)
+			}
+			// Shared records are emitted once with multiple branches, so the
+			// number of distinct rows is below the sum of branch counts.
+			if rows >= 20 {
+				t.Fatalf("rows = %d, expected sharing", rows)
+			}
+		})
+	}
+}
+
+func TestPredicateCombinators(t *testing.T) {
+	s := schema()
+	r5 := rec(s, 5, 50)
+	if !And(ColumnEquals(1, 50), ColumnLess(0, 6))(r5) {
+		t.Fatal("and failed")
+	}
+	if Or(ColumnEquals(1, 1), ColumnEquals(1, 2))(r5) {
+		t.Fatal("or matched wrongly")
+	}
+	if Not(True)(r5) {
+		t.Fatal("not true matched")
+	}
+	if !ColumnMod(0, 5, 0)(r5) {
+		t.Fatal("mod failed")
+	}
+	rNeg := rec(s, -3, 0)
+	if !ColumnMod(0, 5, 2)(rNeg) { // -3 mod 5 = 2
+		t.Fatal("negative mod failed")
+	}
+}
+
+func TestSum(t *testing.T) {
+	for name, f := range factories() {
+		t.Run(name, func(t *testing.T) {
+			_, tbl, master, _ := fixture(t, f)
+			s, err := Sum(tbl, master.ID, 1, True)
+			if err != nil || s != 55 {
+				t.Fatalf("sum = %d (%v)", s, err)
+			}
+		})
+	}
+}

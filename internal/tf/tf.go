@@ -1,0 +1,574 @@
+package tf
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+
+	"decibel/internal/bitmap"
+	"decibel/internal/core"
+	"decibel/internal/heap"
+	"decibel/internal/record"
+	"decibel/internal/vgraph"
+)
+
+// Engine is the tuple-first storage engine. All branches share one heap
+// file; liveness is tracked by the bitmap index; per-branch commit
+// history files store RLE-compressed XOR deltas of branch bitmaps.
+type Engine struct {
+	mu  sync.Mutex
+	env *core.Env
+
+	file *heap.File
+	idx  index
+	pk   map[vgraph.BranchID]*pkIndex
+	logs map[vgraph.BranchID]*bitmap.CommitLog
+}
+
+// Factory builds a tuple-first engine; it satisfies core.Factory.
+func Factory(env *core.Env) (core.Engine, error) {
+	e := &Engine{
+		env:  env,
+		pk:   make(map[vgraph.BranchID]*pkIndex),
+		logs: make(map[vgraph.BranchID]*bitmap.CommitLog),
+	}
+	if env.Opt.TupleOriented {
+		e.idx = newTupleIndex()
+	} else {
+		e.idx = newBranchIndex()
+	}
+	var err error
+	e.file, err = heap.Open(env.Pool, filepath.Join(env.Dir, "data.heap"), env.Schema.RecordSize())
+	if err != nil {
+		return nil, err
+	}
+	if err := e.recover(); err != nil {
+		e.file.Close()
+		return nil, err
+	}
+	return e, nil
+}
+
+// Kind implements core.Engine.
+func (e *Engine) Kind() string { return "tuple-first" }
+
+func (e *Engine) logPath(b vgraph.BranchID) string {
+	return filepath.Join(e.env.Dir, "commits", fmt.Sprintf("b%d.hist", b))
+}
+
+// openLog returns (opening if needed) the commit history file of a
+// branch.
+func (e *Engine) openLog(b vgraph.BranchID) (*bitmap.CommitLog, error) {
+	if l, ok := e.logs[b]; ok {
+		return l, nil
+	}
+	l, err := bitmap.OpenCommitLog(e.logPath(b), e.env.Opt.CommitFanout)
+	if err != nil {
+		return nil, err
+	}
+	e.logs[b] = l
+	return l, nil
+}
+
+// recover rebuilds in-memory state from the commit history files after
+// a reopen: each branch's live bitmap is its last committed snapshot
+// (uncommitted modifications are rolled back, per Section 2.2.3), and
+// the per-branch primary-key indexes are rebuilt from the live bitmaps.
+func (e *Engine) recover() error {
+	if !e.env.Graph.Initialized() {
+		return nil
+	}
+	for _, b := range e.env.Graph.Branches() {
+		l, err := e.openLog(b.ID)
+		if err != nil {
+			return err
+		}
+		bm := l.Head()
+		e.idx.addBranch(b.ID, bm)
+		idx := newPKIndex()
+		e.pk[b.ID] = idx
+		rec := record.New(e.env.Schema)
+		var scanErr error
+		bm.ForEach(func(slot int) bool {
+			if err := e.file.Read(int64(slot), rec.Bytes()); err != nil {
+				scanErr = err
+				return false
+			}
+			idx.set(rec.PK(), int64(slot))
+			return true
+		})
+		if scanErr != nil {
+			return scanErr
+		}
+	}
+	return nil
+}
+
+// Init implements core.Engine: registers the master branch and records
+// the (empty) init commit.
+func (e *Engine) Init(master *vgraph.Branch, c0 *vgraph.Commit) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.idx.addBranch(master.ID, bitmap.New(0))
+	e.pk[master.ID] = newPKIndex()
+	return e.commitLocked(c0)
+}
+
+// Branch implements core.Engine: "a branch operation clones the state
+// of the parent branch's bitmap and adds it to the index as the initial
+// state of the child branch".
+func (e *Engine) Branch(child *vgraph.Branch, from *vgraph.Commit) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	parent := from.Branch
+	log, err := e.openLog(parent)
+	if err != nil {
+		return err
+	}
+	snap, err := log.Checkout(from.Seq)
+	if err != nil {
+		return fmt.Errorf("tf: branch from commit %d: %w", from.ID, err)
+	}
+	e.idx.addBranch(child.ID, snap)
+	// Fast path: branching from the parent's current state shares the
+	// primary-key index via overlays; a historical branch point rebuilds
+	// the child's index from the snapshot.
+	if cur := e.idx.column(parent); cur.Equal(snap) {
+		if parentIdx, ok := e.pk[parent]; ok {
+			a, b := parentIdx.fork()
+			e.pk[parent] = a
+			e.pk[child.ID] = b
+			return nil
+		}
+	}
+	idx := newPKIndex()
+	rec := record.New(e.env.Schema)
+	var scanErr error
+	snap.ForEach(func(slot int) bool {
+		if err := e.file.Read(int64(slot), rec.Bytes()); err != nil {
+			scanErr = err
+			return false
+		}
+		idx.set(rec.PK(), int64(slot))
+		return true
+	})
+	if scanErr != nil {
+		return scanErr
+	}
+	e.pk[child.ID] = idx
+	return nil
+}
+
+// Commit implements core.Engine: append the branch's bitmap delta to
+// its commit history file.
+func (e *Engine) Commit(c *vgraph.Commit) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.commitLocked(c)
+}
+
+func (e *Engine) commitLocked(c *vgraph.Commit) error {
+	log, err := e.openLog(c.Branch)
+	if err != nil {
+		return err
+	}
+	if got := log.NumCommits(); got != c.Seq {
+		return fmt.Errorf("tf: commit seq %d does not match log position %d on branch %d", c.Seq, got, c.Branch)
+	}
+	if _, err := log.Append(e.idx.column(c.Branch)); err != nil {
+		return err
+	}
+	if e.env.Opt.Fsync {
+		if err := log.Sync(); err != nil {
+			return err
+		}
+		return e.file.Sync()
+	}
+	return nil
+}
+
+// Insert implements core.Engine (upsert: the previous copy's bit is
+// unset and the new copy appended at the end of the heap file).
+func (e *Engine) Insert(branch vgraph.BranchID, rec *record.Record) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	idx, ok := e.pk[branch]
+	if !ok {
+		return fmt.Errorf("tf: unknown branch %d", branch)
+	}
+	slot, err := e.file.Append(rec.Bytes())
+	if err != nil {
+		return err
+	}
+	e.idx.appendTuple(slot)
+	if old := idx.live(rec.PK()); old >= 0 {
+		e.idx.clear(old, branch)
+	}
+	e.idx.set(slot, branch)
+	idx.set(rec.PK(), slot)
+	return nil
+}
+
+// Delete implements core.Engine. Old records cannot be removed (they
+// remain visible in historical commits); the branch's bit is simply
+// unset.
+func (e *Engine) Delete(branch vgraph.BranchID, pk int64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	idx, ok := e.pk[branch]
+	if !ok {
+		return fmt.Errorf("tf: unknown branch %d", branch)
+	}
+	old := idx.live(pk)
+	if old < 0 {
+		return nil
+	}
+	e.idx.clear(old, branch)
+	idx.set(pk, -1)
+	return nil
+}
+
+// scanBitmap emits every heap record whose bit is set in bm. Pages
+// with no live records are skipped, but with interleaved loading a
+// branch's tuples are "fragmented across the shared heap file", so most
+// pages contain at least one and the scan degrades to reading the whole
+// heap — the tuple-first cost the paper measures. After a table-wise
+// update clusters a branch's records, the skip becomes effective
+// (Section 5.5).
+func (e *Engine) scanBitmap(bm *bitmap.Bitmap, fn core.ScanFunc) error {
+	schema := e.env.Schema
+	return e.file.ScanLive(bm, func(slot int64, buf []byte) bool {
+		if !bm.Get(int(slot)) {
+			return true
+		}
+		rec, err := record.FromBytes(schema, buf)
+		if err != nil {
+			return false
+		}
+		return fn(rec)
+	})
+}
+
+// ScanBranch implements core.Engine (Query 1).
+func (e *Engine) ScanBranch(branch vgraph.BranchID, fn core.ScanFunc) error {
+	e.mu.Lock()
+	bm := e.idx.column(branch)
+	e.mu.Unlock()
+	return e.scanBitmap(bm, fn)
+}
+
+// ScanCommit implements core.Engine: checkout the commit's bitmap from
+// the history file, then scan.
+func (e *Engine) ScanCommit(c *vgraph.Commit, fn core.ScanFunc) error {
+	e.mu.Lock()
+	log, err := e.openLog(c.Branch)
+	if err != nil {
+		e.mu.Unlock()
+		return err
+	}
+	bm, err := log.Checkout(c.Seq)
+	e.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return e.scanBitmap(bm, fn)
+}
+
+// ScanMulti implements core.Engine (Query 4): one pass over the heap
+// file, emitting each live tuple annotated with the branches it is
+// active in.
+func (e *Engine) ScanMulti(branches []vgraph.BranchID, fn core.MultiScanFunc) error {
+	e.mu.Lock()
+	// Branch-oriented: precompute columns once. Tuple-oriented: use row
+	// lookups (its natural fast path, per Section 3.2).
+	var cols []*bitmap.Bitmap
+	if _, tupleOriented := e.idx.(*tupleIndex); !tupleOriented {
+		cols = make([]*bitmap.Bitmap, len(branches))
+		for i, b := range branches {
+			cols[i] = e.idx.column(b)
+		}
+	}
+	e.mu.Unlock()
+	schema := e.env.Schema
+	member := bitmap.New(len(branches))
+	return e.file.Scan(0, e.file.Count(), func(slot int64, buf []byte) bool {
+		any := false
+		if cols != nil {
+			for i := range branches {
+				live := cols[i].Get(int(slot))
+				member.SetTo(i, live)
+				any = any || live
+			}
+		} else {
+			e.mu.Lock()
+			e.idx.membership(slot, branches, member)
+			e.mu.Unlock()
+			any = member.Any()
+		}
+		if !any {
+			return true
+		}
+		rec, err := record.FromBytes(schema, buf)
+		if err != nil {
+			return false
+		}
+		return fn(rec, member)
+	})
+}
+
+// Diff implements core.Engine (Query 2): "we simply XOR bitmaps
+// together and emit records on the appropriate output iterator".
+func (e *Engine) Diff(a, b vgraph.BranchID, fn core.DiffFunc) error {
+	e.mu.Lock()
+	colA := e.idx.column(a)
+	colB := e.idx.column(b)
+	e.mu.Unlock()
+	x := bitmap.Xor(colA, colB)
+	schema := e.env.Schema
+	return e.file.ScanLive(x, func(slot int64, buf []byte) bool {
+		if !x.Get(int(slot)) {
+			return true
+		}
+		rec, err := record.FromBytes(schema, buf)
+		if err != nil {
+			return false
+		}
+		return fn(rec, colA.Get(int(slot)))
+	})
+}
+
+// Merge implements core.Engine following Section 3.2: the LCA commit's
+// bitmap is restored and XORed against both branch heads to find the
+// records changed on each side; the changed keys are joined via hash
+// tables; conflicts are resolved tuple-level (two-way) or by a
+// field-level three-way merge against the common ancestor record.
+func (e *Engine) Merge(into, other vgraph.BranchID, mc *vgraph.Commit, kind core.MergeKind) (core.MergeStats, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var st core.MergeStats
+
+	lcaID := e.env.Graph.LCA(mc.Parents[0], mc.Parents[1])
+	lcaCommit, ok := e.env.Graph.Commit(lcaID)
+	if !ok {
+		return st, fmt.Errorf("tf: merge has no common ancestor")
+	}
+	lcaLog, err := e.openLog(lcaCommit.Branch)
+	if err != nil {
+		return st, err
+	}
+	lcaBM, err := lcaLog.Checkout(lcaCommit.Seq)
+	if err != nil {
+		return st, err
+	}
+	bmA := e.idx.column(into)
+	bmB := e.idx.column(other)
+	changedA := bitmap.Xor(bmA, lcaBM)
+	changedB := bitmap.Xor(bmB, lcaBM)
+
+	type entry struct {
+		lcaSlot  int64
+		changedA bool
+		changedB bool
+	}
+	entries := make(map[int64]*entry)
+	recSize := int64(e.env.Schema.RecordSize())
+	collect := func(changed *bitmap.Bitmap, isA bool) error {
+		rec := record.New(e.env.Schema)
+		var err error
+		changed.ForEach(func(slot int) bool {
+			if err = e.file.Read(int64(slot), rec.Bytes()); err != nil {
+				return false
+			}
+			st.TuplesScanned++
+			pk := rec.PK()
+			en := entries[pk]
+			if en == nil {
+				en = &entry{lcaSlot: -1}
+				entries[pk] = en
+			}
+			if isA {
+				en.changedA = true
+			} else {
+				en.changedB = true
+			}
+			if lcaBM.Get(slot) {
+				en.lcaSlot = int64(slot)
+			}
+			return true
+		})
+		return err
+	}
+	if err := collect(changedA, true); err != nil {
+		return st, err
+	}
+	if err := collect(changedB, false); err != nil {
+		return st, err
+	}
+	st.DiffBytes = int64(changedA.Count()+changedB.Count()) * recSize
+
+	idxA := e.pk[into]
+	idxB := e.pk[other]
+	readRec := func(slot int64) (*record.Record, error) {
+		rec := record.New(e.env.Schema)
+		if err := e.file.Read(slot, rec.Bytes()); err != nil {
+			return nil, err
+		}
+		st.TuplesScanned++
+		return rec, nil
+	}
+
+	for pk, en := range entries {
+		if en.changedA {
+			st.ChangedA++
+		}
+		if en.changedB {
+			st.ChangedB++
+		}
+		slotA := idxA.live(pk)
+		slotB := idxB.live(pk)
+		switch {
+		case en.changedA && !en.changedB:
+			// Keep into's state: nothing to do.
+		case en.changedB && !en.changedA:
+			// Adopt other's state wholesale.
+			if slotA >= 0 {
+				e.idx.clear(slotA, into)
+			}
+			if slotB >= 0 {
+				e.idx.set(slotB, into)
+				idxA.set(pk, slotB)
+			} else {
+				idxA.set(pk, -1)
+			}
+		default:
+			if err := e.resolveConflict(pk, slotA, slotB, en.lcaSlot, into, mc, kind, idxA, readRec, &st); err != nil {
+				return st, err
+			}
+		}
+	}
+	return st, e.commitLocked(mc)
+}
+
+// resolveConflict handles a key modified in both branches since the
+// LCA. Caller holds e.mu.
+func (e *Engine) resolveConflict(pk, slotA, slotB, lcaSlot int64, into vgraph.BranchID, mc *vgraph.Commit, kind core.MergeKind, idxA *pkIndex, readRec func(int64) (*record.Record, error), st *core.MergeStats) error {
+	var recA, recB, base *record.Record
+	var err error
+	if slotA >= 0 {
+		if recA, err = readRec(slotA); err != nil {
+			return err
+		}
+	}
+	if slotB >= 0 {
+		if recB, err = readRec(slotB); err != nil {
+			return err
+		}
+	}
+	apply := func(rec *record.Record, deleted bool) error {
+		if slotA >= 0 {
+			e.idx.clear(slotA, into)
+		}
+		if deleted {
+			idxA.set(pk, -1)
+			return nil
+		}
+		var slot int64
+		switch {
+		case recA != nil && rec.Equal(recA):
+			slot = slotA
+		case recB != nil && rec.Equal(recB):
+			slot = slotB
+		default:
+			// Materialize the merged record at the end of the heap file.
+			if slot, err = e.file.Append(rec.Bytes()); err != nil {
+				return err
+			}
+			e.idx.appendTuple(slot)
+			st.Materialized++
+		}
+		e.idx.set(slot, into)
+		idxA.set(pk, slot)
+		return nil
+	}
+
+	if kind == core.TwoWay {
+		// Tuple-level: identical outcomes are not conflicts; otherwise
+		// the precedence branch's whole record (or deletion) wins.
+		same := (recA == nil && recB == nil) || (recA != nil && recB != nil && recA.Equal(recB))
+		if !same {
+			st.Conflicts++
+		}
+		if mc.PrecedenceFirst {
+			if recA == nil {
+				return apply(nil, true)
+			}
+			return apply(recA, false)
+		}
+		if recB == nil {
+			return apply(nil, true)
+		}
+		return apply(recB, false)
+	}
+
+	if lcaSlot >= 0 {
+		if base, err = readRec(lcaSlot); err != nil {
+			return err
+		}
+	}
+	res := record.Merge3(base, recA, recB, mc.PrecedenceFirst)
+	if res.Conflict {
+		st.Conflicts++
+	}
+	if res.Deleted {
+		return apply(nil, true)
+	}
+	return apply(res.Record, false)
+}
+
+// Stats implements core.Engine.
+func (e *Engine) Stats() (core.Stats, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := core.Stats{
+		Records:      e.file.Count(),
+		DataBytes:    e.file.SizeBytes(),
+		IndexBytes:   e.idx.bytes(),
+		SegmentCount: 1,
+	}
+	for b, idx := range e.pk {
+		st.IndexBytes += idx.bytes()
+		bm := e.idx.column(b)
+		st.LiveRecords += int64(bm.Count())
+	}
+	for _, l := range e.logs {
+		sz, err := l.Size()
+		if err != nil {
+			return st, err
+		}
+		st.CommitBytes += sz
+	}
+	return st, nil
+}
+
+// Flush implements core.Engine.
+func (e *Engine) Flush() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.file.Flush()
+}
+
+// Close implements core.Engine.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var first error
+	for _, l := range e.logs {
+		if err := l.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if err := e.file.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}

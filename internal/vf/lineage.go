@@ -1,0 +1,330 @@
+package vf
+
+import (
+	"fmt"
+
+	"decibel/internal/record"
+)
+
+// interval is a half-open slot range [From, To) of one segment. A
+// branch's lineage is an ordered list of steps: earlier steps shadow
+// later ones, so a record copy is live iff its key is not claimed by
+// any earlier step. Intervals are bounded by branch points ("the
+// version-first scanner must be efficient in how it reads records as it
+// traverses the ancestor files"), which is what lets a sibling's
+// post-fork modifications outrank an ancestor's pre-fork copies.
+type interval struct {
+	Seg      segID
+	From, To int64
+}
+
+type intervalKey = interval
+
+// step is one element of a lineage: either a slot interval or a merged
+// segment's override table. Overrides are the merge-time resolutions a
+// pure segment ordering cannot express (e.g. a key whose churn on one
+// side nets out to "unchanged" but still left tombstones that would
+// wrongly outrank the other side's change). They rank exactly where
+// they were created: after the merged segment's own records, before its
+// parents.
+type step struct {
+	iv    interval
+	ovr   segID
+	isOvr bool
+}
+
+// override is one merge-time resolution: the key's winning copy (an
+// existing position, preserving copy identity) or its deletion.
+type override struct {
+	PK      int64 `json:"pk"`
+	Seg     segID `json:"seg"`
+	Slot    int64 `json:"slot"`
+	Deleted bool  `json:"deleted,omitempty"`
+}
+
+// tableEntry is the newest state of one key within an interval.
+type tableEntry struct {
+	Slot      int64
+	Tombstone bool
+}
+
+// intervalTable maps each primary key appearing in an interval to its
+// newest copy in that interval. This is the "in-memory hash table ...
+// for each portion of each segment file" of the paper's multi-branch
+// scanner; single-branch scans reuse the same tables through the cache.
+type intervalTable map[int64]tableEntry
+
+// lineageAt computes the ordered step list for the version at p.
+//
+// Rules (Section 3.3):
+//   - a segment's own records [0, cut) rank first, then its merge
+//     overrides (if any);
+//   - below them, for a plain branch point, the parent's lineage
+//     clipped at the branch offset;
+//   - for a merge, the two parents' lineages minus their common (LCA)
+//     coverage — ordered by the recorded precedence — and then the LCA
+//     lineage itself.
+//
+// A final pass subtracts already-covered slot ranges (and deduplicates
+// override tables) so each range appears exactly once, at its highest
+// rank. Proper range subtraction matters: after chained merges the same
+// segment can surface first as a middle slice and later as a wider
+// range whose upper part is still uncovered.
+func (e *Engine) lineageAt(p pos) ([]step, error) {
+	raw, err := e.rawLineage(p)
+	if err != nil {
+		return nil, err
+	}
+	covered := make(map[segID]*spanSet)
+	ovrDone := make(map[segID]bool)
+	var out []step
+	for _, st := range raw {
+		if st.isOvr {
+			if !ovrDone[st.ovr] {
+				ovrDone[st.ovr] = true
+				out = append(out, st)
+			}
+			continue
+		}
+		iv := st.iv
+		ss := covered[iv.Seg]
+		if ss == nil {
+			ss = &spanSet{}
+			covered[iv.Seg] = ss
+		}
+		for _, piece := range ss.subtract(iv.From, iv.To) {
+			out = append(out, step{iv: interval{Seg: iv.Seg, From: piece.from, To: piece.to}})
+		}
+		ss.add(iv.From, iv.To)
+	}
+	return out, nil
+}
+
+// rawLineage returns the rank-ordered steps, possibly overlapping.
+func (e *Engine) rawLineage(p pos) ([]step, error) {
+	if int(p.Seg) >= len(e.segs) {
+		return nil, fmt.Errorf("vf: segment %d out of range", p.Seg)
+	}
+	s := e.segs[p.Seg]
+	out := []step{{iv: interval{Seg: p.Seg, From: 0, To: p.Slot}}}
+	if len(s.overrides) > 0 {
+		out = append(out, step{ovr: p.Seg, isOvr: true})
+	}
+	if !s.hasLink {
+		return out, nil
+	}
+	l := s.link
+	if !l.IsMerge {
+		parent, err := e.rawLineage(pos{Seg: l.ParentSeg, Slot: l.ParentSlot})
+		if err != nil {
+			return nil, err
+		}
+		return append(out, parent...), nil
+	}
+
+	// Merge: split both parents into their post-LCA unique parts and the
+	// shared pre-LCA lineage.
+	lcaPos, ok := e.commits[l.LCACommit]
+	if !ok {
+		return nil, fmt.Errorf("vf: merge LCA commit %d has no recorded offset", l.LCACommit)
+	}
+	common, err := e.rawLineage(lcaPos)
+	if err != nil {
+		return nil, err
+	}
+	coverage := make(map[segID]int64) // max 'To' covered by common, per segment
+	for _, st := range common {
+		if !st.isOvr && st.iv.To > coverage[st.iv.Seg] {
+			coverage[st.iv.Seg] = st.iv.To
+		}
+	}
+	clip := func(steps []step) []step {
+		var u []step
+		for _, st := range steps {
+			if st.isOvr {
+				// An override ranks chronologically before its segment's
+				// first record; if the common lineage covers any prefix of
+				// that segment, the override belongs to the common part.
+				if coverage[st.ovr] == 0 {
+					u = append(u, st)
+				}
+				continue
+			}
+			iv := st.iv
+			from := iv.From
+			if c := coverage[iv.Seg]; c > from {
+				from = c
+			}
+			if from < iv.To {
+				u = append(u, step{iv: interval{Seg: iv.Seg, From: from, To: iv.To}})
+			}
+		}
+		return u
+	}
+	first, err := e.rawLineage(pos{Seg: l.ParentSeg, Slot: l.ParentSlot})
+	if err != nil {
+		return nil, err
+	}
+	second, err := e.rawLineage(pos{Seg: l.OtherSeg, Slot: l.OtherSlot})
+	if err != nil {
+		return nil, err
+	}
+	uniqFirst, uniqSecond := clip(first), clip(second)
+	if l.PrecedenceFirst {
+		out = append(out, uniqFirst...)
+		out = append(out, uniqSecond...)
+	} else {
+		out = append(out, uniqSecond...)
+		out = append(out, uniqFirst...)
+	}
+	return append(out, common...), nil
+}
+
+// invalidateSeg drops cached tables whose interval touches the segment
+// (head segments grow; their open-ended tables go stale).
+func (e *Engine) invalidateSeg(id segID) {
+	for k := range e.cache {
+		if k.Seg == id {
+			delete(e.cache, k)
+		}
+	}
+}
+
+// table returns the interval's key table, building and caching it with
+// one sequential scan of the slot range. Within an interval the newest
+// copy of a key wins (updates append new copies; deletes append
+// tombstones).
+func (e *Engine) table(iv interval) (intervalTable, error) {
+	if t, ok := e.cache[iv]; ok {
+		return t, nil
+	}
+	t := make(intervalTable)
+	schema := e.env.Schema
+	err := e.segs[iv.Seg].file.Scan(iv.From, iv.To, func(slot int64, buf []byte) bool {
+		rec, err := record.FromBytes(schema, buf)
+		if err != nil {
+			return false
+		}
+		t[rec.PK()] = tableEntry{Slot: slot, Tombstone: rec.Tombstone()}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.cache[iv] = t
+	return t, nil
+}
+
+// resolveLive computes the live set (pk -> record copy position) of the
+// version at p: walk the lineage steps in rank order, first claim of a
+// key wins, tombstones and deletion overrides claim without
+// contributing a live copy. Caller holds e.mu.
+func (e *Engine) resolveLive(p pos) (map[int64]pos, error) {
+	lineage, err := e.lineageAt(p)
+	if err != nil {
+		return nil, err
+	}
+	live := make(map[int64]pos)
+	seen := make(map[int64]bool)
+	for _, st := range lineage {
+		if st.isOvr {
+			for _, ov := range e.segs[st.ovr].overrides {
+				if seen[ov.PK] {
+					continue
+				}
+				seen[ov.PK] = true
+				if !ov.Deleted {
+					live[ov.PK] = pos{Seg: ov.Seg, Slot: ov.Slot}
+				}
+			}
+			continue
+		}
+		t, err := e.table(st.iv)
+		if err != nil {
+			return nil, err
+		}
+		for pk, en := range t {
+			if seen[pk] {
+				continue
+			}
+			seen[pk] = true
+			if !en.Tombstone {
+				live[pk] = pos{Seg: st.iv.Seg, Slot: en.Slot}
+			}
+		}
+	}
+	return live, nil
+}
+
+// span is a half-open slot range.
+type span struct{ from, to int64 }
+
+// spanSet is a sorted set of disjoint spans.
+type spanSet struct{ spans []span }
+
+// subtract returns the pieces of [from, to) not covered by the set, in
+// ascending order.
+func (s *spanSet) subtract(from, to int64) []span {
+	var out []span
+	cur := from
+	for _, sp := range s.spans {
+		if sp.to <= cur {
+			continue
+		}
+		if sp.from >= to {
+			break
+		}
+		if sp.from > cur {
+			out = append(out, span{from: cur, to: minI64(sp.from, to)})
+		}
+		if sp.to > cur {
+			cur = sp.to
+		}
+		if cur >= to {
+			return out
+		}
+	}
+	if cur < to {
+		out = append(out, span{from: cur, to: to})
+	}
+	return out
+}
+
+// add merges [from, to) into the set.
+func (s *spanSet) add(from, to int64) {
+	if from >= to {
+		return
+	}
+	var merged []span
+	inserted := false
+	for _, sp := range s.spans {
+		switch {
+		case sp.to < from:
+			merged = append(merged, sp)
+		case sp.from > to:
+			if !inserted {
+				merged = append(merged, span{from, to})
+				inserted = true
+			}
+			merged = append(merged, sp)
+		default: // overlap or adjacency: absorb
+			if sp.from < from {
+				from = sp.from
+			}
+			if sp.to > to {
+				to = sp.to
+			}
+		}
+	}
+	if !inserted {
+		merged = append(merged, span{from, to})
+	}
+	s.spans = merged
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

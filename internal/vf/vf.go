@@ -1,0 +1,524 @@
+// Package vf implements Decibel's version-first storage scheme
+// (Section 3.3): each branch stores its local modifications in its own
+// segment file; a child segment records a (parent file, offset) branch
+// point; a chain of such segments constitutes the full lineage of a
+// branch. Commits map commit IDs to offsets in the committing branch's
+// segment. Deletes append tombstone records. Merges create a new head
+// segment with two parent pointers and a recorded precedence.
+package vf
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"decibel/internal/bitmap"
+	"decibel/internal/core"
+	"decibel/internal/heap"
+	"decibel/internal/record"
+	"decibel/internal/vgraph"
+)
+
+// segID indexes the engine's segment table.
+type segID int
+
+// pos addresses one record copy: a segment and a slot within it.
+type pos struct {
+	Seg  segID `json:"seg"`
+	Slot int64 `json:"slot"`
+}
+
+// link is a segment's parent pointer, written once at creation. Merge
+// segments carry two parents plus the recorded LCA and precedence.
+type link struct {
+	ParentSeg    segID           `json:"parentSeg"`
+	ParentSlot   int64           `json:"parentSlot"`
+	ParentCommit vgraph.CommitID `json:"parentCommit"`
+
+	IsMerge         bool            `json:"isMerge,omitempty"`
+	OtherSeg        segID           `json:"otherSeg,omitempty"`
+	OtherSlot       int64           `json:"otherSlot,omitempty"`
+	OtherCommit     vgraph.CommitID `json:"otherCommit,omitempty"`
+	LCACommit       vgraph.CommitID `json:"lcaCommit,omitempty"`
+	PrecedenceFirst bool            `json:"precedenceFirst,omitempty"`
+}
+
+// segMeta is the persisted description of one segment.
+type segMeta struct {
+	ID        segID           `json:"id"`
+	Branch    vgraph.BranchID `json:"branch"`
+	HasLink   bool            `json:"hasLink"`
+	Link      link            `json:"link"`
+	SafeCount int64           `json:"safeCount"` // slots valid at last persist; reopen truncates past this
+	Overrides []override      `json:"overrides,omitempty"`
+}
+
+// meta is the engine's persisted catalog, rewritten atomically on every
+// version-control operation (commit, branch, merge), which are the
+// atomicity points of Section 2.2.3.
+type meta struct {
+	Segments []segMeta                 `json:"segments"`
+	ByBranch map[vgraph.BranchID]segID `json:"byBranch"`
+	Commits  map[vgraph.CommitID]pos   `json:"commits"`
+}
+
+// segment is the in-memory segment state.
+type segment struct {
+	id        segID
+	branch    vgraph.BranchID
+	file      *heap.File
+	hasLink   bool
+	link      link
+	overrides []override
+}
+
+// Engine is the version-first storage engine.
+type Engine struct {
+	mu  sync.Mutex
+	env *core.Env
+
+	segs     []*segment
+	byBranch map[vgraph.BranchID]segID
+	commits  map[vgraph.CommitID]pos
+
+	// cache holds resolved per-interval key tables for frozen intervals;
+	// entries for a segment are dropped when it takes new appends.
+	cache map[intervalKey]intervalTable
+}
+
+// Factory builds a version-first engine; it satisfies core.Factory.
+func Factory(env *core.Env) (core.Engine, error) {
+	e := &Engine{
+		env:      env,
+		byBranch: make(map[vgraph.BranchID]segID),
+		commits:  make(map[vgraph.CommitID]pos),
+		cache:    make(map[intervalKey]intervalTable),
+	}
+	if err := e.recover(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Kind implements core.Engine.
+func (e *Engine) Kind() string { return "version-first" }
+
+func (e *Engine) metaPath() string { return filepath.Join(e.env.Dir, "segments.json") }
+func (e *Engine) segPath(id segID) string {
+	return filepath.Join(e.env.Dir, fmt.Sprintf("seg%d.dat", id))
+}
+
+// persistLocked writes the catalog atomically; caller holds e.mu.
+// A segment's SafeCount is the highest slot any commit or branch/merge
+// link references: appends beyond it are uncommitted and roll back on
+// reopen (Section 2.2.3 — updates are "rolled back if the client
+// crashes or disconnects before committing").
+func (e *Engine) persistLocked() error {
+	safe := make(map[segID]int64, len(e.segs))
+	for _, p := range e.commits {
+		if p.Slot > safe[p.Seg] {
+			safe[p.Seg] = p.Slot
+		}
+	}
+	for _, s := range e.segs {
+		if !s.hasLink {
+			continue
+		}
+		if s.link.ParentSlot > safe[s.link.ParentSeg] {
+			safe[s.link.ParentSeg] = s.link.ParentSlot
+		}
+		if s.link.IsMerge && s.link.OtherSlot > safe[s.link.OtherSeg] {
+			safe[s.link.OtherSeg] = s.link.OtherSlot
+		}
+		for _, ov := range s.overrides {
+			if !ov.Deleted && ov.Slot+1 > safe[ov.Seg] {
+				safe[ov.Seg] = ov.Slot + 1
+			}
+		}
+	}
+	m := meta{ByBranch: e.byBranch, Commits: e.commits}
+	for _, s := range e.segs {
+		m.Segments = append(m.Segments, segMeta{
+			ID: s.id, Branch: s.branch, HasLink: s.hasLink, Link: s.link,
+			SafeCount: safe[s.id], Overrides: s.overrides,
+		})
+	}
+	data, err := json.Marshal(&m)
+	if err != nil {
+		return fmt.Errorf("vf: %w", err)
+	}
+	tmp := e.metaPath() + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("vf: %w", err)
+	}
+	if e.env.Opt.Fsync {
+		for _, s := range e.segs {
+			if err := s.file.Sync(); err != nil {
+				return err
+			}
+		}
+	} else {
+		for _, s := range e.segs {
+			if err := s.file.Flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return os.Rename(tmp, e.metaPath())
+}
+
+// recover loads the catalog and rolls back uncommitted appends by
+// truncating each segment to its last persisted count.
+func (e *Engine) recover() error {
+	data, err := os.ReadFile(e.metaPath())
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("vf: %w", err)
+	}
+	var m meta
+	if err := json.Unmarshal(data, &m); err != nil {
+		return fmt.Errorf("vf: corrupt catalog: %w", err)
+	}
+	sort.Slice(m.Segments, func(i, j int) bool { return m.Segments[i].ID < m.Segments[j].ID })
+	for _, sm := range m.Segments {
+		f, err := heap.Open(e.env.Pool, e.segPath(sm.ID), e.env.Schema.RecordSize())
+		if err != nil {
+			return err
+		}
+		if f.Count() > sm.SafeCount {
+			if err := f.Truncate(sm.SafeCount); err != nil {
+				return err
+			}
+		}
+		e.segs = append(e.segs, &segment{
+			id: sm.ID, branch: sm.Branch, file: f, hasLink: sm.HasLink, link: sm.Link,
+			overrides: sm.Overrides,
+		})
+	}
+	e.byBranch = m.ByBranch
+	if e.byBranch == nil {
+		e.byBranch = make(map[vgraph.BranchID]segID)
+	}
+	e.commits = m.Commits
+	if e.commits == nil {
+		e.commits = make(map[vgraph.CommitID]pos)
+	}
+	return nil
+}
+
+// newSegmentLocked creates a fresh segment file for a branch.
+func (e *Engine) newSegmentLocked(branch vgraph.BranchID) (*segment, error) {
+	id := segID(len(e.segs))
+	f, err := heap.Open(e.env.Pool, e.segPath(id), e.env.Schema.RecordSize())
+	if err != nil {
+		return nil, err
+	}
+	s := &segment{id: id, branch: branch, file: f}
+	e.segs = append(e.segs, s)
+	return s, nil
+}
+
+// Init implements core.Engine.
+func (e *Engine) Init(master *vgraph.Branch, c0 *vgraph.Commit) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, err := e.newSegmentLocked(master.ID)
+	if err != nil {
+		return err
+	}
+	e.byBranch[master.ID] = s.id
+	e.commits[c0.ID] = pos{Seg: s.id, Slot: 0}
+	return e.persistLocked()
+}
+
+// Branch implements core.Engine: "we locate the current end of the
+// parent segment file (via a byte offset) and create a branch point. A
+// new child segment file is created that notes the parent file and the
+// offset of this branch point."
+func (e *Engine) Branch(child *vgraph.Branch, from *vgraph.Commit) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	p, ok := e.commits[from.ID]
+	if !ok {
+		return fmt.Errorf("vf: commit %d has no recorded offset", from.ID)
+	}
+	s, err := e.newSegmentLocked(child.ID)
+	if err != nil {
+		return err
+	}
+	s.hasLink = true
+	s.link = link{ParentSeg: p.Seg, ParentSlot: p.Slot, ParentCommit: from.ID}
+	e.byBranch[child.ID] = s.id
+	return e.persistLocked()
+}
+
+// Commit implements core.Engine: "version-first supports commits by
+// mapping a commit ID to the byte offset of the latest record that is
+// active in the committing branch's segment file."
+func (e *Engine) Commit(c *vgraph.Commit) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.commitLocked(c)
+}
+
+func (e *Engine) commitLocked(c *vgraph.Commit) error {
+	id, ok := e.byBranch[c.Branch]
+	if !ok {
+		return fmt.Errorf("vf: unknown branch %d", c.Branch)
+	}
+	e.commits[c.ID] = pos{Seg: id, Slot: e.segs[id].file.Count()}
+	return e.persistLocked()
+}
+
+// head returns the head segment of a branch and its current cut.
+func (e *Engine) headLocked(b vgraph.BranchID) (*segment, int64, error) {
+	id, ok := e.byBranch[b]
+	if !ok {
+		return nil, 0, fmt.Errorf("vf: unknown branch %d", b)
+	}
+	s := e.segs[id]
+	return s, s.file.Count(), nil
+}
+
+// Insert implements core.Engine: "tuple inserts and updates are
+// appended to the end of the segment file for the updated branch".
+func (e *Engine) Insert(branch vgraph.BranchID, rec *record.Record) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, _, err := e.headLocked(branch)
+	if err != nil {
+		return err
+	}
+	if _, err := s.file.Append(rec.Bytes()); err != nil {
+		return err
+	}
+	e.invalidateSeg(s.id)
+	return nil
+}
+
+// Delete implements core.Engine: "when a tuple is deleted, we insert a
+// special record with a deleted header bit".
+func (e *Engine) Delete(branch vgraph.BranchID, pk int64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, _, err := e.headLocked(branch)
+	if err != nil {
+		return err
+	}
+	tomb := record.New(e.env.Schema)
+	tomb.SetPK(pk)
+	tomb.SetTombstone(true)
+	if _, err := s.file.Append(tomb.Bytes()); err != nil {
+		return err
+	}
+	e.invalidateSeg(s.id)
+	return nil
+}
+
+// emit reads the live set's record copies segment by segment in slot
+// order (the second, sequential pass of the paper's scanner) and feeds
+// them to fn annotated with their position.
+func (e *Engine) emit(live map[int64]pos, fn func(rec *record.Record, at pos) bool) error {
+	bySeg := make(map[segID][]int64)
+	for _, p := range live {
+		bySeg[p.Seg] = append(bySeg[p.Seg], p.Slot)
+	}
+	ids := make([]segID, 0, len(bySeg))
+	for id := range bySeg {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	rec := record.New(e.env.Schema)
+	for _, id := range ids {
+		slots := bySeg[id]
+		sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+		f := e.segs[id].file
+		for _, slot := range slots {
+			if err := f.Read(slot, rec.Bytes()); err != nil {
+				return err
+			}
+			if !fn(rec, pos{Seg: id, Slot: slot}) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// ScanBranch implements core.Engine (Query 1).
+func (e *Engine) ScanBranch(branch vgraph.BranchID, fn core.ScanFunc) error {
+	e.mu.Lock()
+	s, cut, err := e.headLocked(branch)
+	if err != nil {
+		e.mu.Unlock()
+		return err
+	}
+	live, err := e.resolveLive(pos{Seg: s.id, Slot: cut})
+	e.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return e.emit(live, func(rec *record.Record, _ pos) bool { return fn(rec) })
+}
+
+// ScanCommit implements core.Engine: checkout by offset.
+func (e *Engine) ScanCommit(c *vgraph.Commit, fn core.ScanFunc) error {
+	e.mu.Lock()
+	p, ok := e.commits[c.ID]
+	if !ok {
+		e.mu.Unlock()
+		return fmt.Errorf("vf: commit %d has no recorded offset", c.ID)
+	}
+	live, err := e.resolveLive(p)
+	e.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return e.emit(live, func(rec *record.Record, _ pos) bool { return fn(rec) })
+}
+
+// ScanMulti implements core.Engine (Query 4). This is the paper's
+// two-pass multi-branch scanner: the first pass resolves each branch's
+// live set from interval hash tables (shared ancestry resolved once via
+// the interval cache), the second pass reads the union sequentially and
+// emits each record copy with its branch membership.
+func (e *Engine) ScanMulti(branches []vgraph.BranchID, fn core.MultiScanFunc) error {
+	e.mu.Lock()
+	union := make(map[pos]*bitmap.Bitmap)
+	for i, b := range branches {
+		s, cut, err := e.headLocked(b)
+		if err != nil {
+			e.mu.Unlock()
+			return err
+		}
+		live, err := e.resolveLive(pos{Seg: s.id, Slot: cut})
+		if err != nil {
+			e.mu.Unlock()
+			return err
+		}
+		for _, p := range live {
+			m := union[p]
+			if m == nil {
+				m = bitmap.New(len(branches))
+				union[p] = m
+			}
+			m.Set(i)
+		}
+	}
+	e.mu.Unlock()
+
+	// Second pass: sequential per segment.
+	flat := make(map[int64]pos, len(union)) // fake pk keys for emit reuse
+	i := int64(0)
+	for p := range union {
+		flat[i] = p
+		i++
+	}
+	return e.emit(flat, func(rec *record.Record, at pos) bool {
+		return fn(rec, union[at])
+	})
+}
+
+// Diff implements core.Engine (Query 2). Version-first resolves both
+// branches' live sets (multiple passes over the shared ancestry, the
+// cost the paper attributes to this scheme) and emits the symmetric
+// difference of record copies.
+func (e *Engine) Diff(a, b vgraph.BranchID, fn core.DiffFunc) error {
+	e.mu.Lock()
+	sa, cuta, err := e.headLocked(a)
+	if err != nil {
+		e.mu.Unlock()
+		return err
+	}
+	sb, cutb, err := e.headLocked(b)
+	if err != nil {
+		e.mu.Unlock()
+		return err
+	}
+	liveA, err := e.resolveLive(pos{Seg: sa.id, Slot: cuta})
+	if err != nil {
+		e.mu.Unlock()
+		return err
+	}
+	liveB, err := e.resolveLive(pos{Seg: sb.id, Slot: cutb})
+	e.mu.Unlock()
+	if err != nil {
+		return err
+	}
+
+	onlyA := make(map[int64]pos)
+	onlyB := make(map[int64]pos)
+	for pk, p := range liveA {
+		if q, ok := liveB[pk]; !ok || q != p {
+			onlyA[pk] = p
+		}
+	}
+	for pk, p := range liveB {
+		if q, ok := liveA[pk]; !ok || q != p {
+			onlyB[pk] = p
+		}
+	}
+	if err := e.emit(onlyA, func(rec *record.Record, _ pos) bool { return fn(rec, true) }); err != nil {
+		return err
+	}
+	return e.emit(onlyB, func(rec *record.Record, _ pos) bool { return fn(rec, false) })
+}
+
+// Stats implements core.Engine.
+func (e *Engine) Stats() (core.Stats, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := core.Stats{SegmentCount: len(e.segs)}
+	for _, s := range e.segs {
+		st.Records += s.file.Count()
+		st.DataBytes += s.file.SizeBytes()
+	}
+	if fi, err := os.Stat(e.metaPath()); err == nil {
+		st.CommitBytes = fi.Size()
+	}
+	for _, b := range e.env.Graph.Branches() {
+		if id, ok := e.byBranch[b.ID]; ok {
+			s := e.segs[id]
+			live, err := e.resolveLive(pos{Seg: s.id, Slot: s.file.Count()})
+			if err != nil {
+				return st, err
+			}
+			st.LiveRecords += int64(len(live))
+		}
+	}
+	return st, nil
+}
+
+// Flush implements core.Engine.
+func (e *Engine) Flush() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, s := range e.segs {
+		if err := s.file.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close implements core.Engine.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var first error
+	if err := e.persistLocked(); err != nil {
+		first = err
+	}
+	for _, s := range e.segs {
+		if err := s.file.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,462 @@
+// Package vgraph implements Decibel's version graph (Section 2.2): a
+// directed acyclic graph of immutable versions (commits) plus the set
+// of named branches whose heads point into it. All three storage
+// engines "depend on a version graph recording the relationships
+// between the versions being available in memory" (Section 3); the
+// graph is updated and persisted on disk as part of each branch or
+// commit operation.
+package vgraph
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+)
+
+// CommitID identifies a version. IDs are dense, starting at 1; 0 is
+// the invalid/none value.
+type CommitID uint64
+
+// None is the zero CommitID.
+const None CommitID = 0
+
+// BranchID identifies a branch. Dense, starting at 0.
+type BranchID uint32
+
+// MasterName is the name of the initial branch, "the authoritative
+// branch of record for the evolving dataset".
+const MasterName = "master"
+
+// Commit is one immutable version in the graph.
+type Commit struct {
+	ID      CommitID   `json:"id"`
+	Parents []CommitID `json:"parents"` // empty for init, two for merges
+	Branch  BranchID   `json:"branch"`  // branch the commit was made on
+	Seq     int        `json:"seq"`     // zero-based commit index within that branch
+	Message string     `json:"message"`
+	Depth   int        `json:"depth"` // longest path from the init commit
+	// PrecedenceFirst applies to merge commits: true if Parents[0] (the
+	// branch merged into) wins conflicting fields, the paper's default
+	// precedence policy.
+	PrecedenceFirst bool `json:"precedenceFirst,omitempty"`
+}
+
+// IsMerge reports whether the commit has multiple parents.
+func (c *Commit) IsMerge() bool { return len(c.Parents) > 1 }
+
+// Branch is a named working copy: a head commit plus bookkeeping about
+// where it branched from.
+type Branch struct {
+	ID     BranchID `json:"id"`
+	Name   string   `json:"name"`
+	Head   CommitID `json:"head"`
+	From   CommitID `json:"from"`   // commit the branch was created at (None for master)
+	Parent BranchID `json:"parent"` // branch it was created from (self for master)
+	Active bool     `json:"active"` // benchmark strategies retire branches
+}
+
+// Graph is the in-memory version graph with on-disk persistence. All
+// methods are safe for concurrent use.
+type Graph struct {
+	mu       sync.RWMutex
+	path     string // persistence file ("" = memory only)
+	commits  map[CommitID]*Commit
+	branches map[BranchID]*Branch
+	byName   map[string]BranchID
+	nextC    CommitID
+	nextB    BranchID
+}
+
+type graphFile struct {
+	Commits  []*Commit `json:"commits"`
+	Branches []*Branch `json:"branches"`
+}
+
+// New creates an empty graph persisted at path (empty string keeps the
+// graph memory-only). If the file exists, the graph is loaded from it.
+func New(path string) (*Graph, error) {
+	g := &Graph{
+		path:     path,
+		commits:  make(map[CommitID]*Commit),
+		branches: make(map[BranchID]*Branch),
+		byName:   make(map[string]BranchID),
+		nextC:    1,
+	}
+	if path != "" {
+		if data, err := os.ReadFile(path); err == nil {
+			if err := g.load(data); err != nil {
+				return nil, err
+			}
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("vgraph: %w", err)
+		}
+	}
+	return g, nil
+}
+
+func (g *Graph) load(data []byte) error {
+	var gf graphFile
+	if err := json.Unmarshal(data, &gf); err != nil {
+		return fmt.Errorf("vgraph: corrupt graph file: %w", err)
+	}
+	for _, c := range gf.Commits {
+		g.commits[c.ID] = c
+		if c.ID >= g.nextC {
+			g.nextC = c.ID + 1
+		}
+	}
+	for _, b := range gf.Branches {
+		g.branches[b.ID] = b
+		g.byName[b.Name] = b.ID
+		if b.ID >= g.nextB {
+			g.nextB = b.ID + 1
+		}
+	}
+	return nil
+}
+
+// persistLocked writes the graph to disk; caller holds g.mu.
+func (g *Graph) persistLocked() error {
+	if g.path == "" {
+		return nil
+	}
+	gf := graphFile{}
+	for _, c := range g.commits {
+		gf.Commits = append(gf.Commits, c)
+	}
+	for _, b := range g.branches {
+		gf.Branches = append(gf.Branches, b)
+	}
+	sort.Slice(gf.Commits, func(i, j int) bool { return gf.Commits[i].ID < gf.Commits[j].ID })
+	sort.Slice(gf.Branches, func(i, j int) bool { return gf.Branches[i].ID < gf.Branches[j].ID })
+	data, err := json.Marshal(&gf)
+	if err != nil {
+		return fmt.Errorf("vgraph: %w", err)
+	}
+	tmp := g.path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("vgraph: %w", err)
+	}
+	return os.Rename(tmp, g.path)
+}
+
+// Init creates the master branch and its initial commit (Section 2.2.3
+// "Init"). It fails if the graph already has commits.
+func (g *Graph) Init(message string) (*Branch, *Commit, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.commits) != 0 {
+		return nil, nil, errors.New("vgraph: already initialized")
+	}
+	b := &Branch{ID: g.nextB, Name: MasterName, Parent: g.nextB, Active: true}
+	g.nextB++
+	c := &Commit{ID: g.nextC, Branch: b.ID, Seq: 0, Message: message, Depth: 0}
+	g.nextC++
+	b.Head = c.ID
+	g.commits[c.ID] = c
+	g.branches[b.ID] = b
+	g.byName[b.Name] = b.ID
+	return b, c, g.persistLocked()
+}
+
+// Initialized reports whether Init has run.
+func (g *Graph) Initialized() bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.commits) > 0
+}
+
+// NewBranch creates a branch named name rooted at commit from. Any
+// commit in any branch may serve as the branch point (Section 2.2.3).
+func (g *Graph) NewBranch(name string, from CommitID) (*Branch, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, dup := g.byName[name]; dup {
+		return nil, fmt.Errorf("vgraph: branch %q already exists", name)
+	}
+	fc, ok := g.commits[from]
+	if !ok {
+		return nil, fmt.Errorf("vgraph: commit %d does not exist", from)
+	}
+	b := &Branch{ID: g.nextB, Name: name, Head: from, From: from, Parent: fc.Branch, Active: true}
+	g.nextB++
+	g.branches[b.ID] = b
+	g.byName[name] = b.ID
+	return b, g.persistLocked()
+}
+
+// NewCommit appends a commit to the branch, advancing its head.
+// Commits are only allowed at branch heads (Section 2.2.3: "Commits are
+// not allowed to non-head versions of branches"), which this enforces
+// by construction.
+func (g *Graph) NewCommit(branch BranchID, message string) (*Commit, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	b, ok := g.branches[branch]
+	if !ok {
+		return nil, fmt.Errorf("vgraph: branch %d does not exist", branch)
+	}
+	head := g.commits[b.Head]
+	c := &Commit{
+		ID:      g.nextC,
+		Parents: []CommitID{b.Head},
+		Branch:  branch,
+		Seq:     g.seqOnBranchLocked(branch),
+		Message: message,
+		Depth:   head.Depth + 1,
+	}
+	g.nextC++
+	g.commits[c.ID] = c
+	b.Head = c.ID
+	return c, g.persistLocked()
+}
+
+// seqOnBranchLocked counts prior commits made on the branch (the
+// branch's own commit log index; branch creation itself makes none).
+func (g *Graph) seqOnBranchLocked(branch BranchID) int {
+	n := 0
+	for _, c := range g.commits {
+		if c.Branch == branch {
+			n++
+		}
+	}
+	return n
+}
+
+// NewMergeCommit merges the head of branch other into branch into,
+// creating a commit with two parents whose first parent is into's head.
+// precedenceFirst selects the paper's default conflict policy (first
+// parent wins). The merged commit becomes the head of into.
+func (g *Graph) NewMergeCommit(into, other BranchID, message string, precedenceFirst bool) (*Commit, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	bi, ok := g.branches[into]
+	if !ok {
+		return nil, fmt.Errorf("vgraph: branch %d does not exist", into)
+	}
+	bo, ok := g.branches[other]
+	if !ok {
+		return nil, fmt.Errorf("vgraph: branch %d does not exist", other)
+	}
+	if into == other {
+		return nil, errors.New("vgraph: cannot merge a branch into itself")
+	}
+	d := g.commits[bi.Head].Depth
+	if od := g.commits[bo.Head].Depth; od > d {
+		d = od
+	}
+	c := &Commit{
+		ID:              g.nextC,
+		Parents:         []CommitID{bi.Head, bo.Head},
+		Branch:          into,
+		Seq:             g.seqOnBranchLocked(into),
+		Message:         message,
+		Depth:           d + 1,
+		PrecedenceFirst: precedenceFirst,
+	}
+	g.nextC++
+	g.commits[c.ID] = c
+	bi.Head = c.ID
+	return c, g.persistLocked()
+}
+
+// SetActive marks a branch active or retired (benchmark strategies
+// retire science/curation branches after a fixed lifetime).
+func (g *Graph) SetActive(branch BranchID, active bool) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	b, ok := g.branches[branch]
+	if !ok {
+		return fmt.Errorf("vgraph: branch %d does not exist", branch)
+	}
+	b.Active = active
+	return g.persistLocked()
+}
+
+// Commit returns the commit with the given ID.
+func (g *Graph) Commit(id CommitID) (*Commit, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	c, ok := g.commits[id]
+	return c, ok
+}
+
+// Branch returns the branch with the given ID.
+func (g *Graph) Branch(id BranchID) (*Branch, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	b, ok := g.branches[id]
+	return b, ok
+}
+
+// BranchByName resolves a branch name.
+func (g *Graph) BranchByName(name string) (*Branch, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	id, ok := g.byName[name]
+	if !ok {
+		return nil, false
+	}
+	return g.branches[id], true
+}
+
+// Branches returns all branches ordered by ID.
+func (g *Graph) Branches() []*Branch {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]*Branch, 0, len(g.branches))
+	for _, b := range g.branches {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Heads returns the head commit IDs of all branches, ordered by branch
+// ID. These are the versions Query 4's HEAD() function selects.
+func (g *Graph) Heads() []CommitID {
+	bs := g.Branches()
+	out := make([]CommitID, len(bs))
+	for i, b := range bs {
+		out[i] = b.Head
+	}
+	return out
+}
+
+// NumCommits returns the number of commits in the graph.
+func (g *Graph) NumCommits() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.commits)
+}
+
+// Ancestors returns the set of all ancestors of c, including c itself.
+func (g *Graph) Ancestors(c CommitID) map[CommitID]bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.ancestorsLocked(c)
+}
+
+func (g *Graph) ancestorsLocked(c CommitID) map[CommitID]bool {
+	seen := make(map[CommitID]bool)
+	stack := []CommitID{c}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[id] {
+			continue
+		}
+		cm, ok := g.commits[id]
+		if !ok {
+			continue
+		}
+		seen[id] = true
+		stack = append(stack, cm.Parents...)
+	}
+	return seen
+}
+
+// IsAncestor reports whether a is an ancestor of b (or equal).
+func (g *Graph) IsAncestor(a, b CommitID) bool {
+	return g.Ancestors(b)[a]
+}
+
+// LCA returns the lowest common ancestor of two commits: the common
+// ancestor with the greatest depth. Merge conflict detection compares
+// both branch heads against this commit (Section 3.2 "the lca commit is
+// restored"). Returns None if the commits share no ancestor.
+func (g *Graph) LCA(a, b CommitID) CommitID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	aa := g.ancestorsLocked(a)
+	best, bestDepth := None, -1
+	for id := range g.ancestorsLocked(b) {
+		if !aa[id] {
+			continue
+		}
+		c := g.commits[id]
+		if c.Depth > bestDepth || (c.Depth == bestDepth && c.ID > best) {
+			best, bestDepth = id, c.Depth
+		}
+	}
+	return best
+}
+
+// FirstParentChain returns the chain of commits from c to the init
+// commit following first parents only: the linear history of the
+// branch line c sits on, youngest first.
+func (g *Graph) FirstParentChain(c CommitID) []CommitID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var out []CommitID
+	for c != None {
+		cm, ok := g.commits[c]
+		if !ok {
+			break
+		}
+		out = append(out, c)
+		if len(cm.Parents) == 0 {
+			break
+		}
+		c = cm.Parents[0]
+	}
+	return out
+}
+
+// TopoOrder returns every ancestor of the given commits (deduplicated)
+// in a topological order where parents precede children. Version-first
+// multi-branch scans visit segments in the reverse of this order.
+func (g *Graph) TopoOrder(roots ...CommitID) []CommitID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	state := make(map[CommitID]int) // 0 new, 1 visiting, 2 done
+	var out []CommitID
+	var visit func(CommitID)
+	visit = func(id CommitID) {
+		if state[id] != 0 {
+			return
+		}
+		state[id] = 1
+		if cm, ok := g.commits[id]; ok {
+			for _, p := range cm.Parents {
+				visit(p)
+			}
+		}
+		state[id] = 2
+		out = append(out, id)
+	}
+	for _, r := range roots {
+		visit(r)
+	}
+	return out
+}
+
+// BranchOf returns the branch whose head is the commit, if any.
+func (g *Graph) BranchOf(head CommitID) (*Branch, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	for _, b := range g.branches {
+		if b.Head == head {
+			return b, true
+		}
+	}
+	return nil, false
+}
+
+// CommitsOnBranch returns the commits made on the given branch in Seq
+// order (the branch's own commit log).
+func (g *Graph) CommitsOnBranch(branch BranchID) []*Commit {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var out []*Commit
+	for _, c := range g.commits {
+		if c.Branch == branch {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}

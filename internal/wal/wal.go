@@ -1,0 +1,226 @@
+// Package wal implements a minimal write-ahead log used to make Decibel
+// version-control operations (commit, branch, merge) atomically
+// visible, per Section 2.1: "fault tolerance and recovery can be done
+// by employing standard write-ahead logging techniques on writes".
+//
+// The log is a single append-only file of CRC-protected records:
+//
+//	record := lsn(uvarint) | kind(1) | len(uvarint) | payload | crc32(4)
+//
+// Replay stops at the first corrupt or torn record and truncates the
+// tail, so a crash mid-append never exposes a partial record.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// Kind tags the logical operation a record describes. The storage
+// engines define their own payload encodings; the WAL treats payloads
+// as opaque.
+type Kind byte
+
+// Well-known record kinds used by the engines.
+const (
+	KindBegin  Kind = 1 // begin of a multi-record atomic group
+	KindData   Kind = 2 // engine-specific payload
+	KindCommit Kind = 3 // end of group: the group is durable and applies
+	KindAbort  Kind = 4 // group abandoned
+)
+
+// Record is one durable log record.
+type Record struct {
+	LSN     uint64
+	Kind    Kind
+	Payload []byte
+}
+
+// Log is an append-only write-ahead log. Safe for concurrent use.
+type Log struct {
+	mu      sync.Mutex
+	f       *os.File
+	nextLSN uint64
+	size    int64
+}
+
+// Open opens (creating if absent) the log at path and recovers its
+// valid prefix, truncating any torn tail.
+func Open(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &Log{f: f, nextLSN: 1}
+	if err := l.recover(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+func (l *Log) recover() error {
+	data, err := io.ReadAll(l.f)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	valid := 0
+	pos := 0
+	for pos < len(data) {
+		rec, n, err := decodeRecord(data[pos:])
+		if err != nil {
+			break
+		}
+		l.nextLSN = rec.LSN + 1
+		pos += n
+		valid = pos
+	}
+	if valid < len(data) {
+		if err := l.f.Truncate(int64(valid)); err != nil {
+			return fmt.Errorf("wal: truncating torn tail: %w", err)
+		}
+	}
+	l.size = int64(valid)
+	_, err = l.f.Seek(int64(valid), io.SeekStart)
+	return err
+}
+
+func decodeRecord(data []byte) (Record, int, error) {
+	lsn, n1 := binary.Uvarint(data)
+	if n1 <= 0 {
+		return Record{}, 0, io.ErrUnexpectedEOF
+	}
+	pos := n1
+	if pos >= len(data) {
+		return Record{}, 0, io.ErrUnexpectedEOF
+	}
+	kind := Kind(data[pos])
+	pos++
+	plen, n2 := binary.Uvarint(data[pos:])
+	if n2 <= 0 {
+		return Record{}, 0, io.ErrUnexpectedEOF
+	}
+	pos += n2
+	if len(data) < pos+int(plen)+4 {
+		return Record{}, 0, io.ErrUnexpectedEOF
+	}
+	payload := data[pos : pos+int(plen)]
+	pos += int(plen)
+	want := binary.LittleEndian.Uint32(data[pos:])
+	got := crc32.ChecksumIEEE(data[:pos])
+	if want != got {
+		return Record{}, 0, fmt.Errorf("wal: bad crc")
+	}
+	pos += 4
+	return Record{LSN: lsn, Kind: kind, Payload: append([]byte(nil), payload...)}, pos, nil
+}
+
+// Append durably appends one record and returns its LSN. The record is
+// written but not fsynced; call Sync for durability.
+func (l *Log) Append(kind Kind, payload []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	lsn := l.nextLSN
+	buf := binary.AppendUvarint(nil, lsn)
+	buf = append(buf, byte(kind))
+	buf = binary.AppendUvarint(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	crc := crc32.ChecksumIEEE(buf)
+	buf = binary.LittleEndian.AppendUint32(buf, crc)
+	if _, err := l.f.WriteAt(buf, l.size); err != nil {
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	l.size += int64(len(buf))
+	l.nextLSN++
+	return lsn, nil
+}
+
+// AppendGroup atomically logs Begin, the payloads as Data records, and
+// Commit. On replay, a group without its Commit record is ignored.
+func (l *Log) AppendGroup(payloads ...[]byte) (uint64, error) {
+	if _, err := l.Append(KindBegin, nil); err != nil {
+		return 0, err
+	}
+	for _, p := range payloads {
+		if _, err := l.Append(KindData, p); err != nil {
+			return 0, err
+		}
+	}
+	return l.Append(KindCommit, nil)
+}
+
+// Replay calls fn for every complete record from the start of the log.
+func (l *Log) Replay(fn func(Record) error) error {
+	l.mu.Lock()
+	size := l.size
+	l.mu.Unlock()
+	data := make([]byte, size)
+	if _, err := l.f.ReadAt(data, 0); err != nil && err != io.EOF {
+		return fmt.Errorf("wal: %w", err)
+	}
+	pos := 0
+	for pos < len(data) {
+		rec, n, err := decodeRecord(data[pos:])
+		if err != nil {
+			return nil // torn tail: recovery already bounded size
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+		pos += n
+	}
+	return nil
+}
+
+// ReplayGroups calls fn once per committed group with its Data
+// payloads, skipping aborted or torn groups.
+func (l *Log) ReplayGroups(fn func(payloads [][]byte) error) error {
+	var cur [][]byte
+	inGroup := false
+	return l.Replay(func(r Record) error {
+		switch r.Kind {
+		case KindBegin:
+			cur, inGroup = nil, true
+		case KindData:
+			if inGroup {
+				cur = append(cur, r.Payload)
+			}
+		case KindCommit:
+			if inGroup {
+				inGroup = false
+				return fn(cur)
+			}
+		case KindAbort:
+			cur, inGroup = nil, false
+		}
+		return nil
+	})
+}
+
+// Size returns the log size in bytes.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Sync fsyncs the log.
+func (l *Log) Sync() error { return l.f.Sync() }
+
+// Truncate discards the whole log (after a checkpoint).
+func (l *Log) Truncate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.size = 0
+	return nil
+}
+
+// Close closes the log file.
+func (l *Log) Close() error { return l.f.Close() }
