@@ -20,36 +20,18 @@ import (
 	"testing"
 	"time"
 
-	"decibel/internal/bench"
-	"decibel/internal/core"
-	"decibel/internal/gitstore"
-	"decibel/internal/hy"
-	"decibel/internal/query"
-	"decibel/internal/record"
-	"decibel/internal/tf"
-	"decibel/internal/vf"
-	"decibel/internal/vgraph"
+	"decibel"
+	"decibel/bench"
+	"decibel/gitstore"
+	"decibel/query"
 )
 
-// engines under comparison, in the paper's order.
-var engines = []struct {
-	name    string
-	factory core.Factory
-	opt     core.Options
-}{
-	{"vf", vf.Factory, core.Options{PageSize: 64 << 10, PoolPages: 256}},
-	{"tf", tf.Factory, core.Options{PageSize: 64 << 10, PoolPages: 256}},
-	{"hy", hy.Factory, core.Options{PageSize: 64 << 10, PoolPages: 256}},
-}
+// engines under comparison, in the paper's order (short registry
+// aliases).
+var engines = []string{"vf", "tf", "hy"}
 
-func engineByName(name string) (core.Factory, core.Options) {
-	for _, e := range engines {
-		if e.name == name {
-			return e.factory, e.opt
-		}
-	}
-	panic("unknown engine " + name)
-}
+// benchOpts is the storage tuning every benchmark engine runs with.
+func benchOpts() bench.Options { return bench.Options{PageSize: 64 << 10, PoolPages: 256} }
 
 // benchConfig mirrors the paper's knobs at reduced scale: 256-byte
 // records of 4-byte columns, 20% updates, commits every 1/5 of a
@@ -89,8 +71,7 @@ func getDataset(b *testing.B, engine string, cfg bench.Config) *bench.Dataset {
 		b.Fatal(err)
 	}
 	dsDirs = append(dsDirs, dir)
-	factory, opt := engineByName(engine)
-	d, err := bench.Load(dir, factory, opt, cfg)
+	d, err := bench.Load(dir, engine, benchOpts(), cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -112,10 +93,10 @@ func TestMain(m *testing.M) {
 }
 
 // scanBranch runs Query 1 and returns the records scanned.
-func scanBranch(b *testing.B, d *bench.Dataset, br vgraph.BranchID) int {
+func scanBranch(b *testing.B, d *bench.Dataset, br decibel.BranchID) int {
 	b.Helper()
 	n := 0
-	if err := query.SingleVersionScan(d.Table, br, query.True, func(*record.Record) bool {
+	if err := query.SingleVersionScan(d.Table, br, query.True, func(*decibel.Record) bool {
 		n++
 		return true
 	}); err != nil {
@@ -134,8 +115,8 @@ func BenchmarkFigure6a(b *testing.B) {
 	for _, branches := range []int{10, 50, 100} {
 		cfg := benchConfig(bench.Flat, branches, totalOps/branches)
 		for _, e := range engines {
-			b.Run(fmt.Sprintf("%s/branches=%d", e.name, branches), func(b *testing.B) {
-				d := getDataset(b, e.name, cfg)
+			b.Run(fmt.Sprintf("%s/branches=%d", e, branches), func(b *testing.B) {
+				d := getDataset(b, e, cfg)
 				r := rand.New(rand.NewSource(7))
 				child := d.RandomChild(r)
 				b.ResetTimer()
@@ -157,8 +138,8 @@ func BenchmarkFigure6b(b *testing.B) {
 		for _, branches := range []int{10, 50, 100} {
 			cfg := benchConfig(strategy, branches, totalOps/branches)
 			for _, e := range engines {
-				b.Run(fmt.Sprintf("%s/%s/branches=%d", e.name, strategy, branches), func(b *testing.B) {
-					d := getDataset(b, e.name, cfg)
+				b.Run(fmt.Sprintf("%s/%s/branches=%d", e, strategy, branches), func(b *testing.B) {
+					d := getDataset(b, e, cfg)
 					b.ResetTimer()
 					for i := 0; i < b.N; i++ {
 						n := 0
@@ -176,7 +157,7 @@ func BenchmarkFigure6b(b *testing.B) {
 }
 
 // figure7Target resolves the paper's Figure 7 scan targets.
-func figure7Target(d *bench.Dataset, target string, r *rand.Rand) vgraph.BranchID {
+func figure7Target(d *bench.Dataset, target string, r *rand.Rand) decibel.BranchID {
 	switch target {
 	case "tail":
 		return d.TailBranch().ID
@@ -248,7 +229,7 @@ func BenchmarkFigure7(b *testing.B) {
 }
 
 // figure8Pair resolves the paper's Figure 8/9 branch pairs.
-func figure8Pair(d *bench.Dataset, r *rand.Rand) (vgraph.BranchID, vgraph.BranchID) {
+func figure8Pair(d *bench.Dataset, r *rand.Rand) (decibel.BranchID, decibel.BranchID) {
 	switch d.Cfg.Strategy {
 	case bench.Deep:
 		tail := d.TailBranch()
@@ -271,14 +252,14 @@ func BenchmarkFigure8(b *testing.B) {
 	for _, strategy := range []bench.Strategy{bench.Deep, bench.Flat, bench.Science, bench.Curation} {
 		cfg := benchConfig(strategy, branches, perBranch)
 		for _, e := range engines {
-			b.Run(fmt.Sprintf("%s/%s", e.name, strategy), func(b *testing.B) {
-				d := getDataset(b, e.name, cfg)
+			b.Run(fmt.Sprintf("%s/%s", e, strategy), func(b *testing.B) {
+				d := getDataset(b, e, cfg)
 				r := rand.New(rand.NewSource(7))
 				x, y := figure8Pair(d, r)
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					n := 0
-					if err := query.PositiveDiff(d.Table, x, y, func(*record.Record) bool {
+					if err := query.PositiveDiff(d.Table, x, y, func(*decibel.Record) bool {
 						n++
 						return true
 					}); err != nil {
@@ -299,8 +280,8 @@ func BenchmarkFigure9(b *testing.B) {
 	for _, strategy := range []bench.Strategy{bench.Deep, bench.Flat, bench.Science, bench.Curation} {
 		cfg := benchConfig(strategy, branches, perBranch)
 		for _, e := range engines {
-			b.Run(fmt.Sprintf("%s/%s", e.name, strategy), func(b *testing.B) {
-				d := getDataset(b, e.name, cfg)
+			b.Run(fmt.Sprintf("%s/%s", e, strategy), func(b *testing.B) {
+				d := getDataset(b, e, cfg)
 				r := rand.New(rand.NewSource(7))
 				x, y := figure8Pair(d, r)
 				pred := query.ColumnMod(1, 2, 0) // ~50% selectivity
@@ -328,8 +309,8 @@ func BenchmarkFigure10(b *testing.B) {
 	for _, strategy := range []bench.Strategy{bench.Deep, bench.Flat, bench.Science, bench.Curation} {
 		cfg := benchConfig(strategy, branches, perBranch)
 		for _, e := range engines {
-			b.Run(fmt.Sprintf("%s/%s", e.name, strategy), func(b *testing.B) {
-				d := getDataset(b, e.name, cfg)
+			b.Run(fmt.Sprintf("%s/%s", e, strategy), func(b *testing.B) {
+				d := getDataset(b, e, cfg)
 				pred := query.ColumnMod(1, 10, 0) // non-selective: drops ~10%... keeps 10%? rem 0 keeps ~10%
 				pred = query.Not(pred)            // keep ~90%: "very non-selective"
 				b.ResetTimer()
@@ -357,19 +338,18 @@ func BenchmarkFigure11(b *testing.B) {
 	const branches, perBranch = 10, 600
 	for _, strategy := range []bench.Strategy{bench.Deep, bench.Flat, bench.Science, bench.Curation} {
 		for _, e := range engines {
-			b.Run(fmt.Sprintf("%s/%s", e.name, strategy), func(b *testing.B) {
+			b.Run(fmt.Sprintf("%s/%s", e, strategy), func(b *testing.B) {
 				// Table-wise updates mutate the dataset: build privately.
 				cfg := benchConfig(strategy, branches, perBranch)
 				cfg.Seed = 99
 				dir := b.TempDir()
-				factory, opt := engineByName(e.name)
-				d, err := bench.Load(dir, factory, opt, cfg)
+				d, err := bench.Load(dir, e, benchOpts(), cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
 				defer d.Close()
 				r := rand.New(rand.NewSource(7))
-				var target vgraph.BranchID
+				var target decibel.BranchID
 				switch strategy {
 				case bench.Deep:
 					target = d.TailBranch().ID
@@ -439,7 +419,7 @@ func BenchmarkTable2(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					c := d.Commits[r.Intn(len(d.Commits))]
 					n := 0
-					if err := d.Table.ScanCommit(c, func(*record.Record) bool { n++; return true }); err != nil {
+					if err := d.Table.ScanCommit(c, func(*decibel.Record) bool { n++; return true }); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -460,15 +440,14 @@ func BenchmarkTable3(b *testing.B) {
 			kind = "three-way"
 		}
 		for _, e := range engines {
-			b.Run(fmt.Sprintf("%s/%s", e.name, kind), func(b *testing.B) {
+			b.Run(fmt.Sprintf("%s/%s", e, kind), func(b *testing.B) {
 				var mb, secs float64
 				for i := 0; i < b.N; i++ {
 					cfg := benchConfig(bench.Curation, branches, perBranch)
 					cfg.ThreeWayMerges = threeWay
 					cfg.Seed = int64(100 + i)
 					dir := b.TempDir()
-					factory, opt := engineByName(e.name)
-					d, err := bench.Load(dir, factory, opt, cfg)
+					d, err := bench.Load(dir, e, benchOpts(), cfg)
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -494,13 +473,12 @@ func BenchmarkTable5(b *testing.B) {
 	const branches, perBranch = 10, 500
 	for _, strategy := range []bench.Strategy{bench.Deep, bench.Flat, bench.Science, bench.Curation} {
 		for _, e := range engines {
-			b.Run(fmt.Sprintf("%s/%s", e.name, strategy), func(b *testing.B) {
+			b.Run(fmt.Sprintf("%s/%s", e, strategy), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					cfg := benchConfig(strategy, branches, perBranch)
 					cfg.Seed = int64(i + 1)
 					dir := b.TempDir()
-					factory, opt := engineByName(e.name)
-					d, err := bench.Load(dir, factory, opt, cfg)
+					d, err := bench.Load(dir, e, benchOpts(), cfg)
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -519,7 +497,7 @@ func BenchmarkTable5(b *testing.B) {
 // Table 7 (50% updates). Returns average commit and checkout times.
 func gitDeepLoad(b *testing.B, layout gitstore.Layout, format gitstore.Format, insertFrac float64, branches, opsPerBranch, commitEvery int) (commitAvg, checkoutAvg time.Duration, repoBytes, dataBytes int64, repackTime time.Duration) {
 	b.Helper()
-	schema := record.Benchmark(256)
+	schema := decibel.BenchmarkSchema(256)
 	tbl, err := gitstore.NewTable(b.TempDir(), schema, layout, format)
 	if err != nil {
 		b.Fatal(err)
@@ -540,7 +518,7 @@ func gitDeepLoad(b *testing.B, layout gitstore.Layout, format gitstore.Format, i
 			cur = name
 		}
 		for n := 0; n < opsPerBranch; n++ {
-			rec := record.New(schema)
+			rec := decibel.NewRecord(schema)
 			if len(keys) > 0 && r.Float64() >= insertFrac {
 				rec.SetPK(keys[r.Intn(len(keys))])
 			} else {
@@ -595,7 +573,7 @@ func decibelDeepLoad(b *testing.B, insertFrac float64, branches, opsPerBranch, c
 	cfg.UpdateFrac = 1 - insertFrac
 	cfg.CommitEvery = commitEvery
 	dir := b.TempDir()
-	d, err := bench.Load(dir, hy.Factory, core.Options{PageSize: 64 << 10, PoolPages: 256}, cfg)
+	d, err := bench.Load(dir, "hy", benchOpts(), cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -618,7 +596,7 @@ func decibelDeepLoad(b *testing.B, insertFrac float64, branches, opsPerBranch, c
 		c := d.Commits[r.Intn(len(d.Commits))]
 		t0 := time.Now()
 		n := 0
-		if err := d.Table.ScanCommit(c, func(*record.Record) bool { n++; return true }); err != nil {
+		if err := d.Table.ScanCommit(c, func(*decibel.Record) bool { n++; return true }); err != nil {
 			b.Fatal(err)
 		}
 		checkoutTotal += time.Since(t0)
@@ -712,14 +690,14 @@ func BenchmarkAblationBitmapLayout(b *testing.B) {
 	cfg := benchConfig(bench.Flat, branches, perBranch)
 	for _, tupleOriented := range []bool{false, true} {
 		name := "branch-oriented"
-		opt := core.Options{PageSize: 64 << 10, PoolPages: 256}
+		opt := benchOpts()
 		if tupleOriented {
 			name = "tuple-oriented"
 			opt.TupleOriented = true
 		}
 		b.Run("scan1/"+name, func(b *testing.B) {
 			dir := b.TempDir()
-			d, err := bench.Load(dir, tf.Factory, opt, cfg)
+			d, err := bench.Load(dir, "tf", opt, cfg)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -733,7 +711,7 @@ func BenchmarkAblationBitmapLayout(b *testing.B) {
 		})
 		b.Run("scanheads/"+name, func(b *testing.B) {
 			dir := b.TempDir()
-			d, err := bench.Load(dir, tf.Factory, opt, cfg)
+			d, err := bench.Load(dir, "tf", opt, cfg)
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -21,25 +21,15 @@ import (
 	"strings"
 	"time"
 
-	"decibel/internal/bench"
-	"decibel/internal/core"
-	"decibel/internal/gitstore"
-	"decibel/internal/hy"
-	"decibel/internal/query"
-	"decibel/internal/record"
-	"decibel/internal/tf"
-	"decibel/internal/vf"
-	"decibel/internal/vgraph"
+	"decibel"
+	"decibel/bench"
+	"decibel/gitstore"
+	"decibel/query"
 )
 
-var engines = []struct {
-	name    string
-	factory core.Factory
-}{
-	{"vf", vf.Factory},
-	{"tf", tf.Factory},
-	{"hy", hy.Factory},
-}
+// engines under comparison, in the paper's order (short registry
+// aliases).
+var engines = []string{"vf", "tf", "hy"}
 
 var (
 	flagExperiment = flag.String("experiment", "all", "fig6a|fig6b|fig7|fig8|fig9|fig10|fig11|table2|table3|table5|table6|table7|all")
@@ -50,7 +40,7 @@ var (
 	flagRecord     = flag.Int("record-bytes", 256, "record size in bytes")
 )
 
-func opts() core.Options { return core.Options{PageSize: 64 << 10, PoolPages: 256} }
+func opts() bench.Options { return bench.Options{PageSize: 64 << 10, PoolPages: 256} }
 
 func cfgFor(s bench.Strategy, branches, perBranch int) bench.Config {
 	cfg := bench.DefaultConfig(s)
@@ -67,10 +57,10 @@ func cfgFor(s bench.Strategy, branches, perBranch int) bench.Config {
 	return cfg
 }
 
-func load(name string, factory core.Factory, cfg bench.Config) (*bench.Dataset, func()) {
+func load(engine string, cfg bench.Config) (*bench.Dataset, func()) {
 	dir, err := os.MkdirTemp("", "decibel-bench-*")
 	check(err)
-	d, err := bench.Load(dir, factory, opts(), cfg)
+	d, err := bench.Load(dir, engine, opts(), cfg)
 	check(err)
 	return d, func() { d.Close(); os.RemoveAll(dir) }
 }
@@ -82,10 +72,10 @@ func check(err error) {
 	}
 }
 
-func timeScan(d *bench.Dataset, b vgraph.BranchID) (time.Duration, int) {
+func timeScan(d *bench.Dataset, b decibel.BranchID) (time.Duration, int) {
 	t0 := time.Now()
 	n := 0
-	check(query.SingleVersionScan(d.Table, b, query.True, func(*record.Record) bool { n++; return true }))
+	check(query.SingleVersionScan(d.Table, b, query.True, func(*decibel.Record) bool { n++; return true }))
 	return time.Since(t0), n
 }
 
@@ -104,12 +94,12 @@ func fig6a() {
 	for _, bs := range parseInts(*flagBranches) {
 		cfg := cfgFor(bench.Flat, bs, *flagTotal/bs)
 		for _, e := range engines {
-			d, done := load(e.name, e.factory, cfg)
+			d, done := load(e, cfg)
 			r := rand.New(rand.NewSource(7))
 			child := d.RandomChild(r)
 			timeScan(d, child.ID) // warm
 			el, n := timeScan(d, child.ID)
-			fmt.Printf("%-8s %-10d %-12s %-10d\n", e.name, bs, el.Round(time.Microsecond), n)
+			fmt.Printf("%-8s %-10d %-12s %-10d\n", e, bs, el.Round(time.Microsecond), n)
 			done()
 		}
 	}
@@ -122,10 +112,10 @@ func fig6b() {
 		for _, bs := range parseInts(*flagBranches) {
 			cfg := cfgFor(s, bs, *flagTotal/bs)
 			for _, e := range engines {
-				d, done := load(e.name, e.factory, cfg)
+				d, done := load(e, cfg)
 				timeHeads(d)
 				el, n := timeHeads(d)
-				fmt.Printf("%-8s %-6s %-10d %-12s %-10d\n", e.name, s, bs, el.Round(time.Microsecond), n)
+				fmt.Printf("%-8s %-6s %-10d %-12s %-10d\n", e, s, bs, el.Round(time.Microsecond), n)
 				done()
 			}
 		}
@@ -146,18 +136,18 @@ func fig7() {
 	for _, c := range cases {
 		cfg := cfgFor(c.s, *flagNBranches, *flagPerBranch)
 		for _, e := range engines {
-			d, done := load(e.name, e.factory, cfg)
+			d, done := load(e, cfg)
 			r := rand.New(rand.NewSource(7))
 			b := pickTarget(d, c.target, r)
 			timeScan(d, b)
 			el, n := timeScan(d, b)
-			fmt.Printf("%-8s %-14s %-12s %-10d\n", e.name, fmt.Sprintf("%s-%s", c.s, c.target), el.Round(time.Microsecond), n)
+			fmt.Printf("%-8s %-14s %-12s %-10d\n", e, fmt.Sprintf("%s-%s", c.s, c.target), el.Round(time.Microsecond), n)
 			done()
 		}
 	}
 }
 
-func pickTarget(d *bench.Dataset, target string, r *rand.Rand) vgraph.BranchID {
+func pickTarget(d *bench.Dataset, target string, r *rand.Rand) decibel.BranchID {
 	switch target {
 	case "tail":
 		return d.TailBranch().ID
@@ -176,7 +166,7 @@ func pickTarget(d *bench.Dataset, target string, r *rand.Rand) vgraph.BranchID {
 	}
 }
 
-func pair(d *bench.Dataset, r *rand.Rand) (vgraph.BranchID, vgraph.BranchID) {
+func pair(d *bench.Dataset, r *rand.Rand) (decibel.BranchID, decibel.BranchID) {
 	switch d.Cfg.Strategy {
 	case bench.Deep:
 		return d.TailBranch().ID, d.Branches[len(d.Branches)-2].ID
@@ -195,18 +185,18 @@ func fig8() {
 	for _, s := range []bench.Strategy{bench.Deep, bench.Flat, bench.Science, bench.Curation} {
 		cfg := cfgFor(s, *flagNBranches, *flagPerBranch)
 		for _, e := range engines {
-			d, done := load(e.name, e.factory, cfg)
+			d, done := load(e, cfg)
 			r := rand.New(rand.NewSource(7))
 			a, b := pair(d, r)
 			run := func() (time.Duration, int) {
 				t0 := time.Now()
 				n := 0
-				check(query.PositiveDiff(d.Table, a, b, func(*record.Record) bool { n++; return true }))
+				check(query.PositiveDiff(d.Table, a, b, func(*decibel.Record) bool { n++; return true }))
 				return time.Since(t0), n
 			}
 			run()
 			el, n := run()
-			fmt.Printf("%-8s %-6s %-12s %-10d\n", e.name, s, el.Round(time.Microsecond), n)
+			fmt.Printf("%-8s %-6s %-12s %-10d\n", e, s, el.Round(time.Microsecond), n)
 			done()
 		}
 	}
@@ -218,7 +208,7 @@ func fig9() {
 	for _, s := range []bench.Strategy{bench.Deep, bench.Flat, bench.Science, bench.Curation} {
 		cfg := cfgFor(s, *flagNBranches, *flagPerBranch)
 		for _, e := range engines {
-			d, done := load(e.name, e.factory, cfg)
+			d, done := load(e, cfg)
 			r := rand.New(rand.NewSource(7))
 			a, b := pair(d, r)
 			pred := query.ColumnMod(1, 2, 0)
@@ -230,7 +220,7 @@ func fig9() {
 			}
 			run()
 			el, n := run()
-			fmt.Printf("%-8s %-6s %-12s %-10d\n", e.name, s, el.Round(time.Microsecond), n)
+			fmt.Printf("%-8s %-6s %-12s %-10d\n", e, s, el.Round(time.Microsecond), n)
 			done()
 		}
 	}
@@ -242,7 +232,7 @@ func fig10() {
 	for _, s := range []bench.Strategy{bench.Deep, bench.Flat, bench.Science, bench.Curation} {
 		cfg := cfgFor(s, *flagNBranches, *flagPerBranch)
 		for _, e := range engines {
-			d, done := load(e.name, e.factory, cfg)
+			d, done := load(e, cfg)
 			pred := query.Not(query.ColumnMod(1, 10, 0))
 			run := func() (time.Duration, int) {
 				t0 := time.Now()
@@ -252,7 +242,7 @@ func fig10() {
 			}
 			run()
 			el, n := run()
-			fmt.Printf("%-8s %-6s %-12s %-10d\n", e.name, s, el.Round(time.Microsecond), n)
+			fmt.Printf("%-8s %-6s %-12s %-10d\n", e, s, el.Round(time.Microsecond), n)
 			done()
 		}
 	}
@@ -264,9 +254,9 @@ func fig11() {
 	for _, s := range []bench.Strategy{bench.Deep, bench.Flat, bench.Science, bench.Curation} {
 		for _, e := range engines {
 			cfg := cfgFor(s, 10, *flagPerBranch)
-			d, done := load(e.name, e.factory, cfg)
+			d, done := load(e, cfg)
 			r := rand.New(rand.NewSource(7))
-			var b vgraph.BranchID
+			var b decibel.BranchID
 			switch s {
 			case bench.Deep:
 				b = d.TailBranch().ID
@@ -284,7 +274,7 @@ func fig11() {
 			st1, _ := d.DB.Stats()
 			timeScan(d, b)
 			post, _ := timeScan(d, b)
-			fmt.Printf("%-8s %-6s %-12s %-12s %-12.1f %-12.1f\n", e.name, s,
+			fmt.Printf("%-8s %-6s %-12s %-12s %-12.1f %-12.1f\n", e, s,
 				pre.Round(time.Microsecond), post.Round(time.Microsecond),
 				float64(st0.DataBytes)/(1<<20), float64(st1.DataBytes)/(1<<20))
 			done()
@@ -297,11 +287,11 @@ func table2() {
 	fmt.Printf("%-6s %-6s %-14s %-14s %-14s\n", "strat", "eng", "history-KB", "commit", "checkout")
 	for _, s := range []bench.Strategy{bench.Deep, bench.Flat, bench.Science, bench.Curation} {
 		for _, e := range engines {
-			if e.name == "vf" {
+			if e == "vf" {
 				continue
 			}
 			cfg := cfgFor(s, *flagNBranches, *flagPerBranch)
-			d, done := load(e.name, e.factory, cfg)
+			d, done := load(e, cfg)
 			// Commit latency.
 			var commitTotal time.Duration
 			const nC = 20
@@ -318,11 +308,11 @@ func table2() {
 			for i := 0; i < nK; i++ {
 				c := d.Commits[r.Intn(len(d.Commits))]
 				t0 := time.Now()
-				check(d.Table.ScanCommit(c, func(*record.Record) bool { return true }))
+				check(d.Table.ScanCommit(c, func(*decibel.Record) bool { return true }))
 				checkoutTotal += time.Since(t0)
 			}
 			st, _ := d.DB.Stats()
-			fmt.Printf("%-6s %-6s %-14.1f %-14s %-14s\n", s, e.name,
+			fmt.Printf("%-6s %-6s %-14.1f %-14s %-14s\n", s, e,
 				float64(st.CommitBytes)/1024,
 				(commitTotal / nC).Round(time.Microsecond),
 				(checkoutTotal / nK).Round(time.Microsecond))
@@ -342,7 +332,7 @@ func table3() {
 		for _, e := range engines {
 			cfg := cfgFor(bench.Curation, 12, *flagPerBranch)
 			cfg.ThreeWayMerges = threeWay
-			d, done := load(e.name, e.factory, cfg)
+			d, done := load(e, cfg)
 			var mb, secs float64
 			for _, m := range d.Merges {
 				mb += float64(m.Stats.DiffBytes) / (1 << 20)
@@ -352,7 +342,7 @@ func table3() {
 			if secs > 0 {
 				rate = mb / secs
 			}
-			fmt.Printf("%-8s %-12s %-12.1f %-8d\n", e.name, kind, rate, len(d.Merges))
+			fmt.Printf("%-8s %-12s %-12.1f %-8d\n", e, kind, rate, len(d.Merges))
 			done()
 		}
 	}
@@ -364,9 +354,9 @@ func table5() {
 	for _, s := range []bench.Strategy{bench.Deep, bench.Flat, bench.Science, bench.Curation} {
 		for _, e := range engines {
 			cfg := cfgFor(s, *flagNBranches, *flagPerBranch)
-			d, done := load(e.name, e.factory, cfg)
+			d, done := load(e, cfg)
 			st, _ := d.DB.Stats()
-			fmt.Printf("%-6s %-8s %-12s %-10.1f\n", s, e.name, d.LoadTime.Round(time.Millisecond), float64(st.DataBytes)/(1<<20))
+			fmt.Printf("%-6s %-8s %-12s %-10.1f\n", s, e, d.LoadTime.Round(time.Millisecond), float64(st.DataBytes)/(1<<20))
 			done()
 		}
 	}
@@ -375,7 +365,7 @@ func table5() {
 func gitTables(insertFrac float64, title string) {
 	header(title)
 	const branches, opsPerBranch, commitEvery = 10, 300, 30
-	schema := record.Benchmark(*flagRecord)
+	schema := decibel.BenchmarkSchema(*flagRecord)
 	cases := []struct {
 		name   string
 		layout gitstore.Layout
@@ -406,7 +396,7 @@ func gitTables(insertFrac float64, title string) {
 				cur = name
 			}
 			for n := 0; n < opsPerBranch; n++ {
-				rec := record.New(schema)
+				rec := decibel.NewRecord(schema)
 				if len(keys) > 0 && r.Float64() >= insertFrac {
 					rec.SetPK(keys[r.Intn(len(keys))])
 				} else {
@@ -452,7 +442,7 @@ func gitTables(insertFrac float64, title string) {
 	cfg := cfgFor(bench.Deep, branches, opsPerBranch)
 	cfg.UpdateFrac = 1 - insertFrac
 	cfg.CommitEvery = commitEvery
-	d, done := load("hy", hy.Factory, cfg)
+	d, done := load("hy", cfg)
 	tail := d.TailBranch().ID
 	var commitTotal time.Duration
 	const nC = 10
@@ -468,7 +458,7 @@ func gitTables(insertFrac float64, title string) {
 	for i := 0; i < nK; i++ {
 		c := d.Commits[r.Intn(len(d.Commits))]
 		t0 := time.Now()
-		check(d.Table.ScanCommit(c, func(*record.Record) bool { return true }))
+		check(d.Table.ScanCommit(c, func(*decibel.Record) bool { return true }))
 		checkoutTotal += time.Since(t0)
 	}
 	st, _ := d.DB.Stats()

@@ -1,6 +1,7 @@
 // Command decibel is a small CLI over a Decibel dataset: init, branch,
 // commit, insert, delete, scan, diff, merge and log against a dataset
-// directory, with a choice of storage engine.
+// directory, with a choice of storage engine resolved through the
+// engine registry.
 //
 // Usage:
 //
@@ -23,17 +24,13 @@ import (
 	"strconv"
 	"strings"
 
-	"decibel/internal/core"
-	"decibel/internal/hy"
-	"decibel/internal/record"
-	"decibel/internal/tf"
-	"decibel/internal/vf"
-	"decibel/internal/vgraph"
+	"decibel"
 )
 
 func main() {
 	dir := flag.String("dir", "decibel-data", "dataset directory")
-	engine := flag.String("engine", "hybrid", "storage engine: tuple-first | version-first | hybrid")
+	engine := flag.String("engine", decibel.DefaultEngine,
+		"storage engine: "+strings.Join(decibel.Engines(), " | "))
 	table := flag.String("table", "r", "table name")
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -46,54 +43,37 @@ func main() {
 	}
 }
 
-func factoryFor(name string) (core.Factory, error) {
-	switch name {
-	case "tuple-first", "tf":
-		return tf.Factory, nil
-	case "version-first", "vf":
-		return vf.Factory, nil
-	case "hybrid", "hy":
-		return hy.Factory, nil
-	default:
-		return nil, fmt.Errorf("unknown engine %q", name)
-	}
-}
-
 func run(dir, engine, table string, args []string) error {
-	factory, err := factoryFor(engine)
-	if err != nil {
-		return err
-	}
-	db, err := core.Open(dir, factory, core.Options{})
+	db, err := decibel.Open(dir, decibel.WithEngine(engine))
 	if err != nil {
 		return err
 	}
 	defer db.Close()
 	cmd, rest := args[0], args[1:]
 
-	branchID := func(name string) (vgraph.BranchID, error) {
-		b, ok := db.Graph().BranchByName(name)
-		if !ok {
-			return 0, fmt.Errorf("branch %q does not exist", name)
+	branchID := func(name string) (decibel.BranchID, error) {
+		b, err := db.BranchNamed(name)
+		if err != nil {
+			return 0, err
 		}
 		return b.ID, nil
 	}
 
 	switch cmd {
 	case "init":
-		cols := []record.Column{{Name: "id", Type: record.Int64}}
+		schema := decibel.NewSchema().Int64("id")
 		if len(rest) > 0 {
 			for _, c := range strings.Split(rest[0], ",") {
-				cols = append(cols, record.Column{Name: c, Type: record.Int64})
+				schema = schema.Int64(c)
 			}
 		} else {
-			cols = append(cols, record.Column{Name: "value", Type: record.Int64})
+			schema = schema.Int64("value")
 		}
-		schema, err := record.NewSchema(cols...)
+		s, err := schema.Build()
 		if err != nil {
 			return err
 		}
-		if _, err := db.CreateTable(table, schema); err != nil {
+		if _, err := db.CreateTable(table, s); err != nil {
 			return err
 		}
 		master, c0, err := db.Init("init")
@@ -111,11 +91,11 @@ func run(dir, engine, table string, args []string) error {
 		if err != nil {
 			return err
 		}
-		t, ok := db.Table(table)
-		if !ok {
-			return fmt.Errorf("table %q does not exist", table)
+		t, err := db.TableByName(table)
+		if err != nil {
+			return err
 		}
-		rec := record.New(t.Schema())
+		rec := decibel.NewRecord(t.Schema())
 		for i, v := range rest[1:] {
 			if i >= t.Schema().NumColumns() {
 				break
@@ -140,7 +120,10 @@ func run(dir, engine, table string, args []string) error {
 		if err != nil {
 			return err
 		}
-		t, _ := db.Table(table)
+		t, err := db.TableByName(table)
+		if err != nil {
+			return err
+		}
 		return t.Delete(bid, pk)
 
 	case "commit":
@@ -178,15 +161,21 @@ func run(dir, engine, table string, args []string) error {
 		if err != nil {
 			return err
 		}
-		t, _ := db.Table(table)
+		t, err := db.TableByName(table)
+		if err != nil {
+			return err
+		}
 		n := 0
-		err = t.Scan(bid, func(rec *record.Record) bool {
+		rows, scanErr := t.Rows(bid)
+		for rec := range rows {
 			fmt.Println(rec.String())
 			n++
-			return true
-		})
+		}
+		if err := scanErr(); err != nil {
+			return err
+		}
 		fmt.Printf("%d records\n", n)
-		return err
+		return nil
 
 	case "diff":
 		if len(rest) != 2 {
@@ -200,15 +189,19 @@ func run(dir, engine, table string, args []string) error {
 		if err != nil {
 			return err
 		}
-		t, _ := db.Table(table)
-		return t.Diff(a, bb, func(rec *record.Record, inA bool) bool {
+		t, err := db.TableByName(table)
+		if err != nil {
+			return err
+		}
+		diff, diffErr := t.Diff(a, bb)
+		for rec, inA := range diff {
 			side := "+B"
 			if inA {
 				side = "+A"
 			}
 			fmt.Printf("%s %s\n", side, rec.String())
-			return true
-		})
+		}
+		return diffErr()
 
 	case "merge":
 		if len(rest) < 2 {
@@ -222,9 +215,9 @@ func run(dir, engine, table string, args []string) error {
 		if err != nil {
 			return err
 		}
-		kind := core.ThreeWay
+		kind := decibel.ThreeWay
 		if len(rest) > 2 && rest[2] == "two" {
-			kind = core.TwoWay
+			kind = decibel.TwoWay
 		}
 		precFirst := true
 		if len(rest) > 3 && rest[3] == "second" {
@@ -254,6 +247,7 @@ func run(dir, engine, table string, args []string) error {
 		if err != nil {
 			return err
 		}
+		fmt.Printf("engine:         %s (registered: %s)\n", engine, strings.Join(decibel.Engines(), ", "))
 		fmt.Printf("records:        %d (%d live across heads)\n", st.Records, st.LiveRecords)
 		fmt.Printf("data bytes:     %d\n", st.DataBytes)
 		fmt.Printf("index bytes:    %d\n", st.IndexBytes)

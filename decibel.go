@@ -1,0 +1,146 @@
+// Package decibel is the public API of this Decibel reproduction
+// (Maddox et al., "Decibel: The Relational Dataset Branching System",
+// PVLDB 2016): a dataset of relations versioned together under one
+// version graph, with the git-like workflow of Section 2.2 — open,
+// branch, insert, commit, diff, merge — over a choice of storage
+// engine.
+//
+// Open a dataset with functional options and work with branch heads:
+//
+//	db, err := decibel.Open(dir, decibel.WithEngine("hybrid"))
+//	...
+//	t, err := db.CreateTable("products", decibel.NewSchema().Int64("id").Int64("price").MustBuild())
+//	master, _, err := db.Init("initial catalog")
+//	err = t.Insert(master.ID, rec)
+//	rows, scanErr := t.Rows(master.ID)
+//	for rec := range rows { ... }
+//	if err := scanErr(); err != nil { ... }
+//
+// Storage engines register themselves by name ("tuple-first",
+// "version-first", "hybrid", with short aliases "tf", "vf", "hy");
+// importing this package links all three. Failure conditions worth
+// branching on are exposed as sentinel errors (ErrNoSuchBranch,
+// ErrSessionClosed, ...) tested with errors.Is.
+//
+// The packages under internal/ are the engine-facing SPI and may change
+// freely; everything a consumer needs is re-exported here and in the
+// decibel/bench, decibel/query and decibel/gitstore companion packages.
+package decibel
+
+import (
+	"decibel/internal/bitmap"
+	"decibel/internal/core"
+	"decibel/internal/record"
+	"decibel/internal/vgraph"
+
+	// Link the three storage engines into every facade consumer; each
+	// registers itself with the engine registry from init.
+	_ "decibel/internal/hy"
+	_ "decibel/internal/tf"
+	_ "decibel/internal/vf"
+)
+
+// Core workflow types, aliased from the SPI so facade consumers never
+// import decibel/internal/... themselves.
+type (
+	// DB is an open Decibel dataset: a collection of relations
+	// versioned together under one version graph.
+	DB = core.Database
+
+	// Table is one versioned relation inside a DB.
+	Table = core.Table
+
+	// Session captures a user's working position — the branch or
+	// commit their reads and writes address — under two-phase locking.
+	Session = core.Session
+
+	// Record is one fixed-width tuple; column 0 is the int64 primary key.
+	Record = record.Record
+
+	// Schema is an ordered list of fixed-width columns; build one with
+	// NewSchema.
+	Schema = record.Schema
+
+	// Column describes one schema column.
+	Column = record.Column
+
+	// ColumnType identifies a fixed-width column type (Int32, Int64).
+	ColumnType = record.Type
+
+	// Branch is a named working line: a head commit plus bookkeeping.
+	Branch = vgraph.Branch
+
+	// Commit is one immutable version in the graph.
+	Commit = vgraph.Commit
+
+	// BranchID identifies a branch.
+	BranchID = vgraph.BranchID
+
+	// CommitID identifies a commit; 0 is the invalid/none value.
+	CommitID = vgraph.CommitID
+
+	// Graph is the version graph: commits, branches, heads, LCAs.
+	Graph = vgraph.Graph
+
+	// Bitmap annotates multi-branch scan results with branch membership.
+	Bitmap = bitmap.Bitmap
+
+	// MergeKind selects the conflict model of a merge (TwoWay, ThreeWay).
+	MergeKind = core.MergeKind
+
+	// MergeStats summarizes a merge (conflicts, changed records, bytes).
+	MergeStats = core.MergeStats
+
+	// Stats reports a dataset's storage footprint.
+	Stats = core.Stats
+
+	// ScanFunc receives each record of a scan; returning false stops it.
+	ScanFunc = core.ScanFunc
+
+	// MultiScanFunc receives each record live in any scanned branch
+	// with its membership bitmap.
+	MultiScanFunc = core.MultiScanFunc
+
+	// DiffFunc receives diff records; inA marks the positive side.
+	DiffFunc = core.DiffFunc
+)
+
+// Column types.
+const (
+	Int32 = record.Int32 // 4-byte signed integer
+	Int64 = record.Int64 // 8-byte signed integer
+)
+
+// Merge conflict models (Section 2.2.3).
+const (
+	TwoWay   = core.TwoWay   // tuple-granularity conflicts, precedence wins wholesale
+	ThreeWay = core.ThreeWay // field-level merge against the lowest common ancestor
+)
+
+// Master is the name of the initial branch, "the authoritative branch
+// of record for the evolving dataset".
+const Master = vgraph.MasterName
+
+// Open opens (or creates) the dataset at dir. With no options it uses
+// the hybrid engine and default tuning; see WithEngine, WithPageSize,
+// WithPoolPages, WithFsync and WithCommitFanout.
+func Open(dir string, opts ...Option) (*DB, error) {
+	cfg := newConfig(opts)
+	factory, err := core.LookupEngine(cfg.engine)
+	if err != nil {
+		return nil, err
+	}
+	return core.Open(dir, factory, cfg.opt)
+}
+
+// Engines returns the canonical names of all registered storage
+// engines, sorted.
+func Engines() []string { return core.EngineNames() }
+
+// NewRecord allocates an empty record of the schema.
+func NewRecord(s *Schema) *Record { return record.New(s) }
+
+// BenchmarkSchema returns the paper's benchmark schema: an int64
+// primary key plus Int32 columns padding the encoded record to about
+// recordBytes.
+func BenchmarkSchema(recordBytes int) *Schema { return record.Benchmark(recordBytes) }

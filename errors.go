@@ -1,0 +1,38 @@
+package decibel
+
+import "decibel/internal/core"
+
+// Sentinel errors. Every operation that fails for one of these reasons
+// returns an error wrapping the sentinel, so callers branch with
+// errors.Is(err, decibel.ErrNoSuchBranch) instead of string matching.
+var (
+	// ErrNoSuchBranch reports a branch name or ID that does not exist.
+	ErrNoSuchBranch = core.ErrNoSuchBranch
+
+	// ErrNoSuchTable reports a table name missing from the catalog.
+	ErrNoSuchTable = core.ErrNoSuchTable
+
+	// ErrNoSuchCommit reports a commit ID absent from the version graph.
+	ErrNoSuchCommit = core.ErrNoSuchCommit
+
+	// ErrDetachedHead reports a write attempted while the session is
+	// checked out at a historical commit rather than a branch head.
+	ErrDetachedHead = core.ErrDetachedHead
+
+	// ErrNotAtHead reports a write attempted while the session's branch
+	// has advanced past its checked-out commit.
+	ErrNotAtHead = core.ErrNotAtHead
+
+	// ErrSessionClosed reports any operation on a closed session.
+	ErrSessionClosed = core.ErrSessionClosed
+
+	// ErrAlreadyInitialized reports Init on an initialized dataset, or
+	// CreateTable after Init.
+	ErrAlreadyInitialized = core.ErrAlreadyInitialized
+
+	// ErrUnknownEngine reports an engine name absent from the registry.
+	ErrUnknownEngine = core.ErrUnknownEngine
+
+	// ErrDatabaseClosed reports an operation on a closed DB.
+	ErrDatabaseClosed = core.ErrDatabaseClosed
+)

@@ -9,9 +9,7 @@ import (
 	"log"
 	"os"
 
-	"decibel/internal/core"
-	"decibel/internal/hy"
-	"decibel/internal/record"
+	"decibel"
 )
 
 func main() {
@@ -21,19 +19,14 @@ func main() {
 	}
 	defer os.RemoveAll(dir)
 
-	db, err := core.Open(dir, hy.Factory, core.Options{})
+	db, err := decibel.Open(dir, decibel.WithEngine("hybrid"))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer db.Close()
 
 	// pois(id, lat, lon, category) — an OpenStreetMap-style catalog.
-	schema := record.MustSchema(
-		record.Column{Name: "id", Type: record.Int64},
-		record.Column{Name: "lat", Type: record.Int64},
-		record.Column{Name: "lon", Type: record.Int64},
-		record.Column{Name: "category", Type: record.Int64},
-	)
+	schema := decibel.NewSchema().Int64("id").Int64("lat").Int64("lon").Int64("category").MustBuild()
 	if _, err := db.CreateTable("pois", schema); err != nil {
 		log.Fatal(err)
 	}
@@ -43,8 +36,8 @@ func main() {
 	}
 	pois, _ := db.Table("pois")
 
-	add := func(pk, lat, lon, cat int64) *record.Record {
-		rec := record.New(schema)
+	add := func(pk, lat, lon, cat int64) *decibel.Record {
+		rec := decibel.NewRecord(schema)
 		rec.SetPK(pk)
 		rec.Set(1, lat)
 		rec.Set(2, lon)
@@ -81,7 +74,7 @@ func main() {
 	// Merge the geometry pass. POI 7 was moved both in master and in the
 	// branch: a field-level conflict on lat/lon, resolved in favor of
 	// the canonical version (precedence first).
-	_, st1, err := db.Merge(master.ID, geo.ID, "merge geometry pass", core.ThreeWay, true)
+	_, st1, err := db.Merge(master.ID, geo.ID, "merge geometry pass", decibel.ThreeWay, true)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -90,7 +83,7 @@ func main() {
 	// Merge the category pass. Its edits touch the *category* field of
 	// POIs whose *geometry* just changed — disjoint fields, so they
 	// auto-merge without conflicts.
-	_, st2, err := db.Merge(master.ID, cats.ID, "merge category pass", core.ThreeWay, true)
+	_, st2, err := db.Merge(master.ID, cats.ID, "merge category pass", decibel.ThreeWay, true)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -98,7 +91,7 @@ func main() {
 
 	// Verify the merged canonical state: POI 7 keeps the hotfix
 	// position, POI 5 has both the geometry nudge and category 4.
-	pois.Scan(master.ID, func(rec *record.Record) bool {
+	pois.Scan(master.ID, func(rec *decibel.Record) bool {
 		switch rec.PK() {
 		case 5:
 			fmt.Printf("POI 5: lat=%d lon=%d category=%d (geometry + category merged)\n",

@@ -8,46 +8,34 @@ import (
 	"log"
 	"os"
 
-	"decibel/internal/core"
-	"decibel/internal/hy"
-	"decibel/internal/query"
-	"decibel/internal/record"
-	"decibel/internal/tf"
-	"decibel/internal/vf"
+	"decibel"
+	"decibel/query"
 )
 
 func main() {
-	engines := []struct {
-		name    string
-		factory core.Factory
-	}{
-		{"tuple-first", tf.Factory},
-		{"version-first", vf.Factory},
-		{"hybrid", hy.Factory},
-	}
-	for _, e := range engines {
-		fmt.Printf("=== %s ===\n", e.name)
-		run(e.factory)
+	for _, engine := range decibel.Engines() {
+		fmt.Printf("=== %s ===\n", engine)
+		run(engine)
 	}
 }
 
-func run(factory core.Factory) {
+func run(engine string) {
 	dir, err := os.MkdirTemp("", "decibel-queries-*")
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer os.RemoveAll(dir)
-	db, err := core.Open(dir, factory, core.Options{})
+	db, err := decibel.Open(dir, decibel.WithEngine(engine))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer db.Close()
 
-	schema := record.MustSchema(
-		record.Column{Name: "id", Type: record.Int64},
-		record.Column{Name: "name", Type: record.Int64}, // name code
-		record.Column{Name: "age", Type: record.Int64},
-	)
+	schema := decibel.NewSchema().
+		Int64("id").
+		Int64("name"). // name code
+		Int64("age").
+		MustBuild()
 	if _, err := db.CreateTable("people", schema); err != nil {
 		log.Fatal(err)
 	}
@@ -58,8 +46,8 @@ func run(factory core.Factory) {
 	people, _ := db.Table("people")
 
 	const sam = 42 // "Sam"
-	mk := func(pk, name, age int64) *record.Record {
-		rec := record.New(schema)
+	mk := func(pk, name, age int64) *decibel.Record {
+		rec := decibel.NewRecord(schema)
 		rec.SetPK(pk)
 		rec.Set(1, name)
 		rec.Set(2, age)
@@ -91,7 +79,7 @@ func run(factory core.Factory) {
 
 	// Query 2: positive diff v01 minus v02.
 	var diffPKs []int64
-	query.PositiveDiff(people, master.ID, v02.ID, func(rec *record.Record) bool {
+	query.PositiveDiff(people, master.ID, v02.ID, func(rec *decibel.Record) bool {
 		diffPKs = append(diffPKs, rec.PK())
 		return true
 	})

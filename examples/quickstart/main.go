@@ -1,6 +1,8 @@
 // Quickstart: create a Decibel dataset, branch it, modify both
 // branches, diff them, and merge the changes back — the basic workflow
-// of Section 2.2.
+// of Section 2.2, written against the public decibel facade: Open with
+// functional options, the fluent schema builder, and range-over-func
+// iterators for scans and diffs.
 package main
 
 import (
@@ -8,9 +10,7 @@ import (
 	"log"
 	"os"
 
-	"decibel/internal/core"
-	"decibel/internal/hy"
-	"decibel/internal/record"
+	"decibel"
 )
 
 func main() {
@@ -21,30 +21,26 @@ func main() {
 	defer os.RemoveAll(dir)
 
 	// Open a dataset backed by the hybrid storage engine.
-	db, err := core.Open(dir, hy.Factory, core.Options{})
+	db, err := decibel.Open(dir, decibel.WithEngine("hybrid"))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer db.Close()
 
 	// One relation: products(id, price, stock).
-	schema := record.MustSchema(
-		record.Column{Name: "id", Type: record.Int64},
-		record.Column{Name: "price", Type: record.Int64},
-		record.Column{Name: "stock", Type: record.Int64},
-	)
-	if _, err := db.CreateTable("products", schema); err != nil {
+	schema := decibel.NewSchema().Int64("id").Int64("price").Int64("stock").MustBuild()
+	products, err := db.CreateTable("products", schema)
+	if err != nil {
 		log.Fatal(err)
 	}
 	master, _, err := db.Init("initial catalog")
 	if err != nil {
 		log.Fatal(err)
 	}
-	products, _ := db.Table("products")
 
 	// Populate and commit version 1.
 	for pk := int64(1); pk <= 5; pk++ {
-		rec := record.New(schema)
+		rec := decibel.NewRecord(schema)
 		rec.SetPK(pk)
 		rec.Set(1, pk*100) // price
 		rec.Set(2, 10)     // stock
@@ -61,7 +57,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sale := record.New(schema)
+	sale := decibel.NewRecord(schema)
 	sale.SetPK(3)
 	sale.Set(1, 150) // discounted price
 	sale.Set(2, 10)
@@ -70,7 +66,7 @@ func main() {
 	}
 
 	// Meanwhile master keeps selling: stock of product 5 drops.
-	sold := record.New(schema)
+	sold := decibel.NewRecord(schema)
 	sold.SetPK(5)
 	sold.Set(1, 500)
 	sold.Set(2, 7)
@@ -78,29 +74,35 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Diff the branches.
+	// Diff the branches with the iterator API.
 	fmt.Println("diff(pricing-experiment, master):")
-	products.Diff(pricing.ID, master.ID, func(rec *record.Record, inA bool) bool {
+	diff, diffErr := products.Diff(pricing.ID, master.ID)
+	for rec, inA := range diff {
 		side := "only in master:            "
 		if inA {
 			side = "only in pricing-experiment:"
 		}
 		fmt.Printf("  %s %v\n", side, rec)
-		return true
-	})
+	}
+	if err := diffErr(); err != nil {
+		log.Fatal(err)
+	}
 
 	// Merge the experiment back. Non-overlapping field updates
 	// auto-merge: the discount (price of 3) and the sale (stock of 5)
 	// both survive.
-	if _, st, err := db.Merge(master.ID, pricing.ID, "adopt discount", core.ThreeWay, true); err != nil {
+	if _, st, err := db.Merge(master.ID, pricing.ID, "adopt discount", decibel.ThreeWay, true); err != nil {
 		log.Fatal(err)
 	} else {
 		fmt.Printf("\nmerged with %d conflicts\n", st.Conflicts)
 	}
 
 	fmt.Println("\nmaster after merge:")
-	products.Scan(master.ID, func(rec *record.Record) bool {
+	rows, scanErr := products.Rows(master.ID)
+	for rec := range rows {
 		fmt.Printf("  %v\n", rec)
-		return true
-	})
+	}
+	if err := scanErr(); err != nil {
+		log.Fatal(err)
+	}
 }

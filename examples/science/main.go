@@ -10,10 +10,8 @@ import (
 	"log"
 	"os"
 
-	"decibel/internal/core"
-	"decibel/internal/query"
-	"decibel/internal/record"
-	"decibel/internal/vf"
+	"decibel"
+	"decibel/query"
 )
 
 func main() {
@@ -25,18 +23,14 @@ func main() {
 
 	// The science pattern reads single branches end-to-end — the
 	// version-first engine's sweet spot.
-	db, err := core.Open(dir, vf.Factory, core.Options{})
+	db, err := decibel.Open(dir, decibel.WithEngine("version-first"))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer db.Close()
 
 	// events(id, user, score)
-	schema := record.MustSchema(
-		record.Column{Name: "id", Type: record.Int64},
-		record.Column{Name: "user", Type: record.Int64},
-		record.Column{Name: "score", Type: record.Int64},
-	)
+	schema := decibel.NewSchema().Int64("id").Int64("user").Int64("score").MustBuild()
 	if _, err := db.CreateTable("events", schema); err != nil {
 		log.Fatal(err)
 	}
@@ -48,7 +42,7 @@ func main() {
 
 	ingest := func(from, to int64) {
 		for pk := from; pk <= to; pk++ {
-			rec := record.New(schema)
+			rec := decibel.NewRecord(schema)
 			rec.SetPK(pk)
 			rec.Set(1, pk%7)     // user
 			rec.Set(2, pk*3%100) // raw score
@@ -76,13 +70,17 @@ func main() {
 
 	// Cleaning on the analysis branch: cap outlier scores at 50.
 	var outliers []int64
-	query.SingleVersionScan(events, analysis.ID, func(r *record.Record) bool { return r.Get(2) > 50 },
-		func(r *record.Record) bool {
+	rows, scanErr := events.Rows(analysis.ID)
+	for r := range rows {
+		if r.Get(2) > 50 {
 			outliers = append(outliers, r.PK())
-			return true
-		})
+		}
+	}
+	if err := scanErr(); err != nil {
+		log.Fatal(err)
+	}
 	for _, pk := range outliers {
-		rec := record.New(schema)
+		rec := decibel.NewRecord(schema)
 		rec.SetPK(pk)
 		rec.Set(1, pk%7)
 		rec.Set(2, 50)
@@ -96,7 +94,7 @@ func main() {
 	// the cleaning applied; mainline has moved on.
 	nAnalysis, _ := query.Count(events, analysis.ID, query.True)
 	nMainline, _ := query.Count(events, master.ID, query.True)
-	maxAnalysis, _ := query.Sum(events, analysis.ID, 2, func(r *record.Record) bool { return r.Get(2) > 50 })
+	maxAnalysis, _ := query.Sum(events, analysis.ID, 2, func(r *decibel.Record) bool { return r.Get(2) > 50 })
 	fmt.Printf("analysis branch: %d events (day-1 only), capped %d outliers, scores>50 remaining: %d\n",
 		nAnalysis, len(outliers), maxAnalysis)
 	fmt.Printf("mainline:        %d events (ingestion kept going)\n", nMainline)
@@ -113,6 +111,12 @@ func main() {
 
 	// Reproducibility: re-read the exact day-1 snapshot at any time.
 	n := 0
-	events.ScanCommit(snapshot, func(*record.Record) bool { n++; return true })
+	day1, day1Err := events.RowsAt(snapshot)
+	for range day1 {
+		n++
+	}
+	if err := day1Err(); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("day-1 snapshot:  %d events, immutable\n", n)
 }

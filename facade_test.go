@@ -1,0 +1,388 @@
+package decibel_test
+
+// Facade contract tests: the full git-like round trip of Section 2.2
+// driven purely through the public decibel package on every registered
+// engine, plus errors.Is assertions for each sentinel error.
+
+import (
+	"errors"
+	"slices"
+	"testing"
+
+	"decibel"
+)
+
+// facadeEngines are the canonical registry names the round trip runs on.
+var facadeEngines = []string{"tuple-first", "version-first", "hybrid"}
+
+func TestEnginesRegistered(t *testing.T) {
+	got := decibel.Engines()
+	want := []string{"hybrid", "tuple-first", "version-first"}
+	if !slices.Equal(got, want) {
+		t.Fatalf("Engines() = %v, want %v", got, want)
+	}
+}
+
+// TestFacadeRoundTrip: open → create table → init → branch → insert →
+// commit → merge → reopen, checking the catalog and version graph
+// survive the reopen, on all three engines.
+func TestFacadeRoundTrip(t *testing.T) {
+	for _, engine := range facadeEngines {
+		t.Run(engine, func(t *testing.T) {
+			dir := t.TempDir()
+			db, err := decibel.Open(dir, decibel.WithEngine(engine),
+				decibel.WithPageSize(64<<10), decibel.WithPoolPages(64))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			schema, err := decibel.NewSchema().Int64("id").Int64("price").Int32("qty").Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			products, err := db.CreateTable("products", schema)
+			if err != nil {
+				t.Fatal(err)
+			}
+			master, _, err := db.Init("init")
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			put := func(branch decibel.BranchID, pk, price, qty int64) {
+				t.Helper()
+				rec := decibel.NewRecord(schema)
+				rec.SetPK(pk)
+				rec.Set(1, price)
+				rec.Set(2, qty)
+				if err := products.Insert(branch, rec); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for pk := int64(1); pk <= 10; pk++ {
+				put(master.ID, pk, pk*100, 5)
+			}
+			if _, err := db.Commit(master.ID, "ten products"); err != nil {
+				t.Fatal(err)
+			}
+
+			dev, err := db.BranchFromHead("dev", "master")
+			if err != nil {
+				t.Fatal(err)
+			}
+			put(dev.ID, 3, 333, 5)   // price change on dev
+			put(dev.ID, 11, 1100, 1) // new record on dev
+			if _, err := db.Commit(dev.ID, "dev work"); err != nil {
+				t.Fatal(err)
+			}
+			put(master.ID, 5, 500, 1) // qty change on master
+
+			// Diff iterator: dev has pk 3 (changed) and 11 (new) vs
+			// master; master has pk 3 (old), 5 (changed) and no 11.
+			inDev, inMaster := 0, 0
+			diff, diffErr := products.Diff(dev.ID, master.ID)
+			for _, inA := range diff {
+				if inA {
+					inDev++
+				} else {
+					inMaster++
+				}
+			}
+			if err := diffErr(); err != nil {
+				t.Fatal(err)
+			}
+			if inDev != 3 || inMaster != 2 {
+				t.Fatalf("diff(dev, master) = %d/%d records, want 3/2", inDev, inMaster)
+			}
+
+			mc, st, err := db.Merge(master.ID, dev.ID, "merge dev", decibel.ThreeWay, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !mc.IsMerge() {
+				t.Fatal("merge commit has one parent")
+			}
+			if st.Conflicts != 0 {
+				t.Fatalf("unexpected conflicts: %d", st.Conflicts)
+			}
+
+			// Master now holds 11 records: dev's price fix and new row
+			// plus master's own qty change.
+			rows, scanErr := products.Rows(master.ID)
+			byPK := map[int64][2]int64{}
+			for rec := range rows {
+				byPK[rec.PK()] = [2]int64{rec.Get(1), rec.Get(2)}
+			}
+			if err := scanErr(); err != nil {
+				t.Fatal(err)
+			}
+			if len(byPK) != 11 {
+				t.Fatalf("master has %d records after merge, want 11", len(byPK))
+			}
+			if byPK[3][0] != 333 {
+				t.Fatalf("pk 3 price = %d, want dev's 333", byPK[3][0])
+			}
+			if byPK[5][1] != 1 {
+				t.Fatalf("pk 5 qty = %d, want master's 1", byPK[5][1])
+			}
+
+			// RowsMulti sees the merged record set across both heads.
+			distinct := 0
+			multi, multiErr := products.RowsMulti([]decibel.BranchID{master.ID, dev.ID})
+			for _, membership := range multi {
+				if membership.Count() == 0 {
+					t.Fatal("record with empty membership")
+				}
+				distinct++
+			}
+			if err := multiErr(); err != nil {
+				t.Fatal(err)
+			}
+			if distinct < 11 {
+				t.Fatalf("multi-branch scan saw %d records, want >= 11", distinct)
+			}
+
+			nCommits := db.Graph().NumCommits()
+			if err := db.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := db.Close(); err != nil {
+				t.Fatalf("second Close not idempotent: %v", err)
+			}
+
+			// Reopen: catalog, graph and committed data must all be back.
+			db2, err := decibel.Open(dir, decibel.WithEngine(engine),
+				decibel.WithPageSize(64<<10), decibel.WithPoolPages(64))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db2.Close()
+			products2, err := db2.TableByName("products")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !products2.Schema().Equal(schema) {
+				t.Fatal("reopened schema differs")
+			}
+			if got := db2.Graph().NumCommits(); got != nCommits {
+				t.Fatalf("reopened graph has %d commits, want %d", got, nCommits)
+			}
+			master2, err := db2.BranchNamed("master")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := db2.BranchNamed("dev"); err != nil {
+				t.Fatal(err)
+			}
+			n := 0
+			rows2, scanErr2 := products2.Rows(master2.ID)
+			for range rows2 {
+				n++
+			}
+			if err := scanErr2(); err != nil {
+				t.Fatal(err)
+			}
+			if n != 11 {
+				t.Fatalf("reopened master has %d records, want 11", n)
+			}
+		})
+	}
+}
+
+// TestIteratorEarlyBreak checks range-over-func scans stop cleanly
+// mid-iteration.
+func TestIteratorEarlyBreak(t *testing.T) {
+	db, products, master := openSeeded(t, "hybrid")
+	defer db.Close()
+	n := 0
+	rows, scanErr := products.Rows(master.ID)
+	for range rows {
+		n++
+		if n == 3 {
+			break
+		}
+	}
+	if err := scanErr(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("broke after %d records, want 3", n)
+	}
+}
+
+// openSeeded opens a fresh dataset with one table and ten committed
+// records on master.
+func openSeeded(t *testing.T, engine string) (*decibel.DB, *decibel.Table, *decibel.Branch) {
+	t.Helper()
+	db, err := decibel.Open(t.TempDir(), decibel.WithEngine(engine))
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := decibel.NewSchema().Int64("id").Int64("v").MustBuild()
+	tbl, err := db.CreateTable("r", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	master, _, err := db.Init("init")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pk := int64(1); pk <= 10; pk++ {
+		rec := decibel.NewRecord(schema)
+		rec.SetPK(pk)
+		rec.Set(1, pk)
+		if err := tbl.Insert(master.ID, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.Commit(master.ID, "seed"); err != nil {
+		t.Fatal(err)
+	}
+	return db, tbl, master
+}
+
+func TestSentinelErrors(t *testing.T) {
+	if _, err := decibel.Open(t.TempDir(), decibel.WithEngine("btree")); !errors.Is(err, decibel.ErrUnknownEngine) {
+		t.Fatalf("unknown engine: got %v, want ErrUnknownEngine", err)
+	}
+
+	db, tbl, master := openSeeded(t, "hybrid")
+	defer db.Close()
+
+	if _, err := db.TableByName("nope"); !errors.Is(err, decibel.ErrNoSuchTable) {
+		t.Fatalf("missing table: got %v, want ErrNoSuchTable", err)
+	}
+	if _, err := db.BranchNamed("nope"); !errors.Is(err, decibel.ErrNoSuchBranch) {
+		t.Fatalf("missing branch: got %v, want ErrNoSuchBranch", err)
+	}
+	if _, err := db.BranchFromHead("b", "nope"); !errors.Is(err, decibel.ErrNoSuchBranch) {
+		t.Fatalf("branch from missing parent: got %v, want ErrNoSuchBranch", err)
+	}
+	if _, err := db.Branch("b", decibel.CommitID(9999)); !errors.Is(err, decibel.ErrNoSuchCommit) {
+		t.Fatalf("branch from missing commit: got %v, want ErrNoSuchCommit", err)
+	}
+	if _, _, err := db.Init("again"); !errors.Is(err, decibel.ErrAlreadyInitialized) {
+		t.Fatalf("double init: got %v, want ErrAlreadyInitialized", err)
+	}
+	if _, err := db.CreateTable("late", tbl.Schema()); !errors.Is(err, decibel.ErrAlreadyInitialized) {
+		t.Fatalf("create after init: got %v, want ErrAlreadyInitialized", err)
+	}
+
+	// Session positioning errors.
+	rec := decibel.NewRecord(tbl.Schema())
+	rec.SetPK(100)
+
+	detached, err := db.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer detached.Close()
+	if err := detached.CheckoutCommit(decibel.CommitID(9999)); !errors.Is(err, decibel.ErrNoSuchCommit) {
+		t.Fatalf("checkout missing commit: got %v, want ErrNoSuchCommit", err)
+	}
+	if err := detached.CheckoutCommit(decibel.CommitID(1)); err != nil { // init commit, not a head
+		t.Fatal(err)
+	}
+	if err := detached.Insert("r", rec); !errors.Is(err, decibel.ErrDetachedHead) {
+		t.Fatalf("write while detached: got %v, want ErrDetachedHead", err)
+	}
+
+	stale, err := db.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stale.Close()
+	if err := stale.Checkout("master"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Commit(master.ID, "advance past the session"); err != nil {
+		t.Fatal(err)
+	}
+	if err := stale.Insert("r", rec); !errors.Is(err, decibel.ErrNotAtHead) {
+		t.Fatalf("write behind head: got %v, want ErrNotAtHead", err)
+	}
+	if err := stale.Checkout("nope"); !errors.Is(err, decibel.ErrNoSuchBranch) {
+		t.Fatalf("checkout missing branch: got %v, want ErrNoSuchBranch", err)
+	}
+
+	atHead, err := db.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer atHead.Close()
+	if err := atHead.Insert("nope", rec); !errors.Is(err, decibel.ErrNoSuchTable) {
+		t.Fatalf("insert into missing table: got %v, want ErrNoSuchTable", err)
+	}
+
+	// Every session method fails with ErrSessionClosed after Close.
+	closed, err := db.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed.Close()
+	closed.Close() // idempotent
+	if err := closed.Checkout("master"); !errors.Is(err, decibel.ErrSessionClosed) {
+		t.Fatalf("Checkout on closed session: got %v, want ErrSessionClosed", err)
+	}
+	if err := closed.CheckoutCommit(decibel.CommitID(1)); !errors.Is(err, decibel.ErrSessionClosed) {
+		t.Fatalf("CheckoutCommit on closed session: got %v, want ErrSessionClosed", err)
+	}
+	if err := closed.Insert("r", rec); !errors.Is(err, decibel.ErrSessionClosed) {
+		t.Fatalf("Insert on closed session: got %v, want ErrSessionClosed", err)
+	}
+	if err := closed.Delete("r", 1); !errors.Is(err, decibel.ErrSessionClosed) {
+		t.Fatalf("Delete on closed session: got %v, want ErrSessionClosed", err)
+	}
+	if err := closed.Scan("r", func(*decibel.Record) bool { return true }); !errors.Is(err, decibel.ErrSessionClosed) {
+		t.Fatalf("Scan on closed session: got %v, want ErrSessionClosed", err)
+	}
+	if _, err := closed.CommitWork("msg"); !errors.Is(err, decibel.ErrSessionClosed) {
+		t.Fatalf("CommitWork on closed session: got %v, want ErrSessionClosed", err)
+	}
+
+	// Database operations fail with ErrDatabaseClosed after Close.
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Commit(master.ID, "late"); !errors.Is(err, decibel.ErrDatabaseClosed) {
+		t.Fatalf("Commit on closed db: got %v, want ErrDatabaseClosed", err)
+	}
+	if _, err := db.NewSession(); !errors.Is(err, decibel.ErrDatabaseClosed) {
+		t.Fatalf("NewSession on closed db: got %v, want ErrDatabaseClosed", err)
+	}
+	if err := db.Flush(); !errors.Is(err, decibel.ErrDatabaseClosed) {
+		t.Fatalf("Flush on closed db: got %v, want ErrDatabaseClosed", err)
+	}
+	if _, err := db.Stats(); !errors.Is(err, decibel.ErrDatabaseClosed) {
+		t.Fatalf("Stats on closed db: got %v, want ErrDatabaseClosed", err)
+	}
+	if err := tbl.Insert(master.ID, rec); !errors.Is(err, decibel.ErrDatabaseClosed) {
+		t.Fatalf("Insert on closed db: got %v, want ErrDatabaseClosed", err)
+	}
+	rows, scanErr := tbl.Rows(master.ID)
+	for range rows {
+		t.Fatal("scan on closed db yielded a record")
+	}
+	if err := scanErr(); !errors.Is(err, decibel.ErrDatabaseClosed) {
+		t.Fatalf("Rows on closed db: got %v, want ErrDatabaseClosed", err)
+	}
+}
+
+func TestSchemaBuilderValidation(t *testing.T) {
+	if _, err := decibel.NewSchema().Build(); err == nil {
+		t.Fatal("empty schema accepted")
+	}
+	if _, err := decibel.NewSchema().Int32("id").Build(); err == nil {
+		t.Fatal("non-Int64 primary key accepted")
+	}
+	if _, err := decibel.NewSchema().Int64("id").Int64("id").Build(); err == nil {
+		t.Fatal("duplicate column accepted")
+	}
+	s, err := decibel.NewSchema().Int64("id").Int64("a").Int32("b").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumColumns() != 3 || s.Column(2).Type != decibel.Int32 {
+		t.Fatalf("built schema wrong: %d columns", s.NumColumns())
+	}
+}

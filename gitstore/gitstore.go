@@ -1,0 +1,47 @@
+// Package gitstore is the public face of the git-backed baseline the
+// paper compares against (Section 5.5, Tables 6 and 7): a versioned
+// table stored as git-style loose objects and delta-compressed packs,
+// in one-file-per-table or file-per-tuple layouts, binary or CSV
+// encoded.
+package gitstore
+
+import (
+	"decibel"
+	igit "decibel/internal/gitstore"
+)
+
+// Layouts: how a table maps onto files in the repository.
+type Layout = igit.Layout
+
+const (
+	OneFile      = igit.OneFile      // the whole table as one blob
+	FilePerTuple = igit.FilePerTuple // one blob per tuple
+)
+
+// Formats: how records are encoded inside blobs.
+type Format = igit.Format
+
+const (
+	Binary = igit.Binary // the record codec's binary layout
+	CSV    = igit.CSV    // comma-separated decimal columns
+)
+
+// Table is a versioned relation stored in a git-style repository.
+type Table = igit.Table
+
+// Repo is the underlying object store (loose objects, packs, refs).
+type Repo = igit.Repo
+
+// Hash identifies an object (SHA-1, as in git).
+type Hash = igit.Hash
+
+// Commit is one commit object.
+type Commit = igit.Commit
+
+// NewTable creates (or reopens) a git-backed table at dir.
+func NewTable(dir string, schema *decibel.Schema, layout Layout, format Format) (*Table, error) {
+	return igit.NewTable(dir, schema, layout, format)
+}
+
+// InitRepo creates (or reopens) a bare object store at dir.
+func InitRepo(dir string) (*Repo, error) { return igit.InitRepo(dir) }

@@ -1,0 +1,3 @@
+module decibel
+
+go 1.23

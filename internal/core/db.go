@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"decibel/internal/heap"
 	"decibel/internal/lock"
@@ -22,6 +23,7 @@ import (
 // commit snapshots every relation atomically.
 type Database struct {
 	mu      sync.Mutex
+	closeMu sync.RWMutex // held shared for the span of every operation; exclusively by Close
 	dir     string
 	opt     Options
 	factory Factory
@@ -35,6 +37,7 @@ type Database struct {
 	order  []string // table creation order
 
 	nextTxn uint64
+	closed  atomic.Bool
 }
 
 // Table is one versioned relation inside a Database.
@@ -97,6 +100,22 @@ func Open(dir string, factory Factory, opt Options) (*Database, error) {
 }
 
 func (db *Database) catalogPath() string { return filepath.Join(db.dir, "catalog.json") }
+
+// beginOp opens an operation against the database: it takes the
+// close-guard shared and fails with ErrDatabaseClosed once Close has
+// run. Operations that passed the check before Close are drained —
+// Close waits for their endOp — so they never see half-closed engines.
+func (db *Database) beginOp() error {
+	db.closeMu.RLock()
+	if db.closed.Load() {
+		db.closeMu.RUnlock()
+		return ErrDatabaseClosed
+	}
+	return nil
+}
+
+// endOp closes an operation opened with beginOp.
+func (db *Database) endOp() { db.closeMu.RUnlock() }
 
 func (db *Database) loadCatalog() error {
 	data, err := os.ReadFile(db.catalogPath())
@@ -168,10 +187,14 @@ func (db *Database) attachTable(name string, schema *record.Schema) (*Table, err
 // before Init (the init transaction "creates the two tables as well as
 // populates them with initial data", Section 2.2.3).
 func (db *Database) CreateTable(name string, schema *record.Schema) (*Table, error) {
+	if err := db.beginOp(); err != nil {
+		return nil, err
+	}
+	defer db.endOp()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.graph.Initialized() {
-		return nil, errors.New("core: cannot create tables after init")
+		return nil, fmt.Errorf("%w: cannot create tables after init", ErrAlreadyInitialized)
 	}
 	if name == "" {
 		return nil, errors.New("core: empty table name")
@@ -194,6 +217,16 @@ func (db *Database) Table(name string) (*Table, bool) {
 	return t, ok
 }
 
+// TableByName returns the named relation or an error wrapping
+// ErrNoSuchTable.
+func (db *Database) TableByName(name string) (*Table, error) {
+	t, ok := db.Table(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, name)
+	}
+	return t, nil
+}
+
 // Tables returns the dataset's relations in creation order.
 func (db *Database) Tables() []*Table {
 	db.mu.Lock()
@@ -208,11 +241,28 @@ func (db *Database) Tables() []*Table {
 // Graph exposes the version graph (read-mostly: heads, LCA, ancestry).
 func (db *Database) Graph() *vgraph.Graph { return db.graph }
 
+// BranchNamed resolves a branch name or returns an error wrapping
+// ErrNoSuchBranch.
+func (db *Database) BranchNamed(name string) (*vgraph.Branch, error) {
+	b, ok := db.graph.BranchByName(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchBranch, name)
+	}
+	return b, nil
+}
+
 // Init creates the master branch and the initial (empty) version of
 // every relation.
 func (db *Database) Init(message string) (*vgraph.Branch, *vgraph.Commit, error) {
+	if err := db.beginOp(); err != nil {
+		return nil, nil, err
+	}
+	defer db.endOp()
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.graph.Initialized() {
+		return nil, nil, ErrAlreadyInitialized
+	}
 	if len(db.tables) == 0 {
 		return nil, nil, errors.New("core: init requires at least one table")
 	}
@@ -233,11 +283,15 @@ func (db *Database) Init(message string) (*vgraph.Branch, *vgraph.Commit, error)
 
 // Branch creates a named branch from any existing commit.
 func (db *Database) Branch(name string, from vgraph.CommitID) (*vgraph.Branch, error) {
+	if err := db.beginOp(); err != nil {
+		return nil, err
+	}
+	defer db.endOp()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	fromCommit, ok := db.graph.Commit(from)
 	if !ok {
-		return nil, fmt.Errorf("core: commit %d does not exist", from)
+		return nil, fmt.Errorf("%w: commit %d", ErrNoSuchCommit, from)
 	}
 	b, err := db.graph.NewBranch(name, from)
 	if err != nil {
@@ -259,7 +313,7 @@ func (db *Database) Branch(name string, from vgraph.CommitID) (*vgraph.Branch, e
 func (db *Database) BranchFromHead(name, parent string) (*vgraph.Branch, error) {
 	pb, ok := db.graph.BranchByName(parent)
 	if !ok {
-		return nil, fmt.Errorf("core: branch %q does not exist", parent)
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchBranch, parent)
 	}
 	return db.Branch(name, pb.Head)
 }
@@ -267,8 +321,15 @@ func (db *Database) BranchFromHead(name, parent string) (*vgraph.Branch, error) 
 // Commit snapshots the branch's current state across all relations as a
 // new version.
 func (db *Database) Commit(branch vgraph.BranchID, message string) (*vgraph.Commit, error) {
+	if err := db.beginOp(); err != nil {
+		return nil, err
+	}
+	defer db.endOp()
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if _, ok := db.graph.Branch(branch); !ok {
+		return nil, fmt.Errorf("%w: id %d", ErrNoSuchBranch, branch)
+	}
 	c, err := db.graph.NewCommit(branch, message)
 	if err != nil {
 		return nil, err
@@ -288,9 +349,18 @@ func (db *Database) Commit(branch vgraph.BranchID, message string) (*vgraph.Comm
 // relations, committing the result as a merge version. precedenceFirst
 // selects whether into (true) or other (false) wins conflicts.
 func (db *Database) Merge(into, other vgraph.BranchID, message string, kind MergeKind, precedenceFirst bool) (*vgraph.Commit, MergeStats, error) {
+	var agg MergeStats
+	if err := db.beginOp(); err != nil {
+		return nil, agg, err
+	}
+	defer db.endOp()
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	var agg MergeStats
+	for _, b := range []vgraph.BranchID{into, other} {
+		if _, ok := db.graph.Branch(b); !ok {
+			return nil, agg, fmt.Errorf("%w: id %d", ErrNoSuchBranch, b)
+		}
+	}
 	mc, err := db.graph.NewMergeCommit(into, other, message, precedenceFirst)
 	if err != nil {
 		return nil, agg, err
@@ -324,6 +394,10 @@ func (db *Database) journalOp(op, detail string) error {
 // Stats aggregates storage statistics across relations.
 func (db *Database) Stats() (Stats, error) {
 	var agg Stats
+	if err := db.beginOp(); err != nil {
+		return agg, err
+	}
+	defer db.endOp()
 	for _, t := range db.Tables() {
 		st, err := t.engine.Stats()
 		if err != nil {
@@ -341,6 +415,10 @@ func (db *Database) Stats() (Stats, error) {
 
 // Flush writes all buffered state to disk.
 func (db *Database) Flush() error {
+	if err := db.beginOp(); err != nil {
+		return err
+	}
+	defer db.endOp()
 	for _, t := range db.Tables() {
 		if err := t.engine.Flush(); err != nil {
 			return err
@@ -349,8 +427,16 @@ func (db *Database) Flush() error {
 	return nil
 }
 
-// Close flushes and closes every engine and the journal.
+// Close flushes and closes every engine and the journal. Close is
+// idempotent: calls after the first are no-ops returning nil.
 func (db *Database) Close() error {
+	if !db.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	// Drain: operations that passed beginOp before the flag flipped
+	// still hold the close-guard shared; wait for them to finish.
+	db.closeMu.Lock()
+	db.closeMu.Unlock()
 	var first error
 	for _, t := range db.Tables() {
 		if err := t.engine.Close(); err != nil && first == nil {
@@ -374,31 +460,56 @@ func (t *Table) Engine() Engine { return t.engine }
 
 // Insert upserts a record into a branch head.
 func (t *Table) Insert(branch vgraph.BranchID, rec *record.Record) error {
+	if err := t.db.beginOp(); err != nil {
+		return err
+	}
+	defer t.db.endOp()
 	return t.engine.Insert(branch, rec)
 }
 
 // Delete removes a key from a branch head.
 func (t *Table) Delete(branch vgraph.BranchID, pk int64) error {
+	if err := t.db.beginOp(); err != nil {
+		return err
+	}
+	defer t.db.endOp()
 	return t.engine.Delete(branch, pk)
 }
 
 // Scan emits the records live in a branch head (Query 1).
 func (t *Table) Scan(branch vgraph.BranchID, fn ScanFunc) error {
+	if err := t.db.beginOp(); err != nil {
+		return err
+	}
+	defer t.db.endOp()
 	return t.engine.ScanBranch(branch, fn)
 }
 
 // ScanCommit emits the records of a committed version (checkout read).
 func (t *Table) ScanCommit(c *vgraph.Commit, fn ScanFunc) error {
+	if err := t.db.beginOp(); err != nil {
+		return err
+	}
+	defer t.db.endOp()
 	return t.engine.ScanCommit(c, fn)
 }
 
 // ScanMulti emits records live in any of the branches with membership
 // annotations (Query 4).
 func (t *Table) ScanMulti(branches []vgraph.BranchID, fn MultiScanFunc) error {
+	if err := t.db.beginOp(); err != nil {
+		return err
+	}
+	defer t.db.endOp()
 	return t.engine.ScanMulti(branches, fn)
 }
 
-// Diff streams the symmetric difference of two branch heads (Query 2).
-func (t *Table) Diff(a, b vgraph.BranchID, fn DiffFunc) error {
+// ScanDiff streams the symmetric difference of two branch heads
+// (Query 2) through a callback; Diff is the iterator form.
+func (t *Table) ScanDiff(a, b vgraph.BranchID, fn DiffFunc) error {
+	if err := t.db.beginOp(); err != nil {
+		return err
+	}
+	defer t.db.endOp()
 	return t.engine.Diff(a, b, fn)
 }

@@ -1,0 +1,41 @@
+package core
+
+import "errors"
+
+// Sentinel errors for the conditions callers are expected to branch on.
+// They are wrapped with %w wherever core raises them, so both core and
+// facade consumers test with errors.Is rather than string matching. The
+// public decibel package re-exports each of these under the same name.
+var (
+	// ErrNoSuchBranch reports a branch name or ID that does not exist
+	// in the version graph.
+	ErrNoSuchBranch = errors.New("decibel: no such branch")
+
+	// ErrNoSuchTable reports a table name missing from the catalog.
+	ErrNoSuchTable = errors.New("decibel: no such table")
+
+	// ErrNoSuchCommit reports a commit ID absent from the version graph.
+	ErrNoSuchCommit = errors.New("decibel: no such commit")
+
+	// ErrDetachedHead reports a write attempted while the session is
+	// checked out at a historical commit rather than a branch.
+	ErrDetachedHead = errors.New("decibel: session is detached at a historical commit")
+
+	// ErrNotAtHead reports a write attempted while the session's branch
+	// has advanced past the session's checked-out commit; commits are
+	// only allowed at branch heads (Section 2.2.3).
+	ErrNotAtHead = errors.New("decibel: session is not at the branch head")
+
+	// ErrSessionClosed reports any operation on a closed session.
+	ErrSessionClosed = errors.New("decibel: session closed")
+
+	// ErrAlreadyInitialized reports Init on an initialized dataset, or
+	// CreateTable after Init has frozen the schema set.
+	ErrAlreadyInitialized = errors.New("decibel: dataset already initialized")
+
+	// ErrUnknownEngine reports an engine name absent from the registry.
+	ErrUnknownEngine = errors.New("decibel: unknown engine")
+
+	// ErrDatabaseClosed reports an operation on a closed Database.
+	ErrDatabaseClosed = errors.New("decibel: database closed")
+)

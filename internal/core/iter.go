@@ -1,0 +1,54 @@
+package core
+
+import (
+	"iter"
+
+	"decibel/internal/bitmap"
+	"decibel/internal/record"
+	"decibel/internal/vgraph"
+)
+
+// Iterator forms of the scan API, layered over the ScanFunc callbacks.
+// Each returns a single-use range-over-func sequence plus a trailing
+// error accessor that is valid once iteration finishes (or was broken
+// out of). As with the callbacks, yielded records may alias engine
+// buffers and must be Cloned to be retained across iterations.
+
+// Rows iterates the records live in a branch head (Query 1).
+func (t *Table) Rows(branch vgraph.BranchID) (iter.Seq[*record.Record], func() error) {
+	var err error
+	seq := func(yield func(*record.Record) bool) {
+		err = t.Scan(branch, func(rec *record.Record) bool { return yield(rec) })
+	}
+	return seq, func() error { return err }
+}
+
+// RowsAt iterates the records of a committed version (checkout read).
+func (t *Table) RowsAt(c *vgraph.Commit) (iter.Seq[*record.Record], func() error) {
+	var err error
+	seq := func(yield func(*record.Record) bool) {
+		err = t.ScanCommit(c, func(rec *record.Record) bool { return yield(rec) })
+	}
+	return seq, func() error { return err }
+}
+
+// Diff iterates the symmetric difference of two branch heads (Query 2).
+// The bool is true for records live in a but not b, false for the
+// reverse.
+func (t *Table) Diff(a, b vgraph.BranchID) (iter.Seq2[*record.Record, bool], func() error) {
+	var err error
+	seq := func(yield func(*record.Record, bool) bool) {
+		err = t.ScanDiff(a, b, func(rec *record.Record, inA bool) bool { return yield(rec, inA) })
+	}
+	return seq, func() error { return err }
+}
+
+// RowsMulti iterates the records live in any of the branch heads
+// (Query 4); the membership bitmap's bit i corresponds to branches[i].
+func (t *Table) RowsMulti(branches []vgraph.BranchID) (iter.Seq2[*record.Record, *bitmap.Bitmap], func() error) {
+	var err error
+	seq := func(yield func(*record.Record, *bitmap.Bitmap) bool) {
+		err = t.ScanMulti(branches, func(rec *record.Record, m *bitmap.Bitmap) bool { return yield(rec, m) })
+	}
+	return seq, func() error { return err }
+}

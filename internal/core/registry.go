@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// The engine registry maps scheme names to factories, database/sql
+// driver style. Each engine package registers itself from init, so any
+// program that links an engine (directly or through the decibel facade)
+// can open datasets with it by name; the two CLIs and the bench harness
+// all resolve engines here instead of hand-rolling name switches.
+var registry = struct {
+	sync.RWMutex
+	factories map[string]Factory
+	canonical []string // registration order of canonical names
+}{factories: make(map[string]Factory)}
+
+// RegisterEngine registers factory under a canonical name plus any
+// aliases (e.g. "tuple-first" with alias "tf"). It panics on a nil
+// factory or a duplicate name, mirroring database/sql.Register: both
+// are programmer errors in an engine package's init.
+func RegisterEngine(name string, factory Factory, aliases ...string) {
+	if factory == nil {
+		panic("core: RegisterEngine with nil factory")
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	for _, n := range append([]string{name}, aliases...) {
+		if _, dup := registry.factories[n]; dup {
+			panic(fmt.Sprintf("core: RegisterEngine called twice for %q", n))
+		}
+		registry.factories[n] = factory
+	}
+	registry.canonical = append(registry.canonical, name)
+}
+
+// LookupEngine resolves a registered engine name or alias. Unknown
+// names return an error wrapping ErrUnknownEngine that lists what is
+// registered.
+func LookupEngine(name string) (Factory, error) {
+	registry.RLock()
+	f, ok := registry.factories[name]
+	registry.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w %q (registered: %s)", ErrUnknownEngine, name, strings.Join(EngineNames(), ", "))
+	}
+	return f, nil
+}
+
+// EngineNames returns the canonical names of all registered engines,
+// sorted.
+func EngineNames() []string {
+	registry.RLock()
+	out := append([]string(nil), registry.canonical...)
+	registry.RUnlock()
+	sort.Strings(out)
+	return out
+}

@@ -26,6 +26,10 @@ type Session struct {
 
 // NewSession opens a session positioned at the head of master.
 func (db *Database) NewSession() (*Session, error) {
+	if err := db.beginOp(); err != nil {
+		return nil, err
+	}
+	defer db.endOp()
 	db.mu.Lock()
 	db.nextTxn++
 	txn := db.nextTxn
@@ -46,11 +50,11 @@ func (s *Session) Checkout(branch string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return errors.New("core: session closed")
+		return ErrSessionClosed
 	}
 	b, ok := s.db.graph.BranchByName(branch)
 	if !ok {
-		return fmt.Errorf("core: branch %q does not exist", branch)
+		return fmt.Errorf("%w: %q", ErrNoSuchBranch, branch)
 	}
 	head, _ := s.db.graph.Commit(b.Head)
 	s.branch = b
@@ -66,11 +70,11 @@ func (s *Session) CheckoutCommit(id vgraph.CommitID) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return errors.New("core: session closed")
+		return ErrSessionClosed
 	}
 	c, ok := s.db.graph.Commit(id)
 	if !ok {
-		return fmt.Errorf("core: commit %d does not exist", id)
+		return fmt.Errorf("%w: commit %d", ErrNoSuchCommit, id)
 	}
 	s.commit = c
 	s.branch = nil
@@ -100,14 +104,14 @@ func (s *Session) Commit() *vgraph.Commit {
 // the branches"; commits to non-head versions are not allowed).
 func (s *Session) atHead() (*vgraph.Branch, error) {
 	if s.closed {
-		return nil, errors.New("core: session closed")
+		return nil, ErrSessionClosed
 	}
 	if s.branch == nil {
-		return nil, errors.New("core: session is detached at a historical commit; checkout a branch to write")
+		return nil, fmt.Errorf("%w; checkout a branch to write", ErrDetachedHead)
 	}
 	b, _ := s.db.graph.Branch(s.branch.ID)
 	if s.commit == nil || b.Head != s.commit.ID {
-		return nil, errors.New("core: session is not at the branch head; checkout the branch to write")
+		return nil, fmt.Errorf("%w; checkout the branch to write", ErrNotAtHead)
 	}
 	return b, nil
 }
@@ -123,7 +127,7 @@ func (s *Session) Insert(table string, rec *record.Record) error {
 	}
 	t, ok := s.db.Table(table)
 	if !ok {
-		return fmt.Errorf("core: table %q does not exist", table)
+		return fmt.Errorf("%w: %q", ErrNoSuchTable, table)
 	}
 	if err := s.db.locks.Acquire(s.txn, branchResource(b.ID), lock.Exclusive); err != nil {
 		return err
@@ -142,7 +146,7 @@ func (s *Session) Delete(table string, pk int64) error {
 	}
 	t, ok := s.db.Table(table)
 	if !ok {
-		return fmt.Errorf("core: table %q does not exist", table)
+		return fmt.Errorf("%w: %q", ErrNoSuchTable, table)
 	}
 	if err := s.db.locks.Acquire(s.txn, branchResource(b.ID), lock.Exclusive); err != nil {
 		return err
@@ -155,18 +159,18 @@ func (s *Session) Delete(table string, pk int64) error {
 // need no lock: versions are immutable).
 func (s *Session) Scan(table string, fn ScanFunc) error {
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrSessionClosed
+	}
 	t, ok := s.db.Table(table)
 	if !ok {
 		s.mu.Unlock()
-		return fmt.Errorf("core: table %q does not exist", table)
+		return fmt.Errorf("%w: %q", ErrNoSuchTable, table)
 	}
 	branch := s.branch
 	commit := s.commit
-	closed := s.closed
 	s.mu.Unlock()
-	if closed {
-		return errors.New("core: session closed")
-	}
 	if branch != nil {
 		if cur, _ := s.db.graph.Branch(branch.ID); cur != nil && commit != nil && cur.Head == commit.ID {
 			if err := s.db.locks.Acquire(s.txn, branchResource(branch.ID), lock.Shared); err != nil {

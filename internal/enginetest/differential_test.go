@@ -246,7 +246,7 @@ func (h *harness) verify(r *rand.Rand, commits []*vgraph.Commit) {
 		for _, n := range h.names {
 			tbl, _ := h.dbs[n].Table("t")
 			got := make(map[string]bool)
-			if err := tbl.Diff(a, b, func(rec *record.Record, inA bool) bool {
+			if err := tbl.ScanDiff(a, b, func(rec *record.Record, inA bool) bool {
 				side := "\x00B"
 				if inA {
 					side = "\x00A"

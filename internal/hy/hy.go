@@ -87,6 +87,8 @@ type metaJSON struct {
 	StartSeq map[string]int            `json:"startSeq"` // "branch:seg" -> seq
 }
 
+func init() { core.RegisterEngine("hybrid", Factory, "hy") }
+
 // Factory builds a hybrid engine; it satisfies core.Factory.
 func Factory(env *core.Env) (core.Engine, error) {
 	e := &Engine{

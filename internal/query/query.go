@@ -101,7 +101,7 @@ func CommitScan(t *core.Table, c *vgraph.Commit, pred Predicate, fn core.ScanFun
 //	SELECT * FROM R WHERE R.Version='v01'
 //	AND R.id NOT IN (SELECT id FROM R WHERE R.Version='v02')
 func PositiveDiff(t *core.Table, a, b vgraph.BranchID, fn core.ScanFunc) error {
-	return t.Diff(a, b, func(rec *record.Record, inA bool) bool {
+	return t.ScanDiff(a, b, func(rec *record.Record, inA bool) bool {
 		if !inA {
 			return true
 		}

@@ -25,6 +25,8 @@ type Engine struct {
 	logs map[vgraph.BranchID]*bitmap.CommitLog
 }
 
+func init() { core.RegisterEngine("tuple-first", Factory, "tf") }
+
 // Factory builds a tuple-first engine; it satisfies core.Factory.
 func Factory(env *core.Env) (core.Engine, error) {
 	e := &Engine{

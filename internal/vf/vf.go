@@ -90,6 +90,8 @@ type Engine struct {
 	cache map[intervalKey]intervalTable
 }
 
+func init() { core.RegisterEngine("version-first", Factory, "vf") }
+
 // Factory builds a version-first engine; it satisfies core.Factory.
 func Factory(env *core.Env) (core.Engine, error) {
 	e := &Engine{

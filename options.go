@@ -1,0 +1,57 @@
+package decibel
+
+import "decibel/internal/core"
+
+// DefaultEngine is the storage engine Open uses when WithEngine is not
+// given. The hybrid scheme is the paper's headline design (Section 3.4).
+const DefaultEngine = "hybrid"
+
+type config struct {
+	engine string
+	opt    core.Options
+}
+
+func newConfig(opts []Option) config {
+	cfg := config{engine: DefaultEngine}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// Option configures Open.
+type Option func(*config)
+
+// WithEngine selects the storage engine by registered name or alias:
+// "tuple-first"/"tf", "version-first"/"vf" or "hybrid"/"hy".
+func WithEngine(name string) Option {
+	return func(c *config) { c.engine = name }
+}
+
+// WithPageSize sets the heap page size in bytes (0 = default).
+func WithPageSize(bytes int) Option {
+	return func(c *config) { c.opt.PageSize = bytes }
+}
+
+// WithPoolPages sets the buffer pool capacity in pages (0 = default).
+func WithPoolPages(pages int) Option {
+	return func(c *config) { c.opt.PoolPages = pages }
+}
+
+// WithFsync enables fsync on commit. It is off by default, matching
+// the paper's load phase.
+func WithFsync(on bool) Option {
+	return func(c *config) { c.opt.Fsync = on }
+}
+
+// WithCommitFanout sets the commit-log composite layer fanout
+// (0 = default).
+func WithCommitFanout(fanout int) Option {
+	return func(c *config) { c.opt.CommitFanout = fanout }
+}
+
+// WithTupleOrientedBitmaps switches the tuple-first engine to its
+// tuple-oriented bitmap matrix (the Section 3.1 layout ablation).
+func WithTupleOrientedBitmaps(on bool) Option {
+	return func(c *config) { c.opt.TupleOriented = on }
+}

@@ -1,0 +1,85 @@
+// Package query is the public face of the versioned query operators of
+// Decibel's benchmark (Table 1): single-version scans with predicates,
+// positive diffs between versions, primary-key joins across versions,
+// and HEAD() scans over all branch heads. Operators work on any
+// decibel.Table regardless of storage engine.
+package query
+
+import (
+	"decibel"
+	iquery "decibel/internal/query"
+)
+
+// Predicate filters records.
+type Predicate = iquery.Predicate
+
+// JoinedPair is one output row of a version join.
+type JoinedPair = iquery.JoinedPair
+
+// HeadRecord is one output row of a HEAD() scan: a record plus the
+// branches whose heads contain it.
+type HeadRecord = iquery.HeadRecord
+
+// True matches every record.
+func True(r *decibel.Record) bool { return iquery.True(r) }
+
+// ColumnEquals matches records whose column equals v.
+func ColumnEquals(col int, v int64) Predicate { return iquery.ColumnEquals(col, v) }
+
+// ColumnLess matches records whose column is less than v.
+func ColumnLess(col int, v int64) Predicate { return iquery.ColumnLess(col, v) }
+
+// ColumnMod matches records whose column value modulo m equals rem.
+func ColumnMod(col int, m, rem int64) Predicate { return iquery.ColumnMod(col, m, rem) }
+
+// And combines predicates conjunctively.
+func And(ps ...Predicate) Predicate { return iquery.And(ps...) }
+
+// Or combines predicates disjunctively.
+func Or(ps ...Predicate) Predicate { return iquery.Or(ps...) }
+
+// Not negates a predicate.
+func Not(p Predicate) Predicate { return iquery.Not(p) }
+
+// SingleVersionScan is Query 1: scan one branch head under a predicate.
+func SingleVersionScan(t *decibel.Table, branch decibel.BranchID, pred Predicate, fn decibel.ScanFunc) error {
+	return iquery.SingleVersionScan(t, branch, pred, fn)
+}
+
+// CommitScan is Query 1 against a committed (checked-out) version.
+func CommitScan(t *decibel.Table, c *decibel.Commit, pred Predicate, fn decibel.ScanFunc) error {
+	return iquery.CommitScan(t, c, pred, fn)
+}
+
+// PositiveDiff is Query 2: emit the records in branch a that do not
+// appear in branch b.
+func PositiveDiff(t *decibel.Table, a, b decibel.BranchID, fn decibel.ScanFunc) error {
+	return iquery.PositiveDiff(t, a, b, fn)
+}
+
+// VersionJoin is Query 3: a primary-key join between two branch heads,
+// emitting pairs whose left record satisfies the predicate.
+func VersionJoin(t *decibel.Table, left, right decibel.BranchID, pred Predicate, fn func(JoinedPair) bool) error {
+	return iquery.VersionJoin(t, left, right, pred, fn)
+}
+
+// HeadScan is Query 4: emit every record live in the head of any
+// branch satisfying the predicate, annotated with its active branches.
+func HeadScan(g *decibel.Graph, t *decibel.Table, pred Predicate, fn func(HeadRecord) bool) error {
+	return iquery.HeadScan(g, t, pred, fn)
+}
+
+// HeadScanBranches is HeadScan restricted to an explicit branch list.
+func HeadScanBranches(t *decibel.Table, ids []decibel.BranchID, pred Predicate, fn func(HeadRecord) bool) error {
+	return iquery.HeadScanBranches(t, ids, pred, fn)
+}
+
+// Count runs a counting aggregate over a single-version scan.
+func Count(t *decibel.Table, branch decibel.BranchID, pred Predicate) (int, error) {
+	return iquery.Count(t, branch, pred)
+}
+
+// Sum aggregates one column over a single-version scan.
+func Sum(t *decibel.Table, branch decibel.BranchID, col int, pred Predicate) (int64, error) {
+	return iquery.Sum(t, branch, col, pred)
+}

@@ -1,0 +1,44 @@
+package decibel
+
+import (
+	"decibel/internal/record"
+)
+
+// SchemaBuilder builds a Schema fluently:
+//
+//	schema, err := decibel.NewSchema().Int64("id").Int64("price").Int32("qty").Build()
+//
+// Column 0 must be Int64; it is the primary key Decibel uses to track
+// records across versions.
+type SchemaBuilder struct {
+	cols []record.Column
+}
+
+// NewSchema starts an empty schema.
+func NewSchema() *SchemaBuilder { return &SchemaBuilder{} }
+
+// Int64 appends an 8-byte signed integer column.
+func (b *SchemaBuilder) Int64(name string) *SchemaBuilder {
+	b.cols = append(b.cols, record.Column{Name: name, Type: record.Int64})
+	return b
+}
+
+// Int32 appends a 4-byte signed integer column.
+func (b *SchemaBuilder) Int32(name string) *SchemaBuilder {
+	b.cols = append(b.cols, record.Column{Name: name, Type: record.Int32})
+	return b
+}
+
+// Build validates and returns the schema.
+func (b *SchemaBuilder) Build() (*Schema, error) {
+	return record.NewSchema(b.cols...)
+}
+
+// MustBuild is Build panicking on error, for fixed schemas.
+func (b *SchemaBuilder) MustBuild() *Schema {
+	s, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
