@@ -1,20 +1,29 @@
 // Command decibel is a small CLI over a Decibel dataset: init, branch,
-// commit, insert, delete, scan, diff, merge and log against a dataset
-// directory, with a choice of storage engine resolved through the
-// engine registry.
+// commit, insert, delete, scan, checkout, diff, merge and log against a
+// dataset directory, with a choice of storage engine resolved through
+// the engine registry. Branches and historical versions are always
+// addressed by name — the CLI is written entirely against the
+// name-based facade API.
 //
 // Usage:
 //
-//	decibel -dir data -engine hybrid init col1,col2,...
+//	decibel -dir data -engine hybrid init price:float64,sku:bytes16
 //	decibel -dir data insert <branch> <pk> <v1> <v2> ...
 //	decibel -dir data delete <branch> <pk>
 //	decibel -dir data commit <branch> [message]
 //	decibel -dir data branch <name> <from-branch>
 //	decibel -dir data scan <branch>
+//	decibel -dir data checkout <branch>[@<n>]
 //	decibel -dir data diff <branchA> <branchB>
 //	decibel -dir data merge <into> <other> [two|three] [first|second]
 //	decibel -dir data log
 //	decibel -dir data stats
+//	decibel help
+//
+// Column types in init are name:type pairs; type is one of int32,
+// int64, float64 or bytes<N> (a byte string of up to N bytes) and
+// defaults to int64. checkout <branch>@<n> reads the n-th commit made
+// on the branch (zero-based), the session time-travel of Section 2.2.3.
 package main
 
 import (
@@ -27,20 +36,107 @@ import (
 	"decibel"
 )
 
+const usageText = `usage: decibel [flags] <command> [args]
+
+commands:
+  init <col:type,...>        create the table and the master branch
+                             (types: int32 | int64 | float64 | bytes<N>;
+                             default int64; the int64 "id" key is implicit)
+  insert <branch> <pk> <v...>  upsert a record into a branch, committed
+                             as one transaction on the branch head
+  delete <branch> <pk>       remove a key from a branch, committed
+  commit <branch> [message]  snapshot the branch head as a new version
+  branch <name> <from>       create branch <name> from the head of <from>
+  scan <branch>              print the records live at a branch head
+  checkout <branch>[@<n>]    print the records of the n-th commit made on
+                             the branch (zero-based; no @<n> reads the head)
+  diff <branchA> <branchB>   print the symmetric difference of two heads
+  merge <into> <other> [two|three] [first|second]
+                             merge <other> into <into> (default three-way,
+                             <into> wins conflicts)
+  log                        list branches and commit counts
+  stats                      storage statistics
+  help                       print this help
+
+flags:
+  -dir <path>     dataset directory (default "decibel-data")
+  -engine <name>  storage engine (default "` + decibel.DefaultEngine + `")
+  -table <name>   table name (default "r")
+`
+
 func main() {
 	dir := flag.String("dir", "decibel-data", "dataset directory")
 	engine := flag.String("engine", decibel.DefaultEngine,
 		"storage engine: "+strings.Join(decibel.Engines(), " | "))
 	table := flag.String("table", "r", "table name")
+	flag.Usage = func() { fmt.Fprint(os.Stderr, usageText) }
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: decibel [flags] <command> [args]  (see -h)")
+		flag.Usage()
 		os.Exit(2)
+	}
+	if flag.Arg(0) == "help" {
+		fmt.Print(usageText)
+		return
 	}
 	if err := run(*dir, *engine, *table, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "decibel:", err)
 		os.Exit(1)
 	}
+}
+
+// parseSchema turns "price:float64,sku:bytes16,qty" into a schema with
+// the implicit int64 "id" primary key in front (an explicit leading
+// "id" or "id:int64" is accepted and folded into it).
+func parseSchema(spec string) (*decibel.Schema, error) {
+	b := decibel.NewSchema().Int64("id")
+	for i, part := range strings.Split(spec, ",") {
+		name, typ, _ := strings.Cut(strings.TrimSpace(part), ":")
+		if i == 0 && name == "id" && (typ == "" || typ == "int64") {
+			continue
+		}
+		switch {
+		case typ == "" || typ == "int64":
+			b = b.Int64(name)
+		case typ == "int32":
+			b = b.Int32(name)
+		case typ == "float64":
+			b = b.Float64(name)
+		case strings.HasPrefix(typ, "bytes"):
+			size, err := strconv.Atoi(typ[len("bytes"):])
+			if err != nil {
+				return nil, fmt.Errorf("column %q: bytes type needs a size, e.g. bytes16", name)
+			}
+			b = b.Bytes(name, size)
+		default:
+			return nil, fmt.Errorf("column %q: unknown type %q (want int32|int64|float64|bytes<N>)", name, typ)
+		}
+	}
+	return b.Build()
+}
+
+// setColumn parses v according to the type of column i and stores it
+// into rec.
+func setColumn(rec *decibel.Record, schema *decibel.Schema, i int, v string) error {
+	switch c := schema.Column(i); c.Type {
+	case decibel.Float64:
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return fmt.Errorf("column %q: %w", c.Name, err)
+		}
+		rec.SetFloat64(i, f)
+	case decibel.Bytes:
+		if err := rec.SetBytes(i, []byte(v)); err != nil {
+			return err
+		}
+	default:
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return fmt.Errorf("column %q: %w", c.Name, err)
+		}
+		rec.Set(i, n)
+	}
+	return nil
 }
 
 func run(dir, engine, table string, args []string) error {
@@ -51,25 +147,13 @@ func run(dir, engine, table string, args []string) error {
 	defer db.Close()
 	cmd, rest := args[0], args[1:]
 
-	branchID := func(name string) (decibel.BranchID, error) {
-		b, err := db.BranchNamed(name)
-		if err != nil {
-			return 0, err
-		}
-		return b.ID, nil
-	}
-
 	switch cmd {
 	case "init":
-		schema := decibel.NewSchema().Int64("id")
+		spec := "value"
 		if len(rest) > 0 {
-			for _, c := range strings.Split(rest[0], ",") {
-				schema = schema.Int64(c)
-			}
-		} else {
-			schema = schema.Int64("value")
+			spec = rest[0]
 		}
-		s, err := schema.Build()
+		s, err := parseSchema(spec)
 		if err != nil {
 			return err
 		}
@@ -87,10 +171,6 @@ func run(dir, engine, table string, args []string) error {
 		if len(rest) < 2 {
 			return fmt.Errorf("insert <branch> <pk> <values...>")
 		}
-		bid, err := branchID(rest[0])
-		if err != nil {
-			return err
-		}
 		t, err := db.TableByName(table)
 		if err != nil {
 			return err
@@ -100,53 +180,61 @@ func run(dir, engine, table string, args []string) error {
 			if i >= t.Schema().NumColumns() {
 				break
 			}
-			n, err := strconv.ParseInt(v, 10, 64)
-			if err != nil {
-				return fmt.Errorf("column %d: %w", i, err)
+			if err := setColumn(rec, t.Schema(), i, v); err != nil {
+				return err
 			}
-			rec.Set(i, n)
 		}
-		return t.Insert(bid, rec)
-
-	case "delete":
-		if len(rest) != 2 {
-			return fmt.Errorf("delete <branch> <pk>")
-		}
-		bid, err := branchID(rest[0])
-		if err != nil {
-			return err
-		}
-		pk, err := strconv.ParseInt(rest[1], 10, 64)
-		if err != nil {
-			return err
-		}
-		t, err := db.TableByName(table)
-		if err != nil {
-			return err
-		}
-		return t.Delete(bid, pk)
-
-	case "commit":
-		if len(rest) < 1 {
-			return fmt.Errorf("commit <branch> [message]")
-		}
-		bid, err := branchID(rest[0])
-		if err != nil {
-			return err
-		}
-		msg := strings.Join(rest[1:], " ")
-		c, err := db.Commit(bid, msg)
+		c, err := db.Commit(rest[0], func(tx *decibel.Tx) error {
+			tx.SetMessage("insert pk " + rest[1])
+			return tx.Insert(table, rec)
+		})
 		if err != nil {
 			return err
 		}
 		fmt.Printf("commit %d on %s\n", c.ID, rest[0])
 		return nil
 
+	case "delete":
+		if len(rest) != 2 {
+			return fmt.Errorf("delete <branch> <pk>")
+		}
+		pk, err := strconv.ParseInt(rest[1], 10, 64)
+		if err != nil {
+			return err
+		}
+		c, err := db.Commit(rest[0], func(tx *decibel.Tx) error {
+			tx.SetMessage("delete pk " + rest[1])
+			return tx.Delete(table, pk)
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("commit %d on %s\n", c.ID, rest[0])
+		return nil
+
+	case "commit":
+		if len(rest) < 1 {
+			return fmt.Errorf("commit <branch> [message]")
+		}
+		branch := rest[0]
+		msg := strings.Join(rest[1:], " ")
+		c, err := db.Commit(branch, func(tx *decibel.Tx) error {
+			if msg != "" {
+				tx.SetMessage(msg)
+			}
+			return nil // snapshot the branch head as-is
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("commit %d on %s\n", c.ID, branch)
+		return nil
+
 	case "branch":
 		if len(rest) != 2 {
 			return fmt.Errorf("branch <name> <from-branch>")
 		}
-		b, err := db.BranchFromHead(rest[0], rest[1])
+		b, err := db.Branch(rest[1], rest[0])
 		if err != nil {
 			return err
 		}
@@ -157,16 +245,8 @@ func run(dir, engine, table string, args []string) error {
 		if len(rest) != 1 {
 			return fmt.Errorf("scan <branch>")
 		}
-		bid, err := branchID(rest[0])
-		if err != nil {
-			return err
-		}
-		t, err := db.TableByName(table)
-		if err != nil {
-			return err
-		}
 		n := 0
-		rows, scanErr := t.Rows(bid)
+		rows, scanErr := db.Rows(table, rest[0])
 		for rec := range rows {
 			fmt.Println(rec.String())
 			n++
@@ -177,23 +257,45 @@ func run(dir, engine, table string, args []string) error {
 		fmt.Printf("%d records\n", n)
 		return nil
 
+	case "checkout":
+		if len(rest) != 1 {
+			return fmt.Errorf("checkout <branch>[@<n>]")
+		}
+		branch, at, hasAt := strings.Cut(rest[0], "@")
+		s, err := db.NewSession()
+		if err != nil {
+			return err
+		}
+		defer s.Close()
+		if hasAt {
+			seq, err := strconv.Atoi(at)
+			if err != nil {
+				return fmt.Errorf("checkout %s: %q is not a commit number", rest[0], at)
+			}
+			if err := s.CheckoutAt(branch, seq); err != nil {
+				return err
+			}
+		} else if err := s.Checkout(branch); err != nil {
+			return err
+		}
+		c := s.Commit()
+		fmt.Printf("checked out %s: commit %d (%q)\n", rest[0], c.ID, c.Message)
+		n := 0
+		if err := s.Scan(table, func(rec *decibel.Record) bool {
+			fmt.Println(rec.String())
+			n++
+			return true
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("%d records\n", n)
+		return nil
+
 	case "diff":
 		if len(rest) != 2 {
 			return fmt.Errorf("diff <branchA> <branchB>")
 		}
-		a, err := branchID(rest[0])
-		if err != nil {
-			return err
-		}
-		bb, err := branchID(rest[1])
-		if err != nil {
-			return err
-		}
-		t, err := db.TableByName(table)
-		if err != nil {
-			return err
-		}
-		diff, diffErr := t.Diff(a, bb)
+		diff, diffErr := db.Diff(table, rest[0], rest[1])
 		for rec, inA := range diff {
 			side := "+B"
 			if inA {
@@ -207,23 +309,14 @@ func run(dir, engine, table string, args []string) error {
 		if len(rest) < 2 {
 			return fmt.Errorf("merge <into> <other> [two|three] [first|second]")
 		}
-		into, err := branchID(rest[0])
-		if err != nil {
-			return err
-		}
-		other, err := branchID(rest[1])
-		if err != nil {
-			return err
-		}
-		kind := decibel.ThreeWay
+		opts := []decibel.MergeOption{decibel.WithMergeMessage("merge " + rest[1])}
 		if len(rest) > 2 && rest[2] == "two" {
-			kind = decibel.TwoWay
+			opts = append(opts, decibel.WithMergeKind(decibel.TwoWay))
 		}
-		precFirst := true
 		if len(rest) > 3 && rest[3] == "second" {
-			precFirst = false
+			opts = append(opts, decibel.WithMergePrecedence(false))
 		}
-		mc, st, err := db.Merge(into, other, "merge "+rest[1], kind, precFirst)
+		mc, st, err := db.Merge(rest[0], rest[1], opts...)
 		if err != nil {
 			return err
 		}
@@ -256,6 +349,6 @@ func run(dir, engine, table string, args []string) error {
 		return nil
 
 	default:
-		return fmt.Errorf("unknown command %q", cmd)
+		return fmt.Errorf("unknown command %q (try: decibel help)", cmd)
 	}
 }

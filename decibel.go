@@ -5,16 +5,25 @@
 // branch, insert, commit, diff, merge — over a choice of storage
 // engine.
 //
-// Open a dataset with functional options and work with branch heads:
+// Open a dataset with functional options and work with named branches —
+// the IDs of the underlying version graph never need to appear:
 //
 //	db, err := decibel.Open(dir, decibel.WithEngine("hybrid"))
 //	...
-//	t, err := db.CreateTable("products", decibel.NewSchema().Int64("id").Int64("price").MustBuild())
-//	master, _, err := db.Init("initial catalog")
-//	err = t.Insert(master.ID, rec)
-//	rows, scanErr := t.Rows(master.ID)
+//	t, err := db.CreateTable("products", decibel.NewSchema().Int64("id").Float64("price").MustBuild())
+//	_, _, err = db.Init("initial catalog")
+//	_, err = db.Commit("master", func(tx *decibel.Tx) error {
+//		rec := decibel.NewRecord(t.Schema())
+//		rec.SetPK(1)
+//		rec.SetFloat64(1, 9.99)
+//		return tx.Insert("products", rec)
+//	})
+//	rows, scanErr := db.Rows("products", "master")
 //	for rec := range rows { ... }
 //	if err := scanErr(); err != nil { ... }
+//
+// Every scan has a Context form (OpenContext, RowsContext, ...) that
+// aborts promptly with ctx.Err() when the context is canceled.
 //
 // Storage engines register themselves by name ("tuple-first",
 // "version-first", "hybrid", with short aliases "tf", "vf", "hy");
@@ -28,6 +37,8 @@
 package decibel
 
 import (
+	"context"
+
 	"decibel/internal/bitmap"
 	"decibel/internal/core"
 	"decibel/internal/record"
@@ -40,13 +51,20 @@ import (
 	_ "decibel/internal/vf"
 )
 
+// DB is an open Decibel dataset: a collection of relations versioned
+// together under one version graph. It embeds the ID-based core
+// database and layers the name-based workflow on top — Commit, Branch
+// and Merge address branches by name, so callers never handle raw
+// branch or commit IDs. The ID-based operations remain reachable
+// through the embedded Database (db.Database.Branch, ...) for tools
+// that already hold IDs.
+type DB struct {
+	*core.Database
+}
+
 // Core workflow types, aliased from the SPI so facade consumers never
 // import decibel/internal/... themselves.
 type (
-	// DB is an open Decibel dataset: a collection of relations
-	// versioned together under one version graph.
-	DB = core.Database
-
 	// Table is one versioned relation inside a DB.
 	Table = core.Table
 
@@ -64,7 +82,8 @@ type (
 	// Column describes one schema column.
 	Column = record.Column
 
-	// ColumnType identifies a fixed-width column type (Int32, Int64).
+	// ColumnType identifies a fixed-width column type (Int32, Int64,
+	// Float64, Bytes).
 	ColumnType = record.Type
 
 	// Branch is a named working line: a head commit plus bookkeeping.
@@ -105,10 +124,15 @@ type (
 	DiffFunc = core.DiffFunc
 )
 
-// Column types.
+// Column types. Int32 and Int64 are read and written with Record.Get
+// and Record.Set; Float64 with GetFloat64/SetFloat64; Bytes — a
+// fixed-capacity byte string whose capacity is declared per column —
+// with GetBytes/SetBytes.
 const (
-	Int32 = record.Int32 // 4-byte signed integer
-	Int64 = record.Int64 // 8-byte signed integer
+	Int32   = record.Int32   // 4-byte signed integer
+	Int64   = record.Int64   // 8-byte signed integer
+	Float64 = record.Float64 // 8-byte IEEE 754 double
+	Bytes   = record.Bytes   // fixed-capacity byte string
 )
 
 // Merge conflict models (Section 2.2.3).
@@ -125,12 +149,25 @@ const Master = vgraph.MasterName
 // the hybrid engine and default tuning; see WithEngine, WithPageSize,
 // WithPoolPages, WithFsync and WithCommitFanout.
 func Open(dir string, opts ...Option) (*DB, error) {
+	return OpenContext(context.Background(), dir, opts...)
+}
+
+// OpenContext is Open bounded by a context. Cancellation is checked
+// before the open starts and between tables during catalog reload; an
+// individual table's engine recovery runs to completion, so the
+// effective granularity is one table. On cancellation the partially
+// opened dataset is released and ctx.Err() returned.
+func OpenContext(ctx context.Context, dir string, opts ...Option) (*DB, error) {
 	cfg := newConfig(opts)
 	factory, err := core.LookupEngine(cfg.engine)
 	if err != nil {
 		return nil, err
 	}
-	return core.Open(dir, factory, cfg.opt)
+	cdb, err := core.OpenContext(ctx, dir, factory, cfg.opt)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{Database: cdb}, nil
 }
 
 // Engines returns the canonical names of all registered storage

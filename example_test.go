@@ -1,0 +1,203 @@
+package decibel_test
+
+// Runnable godoc examples: a usage tour of the name-based facade that
+// pkg.go.dev renders on the package page. Each example is executed by
+// `go test -run Example` in CI, so the documented snippets can never
+// drift from the real API.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"os"
+
+	"decibel"
+)
+
+// Example opens a dataset, initializes it with one table, and commits
+// records to master through the name-based write API.
+func Example() {
+	dir, err := os.MkdirTemp("", "decibel-example-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := decibel.Open(dir, decibel.WithEngine("hybrid"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	schema := decibel.NewSchema().Int64("id").Float64("price").Bytes("sku", 12).MustBuild()
+	if _, err := db.CreateTable("products", schema); err != nil {
+		log.Fatal(err)
+	}
+	if _, _, err := db.Init("initial catalog"); err != nil {
+		log.Fatal(err)
+	}
+
+	commit, err := db.Commit("master", func(tx *decibel.Tx) error {
+		tx.SetMessage("first product")
+		rec := decibel.NewRecord(schema)
+		rec.SetPK(1)
+		rec.SetFloat64(1, 9.99)
+		if err := rec.SetBytes(2, []byte("SKU-0001")); err != nil {
+			return err
+		}
+		return tx.Insert("products", rec)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("committed %q\n", commit.Message)
+
+	rows, scanErr := db.Rows("products", "master")
+	for rec := range rows {
+		fmt.Printf("pk=%d price=%.2f sku=%s\n", rec.PK(), rec.GetFloat64(1), rec.GetBytes(2))
+	}
+	if err := scanErr(); err != nil {
+		log.Fatal(err)
+	}
+	// Output:
+	// committed "first product"
+	// pk=1 price=9.99 sku=SKU-0001
+}
+
+// ExampleDB_Commit shows transaction semantics: a callback error aborts
+// the commit and none of its writes become visible.
+func ExampleDB_Commit() {
+	dir, _ := os.MkdirTemp("", "decibel-example-*")
+	defer os.RemoveAll(dir)
+	db, err := decibel.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	schema := decibel.NewSchema().Int64("id").Int64("qty").MustBuild()
+	if _, err := db.CreateTable("inventory", schema); err != nil {
+		log.Fatal(err)
+	}
+	if _, _, err := db.Init("init"); err != nil {
+		log.Fatal(err)
+	}
+
+	errOutOfStock := errors.New("out of stock")
+	_, err = db.Commit("master", func(tx *decibel.Tx) error {
+		rec := decibel.NewRecord(schema)
+		rec.SetPK(7)
+		rec.Set(1, 0)
+		if err := tx.Insert("inventory", rec); err != nil {
+			return err
+		}
+		return errOutOfStock // abort: nothing is committed
+	})
+	fmt.Println("commit error:", err)
+	fmt.Println("commits in graph:", db.Graph().NumCommits())
+	// Output:
+	// commit error: out of stock
+	// commits in graph: 1
+}
+
+// ExampleDB_Diff branches a dataset, changes both sides, and walks the
+// symmetric difference between the two branch heads.
+func ExampleDB_Diff() {
+	dir, _ := os.MkdirTemp("", "decibel-example-*")
+	defer os.RemoveAll(dir)
+	db, err := decibel.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	schema := decibel.NewSchema().Int64("id").Int64("v").MustBuild()
+	if _, err := db.CreateTable("r", schema); err != nil {
+		log.Fatal(err)
+	}
+	if _, _, err := db.Init("init"); err != nil {
+		log.Fatal(err)
+	}
+	put := func(branch string, pk, v int64) {
+		if _, err := db.Commit(branch, func(tx *decibel.Tx) error {
+			rec := decibel.NewRecord(schema)
+			rec.SetPK(pk)
+			rec.Set(1, v)
+			return tx.Insert("r", rec)
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	put("master", 1, 10)
+	if _, err := db.Branch("master", "dev"); err != nil {
+		log.Fatal(err)
+	}
+	put("dev", 1, 11) // changed on dev
+	put("dev", 2, 20) // new on dev
+
+	diff, diffErr := db.Diff("r", "dev", "master")
+	for rec, inDev := range diff {
+		side := "master"
+		if inDev {
+			side = "dev"
+		}
+		fmt.Printf("only in %s: pk=%d v=%d\n", side, rec.PK(), rec.Get(1))
+	}
+	if err := diffErr(); err != nil {
+		log.Fatal(err)
+	}
+	// Unordered output:
+	// only in dev: pk=1 v=11
+	// only in dev: pk=2 v=20
+	// only in master: pk=1 v=10
+}
+
+// ExampleDB_RowsContext cancels a scan mid-iteration: the iterator
+// stops within one record and the trailing error accessor reports
+// ctx.Err().
+func ExampleDB_RowsContext() {
+	dir, _ := os.MkdirTemp("", "decibel-example-*")
+	defer os.RemoveAll(dir)
+	db, err := decibel.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	schema := decibel.NewSchema().Int64("id").Int64("v").MustBuild()
+	if _, err := db.CreateTable("r", schema); err != nil {
+		log.Fatal(err)
+	}
+	if _, _, err := db.Init("init"); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.Commit("master", func(tx *decibel.Tx) error {
+		for pk := int64(1); pk <= 100_000; pk++ {
+			rec := decibel.NewRecord(schema)
+			rec.SetPK(pk)
+			if err := tx.Insert("r", rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	seen := 0
+	rows, scanErr := db.RowsContext(ctx, "r", "master")
+	for range rows {
+		seen++
+		if seen == 3 {
+			cancel() // a deadline or user abort works the same way
+		}
+	}
+	fmt.Println("records seen:", seen)
+	fmt.Println("scan ended with context.Canceled:", errors.Is(scanErr(), context.Canceled))
+	// Output:
+	// records seen: 3
+	// scan ended with context.Canceled: true
+}

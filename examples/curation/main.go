@@ -44,37 +44,61 @@ func main() {
 		rec.Set(3, cat)
 		return rec
 	}
-
-	// Seed the canonical catalog.
-	for pk := int64(1); pk <= 100; pk++ {
-		if err := pois.Insert(master.ID, add(pk, pk*10, pk*20, pk%5)); err != nil {
+	// commit runs one branch-head transaction and dies on failure.
+	commit := func(branch, message string, fn func(tx *decibel.Tx) error) {
+		if _, err := db.Commit(branch, func(tx *decibel.Tx) error {
+			tx.SetMessage(message)
+			return fn(tx)
+		}); err != nil {
 			log.Fatal(err)
 		}
 	}
-	db.Commit(master.ID, "seed catalog")
+
+	// Seed the canonical catalog.
+	commit("master", "seed catalog", func(tx *decibel.Tx) error {
+		for pk := int64(1); pk <= 100; pk++ {
+			if err := tx.Insert("pois", add(pk, pk*10, pk*20, pk%5)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 
 	// Curator A fixes geometry in one region on a dev branch.
-	geo, _ := db.BranchFromHead("fix-geometry", "master")
-	for pk := int64(1); pk <= 10; pk++ {
-		pois.Insert(geo.ID, add(pk, pk*10+1, pk*20+1, pk%5)) // nudge lat/lon
+	if _, err := db.Branch("master", "fix-geometry"); err != nil {
+		log.Fatal(err)
 	}
-	db.Commit(geo.ID, "geometry pass")
+	commit("fix-geometry", "geometry pass", func(tx *decibel.Tx) error {
+		for pk := int64(1); pk <= 10; pk++ {
+			if err := tx.Insert("pois", add(pk, pk*10+1, pk*20+1, pk%5)); err != nil { // nudge lat/lon
+				return err
+			}
+		}
+		return nil
+	})
 
 	// Curator B re-categorizes some of the same POIs on another branch.
-	cats, _ := db.BranchFromHead("fix-categories", "master")
-	for pk := int64(5); pk <= 15; pk++ {
-		pois.Insert(cats.ID, add(pk, pk*10, pk*20, 4)) // category only
+	if _, err := db.Branch("master", "fix-categories"); err != nil {
+		log.Fatal(err)
 	}
-	db.Commit(cats.ID, "category pass")
+	commit("fix-categories", "category pass", func(tx *decibel.Tx) error {
+		for pk := int64(5); pk <= 15; pk++ {
+			if err := tx.Insert("pois", add(pk, pk*10, pk*20, 4)); err != nil { // category only
+				return err
+			}
+		}
+		return nil
+	})
 
 	// Meanwhile production edits the canonical version too: POI 7 moves.
-	pois.Insert(master.ID, add(7, 777, 7777, 7%5))
-	db.Commit(master.ID, "hotfix POI 7")
+	commit("master", "hotfix POI 7", func(tx *decibel.Tx) error {
+		return tx.Insert("pois", add(7, 777, 7777, 7%5))
+	})
 
 	// Merge the geometry pass. POI 7 was moved both in master and in the
 	// branch: a field-level conflict on lat/lon, resolved in favor of
 	// the canonical version (precedence first).
-	_, st1, err := db.Merge(master.ID, geo.ID, "merge geometry pass", decibel.ThreeWay, true)
+	_, st1, err := db.Merge("master", "fix-geometry", decibel.WithMergeMessage("merge geometry pass"))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -83,7 +107,7 @@ func main() {
 	// Merge the category pass. Its edits touch the *category* field of
 	// POIs whose *geometry* just changed — disjoint fields, so they
 	// auto-merge without conflicts.
-	_, st2, err := db.Merge(master.ID, cats.ID, "merge category pass", decibel.ThreeWay, true)
+	_, st2, err := db.Merge("master", "fix-categories", decibel.WithMergeMessage("merge category pass"))
 	if err != nil {
 		log.Fatal(err)
 	}

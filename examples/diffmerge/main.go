@@ -54,21 +54,36 @@ func run(engine string) {
 		return rec
 	}
 
-	// v01 state on master.
-	people.Insert(master.ID, mk(1, sam, 30))
-	people.Insert(master.ID, mk(2, 7, 25))
-	people.Insert(master.ID, mk(3, sam, 41))
-	db.Commit(master.ID, "v01")
+	// v01 state on master, written as one name-based transaction.
+	if _, err := db.Commit("master", func(tx *decibel.Tx) error {
+		tx.SetMessage("v01")
+		for _, rec := range []*decibel.Record{mk(1, sam, 30), mk(2, 7, 25), mk(3, sam, 41)} {
+			if err := tx.Insert("people", rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
 
 	// v02 lives on a branch: Sam #1 ages, person 2 leaves, 4 arrives.
-	v02, err := db.BranchFromHead("v02", "master")
+	v02, err := db.Branch("master", "v02")
 	if err != nil {
 		log.Fatal(err)
 	}
-	people.Insert(v02.ID, mk(1, sam, 31))
-	people.Delete(v02.ID, 2)
-	people.Insert(v02.ID, mk(4, 9, 19))
-	db.Commit(v02.ID, "v02")
+	if _, err := db.Commit("v02", func(tx *decibel.Tx) error {
+		tx.SetMessage("v02")
+		if err := tx.Insert("people", mk(1, sam, 31)); err != nil {
+			return err
+		}
+		if err := tx.Delete("people", 2); err != nil {
+			return err
+		}
+		return tx.Insert("people", mk(4, 9, 19))
+	}); err != nil {
+		log.Fatal(err)
+	}
 
 	// Query 1: single-version scan.
 	n, err := query.Count(people, master.ID, query.True)

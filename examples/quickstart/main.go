@@ -1,8 +1,9 @@
 // Quickstart: create a Decibel dataset, branch it, modify both
 // branches, diff them, and merge the changes back — the basic workflow
-// of Section 2.2, written against the public decibel facade: Open with
-// functional options, the fluent schema builder, and range-over-func
-// iterators for scans and diffs.
+// of Section 2.2, written against the public decibel facade. Everything
+// is addressed by name: db.Commit("master", ...) runs a write
+// transaction against a branch head, db.Branch forks it, db.Diff and
+// db.Rows iterate it — no branch or commit IDs in sight.
 package main
 
 import (
@@ -27,56 +28,66 @@ func main() {
 	}
 	defer db.Close()
 
-	// One relation: products(id, price, stock).
-	schema := decibel.NewSchema().Int64("id").Int64("price").Int64("stock").MustBuild()
-	products, err := db.CreateTable("products", schema)
-	if err != nil {
+	// One relation: products(id, price, stock, sku) — a float column
+	// for prices and a fixed-capacity byte-string column for SKUs.
+	schema := decibel.NewSchema().
+		Int64("id").
+		Float64("price").
+		Int64("stock").
+		Bytes("sku", 12).
+		MustBuild()
+	if _, err := db.CreateTable("products", schema); err != nil {
 		log.Fatal(err)
 	}
-	master, _, err := db.Init("initial catalog")
-	if err != nil {
+	if _, _, err := db.Init("initial catalog"); err != nil {
 		log.Fatal(err)
 	}
 
-	// Populate and commit version 1.
-	for pk := int64(1); pk <= 5; pk++ {
+	// Populate and commit version 1 as one transaction on master.
+	put := func(tx *decibel.Tx, pk int64, price float64, stock int64, sku string) error {
 		rec := decibel.NewRecord(schema)
 		rec.SetPK(pk)
-		rec.Set(1, pk*100) // price
-		rec.Set(2, 10)     // stock
-		if err := products.Insert(master.ID, rec); err != nil {
-			log.Fatal(err)
+		rec.SetFloat64(1, price)
+		rec.Set(2, stock)
+		if err := rec.SetBytes(3, []byte(sku)); err != nil {
+			return err
 		}
+		return tx.Insert("products", rec)
 	}
-	if _, err := db.Commit(master.ID, "five products"); err != nil {
+	if _, err := db.Commit("master", func(tx *decibel.Tx) error {
+		tx.SetMessage("five products")
+		for pk := int64(1); pk <= 5; pk++ {
+			if err := put(tx, pk, float64(pk)*99.99, 10, fmt.Sprintf("SKU-%04d", pk)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
 		log.Fatal(err)
 	}
 
 	// Branch: a pricing experiment works in isolation.
-	pricing, err := db.BranchFromHead("pricing-experiment", "master")
-	if err != nil {
+	if _, err := db.Branch("master", "pricing-experiment"); err != nil {
 		log.Fatal(err)
 	}
-	sale := decibel.NewRecord(schema)
-	sale.SetPK(3)
-	sale.Set(1, 150) // discounted price
-	sale.Set(2, 10)
-	if err := products.Insert(pricing.ID, sale); err != nil {
+	if _, err := db.Commit("pricing-experiment", func(tx *decibel.Tx) error {
+		tx.SetMessage("discount product 3")
+		return put(tx, 3, 150.00, 10, "SKU-0003")
+	}); err != nil {
 		log.Fatal(err)
 	}
 
 	// Meanwhile master keeps selling: stock of product 5 drops.
-	sold := decibel.NewRecord(schema)
-	sold.SetPK(5)
-	sold.Set(1, 500)
-	sold.Set(2, 7)
-	if err := products.Insert(master.ID, sold); err != nil {
+	if _, err := db.Commit("master", func(tx *decibel.Tx) error {
+		tx.SetMessage("sold three of product 5")
+		return put(tx, 5, 5*99.99, 7, "SKU-0005")
+	}); err != nil {
 		log.Fatal(err)
 	}
 
-	// Diff the branches with the iterator API.
+	// Diff the branches with the name-based iterator API.
 	fmt.Println("diff(pricing-experiment, master):")
-	diff, diffErr := products.Diff(pricing.ID, master.ID)
+	diff, diffErr := db.Diff("products", "pricing-experiment", "master")
 	for rec, inA := range diff {
 		side := "only in master:            "
 		if inA {
@@ -91,14 +102,15 @@ func main() {
 	// Merge the experiment back. Non-overlapping field updates
 	// auto-merge: the discount (price of 3) and the sale (stock of 5)
 	// both survive.
-	if _, st, err := db.Merge(master.ID, pricing.ID, "adopt discount", decibel.ThreeWay, true); err != nil {
+	if _, st, err := db.Merge("master", "pricing-experiment",
+		decibel.WithMergeMessage("adopt discount")); err != nil {
 		log.Fatal(err)
 	} else {
 		fmt.Printf("\nmerged with %d conflicts\n", st.Conflicts)
 	}
 
 	fmt.Println("\nmaster after merge:")
-	rows, scanErr := products.Rows(master.ID)
+	rows, scanErr := db.Rows("products", "master")
 	for rec := range rows {
 		fmt.Printf("  %v\n", rec)
 	}

@@ -40,55 +40,65 @@ func main() {
 	}
 	events, _ := db.Table("events")
 
-	ingest := func(from, to int64) {
-		for pk := from; pk <= to; pk++ {
-			rec := decibel.NewRecord(schema)
-			rec.SetPK(pk)
-			rec.Set(1, pk%7)     // user
-			rec.Set(2, pk*3%100) // raw score
-			if err := events.Insert(master.ID, rec); err != nil {
-				log.Fatal(err)
+	ingest := func(message string, from, to int64) *decibel.Commit {
+		c, err := db.Commit("master", func(tx *decibel.Tx) error {
+			tx.SetMessage(message)
+			for pk := from; pk <= to; pk++ {
+				rec := decibel.NewRecord(schema)
+				rec.SetPK(pk)
+				rec.Set(1, pk%7)     // user
+				rec.Set(2, pk*3%100) // raw score
+				if err := tx.Insert("events", rec); err != nil {
+					return err
+				}
 			}
+			return nil
+		})
+		if err != nil {
+			log.Fatal(err)
 		}
+		return c
 	}
 
 	// Day 1 of ingestion, committed as the analysis snapshot.
-	ingest(1, 1000)
-	snapshot, err := db.Commit(master.ID, "day-1 snapshot")
-	if err != nil {
-		log.Fatal(err)
-	}
+	snapshot := ingest("day-1 snapshot", 1, 1000)
 
 	// The analyst branches from the snapshot; ingestion continues on
-	// mainline concurrently.
-	analysis, err := db.Branch("score-cleaning", snapshot.ID)
+	// mainline concurrently. Branching from a historical commit (rather
+	// than a head) goes through the ID-based core API.
+	analysis, err := db.Database.Branch("score-cleaning", snapshot.ID)
 	if err != nil {
 		log.Fatal(err)
 	}
-	ingest(1001, 2000)
-	db.Commit(master.ID, "day-2 data")
+	ingest("day-2 data", 1001, 2000)
 
-	// Cleaning on the analysis branch: cap outlier scores at 50.
+	// Cleaning on the analysis branch: cap outlier scores at 50, found
+	// and fixed inside one transaction on the branch head.
 	var outliers []int64
-	rows, scanErr := events.Rows(analysis.ID)
-	for r := range rows {
-		if r.Get(2) > 50 {
-			outliers = append(outliers, r.PK())
+	if _, err := db.Commit("score-cleaning", func(tx *decibel.Tx) error {
+		tx.SetMessage("capped outliers")
+		rows, scanErr := tx.Rows("events")
+		for r := range rows {
+			if r.Get(2) > 50 {
+				outliers = append(outliers, r.PK())
+			}
 		}
-	}
-	if err := scanErr(); err != nil {
+		if err := scanErr(); err != nil {
+			return err
+		}
+		for _, pk := range outliers {
+			rec := decibel.NewRecord(schema)
+			rec.SetPK(pk)
+			rec.Set(1, pk%7)
+			rec.Set(2, 50)
+			if err := tx.Insert("events", rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
 		log.Fatal(err)
 	}
-	for _, pk := range outliers {
-		rec := decibel.NewRecord(schema)
-		rec.SetPK(pk)
-		rec.Set(1, pk%7)
-		rec.Set(2, 50)
-		if err := events.Insert(analysis.ID, rec); err != nil {
-			log.Fatal(err)
-		}
-	}
-	db.Commit(analysis.ID, "capped outliers")
 
 	// The analysis branch still has exactly the day-1 population, with
 	// the cleaning applied; mainline has moved on.
@@ -101,11 +111,18 @@ func main() {
 
 	// A second experiment forks from the same snapshot to try a
 	// different strategy — cheap, because branches share storage.
-	alt, _ := db.Branch("score-dropping", snapshot.ID)
-	for _, pk := range outliers {
-		events.Delete(alt.ID, pk)
+	alt, _ := db.Database.Branch("score-dropping", snapshot.ID)
+	if _, err := db.Commit("score-dropping", func(tx *decibel.Tx) error {
+		tx.SetMessage("dropped outliers instead")
+		for _, pk := range outliers {
+			if err := tx.Delete("events", pk); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		log.Fatal(err)
 	}
-	db.Commit(alt.ID, "dropped outliers instead")
 	nAlt, _ := query.Count(events, alt.ID, query.True)
 	fmt.Printf("alt strategy:    %d events after dropping outliers\n", nAlt)
 

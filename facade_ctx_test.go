@@ -1,0 +1,232 @@
+package decibel_test
+
+// Context-cancellation contract tests: every facade scan has a Context
+// form that aborts within one record of cancellation and reports
+// ctx.Err(), and the write path (CommitContext, session operations)
+// refuses to start work under a canceled context.
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"decibel"
+)
+
+// openLarge seeds one table with n committed records on master.
+func openLarge(t *testing.T, engine string, n int64) (*decibel.DB, *decibel.Table) {
+	t.Helper()
+	db, err := decibel.Open(t.TempDir(), decibel.WithEngine(engine))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	schema := decibel.NewSchema().Int64("id").Int64("v").MustBuild()
+	tbl, err := db.CreateTable("r", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := db.Init("init"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Commit("master", func(tx *decibel.Tx) error {
+		for pk := int64(1); pk <= n; pk++ {
+			rec := decibel.NewRecord(schema)
+			rec.SetPK(pk)
+			rec.Set(1, pk)
+			if err := tx.Insert("r", rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return db, tbl
+}
+
+// TestRowsContextCancelMidScan cancels the context from inside the
+// iteration and checks the scan stops promptly with ctx.Err(), on every
+// engine.
+func TestRowsContextCancelMidScan(t *testing.T) {
+	const total = 5000
+	for _, engine := range facadeEngines {
+		t.Run(engine, func(t *testing.T) {
+			db, _ := openLarge(t, engine, total)
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			seen := 0
+			rows, scanErr := db.RowsContext(ctx, "r", "master")
+			for range rows {
+				seen++
+				if seen == 10 {
+					cancel() // cancel mid-scan; the iterator must stop on its own
+				}
+			}
+			if err := scanErr(); !errors.Is(err, context.Canceled) {
+				t.Fatalf("scan error = %v, want context.Canceled", err)
+			}
+			// The wrapped callback stops within one record of cancellation.
+			if seen > 11 {
+				t.Fatalf("scan yielded %d records after cancellation, want <= 11", seen)
+			}
+		})
+	}
+}
+
+// TestDiffContextCancel checks cancellation propagates through the diff
+// iterator as well.
+func TestDiffContextCancel(t *testing.T) {
+	db, _ := openLarge(t, "hybrid", 2000)
+	if _, err := db.Branch("master", "dev"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Commit("dev", func(tx *decibel.Tx) error {
+		schema := decibel.NewSchema().Int64("id").Int64("v").MustBuild()
+		for pk := int64(1); pk <= 1000; pk++ {
+			rec := decibel.NewRecord(schema)
+			rec.SetPK(pk)
+			rec.Set(1, -pk)
+			if err := tx.Insert("r", rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	seen := 0
+	diff, diffErr := db.DiffContext(ctx, "r", "dev", "master")
+	for range diff {
+		seen++
+		if seen == 5 {
+			cancel()
+		}
+	}
+	if err := diffErr(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("diff error = %v, want context.Canceled", err)
+	}
+	if seen > 6 {
+		t.Fatalf("diff yielded %d records after cancellation, want <= 6", seen)
+	}
+}
+
+// TestPreCanceledContext: operations under an already-canceled context
+// fail fast with ctx.Err() without doing any work.
+func TestPreCanceledContext(t *testing.T) {
+	db, tbl := openLarge(t, "hybrid", 10)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, err := decibel.OpenContext(ctx, t.TempDir()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("OpenContext: got %v, want context.Canceled", err)
+	}
+	if _, err := db.CommitContext(ctx, "master", func(*decibel.Tx) error {
+		t.Fatal("callback ran under a canceled context")
+		return nil
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("CommitContext: got %v, want context.Canceled", err)
+	}
+	rows, scanErr := db.RowsContext(ctx, "r", "master")
+	for range rows {
+		t.Fatal("canceled scan yielded a record")
+	}
+	if err := scanErr(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RowsContext: got %v, want context.Canceled", err)
+	}
+	master, err := db.BranchNamed("master")
+	if err != nil {
+		t.Fatal(err)
+	}
+	at, atErr := tbl.RowsMultiContext(ctx, []decibel.BranchID{master.ID})
+	for range at {
+		t.Fatal("canceled multi scan yielded a record")
+	}
+	if err := atErr(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RowsMultiContext: got %v, want context.Canceled", err)
+	}
+
+	s, err := db.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rec := decibel.NewRecord(tbl.Schema())
+	rec.SetPK(99)
+	if err := s.InsertContext(ctx, "r", rec); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Session.InsertContext: got %v, want context.Canceled", err)
+	}
+	if err := s.ScanContext(ctx, "r", func(*decibel.Record) bool { return true }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Session.ScanContext: got %v, want context.Canceled", err)
+	}
+	if _, err := s.CommitWorkContext(ctx, "msg"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Session.CommitWorkContext: got %v, want context.Canceled", err)
+	}
+}
+
+// TestCheckoutAt positions a session at historical commits by
+// branch-name-plus-sequence, the CLI's "checkout <branch>@<n>".
+func TestCheckoutAt(t *testing.T) {
+	db, _ := openLarge(t, "hybrid", 3) // master@1 = three records
+	schema := decibel.NewSchema().Int64("id").Int64("v").MustBuild()
+	if _, err := db.Commit("master", func(tx *decibel.Tx) error {
+		rec := decibel.NewRecord(schema)
+		rec.SetPK(4)
+		rec.Set(1, 4)
+		return tx.Insert("r", rec) // master@2 = four records
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := db.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	countAt := func(seq int) int {
+		t.Helper()
+		if err := s.CheckoutAt("master", seq); err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		if err := s.Scan("r", func(*decibel.Record) bool { n++; return true }); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	if n := countAt(0); n != 0 {
+		t.Fatalf("master@0 has %d records, want 0 (init commit)", n)
+	}
+	if n := countAt(1); n != 3 {
+		t.Fatalf("master@1 has %d records, want 3", n)
+	}
+	if n := countAt(2); n != 4 {
+		t.Fatalf("master@2 has %d records, want 4", n)
+	}
+
+	// Historical checkouts are read-only...
+	rec := decibel.NewRecord(schema)
+	rec.SetPK(100)
+	if err := s.CheckoutAt("master", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert("r", rec); !errors.Is(err, decibel.ErrNotAtHead) && !errors.Is(err, decibel.ErrDetachedHead) {
+		t.Fatalf("write at historical commit: got %v, want ErrNotAtHead/ErrDetachedHead", err)
+	}
+	// ...but checking out the newest commit re-attaches to the head.
+	if err := s.CheckoutAt("master", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert("r", rec); err != nil {
+		t.Fatalf("write after re-attaching at head: %v", err)
+	}
+
+	if err := s.CheckoutAt("nope", 0); !errors.Is(err, decibel.ErrNoSuchBranch) {
+		t.Fatalf("CheckoutAt missing branch: got %v, want ErrNoSuchBranch", err)
+	}
+	if err := s.CheckoutAt("master", 99); !errors.Is(err, decibel.ErrNoSuchCommit) {
+		t.Fatalf("CheckoutAt missing seq: got %v, want ErrNoSuchCommit", err)
+	}
+}

@@ -1,0 +1,319 @@
+package decibel_test
+
+// Concurrent-session stress over the facade: parallel name-based
+// commits on diverging branches, plus writers racing on one shared
+// branch and readers scanning throughout. Run with -race; the test
+// asserts every branch ends with exactly the records its writers
+// committed and that same-branch committers serialized.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"decibel"
+)
+
+func TestConcurrentNameBasedCommits(t *testing.T) {
+	const (
+		branches        = 4
+		commitsPer      = 5
+		recordsPerRound = 20
+	)
+	for _, engine := range facadeEngines {
+		t.Run(engine, func(t *testing.T) {
+			db, err := decibel.Open(t.TempDir(), decibel.WithEngine(engine))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			schema := decibel.NewSchema().Int64("id").Int64("writer").Int64("round").MustBuild()
+			if _, err := db.CreateTable("r", schema); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := db.Init("init"); err != nil {
+				t.Fatal(err)
+			}
+
+			// Diverging branches, one writer each, all committing in
+			// parallel through the name-based API.
+			names := make([]string, branches)
+			for i := range names {
+				names[i] = fmt.Sprintf("worker-%d", i)
+				if _, err := db.Branch("master", names[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var wg sync.WaitGroup
+			errs := make(chan error, branches*commitsPer)
+			for w, name := range names {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for round := 0; round < commitsPer; round++ {
+						_, err := db.Commit(name, func(tx *decibel.Tx) error {
+							tx.SetMessage(fmt.Sprintf("%s round %d", name, round))
+							for i := 0; i < recordsPerRound; i++ {
+								rec := decibel.NewRecord(schema)
+								rec.SetPK(int64(round*recordsPerRound + i))
+								rec.Set(1, int64(w))
+								rec.Set(2, int64(round))
+								if err := tx.Insert("r", rec); err != nil {
+									return err
+								}
+							}
+							return nil
+						})
+						if err != nil {
+							errs <- fmt.Errorf("%s round %d: %w", name, round, err)
+							return
+						}
+					}
+				}()
+			}
+			// Concurrent readers: iterate master and the workers' heads
+			// while the writers commit.
+			for r := 0; r < 2; r++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < 20; i++ {
+						for _, b := range append([]string{"master"}, names...) {
+							rows, scanErr := db.Rows("r", b)
+							for range rows {
+							}
+							if err := scanErr(); err != nil {
+								errs <- fmt.Errorf("reader on %s: %w", b, err)
+								return
+							}
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+
+			// Every branch holds exactly its writer's records.
+			for w, name := range names {
+				n := 0
+				rows, scanErr := db.Rows("r", name)
+				for rec := range rows {
+					if got := rec.Get(1); got != int64(w) {
+						t.Fatalf("%s holds a record from writer %d", name, got)
+					}
+					n++
+				}
+				if err := scanErr(); err != nil {
+					t.Fatal(err)
+				}
+				if n != commitsPer*recordsPerRound {
+					t.Fatalf("%s has %d records, want %d", name, n, commitsPer*recordsPerRound)
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentSameBranchCommits: many goroutines commit to ONE
+// branch; CheckoutForWrite's lock-then-read-head ordering must
+// serialize them so every commit lands and none fails ErrNotAtHead.
+func TestConcurrentSameBranchCommits(t *testing.T) {
+	const writers = 8
+	db, err := decibel.Open(t.TempDir(), decibel.WithEngine("hybrid"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	schema := decibel.NewSchema().Int64("id").Int64("writer").MustBuild()
+	if _, err := db.CreateTable("r", schema); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := db.Init("init"); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := db.Commit("master", func(tx *decibel.Tx) error {
+				rec := decibel.NewRecord(schema)
+				rec.SetPK(int64(w))
+				rec.Set(1, int64(w))
+				return tx.Insert("r", rec)
+			})
+			if err != nil {
+				errs <- fmt.Errorf("writer %d: %w", w, err)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	n := 0
+	rows, scanErr := db.Rows("r", "master")
+	for range rows {
+		n++
+	}
+	if err := scanErr(); err != nil {
+		t.Fatal(err)
+	}
+	if n != writers {
+		t.Fatalf("master has %d records, want %d", n, writers)
+	}
+	// One commit per writer on top of init.
+	master, err := db.BranchNamed("master")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(db.Graph().CommitsOnBranch(master.ID)); got != writers+1 {
+		t.Fatalf("master has %d commits, want %d", got, writers+1)
+	}
+}
+
+// TestAbortedCommitRollsBack: a failing Commit callback must leave no
+// residue on the branch head — its inserts, updates, and deletes are
+// all reverted to the last committed state, and the next successful
+// commit must not pick any of them up.
+func TestAbortedCommitRollsBack(t *testing.T) {
+	for _, engine := range facadeEngines {
+		t.Run(engine, func(t *testing.T) {
+			db, _, _ := openSeeded(t, engine) // pks 1..10, v=pk, committed
+			defer db.Close()
+			schema := decibel.NewSchema().Int64("id").Int64("v").MustBuild()
+
+			boom := errors.New("boom")
+			_, err := db.Commit("master", func(tx *decibel.Tx) error {
+				up := decibel.NewRecord(schema)
+				up.SetPK(3)
+				up.Set(1, 999) // update an existing key
+				if err := tx.Insert("r", up); err != nil {
+					return err
+				}
+				fresh := decibel.NewRecord(schema)
+				fresh.SetPK(42)
+				fresh.Set(1, 1) // insert a new key
+				if err := tx.Insert("r", fresh); err != nil {
+					return err
+				}
+				if err := tx.Delete("r", 7); err != nil { // delete a committed key
+					return err
+				}
+				return boom
+			})
+			if !errors.Is(err, boom) {
+				t.Fatalf("aborted commit returned %v, want the callback's error", err)
+			}
+
+			check := func(phase string) {
+				t.Helper()
+				got := map[int64]int64{}
+				rows, scanErr := db.Rows("r", "master")
+				for rec := range rows {
+					got[rec.PK()] = rec.Get(1)
+				}
+				if err := scanErr(); err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != 10 {
+					t.Fatalf("%s: head has %d records, want the committed 10", phase, len(got))
+				}
+				if got[3] != 3 {
+					t.Fatalf("%s: pk 3 = %d, want committed 3", phase, got[3])
+				}
+				if _, ok := got[42]; ok {
+					t.Fatalf("%s: aborted insert of pk 42 visible", phase)
+				}
+				if got[7] != 7 {
+					t.Fatalf("%s: pk 7 = %d, want committed 7 (aborted delete leaked)", phase, got[7])
+				}
+			}
+			check("after abort")
+
+			// The next successful commit must not make any residue durable.
+			if _, err := db.Commit("master", func(tx *decibel.Tx) error { return nil }); err != nil {
+				t.Fatal(err)
+			}
+			check("after next commit")
+		})
+	}
+}
+
+// TestMergeSerializesWithCommit: a merge racing an in-flight Commit on
+// the target branch must wait for the transaction's exclusive lock, so
+// it never snapshots a half-applied transaction.
+func TestMergeSerializesWithCommit(t *testing.T) {
+	db, _, _ := openSeeded(t, "hybrid")
+	defer db.Close()
+	schema := decibel.NewSchema().Int64("id").Int64("v").MustBuild()
+	if _, err := db.Branch("master", "dev"); err != nil {
+		t.Fatal(err)
+	}
+
+	const batch = 50
+	inTx := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := db.Commit("master", func(tx *decibel.Tx) error {
+			for i := 0; i < batch; i++ {
+				rec := decibel.NewRecord(schema)
+				rec.SetPK(int64(100 + i))
+				rec.Set(1, 1)
+				if err := tx.Insert("r", rec); err != nil {
+					return err
+				}
+				if i == batch/2 {
+					close(inTx) // half the writes applied; let the merge race
+					<-release
+				}
+			}
+			return nil
+		})
+		done <- err
+	}()
+
+	<-inTx
+	mergeDone := make(chan error, 1)
+	go func() {
+		_, _, err := db.Merge("master", "dev")
+		mergeDone <- err
+	}()
+	select {
+	case err := <-mergeDone:
+		t.Fatalf("merge finished while the transaction held the branch lock (err=%v)", err)
+	case <-time.After(50 * time.Millisecond):
+		// Merge is blocked on master's exclusive lock, as it must be.
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-mergeDone; err != nil {
+		t.Fatal(err)
+	}
+
+	// The merge committed after the transaction: all batch records plus
+	// the seed are on master, and the merge commit is the head.
+	n := 0
+	rows, scanErr := db.Rows("r", "master")
+	for range rows {
+		n++
+	}
+	if err := scanErr(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 10+batch {
+		t.Fatalf("master has %d records, want %d", n, 10+batch)
+	}
+}

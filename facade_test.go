@@ -49,38 +49,50 @@ func TestFacadeRoundTrip(t *testing.T) {
 				t.Fatal(err)
 			}
 
-			put := func(branch decibel.BranchID, pk, price, qty int64) {
-				t.Helper()
+			mkRec := func(pk, price, qty int64) *decibel.Record {
 				rec := decibel.NewRecord(schema)
 				rec.SetPK(pk)
 				rec.Set(1, price)
 				rec.Set(2, qty)
-				if err := products.Insert(branch, rec); err != nil {
-					t.Fatal(err)
+				return rec
+			}
+			// Name-based write transaction: ten products on master.
+			if _, err := db.Commit("master", func(tx *decibel.Tx) error {
+				tx.SetMessage("ten products")
+				for pk := int64(1); pk <= 10; pk++ {
+					if err := tx.Insert("products", mkRec(pk, pk*100, 5)); err != nil {
+						return err
+					}
 				}
-			}
-			for pk := int64(1); pk <= 10; pk++ {
-				put(master.ID, pk, pk*100, 5)
-			}
-			if _, err := db.Commit(master.ID, "ten products"); err != nil {
+				return nil
+			}); err != nil {
 				t.Fatal(err)
 			}
 
-			dev, err := db.BranchFromHead("dev", "master")
+			dev, err := db.Branch("master", "dev")
 			if err != nil {
 				t.Fatal(err)
 			}
-			put(dev.ID, 3, 333, 5)   // price change on dev
-			put(dev.ID, 11, 1100, 1) // new record on dev
-			if _, err := db.Commit(dev.ID, "dev work"); err != nil {
+			if _, err := db.Commit("dev", func(tx *decibel.Tx) error {
+				tx.SetMessage("dev work")
+				if err := tx.Insert("products", mkRec(3, 333, 5)); err != nil { // price change on dev
+					return err
+				}
+				return tx.Insert("products", mkRec(11, 1100, 1)) // new record on dev
+			}); err != nil {
 				t.Fatal(err)
 			}
-			put(master.ID, 5, 500, 1) // qty change on master
+			// Uncommitted head write through the ID-based table API: qty
+			// change on master, visible to diff and merge below.
+			if err := products.Insert(master.ID, mkRec(5, 500, 1)); err != nil {
+				t.Fatal(err)
+			}
 
-			// Diff iterator: dev has pk 3 (changed) and 11 (new) vs
-			// master; master has pk 3 (old), 5 (changed) and no 11.
+			// Name-based diff iterator: dev has pk 3 (changed) and 11
+			// (new) vs master; master has pk 3 (old), 5 (changed) and
+			// no 11.
 			inDev, inMaster := 0, 0
-			diff, diffErr := products.Diff(dev.ID, master.ID)
+			diff, diffErr := db.Diff("products", "dev", "master")
 			for _, inA := range diff {
 				if inA {
 					inDev++
@@ -95,7 +107,7 @@ func TestFacadeRoundTrip(t *testing.T) {
 				t.Fatalf("diff(dev, master) = %d/%d records, want 3/2", inDev, inMaster)
 			}
 
-			mc, st, err := db.Merge(master.ID, dev.ID, "merge dev", decibel.ThreeWay, true)
+			mc, st, err := db.Merge("master", "dev", decibel.WithMergeMessage("merge dev"))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -108,7 +120,7 @@ func TestFacadeRoundTrip(t *testing.T) {
 
 			// Master now holds 11 records: dev's price fix and new row
 			// plus master's own qty change.
-			rows, scanErr := products.Rows(master.ID)
+			rows, scanErr := db.Rows("products", "master")
 			byPK := map[int64][2]int64{}
 			for rec := range rows {
 				byPK[rec.PK()] = [2]int64{rec.Get(1), rec.Get(2)}
@@ -227,15 +239,18 @@ func openSeeded(t *testing.T, engine string) (*decibel.DB, *decibel.Table, *deci
 	if err != nil {
 		t.Fatal(err)
 	}
-	for pk := int64(1); pk <= 10; pk++ {
-		rec := decibel.NewRecord(schema)
-		rec.SetPK(pk)
-		rec.Set(1, pk)
-		if err := tbl.Insert(master.ID, rec); err != nil {
-			t.Fatal(err)
+	if _, err := db.Commit("master", func(tx *decibel.Tx) error {
+		tx.SetMessage("seed")
+		for pk := int64(1); pk <= 10; pk++ {
+			rec := decibel.NewRecord(schema)
+			rec.SetPK(pk)
+			rec.Set(1, pk)
+			if err := tx.Insert("r", rec); err != nil {
+				return err
+			}
 		}
-	}
-	if _, err := db.Commit(master.ID, "seed"); err != nil {
+		return nil
+	}); err != nil {
 		t.Fatal(err)
 	}
 	return db, tbl, master
@@ -255,11 +270,25 @@ func TestSentinelErrors(t *testing.T) {
 	if _, err := db.BranchNamed("nope"); !errors.Is(err, decibel.ErrNoSuchBranch) {
 		t.Fatalf("missing branch: got %v, want ErrNoSuchBranch", err)
 	}
-	if _, err := db.BranchFromHead("b", "nope"); !errors.Is(err, decibel.ErrNoSuchBranch) {
+	if _, err := db.Branch("nope", "b"); !errors.Is(err, decibel.ErrNoSuchBranch) {
 		t.Fatalf("branch from missing parent: got %v, want ErrNoSuchBranch", err)
 	}
-	if _, err := db.Branch("b", decibel.CommitID(9999)); !errors.Is(err, decibel.ErrNoSuchCommit) {
+	if _, err := db.Database.Branch("b", decibel.CommitID(9999)); !errors.Is(err, decibel.ErrNoSuchCommit) {
 		t.Fatalf("branch from missing commit: got %v, want ErrNoSuchCommit", err)
+	}
+	if _, err := db.Commit("nope", func(*decibel.Tx) error { return nil }); !errors.Is(err, decibel.ErrNoSuchBranch) {
+		t.Fatalf("commit on missing branch: got %v, want ErrNoSuchBranch", err)
+	}
+	if _, _, err := db.Merge("master", "nope"); !errors.Is(err, decibel.ErrNoSuchBranch) {
+		t.Fatalf("merge from missing branch: got %v, want ErrNoSuchBranch", err)
+	}
+	txErr := errors.New("callback failed")
+	before := db.Graph().NumCommits()
+	if _, err := db.Commit("master", func(*decibel.Tx) error { return txErr }); !errors.Is(err, txErr) {
+		t.Fatalf("failing callback: got %v, want the callback's error", err)
+	}
+	if got := db.Graph().NumCommits(); got != before {
+		t.Fatalf("failing callback still committed: %d commits, want %d", got, before)
 	}
 	if _, _, err := db.Init("again"); !errors.Is(err, decibel.ErrAlreadyInitialized) {
 		t.Fatalf("double init: got %v, want ErrAlreadyInitialized", err)
@@ -295,7 +324,7 @@ func TestSentinelErrors(t *testing.T) {
 	if err := stale.Checkout("master"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := db.Commit(master.ID, "advance past the session"); err != nil {
+	if _, err := db.Commit("master", func(*decibel.Tx) error { return nil }); err != nil {
 		t.Fatal(err)
 	}
 	if err := stale.Insert("r", rec); !errors.Is(err, decibel.ErrNotAtHead) {
@@ -344,7 +373,7 @@ func TestSentinelErrors(t *testing.T) {
 	if err := db.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := db.Commit(master.ID, "late"); !errors.Is(err, decibel.ErrDatabaseClosed) {
+	if _, err := db.Commit("master", func(*decibel.Tx) error { return nil }); !errors.Is(err, decibel.ErrDatabaseClosed) {
 		t.Fatalf("Commit on closed db: got %v, want ErrDatabaseClosed", err)
 	}
 	if _, err := db.NewSession(); !errors.Is(err, decibel.ErrDatabaseClosed) {

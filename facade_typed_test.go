@@ -1,0 +1,159 @@
+package decibel_test
+
+// Column-type round trip: Float64 and Bytes columns must survive the
+// full commit → scan → diff → merge → reopen cycle on every storage
+// engine, including field-level three-way merges that touch only one of
+// the typed columns.
+
+import (
+	"math"
+	"testing"
+
+	"decibel"
+)
+
+func TestTypedColumnsRoundTrip(t *testing.T) {
+	for _, engine := range facadeEngines {
+		t.Run(engine, func(t *testing.T) {
+			dir := t.TempDir()
+			db, err := decibel.Open(dir, decibel.WithEngine(engine))
+			if err != nil {
+				t.Fatal(err)
+			}
+			schema := decibel.NewSchema().
+				Int64("id").
+				Float64("score").
+				Bytes("tag", 24).
+				Int32("n").
+				MustBuild()
+			if _, err := db.CreateTable("m", schema); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := db.Init("init"); err != nil {
+				t.Fatal(err)
+			}
+
+			put := func(tx *decibel.Tx, pk int64, score float64, tag string, n int64) error {
+				rec := decibel.NewRecord(schema)
+				rec.SetPK(pk)
+				rec.SetFloat64(1, score)
+				if err := rec.SetBytes(2, []byte(tag)); err != nil {
+					return err
+				}
+				rec.Set(3, n)
+				return tx.Insert("m", rec)
+			}
+			if _, err := db.Commit("master", func(tx *decibel.Tx) error {
+				if err := put(tx, 1, 1.5, "alpha", 10); err != nil {
+					return err
+				}
+				if err := put(tx, 2, math.Inf(1), "", 20); err != nil { // empty bytes, +Inf survive
+					return err
+				}
+				// Negative zero (a constant -0.0 would fold to +0.0) and a
+				// tag at the column's declared capacity.
+				return put(tx, 3, math.Copysign(0, -1), "gamma-gamma-gamma-12345", 30)
+			}); err != nil {
+				t.Fatal(err)
+			}
+
+			// Diverge: dev changes only the score of pk 1; master changes
+			// only the tag — disjoint typed fields must auto-merge.
+			if _, err := db.Branch("master", "dev"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := db.Commit("dev", func(tx *decibel.Tx) error {
+				return put(tx, 1, 99.25, "alpha", 10)
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := db.Commit("master", func(tx *decibel.Tx) error {
+				return put(tx, 1, 1.5, "alpha-renamed", 10)
+			}); err != nil {
+				t.Fatal(err)
+			}
+
+			// Diff sees the typed divergence on pk 1.
+			inDev := 0
+			diff, diffErr := db.Diff("m", "dev", "master")
+			for rec, inA := range diff {
+				if rec.PK() != 1 {
+					t.Fatalf("diff touched pk %d, want only pk 1", rec.PK())
+				}
+				if inA {
+					inDev++
+					if got := rec.GetFloat64(1); got != 99.25 {
+						t.Fatalf("dev side score = %g, want 99.25", got)
+					}
+				}
+			}
+			if err := diffErr(); err != nil {
+				t.Fatal(err)
+			}
+			if inDev != 1 {
+				t.Fatalf("diff saw %d dev-side records, want 1", inDev)
+			}
+
+			if _, st, err := db.Merge("master", "dev"); err != nil {
+				t.Fatal(err)
+			} else if st.Conflicts != 0 {
+				t.Fatalf("disjoint typed fields conflicted: %d", st.Conflicts)
+			}
+
+			check := func(db *decibel.DB, phase string) {
+				t.Helper()
+				got := map[int64]*decibel.Record{}
+				rows, scanErr := db.Rows("m", "master")
+				for rec := range rows {
+					got[rec.PK()] = rec.Clone()
+				}
+				if err := scanErr(); err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != 3 {
+					t.Fatalf("%s: master has %d records, want 3", phase, len(got))
+				}
+				// pk 1 merged both typed updates.
+				if s := got[1].GetFloat64(1); s != 99.25 {
+					t.Fatalf("%s: pk 1 score = %g, want dev's 99.25", phase, s)
+				}
+				if tag := string(got[1].GetBytes(2)); tag != "alpha-renamed" {
+					t.Fatalf("%s: pk 1 tag = %q, want master's %q", phase, tag, "alpha-renamed")
+				}
+				if s := got[2].GetFloat64(1); !math.IsInf(s, 1) {
+					t.Fatalf("%s: pk 2 score = %g, want +Inf", phase, s)
+				}
+				if tag := got[2].GetBytes(2); len(tag) != 0 {
+					t.Fatalf("%s: pk 2 tag = %q, want empty", phase, tag)
+				}
+				if s := got[3].GetFloat64(1); s != 0 || !math.Signbit(s) {
+					t.Fatalf("%s: pk 3 score = %g, want -0.0", phase, s)
+				}
+				if tag := string(got[3].GetBytes(2)); tag != "gamma-gamma-gamma-12345" {
+					t.Fatalf("%s: pk 3 tag = %q", phase, tag)
+				}
+				if n := got[3].Get(3); n != 30 {
+					t.Fatalf("%s: pk 3 n = %d, want 30", phase, n)
+				}
+			}
+			check(db, "before reopen")
+
+			if err := db.Close(); err != nil {
+				t.Fatal(err)
+			}
+			db2, err := decibel.Open(dir, decibel.WithEngine(engine))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db2.Close()
+			tbl, err := db2.TableByName("m")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !tbl.Schema().Equal(schema) {
+				t.Fatal("typed schema did not survive the catalog round trip")
+			}
+			check(db2, "after reopen")
+		})
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -61,6 +62,7 @@ type catalogTable struct {
 type catalogColumn struct {
 	Name string `json:"name"`
 	Type uint8  `json:"type"`
+	Size int    `json:"size,omitempty"` // payload capacity of Bytes columns
 }
 
 // Open opens (or creates) the dataset at dir using the given storage
@@ -68,8 +70,19 @@ type catalogColumn struct {
 // committed state is recovered and uncommitted modifications are rolled
 // back by the engines.
 func Open(dir string, factory Factory, opt Options) (*Database, error) {
+	return OpenContext(context.Background(), dir, factory, opt)
+}
+
+// OpenContext is Open bounded by a context: cancellation is checked
+// before the open starts and between tables during catalog reload
+// (each table's engine recovery runs to completion), and already-opened
+// resources are released on abort.
+func OpenContext(ctx context.Context, dir string, factory Factory, opt Options) (*Database, error) {
 	if factory == nil {
 		return nil, errors.New("core: nil engine factory")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	if err := os.MkdirAll(filepath.Join(dir, "tables"), 0o755); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -92,7 +105,10 @@ func Open(dir string, factory Factory, opt Options) (*Database, error) {
 		journal: journal,
 		tables:  make(map[string]*Table),
 	}
-	if err := db.loadCatalog(); err != nil {
+	if err := db.loadCatalogContext(ctx); err != nil {
+		for _, t := range db.Tables() {
+			t.engine.Close()
+		}
 		journal.Close()
 		return nil, err
 	}
@@ -117,7 +133,7 @@ func (db *Database) beginOp() error {
 // endOp closes an operation opened with beginOp.
 func (db *Database) endOp() { db.closeMu.RUnlock() }
 
-func (db *Database) loadCatalog() error {
+func (db *Database) loadCatalogContext(ctx context.Context) error {
 	data, err := os.ReadFile(db.catalogPath())
 	if errors.Is(err, os.ErrNotExist) {
 		return nil
@@ -130,9 +146,12 @@ func (db *Database) loadCatalog() error {
 		return fmt.Errorf("core: corrupt catalog: %w", err)
 	}
 	for _, ct := range cat.Tables {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		cols := make([]record.Column, len(ct.Columns))
 		for i, c := range ct.Columns {
-			cols[i] = record.Column{Name: c.Name, Type: record.Type(c.Type)}
+			cols[i] = record.Column{Name: c.Name, Type: record.Type(c.Type), Size: c.Size}
 		}
 		schema, err := record.NewSchema(cols...)
 		if err != nil {
@@ -152,7 +171,7 @@ func (db *Database) saveCatalogLocked() error {
 		ct := catalogTable{Name: name}
 		for i := 0; i < t.schema.NumColumns(); i++ {
 			c := t.schema.Column(i)
-			ct.Columns = append(ct.Columns, catalogColumn{Name: c.Name, Type: uint8(c.Type)})
+			ct.Columns = append(ct.Columns, catalogColumn{Name: c.Name, Type: uint8(c.Type), Size: c.Size})
 		}
 		cat.Tables = append(cat.Tables, ct)
 	}
@@ -478,38 +497,94 @@ func (t *Table) Delete(branch vgraph.BranchID, pk int64) error {
 
 // Scan emits the records live in a branch head (Query 1).
 func (t *Table) Scan(branch vgraph.BranchID, fn ScanFunc) error {
+	return t.ScanContext(context.Background(), branch, fn)
+}
+
+// ScanContext is Scan bounded by a context: the scan stops within one
+// record of ctx being canceled and returns ctx.Err().
+func (t *Table) ScanContext(ctx context.Context, branch vgraph.BranchID, fn ScanFunc) error {
 	if err := t.db.beginOp(); err != nil {
 		return err
 	}
 	defer t.db.endOp()
-	return t.engine.ScanBranch(branch, fn)
+	if err := t.engine.ScanBranch(branch, ctxScanFunc(ctx, fn)); err != nil {
+		return err
+	}
+	return ctx.Err()
 }
 
 // ScanCommit emits the records of a committed version (checkout read).
 func (t *Table) ScanCommit(c *vgraph.Commit, fn ScanFunc) error {
+	return t.ScanCommitContext(context.Background(), c, fn)
+}
+
+// ScanCommitContext is ScanCommit bounded by a context.
+func (t *Table) ScanCommitContext(ctx context.Context, c *vgraph.Commit, fn ScanFunc) error {
 	if err := t.db.beginOp(); err != nil {
 		return err
 	}
 	defer t.db.endOp()
-	return t.engine.ScanCommit(c, fn)
+	if err := t.engine.ScanCommit(c, ctxScanFunc(ctx, fn)); err != nil {
+		return err
+	}
+	return ctx.Err()
 }
 
 // ScanMulti emits records live in any of the branches with membership
 // annotations (Query 4).
 func (t *Table) ScanMulti(branches []vgraph.BranchID, fn MultiScanFunc) error {
+	return t.ScanMultiContext(context.Background(), branches, fn)
+}
+
+// ScanMultiContext is ScanMulti bounded by a context.
+func (t *Table) ScanMultiContext(ctx context.Context, branches []vgraph.BranchID, fn MultiScanFunc) error {
 	if err := t.db.beginOp(); err != nil {
 		return err
 	}
 	defer t.db.endOp()
-	return t.engine.ScanMulti(branches, fn)
+	if err := t.engine.ScanMulti(branches, ctxWrap2(ctx, fn)); err != nil {
+		return err
+	}
+	return ctx.Err()
 }
 
 // ScanDiff streams the symmetric difference of two branch heads
 // (Query 2) through a callback; Diff is the iterator form.
 func (t *Table) ScanDiff(a, b vgraph.BranchID, fn DiffFunc) error {
+	return t.ScanDiffContext(context.Background(), a, b, fn)
+}
+
+// ScanDiffContext is ScanDiff bounded by a context.
+func (t *Table) ScanDiffContext(ctx context.Context, a, b vgraph.BranchID, fn DiffFunc) error {
 	if err := t.db.beginOp(); err != nil {
 		return err
 	}
 	defer t.db.endOp()
-	return t.engine.Diff(a, b, fn)
+	if err := t.engine.Diff(a, b, ctxWrap2(ctx, fn)); err != nil {
+		return err
+	}
+	return ctx.Err()
+}
+
+// ctxScanFunc wraps a ScanFunc so the engine stops scanning as soon as
+// ctx is canceled; contexts that can never be canceled pass fn through
+// untouched.
+func ctxScanFunc(ctx context.Context, fn ScanFunc) ScanFunc {
+	if ctx.Done() == nil {
+		return fn
+	}
+	return func(rec *record.Record) bool {
+		return ctx.Err() == nil && fn(rec)
+	}
+}
+
+// ctxWrap2 is ctxScanFunc for the two-argument callback shapes
+// (MultiScanFunc, DiffFunc).
+func ctxWrap2[A, B any](ctx context.Context, fn func(A, B) bool) func(A, B) bool {
+	if ctx.Done() == nil {
+		return fn
+	}
+	return func(a A, b B) bool {
+		return ctx.Err() == nil && fn(a, b)
+	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"iter"
 
 	"decibel/internal/bitmap"
@@ -13,21 +14,35 @@ import (
 // error accessor that is valid once iteration finishes (or was broken
 // out of). As with the callbacks, yielded records may alias engine
 // buffers and must be Cloned to be retained across iterations.
+//
+// Every iterator has a Context form whose sequence stops within one
+// record of ctx being canceled; the trailing error accessor then
+// reports ctx.Err().
 
 // Rows iterates the records live in a branch head (Query 1).
 func (t *Table) Rows(branch vgraph.BranchID) (iter.Seq[*record.Record], func() error) {
+	return t.RowsContext(context.Background(), branch)
+}
+
+// RowsContext is Rows bounded by a context.
+func (t *Table) RowsContext(ctx context.Context, branch vgraph.BranchID) (iter.Seq[*record.Record], func() error) {
 	var err error
 	seq := func(yield func(*record.Record) bool) {
-		err = t.Scan(branch, func(rec *record.Record) bool { return yield(rec) })
+		err = t.ScanContext(ctx, branch, func(rec *record.Record) bool { return yield(rec) })
 	}
 	return seq, func() error { return err }
 }
 
 // RowsAt iterates the records of a committed version (checkout read).
 func (t *Table) RowsAt(c *vgraph.Commit) (iter.Seq[*record.Record], func() error) {
+	return t.RowsAtContext(context.Background(), c)
+}
+
+// RowsAtContext is RowsAt bounded by a context.
+func (t *Table) RowsAtContext(ctx context.Context, c *vgraph.Commit) (iter.Seq[*record.Record], func() error) {
 	var err error
 	seq := func(yield func(*record.Record) bool) {
-		err = t.ScanCommit(c, func(rec *record.Record) bool { return yield(rec) })
+		err = t.ScanCommitContext(ctx, c, func(rec *record.Record) bool { return yield(rec) })
 	}
 	return seq, func() error { return err }
 }
@@ -36,9 +51,14 @@ func (t *Table) RowsAt(c *vgraph.Commit) (iter.Seq[*record.Record], func() error
 // The bool is true for records live in a but not b, false for the
 // reverse.
 func (t *Table) Diff(a, b vgraph.BranchID) (iter.Seq2[*record.Record, bool], func() error) {
+	return t.DiffContext(context.Background(), a, b)
+}
+
+// DiffContext is Diff bounded by a context.
+func (t *Table) DiffContext(ctx context.Context, a, b vgraph.BranchID) (iter.Seq2[*record.Record, bool], func() error) {
 	var err error
 	seq := func(yield func(*record.Record, bool) bool) {
-		err = t.ScanDiff(a, b, func(rec *record.Record, inA bool) bool { return yield(rec, inA) })
+		err = t.ScanDiffContext(ctx, a, b, func(rec *record.Record, inA bool) bool { return yield(rec, inA) })
 	}
 	return seq, func() error { return err }
 }
@@ -46,9 +66,14 @@ func (t *Table) Diff(a, b vgraph.BranchID) (iter.Seq2[*record.Record, bool], fun
 // RowsMulti iterates the records live in any of the branch heads
 // (Query 4); the membership bitmap's bit i corresponds to branches[i].
 func (t *Table) RowsMulti(branches []vgraph.BranchID) (iter.Seq2[*record.Record, *bitmap.Bitmap], func() error) {
+	return t.RowsMultiContext(context.Background(), branches)
+}
+
+// RowsMultiContext is RowsMulti bounded by a context.
+func (t *Table) RowsMultiContext(ctx context.Context, branches []vgraph.BranchID) (iter.Seq2[*record.Record, *bitmap.Bitmap], func() error) {
 	var err error
 	seq := func(yield func(*record.Record, *bitmap.Bitmap) bool) {
-		err = t.ScanMulti(branches, func(rec *record.Record, m *bitmap.Bitmap) bool { return yield(rec, m) })
+		err = t.ScanMultiContext(ctx, branches, func(rec *record.Record, m *bitmap.Bitmap) bool { return yield(rec, m) })
 	}
 	return seq, func() error { return err }
 }

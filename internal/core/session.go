@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -84,6 +85,136 @@ func (s *Session) CheckoutCommit(id vgraph.CommitID) error {
 	return nil
 }
 
+// CheckoutForWrite positions the session at the head of the named
+// branch after acquiring the branch's exclusive lock, re-reading the
+// head under the lock. Unlike Checkout, this serializes with concurrent
+// committers: a session that waited for the lock sees the head the
+// previous transaction produced instead of failing ErrNotAtHead. The
+// lock is held until CommitWork or Close (strict 2PL); a canceled ctx
+// aborts the lock wait with ctx.Err().
+func (s *Session) CheckoutForWrite(ctx context.Context, branch string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrSessionClosed
+	}
+	b, ok := s.db.graph.BranchByName(branch)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchBranch, branch)
+	}
+	if err := s.db.locks.AcquireContext(ctx, s.txn, branchResource(b.ID), lock.Exclusive); err != nil {
+		return err
+	}
+	cur, ok := s.db.graph.Branch(b.ID)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchBranch, branch)
+	}
+	head, _ := s.db.graph.Commit(cur.Head)
+	s.branch = cur
+	s.commit = head
+	return nil
+}
+
+// AcquireBranch takes a shared or exclusive lock on the named branch's
+// head without repositioning the session, held until CommitWork or
+// Close like every session lock. Multi-branch operations (merge,
+// branch-from-head) use it to pin the branches they read against
+// concurrent committers.
+func (s *Session) AcquireBranch(ctx context.Context, branch string, exclusive bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrSessionClosed
+	}
+	b, ok := s.db.graph.BranchByName(branch)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchBranch, branch)
+	}
+	mode := lock.Shared
+	if exclusive {
+		mode = lock.Exclusive
+	}
+	return s.db.locks.AcquireContext(ctx, s.txn, branchResource(b.ID), mode)
+}
+
+// Revert restores the given primary keys of a table to the branch's
+// last committed state, undoing any uncommitted head writes to those
+// keys: keys that existed at the head commit get their committed record
+// re-inserted, keys that did not are deleted. The facade's
+// transactional Commit uses this to roll back an aborted callback.
+// Requires the session to be at a branch head; takes the branch's
+// exclusive lock.
+func (s *Session) Revert(ctx context.Context, table string, pks []int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, err := s.atHead()
+	if err != nil {
+		return err
+	}
+	t, ok := s.db.Table(table)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchTable, table)
+	}
+	if err := s.db.locks.AcquireContext(ctx, s.txn, branchResource(b.ID), lock.Exclusive); err != nil {
+		return err
+	}
+	head, ok := s.db.graph.Commit(b.Head)
+	if !ok {
+		return fmt.Errorf("%w: commit %d", ErrNoSuchCommit, b.Head)
+	}
+	need := make(map[int64]bool, len(pks))
+	for _, pk := range pks {
+		need[pk] = true
+	}
+	// Collect the committed versions first, then write: engines are not
+	// required to support mutation during an active scan.
+	var restore []*record.Record
+	if err := t.ScanCommit(head, func(rec *record.Record) bool {
+		if need[rec.PK()] {
+			restore = append(restore, rec.Clone())
+			delete(need, rec.PK())
+		}
+		return true
+	}); err != nil {
+		return err
+	}
+	for _, rec := range restore {
+		if err := t.Insert(b.ID, rec); err != nil {
+			return err
+		}
+	}
+	for pk := range need {
+		if err := t.Delete(b.ID, pk); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckoutAt positions the session at a historical commit addressed by
+// name: the seq'th commit made on the named branch, zero-based (the CLI
+// spells this "checkout <branch>@<seq>"). Checking out the branch's
+// newest commit re-attaches the session to the head, so writes are
+// allowed again; older commits leave it detached for reads.
+func (s *Session) CheckoutAt(branch string, seq int) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrSessionClosed
+	}
+	s.mu.Unlock()
+	b, ok := s.db.graph.BranchByName(branch)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchBranch, branch)
+	}
+	for _, c := range s.db.graph.CommitsOnBranch(b.ID) {
+		if c.Seq == seq {
+			return s.CheckoutCommit(c.ID)
+		}
+	}
+	return fmt.Errorf("%w: %s@%d", ErrNoSuchCommit, branch, seq)
+}
+
 // Branch returns the session's current branch (nil when detached at a
 // historical commit).
 func (s *Session) Branch() *vgraph.Branch {
@@ -119,6 +250,12 @@ func (s *Session) atHead() (*vgraph.Branch, error) {
 // Insert upserts a record into the session's branch head under an
 // exclusive branch lock.
 func (s *Session) Insert(table string, rec *record.Record) error {
+	return s.InsertContext(context.Background(), table, rec)
+}
+
+// InsertContext is Insert bounded by a context: a blocked lock wait
+// aborts with ctx.Err() when ctx is canceled.
+func (s *Session) InsertContext(ctx context.Context, table string, rec *record.Record) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	b, err := s.atHead()
@@ -129,7 +266,7 @@ func (s *Session) Insert(table string, rec *record.Record) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNoSuchTable, table)
 	}
-	if err := s.db.locks.Acquire(s.txn, branchResource(b.ID), lock.Exclusive); err != nil {
+	if err := s.db.locks.AcquireContext(ctx, s.txn, branchResource(b.ID), lock.Exclusive); err != nil {
 		return err
 	}
 	return t.Insert(b.ID, rec)
@@ -138,6 +275,11 @@ func (s *Session) Insert(table string, rec *record.Record) error {
 // Delete removes a key from the session's branch head under an
 // exclusive branch lock.
 func (s *Session) Delete(table string, pk int64) error {
+	return s.DeleteContext(context.Background(), table, pk)
+}
+
+// DeleteContext is Delete bounded by a context.
+func (s *Session) DeleteContext(ctx context.Context, table string, pk int64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	b, err := s.atHead()
@@ -148,7 +290,7 @@ func (s *Session) Delete(table string, pk int64) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNoSuchTable, table)
 	}
-	if err := s.db.locks.Acquire(s.txn, branchResource(b.ID), lock.Exclusive); err != nil {
+	if err := s.db.locks.AcquireContext(ctx, s.txn, branchResource(b.ID), lock.Exclusive); err != nil {
 		return err
 	}
 	return t.Delete(b.ID, pk)
@@ -158,6 +300,12 @@ func (s *Session) Delete(table string, pk int64) error {
 // branch lock (historical checkouts read the committed snapshot and
 // need no lock: versions are immutable).
 func (s *Session) Scan(table string, fn ScanFunc) error {
+	return s.ScanContext(context.Background(), table, fn)
+}
+
+// ScanContext is Scan bounded by a context: lock waits and the scan
+// itself are abandoned as soon as ctx is canceled.
+func (s *Session) ScanContext(ctx context.Context, table string, fn ScanFunc) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -173,29 +321,40 @@ func (s *Session) Scan(table string, fn ScanFunc) error {
 	s.mu.Unlock()
 	if branch != nil {
 		if cur, _ := s.db.graph.Branch(branch.ID); cur != nil && commit != nil && cur.Head == commit.ID {
-			if err := s.db.locks.Acquire(s.txn, branchResource(branch.ID), lock.Shared); err != nil {
+			if err := s.db.locks.AcquireContext(ctx, s.txn, branchResource(branch.ID), lock.Shared); err != nil {
 				return err
 			}
-			return t.Scan(branch.ID, fn)
+			return t.ScanContext(ctx, branch.ID, fn)
 		}
 	}
 	if commit == nil {
 		return errors.New("core: session has no checked-out version")
 	}
-	return t.ScanCommit(commit, fn)
+	return t.ScanCommitContext(ctx, commit, fn)
 }
 
 // CommitWork commits the session's branch, making its updates
 // atomically visible, and releases all locks (end of the 2PL
 // transaction).
 func (s *Session) CommitWork(message string) (*vgraph.Commit, error) {
+	return s.CommitWorkContext(context.Background(), message)
+}
+
+// CommitWorkContext is CommitWork bounded by a context. Cancellation is
+// honored up to the point the commit is handed to the engines; the
+// commit itself is not interruptible, so a canceled context either
+// aborts before any state changes or the commit completes in full.
+func (s *Session) CommitWorkContext(ctx context.Context, message string) (*vgraph.Commit, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	b, err := s.atHead()
 	if err != nil {
 		return nil, err
 	}
-	if err := s.db.locks.Acquire(s.txn, branchResource(b.ID), lock.Exclusive); err != nil {
+	if err := s.db.locks.AcquireContext(ctx, s.txn, branchResource(b.ID), lock.Exclusive); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	c, err := s.db.Commit(b.ID, message)

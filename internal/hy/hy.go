@@ -192,6 +192,33 @@ func (e *Engine) recover() error {
 		}
 		e.segs[s].local[b] = l.Head()
 	}
+	// Branches created but never committed to have no (branch, segment)
+	// logs of their own; rebuild their per-segment liveness from the
+	// snapshot they branched at, recorded in the branch-point commit's
+	// own branch logs (the same reconstruction Branch performs).
+	for _, br := range e.env.Graph.Branches() {
+		restored := false
+		for k := range e.startSeq {
+			if k.Branch == br.ID {
+				restored = true
+				break
+			}
+		}
+		if restored || br.From == vgraph.None {
+			continue
+		}
+		from, ok := e.env.Graph.Commit(br.From)
+		if !ok {
+			return fmt.Errorf("hy: recover branch %d: missing branch-point commit %d", br.ID, br.From)
+		}
+		snap, err := e.checkoutLocked(from.Branch, from.Seq)
+		if err != nil {
+			return fmt.Errorf("hy: recover branch %d: %w", br.ID, err)
+		}
+		for id, bm := range snap {
+			e.segs[id].local[br.ID] = bm
+		}
+	}
 	// Rebuild primary-key indexes from the restored bitmaps.
 	for _, br := range e.env.Graph.Branches() {
 		idx := newPKIndex()

@@ -12,6 +12,7 @@
 package lock
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"time"
@@ -63,15 +64,26 @@ func NewManager(timeout time.Duration) *Manager {
 // the timeout elapses. Lock upgrades (shared held, exclusive requested)
 // are supported when txn is the sole shared holder.
 func (m *Manager) Acquire(txn uint64, resource string, mode Mode) error {
-	deadline := time.Now().Add(m.timeout)
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	return m.AcquireContext(context.Background(), txn, resource, mode)
+}
 
-	// Wake blocked waiters periodically so deadline checks run even if
-	// no Release broadcasts.
+// AcquireContext is Acquire bounded by a context: a wait that is still
+// blocked when ctx is canceled aborts with ctx.Err(). The manager's
+// deadlock timeout still applies underneath the context.
+func (m *Manager) AcquireContext(ctx context.Context, txn uint64, resource string, mode Mode) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	deadline := time.Now().Add(m.timeout)
+	// Wake blocked waiters on cancellation and periodically so deadline
+	// and context checks run even if no Release broadcasts.
+	stop := context.AfterFunc(ctx, func() { m.cond.Broadcast() })
+	defer stop()
 	timer := time.AfterFunc(m.timeout, func() { m.cond.Broadcast() })
 	defer timer.Stop()
 
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	for {
 		e := m.locks[resource]
 		if e == nil {
@@ -86,6 +98,9 @@ func (m *Manager) Acquire(txn uint64, resource string, mode Mode) error {
 				e.exclCount++
 			}
 			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return err
 		}
 		if time.Now().After(deadline) {
 			return ErrTimeout

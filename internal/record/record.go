@@ -1,5 +1,6 @@
 // Package record implements Decibel's tuple layer: fixed-width schemas
-// of integer columns with an immutable int64 primary key in column 0, a
+// of integer, float and fixed-capacity byte-string columns with an
+// immutable int64 primary key in column 0, a
 // compact binary codec with a per-record header (tombstone flag), and
 // the field-level three-way merge used by every storage engine's merge
 // operation (Section 2.2.3: "two records in Decibel are said to
@@ -13,9 +14,11 @@
 package record
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 )
 
 // Type identifies a fixed-width column type.
@@ -23,19 +26,23 @@ type Type uint8
 
 // Supported column types.
 const (
-	Int32 Type = iota // 4-byte signed integer
-	Int64             // 8-byte signed integer
+	Int32   Type = iota // 4-byte signed integer
+	Int64               // 8-byte signed integer
+	Float64             // 8-byte IEEE 754 double
+	Bytes               // fixed-capacity byte string (capacity set per column)
 )
 
-// Width returns the encoded width of the type in bytes.
+// Width returns the encoded width of the type in bytes. Bytes columns
+// have no intrinsic width — their capacity is declared per column — so
+// use Column.Width for the general form.
 func (t Type) Width() int {
 	switch t {
 	case Int32:
 		return 4
-	case Int64:
+	case Int64, Float64:
 		return 8
 	default:
-		panic(fmt.Sprintf("record: unknown type %d", t))
+		panic(fmt.Sprintf("record: type %v has no intrinsic width", t))
 	}
 }
 
@@ -46,15 +53,48 @@ func (t Type) String() string {
 		return "INT"
 	case Int64:
 		return "BIGINT"
+	case Float64:
+		return "DOUBLE"
+	case Bytes:
+		return "BYTES"
 	default:
 		return fmt.Sprintf("Type(%d)", t)
 	}
 }
 
-// Column describes one schema column.
+// bytesLenPrefix is the length-prefix width of a Bytes column: the
+// stored value's actual length as a little-endian uint16, followed by
+// Size payload bytes (records stay fixed-width, which is what lets the
+// heap layer address records by slot).
+const bytesLenPrefix = 2
+
+// MaxBytesSize caps the declared capacity of a Bytes column (the length
+// prefix is a uint16).
+const MaxBytesSize = math.MaxUint16
+
+// Column describes one schema column. Size is the payload capacity of a
+// Bytes column in bytes (1..MaxBytesSize) and must be zero for every
+// other type.
 type Column struct {
 	Name string
 	Type Type
+	Size int
+}
+
+// Width returns the encoded width of the column in bytes.
+func (c Column) Width() int {
+	if c.Type == Bytes {
+		return bytesLenPrefix + c.Size
+	}
+	return c.Type.Width()
+}
+
+// String renders the column as name + SQL-ish type.
+func (c Column) String() string {
+	if c.Type == Bytes {
+		return fmt.Sprintf("%s BYTES(%d)", c.Name, c.Size)
+	}
+	return fmt.Sprintf("%s %v", c.Name, c.Type)
 }
 
 // Schema is an ordered list of fixed-width columns. Column 0 is always
@@ -96,10 +136,20 @@ func NewSchema(cols ...Column) (*Schema, error) {
 		if seen[c.Name] {
 			return nil, fmt.Errorf("record: duplicate column name %q", c.Name)
 		}
+		if c.Type > Bytes {
+			return nil, fmt.Errorf("record: column %q has unknown type %d", c.Name, c.Type)
+		}
+		if c.Type == Bytes {
+			if c.Size < 1 || c.Size > MaxBytesSize {
+				return nil, fmt.Errorf("record: bytes column %q needs a size in 1..%d, got %d", c.Name, MaxBytesSize, c.Size)
+			}
+		} else if c.Size != 0 {
+			return nil, fmt.Errorf("record: column %q of type %v must not declare a size", c.Name, c.Type)
+		}
 		seen[c.Name] = true
 		s.cols[i] = c
 		s.offsets[i] = off
-		off += c.Type.Width()
+		off += c.Width()
 	}
 	s.size = HeaderSize + off
 	return s, nil
@@ -171,6 +221,7 @@ func (s *Schema) MarshalBinary() ([]byte, error) {
 	buf := binary.AppendUvarint(nil, uint64(len(s.cols)))
 	for _, c := range s.cols {
 		buf = append(buf, byte(c.Type))
+		buf = binary.AppendUvarint(buf, uint64(c.Size))
 		buf = binary.AppendUvarint(buf, uint64(len(c.Name)))
 		buf = append(buf, c.Name...)
 	}
@@ -192,12 +243,17 @@ func UnmarshalSchema(data []byte) (*Schema, int, error) {
 		}
 		typ := Type(data[pos])
 		pos++
+		size, used := binary.Uvarint(data[pos:])
+		if used <= 0 {
+			return nil, 0, errors.New("record: truncated schema size")
+		}
+		pos += used
 		l, used := binary.Uvarint(data[pos:])
 		if used <= 0 || pos+used+int(l) > len(data) {
 			return nil, 0, errors.New("record: truncated schema name")
 		}
 		pos += used
-		cols = append(cols, Column{Name: string(data[pos : pos+int(l)]), Type: typ})
+		cols = append(cols, Column{Name: string(data[pos : pos+int(l)]), Type: typ, Size: int(size)})
 		pos += int(l)
 	}
 	s, err := NewSchema(cols...)
@@ -259,7 +315,9 @@ func (r *Record) PK() int64 { return r.Get(0) }
 // SetPK sets the primary key.
 func (r *Record) SetPK(v int64) { r.Set(0, v) }
 
-// Get returns column i as an int64 (Int32 columns are sign-extended).
+// Get returns integer column i as an int64 (Int32 columns are
+// sign-extended). It panics on Float64 and Bytes columns; use GetFloat64
+// or GetBytes for those.
 func (r *Record) Get(i int) int64 {
 	c := r.schema.cols[i]
 	off := HeaderSize + r.schema.offsets[i]
@@ -269,11 +327,13 @@ func (r *Record) Get(i int) int64 {
 	case Int64:
 		return int64(binary.LittleEndian.Uint64(r.buf[off:]))
 	default:
-		panic("record: unknown column type")
+		panic(fmt.Sprintf("record: Get on %v column %q; use the typed accessor", c.Type, c.Name))
 	}
 }
 
-// Set stores v into column i, truncating to the column width.
+// Set stores v into integer column i, truncating to the column width.
+// It panics on Float64 and Bytes columns; use SetFloat64 or SetBytes
+// for those.
 func (r *Record) Set(i int, v int64) {
 	c := r.schema.cols[i]
 	off := HeaderSize + r.schema.offsets[i]
@@ -283,8 +343,83 @@ func (r *Record) Set(i int, v int64) {
 	case Int64:
 		binary.LittleEndian.PutUint64(r.buf[off:], uint64(v))
 	default:
-		panic("record: unknown column type")
+		panic(fmt.Sprintf("record: Set on %v column %q; use the typed accessor", c.Type, c.Name))
 	}
+}
+
+// GetFloat64 returns Float64 column i.
+func (r *Record) GetFloat64(i int) float64 {
+	c := r.schema.cols[i]
+	if c.Type != Float64 {
+		panic(fmt.Sprintf("record: GetFloat64 on %v column %q", c.Type, c.Name))
+	}
+	off := HeaderSize + r.schema.offsets[i]
+	return math.Float64frombits(binary.LittleEndian.Uint64(r.buf[off:]))
+}
+
+// SetFloat64 stores v into Float64 column i.
+func (r *Record) SetFloat64(i int, v float64) {
+	c := r.schema.cols[i]
+	if c.Type != Float64 {
+		panic(fmt.Sprintf("record: SetFloat64 on %v column %q", c.Type, c.Name))
+	}
+	off := HeaderSize + r.schema.offsets[i]
+	binary.LittleEndian.PutUint64(r.buf[off:], math.Float64bits(v))
+}
+
+// GetBytes returns the value of Bytes column i. The slice aliases the
+// record's buffer; copy it to retain it past the next mutation.
+func (r *Record) GetBytes(i int) []byte {
+	c := r.schema.cols[i]
+	if c.Type != Bytes {
+		panic(fmt.Sprintf("record: GetBytes on %v column %q", c.Type, c.Name))
+	}
+	off := HeaderSize + r.schema.offsets[i]
+	n := int(binary.LittleEndian.Uint16(r.buf[off:]))
+	if n > c.Size {
+		n = c.Size // corrupt length prefix; clamp rather than slice out of the column
+	}
+	return r.buf[off+bytesLenPrefix : off+bytesLenPrefix+n]
+}
+
+// SetBytes stores v into Bytes column i. It fails if v exceeds the
+// column's declared capacity; shorter values zero-pad the remainder so
+// records with equal values stay bytewise equal.
+func (r *Record) SetBytes(i int, v []byte) error {
+	c := r.schema.cols[i]
+	if c.Type != Bytes {
+		panic(fmt.Sprintf("record: SetBytes on %v column %q", c.Type, c.Name))
+	}
+	if len(v) > c.Size {
+		return fmt.Errorf("record: value of %d bytes exceeds capacity %d of column %q", len(v), c.Size, c.Name)
+	}
+	off := HeaderSize + r.schema.offsets[i]
+	binary.LittleEndian.PutUint16(r.buf[off:], uint16(len(v)))
+	payload := r.buf[off+bytesLenPrefix : off+bytesLenPrefix+c.Size]
+	copy(payload, v)
+	for j := len(v); j < c.Size; j++ {
+		payload[j] = 0
+	}
+	return nil
+}
+
+// ColumnBytes returns the raw encoded bytes of column i (for a Bytes
+// column this includes the length prefix). The slice aliases the record.
+func (r *Record) ColumnBytes(i int) []byte {
+	off := HeaderSize + r.schema.offsets[i]
+	return r.buf[off : off+r.schema.cols[i].Width()]
+}
+
+// CopyColumn copies column i of src into r. Both records must share a
+// schema; the copy is a raw byte move, so it works for every column
+// type.
+func (r *Record) CopyColumn(src *Record, i int) {
+	copy(r.ColumnBytes(i), src.ColumnBytes(i))
+}
+
+// ColumnEq reports whether column i holds the same value in a and b.
+func ColumnEq(a, b *Record, i int) bool {
+	return bytes.Equal(a.ColumnBytes(i), b.ColumnBytes(i))
 }
 
 // Equal reports whether two records have identical schema and contents
@@ -313,7 +448,15 @@ func (r *Record) String() string {
 		show = 6
 	}
 	for i := 1; i < show; i++ {
-		s += fmt.Sprintf(", %s=%d", r.schema.cols[i].Name, r.Get(i))
+		c := r.schema.cols[i]
+		switch c.Type {
+		case Float64:
+			s += fmt.Sprintf(", %s=%g", c.Name, r.GetFloat64(i))
+		case Bytes:
+			s += fmt.Sprintf(", %s=%q", c.Name, r.GetBytes(i))
+		default:
+			s += fmt.Sprintf(", %s=%d", c.Name, r.Get(i))
+		}
 	}
 	if show < n {
 		s += ", ..."
@@ -327,7 +470,7 @@ func (r *Record) String() string {
 func DiffFields(a, b *Record) []int {
 	var out []int
 	for i := 1; i < a.schema.NumColumns(); i++ {
-		if a.Get(i) != b.Get(i) {
+		if !ColumnEq(a, b, i) {
 			out = append(out, i)
 		}
 	}
@@ -396,7 +539,7 @@ func Merge3(base, a, b *Record, precedenceA bool) MergeResult {
 	db := DiffFields(base, b)
 	merged := base.Clone()
 	for _, i := range da {
-		merged.Set(i, a.Get(i))
+		merged.CopyColumn(a, i)
 	}
 	conflict := false
 	inA := make(map[int]bool, len(da))
@@ -404,14 +547,14 @@ func Merge3(base, a, b *Record, precedenceA bool) MergeResult {
 		inA[i] = true
 	}
 	for _, i := range db {
-		if inA[i] && a.Get(i) != b.Get(i) {
+		if inA[i] && !ColumnEq(a, b, i) {
 			conflict = true
 			if precedenceA {
 				continue // keep a's value already applied
 			}
 		}
-		if !inA[i] || !precedenceA || a.Get(i) == b.Get(i) {
-			merged.Set(i, b.Get(i))
+		if !inA[i] || !precedenceA || ColumnEq(a, b, i) {
+			merged.CopyColumn(b, i)
 		}
 	}
 	return MergeResult{Record: merged, Conflict: conflict}

@@ -338,3 +338,157 @@ func BenchmarkRecordEncodeDecode(b *testing.B) {
 		}
 	}
 }
+
+// typedSchema covers every column type: int key, int32, float64, bytes.
+func typedSchema(t *testing.T) *Schema {
+	t.Helper()
+	return MustSchema(
+		Column{Name: "id", Type: Int64},
+		Column{Name: "n", Type: Int32},
+		Column{Name: "score", Type: Float64},
+		Column{Name: "tag", Type: Bytes, Size: 16},
+	)
+}
+
+func TestTypedColumnsValidation(t *testing.T) {
+	if _, err := NewSchema(Column{Name: "id", Type: Int64}, Column{Name: "b", Type: Bytes}); err == nil {
+		t.Fatal("bytes column without size accepted")
+	}
+	if _, err := NewSchema(Column{Name: "id", Type: Int64}, Column{Name: "b", Type: Bytes, Size: MaxBytesSize + 1}); err == nil {
+		t.Fatal("oversized bytes column accepted")
+	}
+	if _, err := NewSchema(Column{Name: "id", Type: Int64}, Column{Name: "n", Type: Int32, Size: 4}); err == nil {
+		t.Fatal("sized int column accepted")
+	}
+	if _, err := NewSchema(Column{Name: "id", Type: Int64}, Column{Name: "x", Type: Type(99)}); err == nil {
+		t.Fatal("unknown column type accepted")
+	}
+}
+
+func TestTypedColumnsLayout(t *testing.T) {
+	s := typedSchema(t)
+	if got, want := s.RecordSize(), HeaderSize+8+4+8+2+16; got != want {
+		t.Fatalf("record size = %d, want %d", got, want)
+	}
+	if w := (Column{Name: "b", Type: Bytes, Size: 5}).Width(); w != 7 {
+		t.Fatalf("bytes column width = %d, want 7", w)
+	}
+}
+
+func TestFloat64RoundTrip(t *testing.T) {
+	s := typedSchema(t)
+	r := New(s)
+	for _, v := range []float64{0, 1.5, -2.25e30, 3.141592653589793} {
+		r.SetFloat64(2, v)
+		if got := r.GetFloat64(2); got != v {
+			t.Fatalf("float round trip: got %g, want %g", got, v)
+		}
+	}
+}
+
+func TestBytesColumnRoundTrip(t *testing.T) {
+	s := typedSchema(t)
+	r := New(s)
+	if err := r.SetBytes(3, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(r.GetBytes(3)); got != "hello" {
+		t.Fatalf("bytes round trip: got %q", got)
+	}
+	// Shrinking the value must not leak the old suffix.
+	if err := r.SetBytes(3, []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(r.GetBytes(3)); got != "hi" {
+		t.Fatalf("bytes shrink: got %q", got)
+	}
+	other := New(s)
+	if err := other.SetBytes(3, []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	if !ColumnEq(r, other, 3) {
+		t.Fatal("equal bytes values not bytewise equal after shrink")
+	}
+	if err := r.SetBytes(3, make([]byte, 17)); err == nil {
+		t.Fatal("over-capacity value accepted")
+	}
+	if err := r.SetBytes(3, nil); err != nil || len(r.GetBytes(3)) != 0 {
+		t.Fatalf("empty value round trip: %v, %q", err, r.GetBytes(3))
+	}
+}
+
+func TestTypedAccessorPanics(t *testing.T) {
+	s := typedSchema(t)
+	r := New(s)
+	for name, fn := range map[string]func(){
+		"Get on float":        func() { r.Get(2) },
+		"Set on bytes":        func() { r.Set(3, 1) },
+		"GetFloat64 on int":   func() { r.GetFloat64(1) },
+		"GetBytes on float":   func() { r.GetBytes(2) },
+		"SetFloat64 on bytes": func() { r.SetFloat64(3, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTypedSchemaMarshalRoundTrip(t *testing.T) {
+	s := typedSchema(t)
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, used, err := UnmarshalSchema(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != len(data) || !got.Equal(s) {
+		t.Fatal("typed schema round trip mismatch")
+	}
+	if got.Column(3).Size != 16 {
+		t.Fatalf("bytes size lost: %d", got.Column(3).Size)
+	}
+}
+
+func TestMerge3TypedColumns(t *testing.T) {
+	s := typedSchema(t)
+	mk := func(n int64, score float64, tag string) *Record {
+		r := New(s)
+		r.SetPK(1)
+		r.Set(1, n)
+		r.SetFloat64(2, score)
+		if err := r.SetBytes(3, []byte(tag)); err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	base := mk(1, 1.0, "base")
+	a := mk(1, 2.5, "base")  // a changes only the float
+	b := mk(1, 1.0, "other") // b changes only the bytes
+	res := Merge3(base, a, b, true)
+	if res.Conflict {
+		t.Fatal("non-overlapping typed updates conflicted")
+	}
+	if got := res.Record.GetFloat64(2); got != 2.5 {
+		t.Fatalf("merged float = %g, want 2.5", got)
+	}
+	if got := string(res.Record.GetBytes(3)); got != "other" {
+		t.Fatalf("merged bytes = %q, want \"other\"", got)
+	}
+
+	// Overlapping bytes update resolves by precedence.
+	a2 := mk(1, 1.0, "from-a")
+	b2 := mk(1, 1.0, "from-b")
+	if res := Merge3(base, a2, b2, true); !res.Conflict || string(res.Record.GetBytes(3)) != "from-a" {
+		t.Fatalf("precedence-A bytes conflict: conflict=%v tag=%q", res.Conflict, res.Record.GetBytes(3))
+	}
+	if res := Merge3(base, a2, b2, false); !res.Conflict || string(res.Record.GetBytes(3)) != "from-b" {
+		t.Fatalf("precedence-B bytes conflict: conflict=%v tag=%q", res.Conflict, res.Record.GetBytes(3))
+	}
+}

@@ -86,6 +86,22 @@ func (e *Engine) recover() error {
 			return err
 		}
 		bm := l.Head()
+		if l.NumCommits() == 0 && b.From != vgraph.None {
+			// The branch was created but never committed to, so its own
+			// log is empty; its head is the snapshot it branched from,
+			// recorded in the log of the branch that made that commit.
+			from, ok := e.env.Graph.Commit(b.From)
+			if !ok {
+				return fmt.Errorf("tf: recover branch %d: missing branch-point commit %d", b.ID, b.From)
+			}
+			pl, err := e.openLog(from.Branch)
+			if err != nil {
+				return err
+			}
+			if bm, err = pl.Checkout(from.Seq); err != nil {
+				return fmt.Errorf("tf: recover branch %d: %w", b.ID, err)
+			}
+		}
 		e.idx.addBranch(b.ID, bm)
 		idx := newPKIndex()
 		e.pk[b.ID] = idx

@@ -1,0 +1,75 @@
+package decibel_test
+
+// Regression test: a branch that was created but never committed to
+// must still hold its branch-point snapshot after the dataset is closed
+// and reopened. The tuple-first and hybrid engines used to recover such
+// branches as empty (their own commit logs have no entries yet), which
+// made any cross-process branch-then-write workflow — e.g. the CLI —
+// silently lose the parent's records.
+
+import (
+	"testing"
+
+	"decibel"
+)
+
+func TestReopenBranchHead(t *testing.T) {
+	for _, engine := range []string{"tuple-first", "version-first", "hybrid"} {
+		t.Run(engine, func(t *testing.T) {
+			dir := t.TempDir()
+			db, err := decibel.Open(dir, decibel.WithEngine(engine))
+			if err != nil {
+				t.Fatal(err)
+			}
+			schema := decibel.NewSchema().Int64("id").Int64("v").MustBuild()
+			if _, err := db.CreateTable("r", schema); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := db.Init("init"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := db.Commit("master", func(tx *decibel.Tx) error {
+				for pk := int64(1); pk <= 3; pk++ {
+					rec := decibel.NewRecord(schema)
+					rec.SetPK(pk)
+					rec.Set(1, pk*10)
+					if err := tx.Insert("r", rec); err != nil {
+						return err
+					}
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := db.Branch("master", "dev"); err != nil {
+				t.Fatal(err)
+			}
+			count := func(db *decibel.DB, branch string) int {
+				n := 0
+				rows, errf := db.Rows("r", branch)
+				for range rows {
+					n++
+				}
+				if err := errf(); err != nil {
+					t.Fatal(err)
+				}
+				return n
+			}
+			if n := count(db, "dev"); n != 3 {
+				t.Fatalf("before reopen: dev has %d records, want 3", n)
+			}
+			db.Close()
+			db2, err := decibel.Open(dir, decibel.WithEngine(engine))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db2.Close()
+			if n := count(db2, "master"); n != 3 {
+				t.Fatalf("after reopen: master has %d records, want 3", n)
+			}
+			if n := count(db2, "dev"); n != 3 {
+				t.Fatalf("after reopen: dev has %d records, want 3", n)
+			}
+		})
+	}
+}

@@ -6,7 +6,12 @@ import (
 
 // SchemaBuilder builds a Schema fluently:
 //
-//	schema, err := decibel.NewSchema().Int64("id").Int64("price").Int32("qty").Build()
+//	schema, err := decibel.NewSchema().
+//		Int64("id").
+//		Float64("price").
+//		Int32("qty").
+//		Bytes("sku", 16).
+//		Build()
 //
 // Column 0 must be Int64; it is the primary key Decibel uses to track
 // records across versions.
@@ -26,6 +31,22 @@ func (b *SchemaBuilder) Int64(name string) *SchemaBuilder {
 // Int32 appends a 4-byte signed integer column.
 func (b *SchemaBuilder) Int32(name string) *SchemaBuilder {
 	b.cols = append(b.cols, record.Column{Name: name, Type: record.Int32})
+	return b
+}
+
+// Float64 appends an 8-byte IEEE 754 double column, read and written
+// with Record.GetFloat64 and Record.SetFloat64.
+func (b *SchemaBuilder) Float64(name string) *SchemaBuilder {
+	b.cols = append(b.cols, record.Column{Name: name, Type: record.Float64})
+	return b
+}
+
+// Bytes appends a byte-string column holding values up to size bytes
+// (records stay fixed-width: the column occupies size bytes plus a
+// two-byte length prefix). Read and written with Record.GetBytes and
+// Record.SetBytes.
+func (b *SchemaBuilder) Bytes(name string, size int) *SchemaBuilder {
+	b.cols = append(b.cols, record.Column{Name: name, Type: record.Bytes, Size: size})
 	return b
 }
 

@@ -1,0 +1,34 @@
+#!/bin/sh
+# check-links.sh — verify that every relative link target referenced
+# from README.md and docs/*.md exists in the repository. External
+# (http/https) links and pure #fragment links are skipped so the check
+# needs no network and stays deterministic in CI.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+fail=0
+for md in README.md docs/*.md; do
+    [ -f "$md" ] || continue
+    # Extract the (target) of every [text](target) markdown link.
+    links=$(grep -oE '\]\([^)]+\)' "$md" | sed -e 's/^](//' -e 's/)$//') || continue
+    for link in $links; do
+        case "$link" in
+        http://*|https://*|\#*) continue ;;
+        esac
+        target=${link%%#*} # drop any fragment
+        [ -n "$target" ] || continue
+        # Resolve relative to the file's directory.
+        base=$(dirname "$md")
+        if [ ! -e "$base/$target" ] && [ ! -e "$target" ]; then
+            echo "$md: dead link -> $link" >&2
+            fail=1
+        fi
+    done
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "dead links found" >&2
+    exit 1
+fi
+echo "all markdown links resolve"

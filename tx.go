@@ -1,0 +1,278 @@
+package decibel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+
+	"decibel/internal/core"
+)
+
+// Tx is the handle a name-based Commit hands to its callback: a
+// single writer positioned at the target branch head, holding the
+// branch's exclusive lock under two-phase locking until the commit (or
+// the callback's error) ends the transaction. All Tx operations
+// address tables by name.
+//
+// A Tx is only valid inside its callback; retaining it past the
+// callback's return yields ErrSessionClosed.
+type Tx struct {
+	ctx     context.Context
+	session *core.Session
+	branch  string
+	message string
+	touched map[string]map[int64]struct{} // table -> pks written, for rollback
+}
+
+// note records a write for rollback should the callback fail.
+func (tx *Tx) note(table string, pk int64) {
+	if tx.touched == nil {
+		tx.touched = make(map[string]map[int64]struct{})
+	}
+	pks := tx.touched[table]
+	if pks == nil {
+		pks = make(map[int64]struct{})
+		tx.touched[table] = pks
+	}
+	pks[pk] = struct{}{}
+}
+
+// rollback restores every key the transaction wrote to its last
+// committed state. It runs under context.WithoutCancel so an abort
+// caused by cancellation still cleans up.
+func (tx *Tx) rollback() error {
+	ctx := context.WithoutCancel(tx.ctx)
+	for table, pks := range tx.touched {
+		keys := make([]int64, 0, len(pks))
+		for pk := range pks {
+			keys = append(keys, pk)
+		}
+		if err := tx.session.Revert(ctx, table, keys); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Insert upserts a record into the transaction's branch head.
+func (tx *Tx) Insert(table string, rec *Record) error {
+	if err := tx.session.InsertContext(tx.ctx, table, rec); err != nil {
+		return err
+	}
+	tx.note(table, rec.PK())
+	return nil
+}
+
+// Delete removes a primary key from the transaction's branch head.
+// Deleting an absent key is a no-op.
+func (tx *Tx) Delete(table string, pk int64) error {
+	if err := tx.session.DeleteContext(tx.ctx, table, pk); err != nil {
+		return err
+	}
+	tx.note(table, pk)
+	return nil
+}
+
+// Scan reads the transaction's view of a table (the branch head,
+// including the transaction's own uncommitted writes).
+func (tx *Tx) Scan(table string, fn ScanFunc) error {
+	return tx.session.ScanContext(tx.ctx, table, fn)
+}
+
+// Rows iterates the transaction's view of a table.
+func (tx *Tx) Rows(table string) (iter.Seq[*Record], func() error) {
+	var err error
+	seq := func(yield func(*Record) bool) {
+		err = tx.Scan(table, func(rec *Record) bool { return yield(rec) })
+	}
+	return seq, func() error { return err }
+}
+
+// Branch returns the name of the branch the transaction writes to.
+func (tx *Tx) Branch() string { return tx.branch }
+
+// Context returns the context the transaction runs under (the one
+// given to CommitContext, or context.Background() for Commit).
+func (tx *Tx) Context() context.Context { return tx.ctx }
+
+// SetMessage sets the commit message recorded when the callback
+// returns successfully; without it the commit message names the branch.
+func (tx *Tx) SetMessage(message string) { tx.message = message }
+
+// Commit runs fn as one transaction against the named branch's head
+// and, if fn returns nil, commits the branch — making every write fn
+// issued atomically visible as a new version whose *Commit is
+// returned. The branch's exclusive lock is held for the span of the
+// callback (strict two-phase locking), so concurrent Commits to the
+// same branch serialize while Commits to different branches proceed in
+// parallel.
+//
+// If fn returns an error, nothing is committed and the error is
+// returned: every key fn wrote is restored to its last committed state
+// before Commit returns, so an aborted transaction leaves no residue on
+// the branch head. (Should that restoration itself fail, its error is
+// joined to fn's; the head is then rolled back by the write-ahead log
+// when the dataset is next opened.)
+func (db *DB) Commit(branch string, fn func(*Tx) error) (*Commit, error) {
+	return db.CommitContext(context.Background(), branch, fn)
+}
+
+// CommitContext is Commit bounded by a context: lock waits, the
+// callback's Tx operations, and the final commit handoff all abort
+// with ctx.Err() once ctx is canceled.
+func (db *DB) CommitContext(ctx context.Context, branch string, fn func(*Tx) error) (*Commit, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s, err := db.NewSession()
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	// Take the branch's exclusive lock before reading its head so
+	// concurrent Commits to the same branch serialize instead of the
+	// loser failing ErrNotAtHead.
+	if err := s.CheckoutForWrite(ctx, branch); err != nil {
+		return nil, err
+	}
+	tx := &Tx{ctx: ctx, session: s, branch: branch, message: "commit on " + branch}
+	if err := fn(tx); err != nil {
+		if rbErr := tx.rollback(); rbErr != nil {
+			return nil, errors.Join(err, fmt.Errorf("decibel: rolling back aborted commit: %w", rbErr))
+		}
+		return nil, err
+	}
+	return s.CommitWorkContext(ctx, tx.message)
+}
+
+// Branch creates a new branch named name from the current head of
+// branch from, across every relation of the dataset. It holds a shared
+// lock on from for the duration, so the branch point cannot move under
+// a concurrent committer.
+func (db *DB) Branch(from, name string) (*Branch, error) {
+	s, err := db.NewSession()
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	if err := s.AcquireBranch(context.Background(), from, false); err != nil {
+		return nil, err
+	}
+	return db.Database.BranchFromHead(name, from)
+}
+
+// mergeConfig collects Merge options; the defaults are the paper's:
+// field-level three-way merge with the branch merged into winning
+// conflicting fields.
+type mergeConfig struct {
+	message  string
+	kind     MergeKind
+	intoWins bool
+}
+
+// MergeOption configures DB.Merge.
+type MergeOption func(*mergeConfig)
+
+// WithMergeMessage sets the merge commit's message.
+func WithMergeMessage(message string) MergeOption {
+	return func(c *mergeConfig) { c.message = message }
+}
+
+// WithMergeKind selects the conflict model (TwoWay or ThreeWay;
+// default ThreeWay).
+func WithMergeKind(kind MergeKind) MergeOption {
+	return func(c *mergeConfig) { c.kind = kind }
+}
+
+// WithMergePrecedence selects which side wins conflicting fields: true
+// keeps the branch merged into (the default), false takes the branch
+// being merged from.
+func WithMergePrecedence(intoWins bool) MergeOption {
+	return func(c *mergeConfig) { c.intoWins = intoWins }
+}
+
+// Merge merges the head of branch from into branch into across every
+// relation and commits the result, returning the merge commit and
+// per-merge statistics. By default it performs the paper's field-level
+// three-way merge against the branches' lowest common ancestor, with
+// into winning conflicting fields; see WithMergeKind, WithMergePrecedence
+// and WithMergeMessage.
+//
+// Merge takes into's exclusive lock and from's shared lock before
+// reading either head, so it serializes with name-based Commits on both
+// branches instead of snapshotting a concurrent transaction's partial
+// writes. Two merges locking the same pair of branches in opposite
+// directions resolve by the lock manager's deadlock timeout.
+func (db *DB) Merge(into, from string, opts ...MergeOption) (*Commit, MergeStats, error) {
+	cfg := mergeConfig{
+		message:  fmt.Sprintf("merge %s into %s", from, into),
+		kind:     ThreeWay,
+		intoWins: true,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	s, err := db.NewSession()
+	if err != nil {
+		return nil, MergeStats{}, err
+	}
+	defer s.Close()
+	if err := s.CheckoutForWrite(context.Background(), into); err != nil {
+		return nil, MergeStats{}, err
+	}
+	if err := s.AcquireBranch(context.Background(), from, false); err != nil {
+		return nil, MergeStats{}, err
+	}
+	bi, err := db.BranchNamed(into)
+	if err != nil {
+		return nil, MergeStats{}, err
+	}
+	bf, err := db.BranchNamed(from)
+	if err != nil {
+		return nil, MergeStats{}, err
+	}
+	return db.Database.Merge(bi.ID, bf.ID, cfg.message, cfg.kind, cfg.intoWins)
+}
+
+// Rows iterates the records live at the named branch's head of the
+// named table. Name-resolution failures surface through the trailing
+// error accessor, like scan errors.
+func (db *DB) Rows(table, branch string) (iter.Seq[*Record], func() error) {
+	return db.RowsContext(context.Background(), table, branch)
+}
+
+// RowsContext is Rows bounded by a context: the sequence stops within
+// one record of ctx being canceled and the error accessor reports
+// ctx.Err().
+func (db *DB) RowsContext(ctx context.Context, table, branch string) (iter.Seq[*Record], func() error) {
+	t, terr := db.TableByName(table)
+	if terr == nil {
+		var b *Branch
+		if b, terr = db.BranchNamed(branch); terr == nil {
+			return t.RowsContext(ctx, b.ID)
+		}
+	}
+	return func(func(*Record) bool) {}, func() error { return terr }
+}
+
+// Diff iterates the symmetric difference between the heads of two
+// named branches of the named table: the bool is true for records live
+// in a but not b, false for the reverse.
+func (db *DB) Diff(table, a, b string) (iter.Seq2[*Record, bool], func() error) {
+	return db.DiffContext(context.Background(), table, a, b)
+}
+
+// DiffContext is Diff bounded by a context.
+func (db *DB) DiffContext(ctx context.Context, table, a, b string) (iter.Seq2[*Record, bool], func() error) {
+	t, terr := db.TableByName(table)
+	if terr == nil {
+		var ba, bb *Branch
+		if ba, terr = db.BranchNamed(a); terr == nil {
+			if bb, terr = db.BranchNamed(b); terr == nil {
+				return t.DiffContext(ctx, ba.ID, bb.ID)
+			}
+		}
+	}
+	return func(func(*Record, bool) bool) {}, func() error { return terr }
+}
