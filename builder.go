@@ -1,0 +1,288 @@
+package decibel
+
+import (
+	"context"
+	"fmt"
+	"iter"
+
+	iquery "decibel/internal/query"
+	"decibel/internal/record"
+)
+
+// Expr is a typed predicate over named columns, built with Col and
+// combined with its And/Or/Not methods. The zero value matches every
+// record. Expressions are validated against the table's catalog when
+// the query runs — unknown columns fail with ErrNoSuchColumn,
+// ill-typed comparisons with ErrTypeMismatch.
+type Expr = iquery.Expr
+
+// ColRef references a named column inside a predicate; its comparison
+// methods (Eq, Ne, Lt, Le, Gt, Ge, HasPrefix) produce Exprs.
+type ColRef = iquery.ColRef
+
+// Col starts a typed predicate on the named column:
+//
+//	decibel.Col("price").Lt(9.5)
+//	decibel.Col("sku").HasPrefix("widget-").And(decibel.Col("qty").Ge(3))
+//
+// Integer values fit Int32/Int64 columns, floats (or integers) fit
+// Float64 columns, strings and []byte fit Bytes columns.
+func Col(name string) ColRef { return iquery.Col(name) }
+
+// MatchAll is the explicit always-true predicate (the zero Expr
+// behaves the same).
+func MatchAll() Expr { return iquery.All() }
+
+// Query is a fluent, name-based versioned query over one table,
+// started with DB.Query. Configure it with On/At/Heads/Where/Select,
+// then run one terminal: Rows, Annotated, Diff, Join, Count, Sum, Min
+// or Max (each with a Context variant). A Query is cheap to build and
+// reusable — every terminal compiles the logical plan afresh against
+// the catalog and version graph, so plan-time validation errors
+// (ErrNoSuchBranch, ErrNoSuchColumn, ErrTypeMismatch, ErrBadQuery, ...)
+// surface from the terminal, wrapped for errors.Is.
+//
+// Under the hood the plan is pushed into the storage engine where
+// possible: predicates are compiled to raw buffer comparisons the
+// engines evaluate before materializing records, and multi-branch
+// scans (On with several branches, or Heads) run as a single pass
+// driven by the union of the branches' liveness bitmaps instead of one
+// rescan per branch.
+type Query struct {
+	db       *DB
+	plan     iquery.Plan
+	hasWhere bool
+}
+
+// Query starts a query over the named table:
+//
+//	rows, qErr := db.Query("products").
+//		On("master").
+//		Where(decibel.Col("price").Lt(9.5)).
+//		Select("sku", "price").
+//		Rows()
+func (db *DB) Query(table string) *Query {
+	return &Query{db: db, plan: iquery.Plan{Table: table, AtSeq: -1}}
+}
+
+// On adds the named branches to the scan set. One branch is the
+// single-version scan of Query 1; several make the query a
+// multi-branch scan executed in one engine pass (see Annotated).
+func (q *Query) On(branches ...string) *Query {
+	q.plan.Branches = append(q.plan.Branches, branches...)
+	return q
+}
+
+// Heads makes the query scan every branch head (the paper's HEAD()
+// scan, Query 4). It cannot be combined with On.
+func (q *Query) Heads() *Query {
+	q.plan.AllHeads = true
+	return q
+}
+
+// At addresses a historical version: the seq'th commit made on the
+// query's single branch, zero-based (the CLI's "branch@seq"
+// time-travel). Requires exactly one On branch.
+func (q *Query) At(seq int) *Query {
+	q.plan.AtSeq = seq
+	return q
+}
+
+// Where filters the scanned records with a typed predicate. Calling
+// Where repeatedly ANDs the predicates together.
+func (q *Query) Where(e Expr) *Query {
+	if q.hasWhere {
+		q.plan.Where = q.plan.Where.And(e)
+	} else {
+		q.plan.Where = e
+		q.hasWhere = true
+	}
+	return q
+}
+
+// Select projects the output to the named columns. The primary key
+// column is always retained (prepended when not listed) because
+// Decibel addresses records by key across versions.
+func (q *Query) Select(cols ...string) *Query {
+	q.plan.Cols = append(q.plan.Cols, cols...)
+	return q
+}
+
+// compile resolves the plan against the database.
+func (q *Query) compile() (*iquery.Compiled, error) {
+	return q.plan.Compile(q.db.Database)
+}
+
+// errSeq returns an empty sequence carrying err.
+func errSeq(err error) (iter.Seq[*Record], func() error) {
+	return func(func(*Record) bool) {}, func() error { return err }
+}
+
+func errSeq2[A, B any](err error) (iter.Seq2[A, B], func() error) {
+	return func(func(A, B) bool) {}, func() error { return err }
+}
+
+// Rows runs the query and iterates its records: the single-version
+// scan of Query 1 (On one branch, optionally At a historical commit),
+// or — with several branches or Heads — each record live in any
+// scanned head exactly once. Records may alias engine buffers and must
+// be Cloned to be retained. The trailing error accessor is valid once
+// iteration finishes.
+func (q *Query) Rows() (iter.Seq[*Record], func() error) {
+	return q.RowsContext(context.Background())
+}
+
+// RowsContext is Rows bounded by a context: the sequence stops within
+// one record of ctx being canceled and the error accessor reports
+// ctx.Err().
+func (q *Query) RowsContext(ctx context.Context) (iter.Seq[*Record], func() error) {
+	c, err := q.compile()
+	if err != nil {
+		return errSeq(err)
+	}
+	var scanErr error
+	seq := func(yield func(*Record) bool) {
+		if q.plan.AllHeads || len(q.plan.Branches) > 1 {
+			scanErr = c.ScanMulti(ctx, func(rec *record.Record, _ *Bitmap) bool { return yield(rec) })
+		} else {
+			scanErr = c.Scan(ctx, func(rec *record.Record) bool { return yield(rec) })
+		}
+	}
+	return seq, func() error { return scanErr }
+}
+
+// Annotated runs a multi-branch scan (On with several branches, or
+// Heads) and iterates each live record together with the names of the
+// branches whose heads contain it — the output shape of the paper's
+// HEAD() query. The scan is one engine pass over the union of the
+// branches' bitmaps. The yielded name slice is reused across
+// iterations; copy it to retain it.
+func (q *Query) Annotated() (iter.Seq2[*Record, []string], func() error) {
+	return q.AnnotatedContext(context.Background())
+}
+
+// AnnotatedContext is Annotated bounded by a context.
+func (q *Query) AnnotatedContext(ctx context.Context) (iter.Seq2[*Record, []string], func() error) {
+	c, err := q.compile()
+	if err != nil {
+		return errSeq2[*Record, []string](err)
+	}
+	branches := c.Branches()
+	names := make([]string, 0, len(branches))
+	var scanErr error
+	seq := func(yield func(*Record, []string) bool) {
+		scanErr = c.ScanMulti(ctx, func(rec *record.Record, member *Bitmap) bool {
+			names = names[:0]
+			member.ForEach(func(i int) bool {
+				names = append(names, branches[i].Name)
+				return true
+			})
+			return yield(rec, names)
+		})
+	}
+	return seq, func() error { return scanErr }
+}
+
+// Diff runs the positive diff of Query 2: the records live at branch
+// a's head but not at branch b's, with Where and Select applied to the
+// emitted records. Diff provides the two versions itself; combining it
+// with On or Heads is an error.
+func (q *Query) Diff(a, b string) (iter.Seq[*Record], func() error) {
+	return q.DiffContext(context.Background(), a, b)
+}
+
+// DiffContext is Diff bounded by a context.
+func (q *Query) DiffContext(ctx context.Context, a, b string) (iter.Seq[*Record], func() error) {
+	c, err := q.pairCompile(a, b)
+	if err != nil {
+		return errSeq(err)
+	}
+	var scanErr error
+	seq := func(yield func(*Record) bool) {
+		scanErr = c.Diff(ctx, func(rec *record.Record) bool { return yield(rec) })
+	}
+	return seq, func() error { return scanErr }
+}
+
+// Join runs the primary-key version join of Query 3 between two branch
+// heads: pairs (left record, right record) sharing a primary key,
+// where the left record satisfies Where. Select applies to both sides.
+// Like Diff, Join provides the two versions itself.
+func (q *Query) Join(left, right string) (iter.Seq2[*Record, *Record], func() error) {
+	return q.JoinContext(context.Background(), left, right)
+}
+
+// JoinContext is Join bounded by a context.
+func (q *Query) JoinContext(ctx context.Context, left, right string) (iter.Seq2[*Record, *Record], func() error) {
+	c, err := q.pairCompile(left, right)
+	if err != nil {
+		return errSeq2[*Record, *Record](err)
+	}
+	var scanErr error
+	seq := func(yield func(*Record, *Record) bool) {
+		scanErr = c.Join(ctx, func(p iquery.JoinedPair) bool { return yield(p.Left, p.Right) })
+	}
+	return seq, func() error { return scanErr }
+}
+
+// pairCompile compiles the plan with the two given branches as its
+// scan set, rejecting queries that also configured On or Heads.
+func (q *Query) pairCompile(a, b string) (*iquery.Compiled, error) {
+	if len(q.plan.Branches) > 0 || q.plan.AllHeads {
+		return nil, fmt.Errorf("%w: Diff/Join name their versions directly; do not combine with On or Heads", ErrBadQuery)
+	}
+	plan := q.plan
+	plan.Branches = []string{a, b}
+	return plan.Compile(q.db.Database)
+}
+
+// Count runs the query and returns the number of matching records (a
+// multi-branch count counts each record live in any scanned head
+// once).
+func (q *Query) Count() (int, error) { return q.CountContext(context.Background()) }
+
+// CountContext is Count bounded by a context.
+func (q *Query) CountContext(ctx context.Context) (int, error) {
+	c, err := q.compile()
+	if err != nil {
+		return 0, err
+	}
+	n, err := c.Aggregate(ctx, iquery.AggCount, "")
+	return int(n), err
+}
+
+// Sum folds the named numeric column over the matching records.
+// Integer columns are accumulated exactly as int64 and converted to
+// float64 on return.
+func (q *Query) Sum(col string) (float64, error) { return q.SumContext(context.Background(), col) }
+
+// SumContext is Sum bounded by a context.
+func (q *Query) SumContext(ctx context.Context, col string) (float64, error) {
+	return q.agg(ctx, iquery.AggSum, col)
+}
+
+// Min returns the smallest value of the named numeric column among the
+// matching records; an empty scan fails with ErrNoRows.
+func (q *Query) Min(col string) (float64, error) { return q.MinContext(context.Background(), col) }
+
+// MinContext is Min bounded by a context.
+func (q *Query) MinContext(ctx context.Context, col string) (float64, error) {
+	return q.agg(ctx, iquery.AggMin, col)
+}
+
+// Max returns the largest value of the named numeric column among the
+// matching records; an empty scan fails with ErrNoRows.
+func (q *Query) Max(col string) (float64, error) { return q.MaxContext(context.Background(), col) }
+
+// MaxContext is Max bounded by a context.
+func (q *Query) MaxContext(ctx context.Context, col string) (float64, error) {
+	return q.agg(ctx, iquery.AggMax, col)
+}
+
+func (q *Query) agg(ctx context.Context, kind iquery.AggKind, col string) (float64, error) {
+	c, err := q.compile()
+	if err != nil {
+		return 0, err
+	}
+	return c.Aggregate(ctx, kind, col)
+}

@@ -9,6 +9,7 @@
 //
 //	decibel -dir data -engine hybrid init price:float64,sku:bytes16
 //	decibel -dir data insert <branch> <pk> <v1> <v2> ...
+//	decibel -dir data load <branch> <pk:v1:v2...> <pk:v1:v2...> ...
 //	decibel -dir data delete <branch> <pk>
 //	decibel -dir data commit <branch> [message]
 //	decibel -dir data branch <name> <from-branch>
@@ -16,7 +17,8 @@
 //	decibel -dir data checkout <branch>[@<n>]
 //	decibel -dir data diff <branchA> <branchB>
 //	decibel -dir data merge <into> <other> [two|three] [first|second]
-//	decibel -dir data log
+//	decibel -dir data select [table] -branch a,b -where 'price<9.5' -cols sku,price
+//	decibel -dir data log [branch]
 //	decibel -dir data stats
 //	decibel help
 //
@@ -32,6 +34,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"decibel"
 )
@@ -44,6 +47,8 @@ commands:
                              default int64; the int64 "id" key is implicit)
   insert <branch> <pk> <v...>  upsert a record into a branch, committed
                              as one transaction on the branch head
+  load <branch> <pk:v:...> ...  batch-insert one record per argument
+                             (colon-separated values), one transaction
   delete <branch> <pk>       remove a key from a branch, committed
   commit <branch> [message]  snapshot the branch head as a new version
   branch <name> <from>       create branch <name> from the head of <from>
@@ -54,7 +59,16 @@ commands:
   merge <into> <other> [two|three] [first|second]
                              merge <other> into <into> (default three-way,
                              <into> wins conflicts)
-  log                        list branches and commit counts
+  select [table]             run a versioned query (defaults to -table):
+                               -branch a[,b,...]  branch head(s) to scan
+                               -heads             scan every branch head
+                               -at <n>            the n-th commit on the branch
+                               -where <expr>      conjuncts joined by &&, each
+                                                  col{=|!=|<|<=|>|>=|^=}value
+                               -cols a,b          project named columns
+                               -count             print the count only
+  log [branch]               list branches and commit counts; with a
+                             branch, its commits (seq, id, time, message)
   stats                      storage statistics
   help                       print this help
 
@@ -194,6 +208,37 @@ func run(dir, engine, table string, args []string) error {
 		fmt.Printf("commit %d on %s\n", c.ID, rest[0])
 		return nil
 
+	case "load":
+		if len(rest) < 2 {
+			return fmt.Errorf("load <branch> <pk:v:...> ...")
+		}
+		t, err := db.TableByName(table)
+		if err != nil {
+			return err
+		}
+		recs := make([]*decibel.Record, 0, len(rest)-1)
+		for _, spec := range rest[1:] {
+			rec := decibel.NewRecord(t.Schema())
+			for i, v := range strings.Split(spec, ":") {
+				if i >= t.Schema().NumColumns() {
+					break
+				}
+				if err := setColumn(rec, t.Schema(), i, v); err != nil {
+					return err
+				}
+			}
+			recs = append(recs, rec)
+		}
+		c, err := db.Commit(rest[0], func(tx *decibel.Tx) error {
+			tx.SetMessage(fmt.Sprintf("load %d records", len(recs)))
+			return tx.InsertBatch(table, recs)
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("commit %d on %s (%d records)\n", c.ID, rest[0], len(recs))
+		return nil
+
 	case "delete":
 		if len(rest) != 2 {
 			return fmt.Errorf("delete <branch> <pk>")
@@ -324,7 +369,29 @@ func run(dir, engine, table string, args []string) error {
 			mc.ID, st.Conflicts, st.ChangedA, rest[0], st.ChangedB, rest[1])
 		return nil
 
+	case "select":
+		return runSelect(db, table, rest)
+
 	case "log":
+		if len(rest) == 1 {
+			b, err := db.BranchNamed(rest[0])
+			if err != nil {
+				return err
+			}
+			for _, c := range db.Graph().CommitsOnBranch(b.ID) {
+				when := "-"
+				if c.Time != 0 {
+					when = time.Unix(c.Time, 0).UTC().Format(time.RFC3339)
+				}
+				marker := " "
+				if c.ID == b.Head {
+					marker = "*"
+				}
+				fmt.Printf("%s %s@%-3d commit %-4d %s  %s\n", marker, rest[0], c.Seq, c.ID, when, c.Message)
+			}
+			fmt.Printf("checkout any with: checkout %s@<n>\n", rest[0])
+			return nil
+		}
 		for _, b := range db.Graph().Branches() {
 			status := "active"
 			if !b.Active {
@@ -350,5 +417,184 @@ func run(dir, engine, table string, args []string) error {
 
 	default:
 		return fmt.Errorf("unknown command %q (try: decibel help)", cmd)
+	}
+}
+
+// runSelect implements the select command: a versioned query through
+// the facade's fluent builder, with branches, predicate and projection
+// taken from flags. An explicit positional argument overrides the
+// global -table flag.
+func runSelect(db *decibel.DB, table string, args []string) error {
+	fs := flag.NewFlagSet("select", flag.ContinueOnError)
+	branches := fs.String("branch", "", "comma-separated branch name(s) to scan")
+	heads := fs.Bool("heads", false, "scan every branch head (HEAD() query)")
+	at := fs.Int("at", -1, "historical commit seq on the single branch")
+	where := fs.String("where", "", "predicate: conjuncts joined by &&, each col{=|!=|<|<=|>|>=|^=}value")
+	cols := fs.String("cols", "", "comma-separated columns to project")
+	count := fs.Bool("count", false, "print only the matching record count")
+	// Accept "select <table> -flags" and "select -flags <table>".
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		table = args[0]
+		args = args[1:]
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		table = fs.Arg(0)
+	}
+
+	t, err := db.TableByName(table)
+	if err != nil {
+		return err
+	}
+	q := db.Query(table)
+	multi := *heads
+	switch {
+	case *heads && *branches != "":
+		return fmt.Errorf("-heads and -branch are mutually exclusive")
+	case *heads:
+		q = q.Heads()
+	case *branches != "":
+		names := strings.Split(*branches, ",")
+		q = q.On(names...)
+		multi = len(names) > 1
+	default:
+		q = q.On(decibel.Master)
+	}
+	if *at >= 0 {
+		q = q.At(*at)
+	}
+	if *where != "" {
+		expr, err := parseWhere(t.Schema(), *where)
+		if err != nil {
+			return err
+		}
+		q = q.Where(expr)
+	}
+	if *cols != "" {
+		q = q.Select(strings.Split(*cols, ",")...)
+	}
+
+	if *count {
+		n, err := q.Count()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d records\n", n)
+		return nil
+	}
+	n := 0
+	if multi {
+		annotated, qErr := q.Annotated()
+		for rec, active := range annotated {
+			fmt.Printf("%s @ %s\n", rec.String(), strings.Join(active, ","))
+			n++
+		}
+		if err := qErr(); err != nil {
+			return err
+		}
+	} else {
+		rows, qErr := q.Rows()
+		for rec := range rows {
+			fmt.Println(rec.String())
+			n++
+		}
+		if err := qErr(); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("%d records\n", n)
+	return nil
+}
+
+// whereOps are the recognized comparison spellings, longest first so
+// "<=" wins over "<".
+var whereOps = []string{"!=", "<=", ">=", "^=", "==", "=", "<", ">"}
+
+// parseWhere parses "price<9.5 && sku^=widget" into a typed predicate,
+// resolving each value's Go type from the column's schema type so the
+// builder's plan-time validation sees properly typed comparisons.
+func parseWhere(schema *decibel.Schema, input string) (decibel.Expr, error) {
+	var expr decibel.Expr
+	first := true
+	for _, conjunct := range strings.Split(input, "&&") {
+		conjunct = strings.TrimSpace(conjunct)
+		if conjunct == "" {
+			continue
+		}
+		leaf, err := parseConjunct(schema, conjunct)
+		if err != nil {
+			return expr, err
+		}
+		if first {
+			expr = leaf
+			first = false
+		} else {
+			expr = expr.And(leaf)
+		}
+	}
+	if first {
+		return expr, fmt.Errorf("empty -where expression")
+	}
+	return expr, nil
+}
+
+func parseConjunct(schema *decibel.Schema, s string) (decibel.Expr, error) {
+	for _, op := range whereOps {
+		i := strings.Index(s, op)
+		if i <= 0 {
+			continue
+		}
+		name := strings.TrimSpace(s[:i])
+		raw := strings.TrimSpace(s[i+len(op):])
+		val, err := parseValue(schema, name, raw)
+		if err != nil {
+			return decibel.Expr{}, err
+		}
+		col := decibel.Col(name)
+		switch op {
+		case "=", "==":
+			return col.Eq(val), nil
+		case "!=":
+			return col.Ne(val), nil
+		case "<":
+			return col.Lt(val), nil
+		case "<=":
+			return col.Le(val), nil
+		case ">":
+			return col.Gt(val), nil
+		case ">=":
+			return col.Ge(val), nil
+		case "^=":
+			return col.HasPrefix(val), nil
+		}
+	}
+	return decibel.Expr{}, fmt.Errorf("cannot parse predicate %q (want col{=|!=|<|<=|>|>=|^=}value)", s)
+}
+
+// parseValue converts the textual value to the Go type the named
+// column's schema type expects; unknown columns pass the raw string
+// through so the builder reports ErrNoSuchColumn with the right name.
+func parseValue(schema *decibel.Schema, col, raw string) (any, error) {
+	i := schema.ColumnIndex(col)
+	if i < 0 {
+		return raw, nil
+	}
+	switch schema.Column(i).Type {
+	case decibel.Float64:
+		f, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return nil, fmt.Errorf("column %q: %w", col, err)
+		}
+		return f, nil
+	case decibel.Bytes:
+		return raw, nil
+	default:
+		n, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("column %q: %w", col, err)
+		}
+		return n, nil
 	}
 }

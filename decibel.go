@@ -22,6 +22,18 @@
 //	for rec := range rows { ... }
 //	if err := scanErr(); err != nil { ... }
 //
+// Versioned queries — the paper's single-version scan, positive diff,
+// version join and HEAD() scan — run through the fluent builder, with
+// typed column predicates validated against the catalog and pushed
+// down into the storage engine:
+//
+//	rows, qErr := db.Query("products").
+//		On("master").
+//		Where(decibel.Col("price").Lt(9.5)).
+//		Select("sku", "price").
+//		Rows()
+//	annotated, _ := db.Query("products").Heads().Annotated() // one pass over all heads
+//
 // Every scan has a Context form (OpenContext, RowsContext, ...) that
 // aborts promptly with ctx.Err() when the context is canceled.
 //

@@ -35,4 +35,19 @@ var (
 
 	// ErrDatabaseClosed reports an operation on a closed DB.
 	ErrDatabaseClosed = core.ErrDatabaseClosed
+
+	// ErrNoSuchColumn reports a column name absent from the queried
+	// table's schema (query builder, plan time).
+	ErrNoSuchColumn = core.ErrNoSuchColumn
+
+	// ErrTypeMismatch reports a predicate or aggregate whose value type
+	// does not fit the column it addresses (query builder, plan time).
+	ErrTypeMismatch = core.ErrTypeMismatch
+
+	// ErrBadQuery reports a structurally invalid query, such as At()
+	// combined with a multi-branch scan.
+	ErrBadQuery = core.ErrBadQuery
+
+	// ErrNoRows reports Min/Max over a scan that matched no records.
+	ErrNoRows = core.ErrNoRows
 )

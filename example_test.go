@@ -201,3 +201,103 @@ func ExampleDB_RowsContext() {
 	// records seen: 3
 	// scan ended with context.Canceled: true
 }
+
+// ExampleDB_Query runs the paper's four query shapes through the
+// fluent builder: a predicated single-version scan with projection, a
+// positive diff, a version join, and a HEAD() scan over every branch
+// annotated with branch membership — all by name, all in one engine
+// pass per query.
+func ExampleDB_Query() {
+	dir, _ := os.MkdirTemp("", "decibel-example-*")
+	defer os.RemoveAll(dir)
+	db, err := decibel.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	schema := decibel.NewSchema().Int64("id").Float64("price").Bytes("sku", 12).MustBuild()
+	if _, err := db.CreateTable("products", schema); err != nil {
+		log.Fatal(err)
+	}
+	if _, _, err := db.Init("init"); err != nil {
+		log.Fatal(err)
+	}
+	// Batch-load master, then branch and discount one product on dev.
+	if _, err := db.Commit("master", func(tx *decibel.Tx) error {
+		var recs []*decibel.Record
+		for pk, price := range map[int64]float64{1: 9.99, 2: 24.50, 3: 3.75} {
+			rec := decibel.NewRecord(schema)
+			rec.SetPK(pk)
+			rec.SetFloat64(1, price)
+			if err := rec.SetBytes(2, []byte(fmt.Sprintf("SKU-%04d", pk))); err != nil {
+				return err
+			}
+			recs = append(recs, rec)
+		}
+		return tx.InsertBatch("products", recs)
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.Branch("master", "dev"); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.Commit("dev", func(tx *decibel.Tx) error {
+		rec := decibel.NewRecord(schema)
+		rec.SetPK(2)
+		rec.SetFloat64(1, 19.99) // discounted on dev
+		if err := rec.SetBytes(2, []byte("SKU-0002")); err != nil {
+			return err
+		}
+		return tx.Insert("products", rec)
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Q1: single-version scan with a typed predicate and projection.
+	rows, qErr := db.Query("products").
+		On("master").
+		Where(decibel.Col("price").Lt(10.0)).
+		Select("sku").
+		Rows()
+	for rec := range rows {
+		fmt.Printf("cheap on master: pk=%d sku=%s\n", rec.PK(), rec.GetBytes(1))
+	}
+	if err := qErr(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Q2: records at dev's head that master does not have.
+	diff, dErr := db.Query("products").Diff("dev", "master")
+	for rec := range diff {
+		fmt.Printf("only on dev: pk=%d price=%.2f\n", rec.PK(), rec.GetFloat64(1))
+	}
+	if err := dErr(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Q3: join the two versions of the discounted product.
+	pairs, jErr := db.Query("products").
+		Where(decibel.Col("id").Eq(2)).
+		Join("master", "dev")
+	for left, right := range pairs {
+		fmt.Printf("pk=%d master=%.2f dev=%.2f\n", left.PK(), left.GetFloat64(1), right.GetFloat64(1))
+	}
+	if err := jErr(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Q4 + aggregate: how many distinct records are live across all
+	// branch heads?
+	n, err := db.Query("products").Heads().Count()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("records across heads:", n)
+	// Unordered output:
+	// cheap on master: pk=1 sku=SKU-0001
+	// cheap on master: pk=3 sku=SKU-0003
+	// only on dev: pk=2 price=19.99
+	// pk=2 master=24.50 dev=19.99
+	// records across heads: 4
+}

@@ -1,6 +1,8 @@
 // Versioned queries: the four benchmark query classes of Table 1 run
-// against the same dataset on all three storage engines, demonstrating
-// that the engines are interchangeable behind the core API.
+// against the same dataset on all three storage engines through the
+// fluent query builder, demonstrating that the engines are
+// interchangeable behind the facade and that typed predicates push
+// down into each one.
 package main
 
 import (
@@ -9,7 +11,6 @@ import (
 	"os"
 
 	"decibel"
-	"decibel/query"
 )
 
 func main() {
@@ -39,11 +40,9 @@ func run(engine string) {
 	if _, err := db.CreateTable("people", schema); err != nil {
 		log.Fatal(err)
 	}
-	master, _, err := db.Init("init")
-	if err != nil {
+	if _, _, err := db.Init("init"); err != nil {
 		log.Fatal(err)
 	}
-	people, _ := db.Table("people")
 
 	const sam = 42 // "Sam"
 	mk := func(pk, name, age int64) *decibel.Record {
@@ -68,8 +67,7 @@ func run(engine string) {
 	}
 
 	// v02 lives on a branch: Sam #1 ages, person 2 leaves, 4 arrives.
-	v02, err := db.Branch("master", "v02")
-	if err != nil {
+	if _, err := db.Branch("master", "v02"); err != nil {
 		log.Fatal(err)
 	}
 	if _, err := db.Commit("v02", func(tx *decibel.Tx) error {
@@ -86,7 +84,7 @@ func run(engine string) {
 	}
 
 	// Query 1: single-version scan.
-	n, err := query.Count(people, master.ID, query.True)
+	n, err := db.Query("people").On("master").Count()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -94,26 +92,35 @@ func run(engine string) {
 
 	// Query 2: positive diff v01 minus v02.
 	var diffPKs []int64
-	query.PositiveDiff(people, master.ID, v02.ID, func(rec *decibel.Record) bool {
+	diff, diffErr := db.Query("people").Diff("master", "v02")
+	for rec := range diff {
 		diffPKs = append(diffPKs, rec.PK())
-		return true
-	})
+	}
+	if err := diffErr(); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("Q2  records in v01 but not v02                  -> pks %v\n", diffPKs)
 
 	// Query 3: join v01 x v02 where name = 'Sam'.
-	joins := 0
-	query.VersionJoin(people, master.ID, v02.ID, query.ColumnEquals(1, sam), func(p query.JoinedPair) bool {
-		fmt.Printf("Q3  join row: pk=%d age %d -> %d\n", p.Left.PK(), p.Left.Get(2), p.Right.Get(2))
-		joins++
-		return true
-	})
+	pairs, joinErr := db.Query("people").
+		Where(decibel.Col("name").Eq(sam)).
+		Join("master", "v02")
+	for left, right := range pairs {
+		fmt.Printf("Q3  join row: pk=%d age %d -> %d\n", left.PK(), left.Get(2), right.Get(2))
+	}
+	if err := joinErr(); err != nil {
+		log.Fatal(err)
+	}
 
-	// Query 4: all branch heads with membership.
+	// Query 4: all branch heads with membership, one engine pass.
 	fmt.Print("Q4  HEAD() scan: ")
 	rows := 0
-	query.HeadScan(db.Graph(), people, query.True, func(hr query.HeadRecord) bool {
+	annotated, headErr := db.Query("people").Heads().Annotated()
+	for range annotated {
 		rows++
-		return true
-	})
+	}
+	if err := headErr(); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("%d distinct records across %d heads\n\n", rows, len(db.Graph().Heads()))
 }

@@ -368,7 +368,22 @@ func (db *Database) Commit(branch vgraph.BranchID, message string) (*vgraph.Comm
 // relations, committing the result as a merge version. precedenceFirst
 // selects whether into (true) or other (false) wins conflicts.
 func (db *Database) Merge(into, other vgraph.BranchID, message string, kind MergeKind, precedenceFirst bool) (*vgraph.Commit, MergeStats, error) {
+	return db.MergeContext(context.Background(), into, other, message, kind, precedenceFirst)
+}
+
+// MergeContext is Merge bounded by a context. Cancellation is checked
+// before any state changes and between relations: each relation's
+// engine merge runs to completion, so the effective granularity is one
+// table. A merge aborted between relations returns ctx.Err() with the
+// merge commit already created and some relations merged — the same
+// partially-applied state a crash mid-merge leaves — so callers should
+// treat a canceled merge like a torn one and re-merge or discard the
+// branch.
+func (db *Database) MergeContext(ctx context.Context, into, other vgraph.BranchID, message string, kind MergeKind, precedenceFirst bool) (*vgraph.Commit, MergeStats, error) {
 	var agg MergeStats
+	if err := ctx.Err(); err != nil {
+		return nil, agg, err
+	}
 	if err := db.beginOp(); err != nil {
 		return nil, agg, err
 	}
@@ -388,6 +403,9 @@ func (db *Database) Merge(into, other vgraph.BranchID, message string, kind Merg
 		return nil, agg, err
 	}
 	for _, tname := range db.order {
+		if err := ctx.Err(); err != nil {
+			return nil, agg, err
+		}
 		st, err := db.tables[tname].engine.Merge(into, other, mc, kind)
 		if err != nil {
 			return nil, agg, err

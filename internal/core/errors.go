@@ -38,4 +38,21 @@ var (
 
 	// ErrDatabaseClosed reports an operation on a closed Database.
 	ErrDatabaseClosed = errors.New("decibel: database closed")
+
+	// ErrNoSuchColumn reports a column name (or index) absent from the
+	// queried table's schema; raised at plan time by the query builder.
+	ErrNoSuchColumn = errors.New("decibel: no such column")
+
+	// ErrTypeMismatch reports a predicate or aggregate whose value type
+	// does not fit the column it addresses (e.g. a bytes prefix on an
+	// integer column); raised at plan time by the query builder.
+	ErrTypeMismatch = errors.New("decibel: predicate type mismatch")
+
+	// ErrBadQuery reports a structurally invalid query plan, such as a
+	// historical At() combined with a multi-branch scan.
+	ErrBadQuery = errors.New("decibel: invalid query")
+
+	// ErrNoRows reports an aggregate (Min/Max) over a scan that matched
+	// no records.
+	ErrNoRows = errors.New("decibel: no rows")
 )

@@ -272,6 +272,35 @@ func (s *Session) InsertContext(ctx context.Context, table string, rec *record.R
 	return t.Insert(b.ID, rec)
 }
 
+// InsertBatch upserts a batch of records into the session's branch
+// head under one exclusive branch lock acquisition, amortizing the
+// per-record lock and validation overhead of Insert.
+func (s *Session) InsertBatch(table string, recs []*record.Record) error {
+	return s.InsertBatchContext(context.Background(), table, recs)
+}
+
+// InsertBatchContext is InsertBatch bounded by a context: a blocked
+// lock wait aborts with ctx.Err() when ctx is canceled. On error a
+// prefix of the batch may have been applied to the (uncommitted)
+// branch head; the caller's transaction rollback or the write-ahead
+// log cleans it up like any aborted write.
+func (s *Session) InsertBatchContext(ctx context.Context, table string, recs []*record.Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, err := s.atHead()
+	if err != nil {
+		return err
+	}
+	t, ok := s.db.Table(table)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchTable, table)
+	}
+	if err := s.db.locks.AcquireContext(ctx, s.txn, branchResource(b.ID), lock.Exclusive); err != nil {
+		return err
+	}
+	return t.InsertBatch(b.ID, recs)
+}
+
 // Delete removes a key from the session's branch head under an
 // exclusive branch lock.
 func (s *Session) Delete(table string, pk int64) error {

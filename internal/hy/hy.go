@@ -438,6 +438,23 @@ func (e *Engine) checkoutLocked(b vgraph.BranchID, seq int) (map[segID]*bitmap.B
 func (e *Engine) Insert(branch vgraph.BranchID, rec *record.Record) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	return e.insertLocked(branch, rec)
+}
+
+// InsertBatch implements core.BatchInserter: one lock acquisition for
+// the whole batch.
+func (e *Engine) InsertBatch(branch vgraph.BranchID, recs []*record.Record) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, rec := range recs {
+		if err := e.insertLocked(branch, rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *Engine) insertLocked(branch vgraph.BranchID, rec *record.Record) error {
 	idx, ok := e.pk[branch]
 	if !ok {
 		return fmt.Errorf("hy: unknown branch %d", branch)
@@ -485,68 +502,16 @@ func (e *Engine) Delete(branch vgraph.BranchID, pk int64) error {
 	return nil
 }
 
-// scanSegments sequentially scans the given segments, emitting records
-// whose bit is set in pick(segment). Unlike tuple-first, only segments
-// with live records are read.
-func (e *Engine) scanSegments(segs []*hseg, pick func(*hseg) *bitmap.Bitmap, fn core.ScanFunc) error {
-	schema := e.env.Schema
-	for _, s := range segs {
-		bm := pick(s)
-		if bm == nil || !bm.Any() {
-			continue
-		}
-		stop := false
-		err := s.file.ScanLive(bm, func(slot int64, buf []byte) bool {
-			if !bm.Get(int(slot)) {
-				return true
-			}
-			rec, err := record.FromBytes(schema, buf)
-			if err != nil {
-				return false
-			}
-			if !fn(rec) {
-				stop = true
-				return false
-			}
-			return true
-		})
-		if err != nil {
-			return err
-		}
-		if stop {
-			return nil
-		}
-	}
-	return nil
-}
-
-// ScanBranch implements core.Engine (Query 1).
+// ScanBranch implements core.Engine (Query 1). Unlike tuple-first,
+// only segments with records live in the branch are read (the global
+// branch-segment relation).
 func (e *Engine) ScanBranch(branch vgraph.BranchID, fn core.ScanFunc) error {
-	e.mu.Lock()
-	segs := e.branchSegmentsLocked(branch)
-	pickers := make(map[segID]*bitmap.Bitmap, len(segs))
-	for _, s := range segs {
-		pickers[s.id] = s.local[branch].Clone()
-	}
-	e.mu.Unlock()
-	return e.scanSegments(segs, func(s *hseg) *bitmap.Bitmap { return pickers[s.id] }, fn)
+	return e.ScanBranchPushdown(branch, e.passSpec(), fn)
 }
 
 // ScanCommit implements core.Engine.
 func (e *Engine) ScanCommit(c *vgraph.Commit, fn core.ScanFunc) error {
-	e.mu.Lock()
-	snap, err := e.checkoutLocked(c.Branch, c.Seq)
-	if err != nil {
-		e.mu.Unlock()
-		return err
-	}
-	var segs []*hseg
-	for id := range snap {
-		segs = append(segs, e.segs[id])
-	}
-	sort.Slice(segs, func(i, j int) bool { return segs[i].id < segs[j].id })
-	e.mu.Unlock()
-	return e.scanSegments(segs, func(s *hseg) *bitmap.Bitmap { return snap[s.id] }, fn)
+	return e.ScanCommitPushdown(c, e.passSpec(), fn)
 }
 
 // ScanMulti implements core.Engine (Query 4): the global
@@ -554,59 +519,7 @@ func (e *Engine) ScanCommit(c *vgraph.Commit, fn core.ScanFunc) error {
 // in any scanned branch; each is scanned once with membership computed
 // from its small local bitmaps.
 func (e *Engine) ScanMulti(branches []vgraph.BranchID, fn core.MultiScanFunc) error {
-	e.mu.Lock()
-	type segScan struct {
-		s    *hseg
-		cols []*bitmap.Bitmap // per requested branch, nil if absent
-	}
-	var scans []segScan
-	for _, s := range e.segs {
-		sc := segScan{s: s, cols: make([]*bitmap.Bitmap, len(branches))}
-		any := false
-		for i, b := range branches {
-			if bm, ok := s.local[b]; ok && bm.Any() {
-				sc.cols[i] = bm.Clone()
-				any = true
-			}
-		}
-		if any {
-			scans = append(scans, sc)
-		}
-	}
-	e.mu.Unlock()
-
-	schema := e.env.Schema
-	member := bitmap.New(len(branches))
-	for _, sc := range scans {
-		stop := false
-		err := sc.s.file.Scan(0, sc.s.file.Count(), func(slot int64, buf []byte) bool {
-			any := false
-			for i, col := range sc.cols {
-				live := col != nil && col.Get(int(slot))
-				member.SetTo(i, live)
-				any = any || live
-			}
-			if !any {
-				return true
-			}
-			rec, err := record.FromBytes(schema, buf)
-			if err != nil {
-				return false
-			}
-			if !fn(rec, member) {
-				stop = true
-				return false
-			}
-			return true
-		})
-		if err != nil {
-			return err
-		}
-		if stop {
-			return nil
-		}
-	}
-	return nil
+	return e.ScanMultiPushdown(branches, e.passSpec(), fn)
 }
 
 // Diff implements core.Engine (Query 2): per-segment bitmap XORs over

@@ -1,0 +1,168 @@
+package hy
+
+import (
+	"sort"
+
+	"decibel/internal/bitmap"
+	"decibel/internal/core"
+	"decibel/internal/vgraph"
+)
+
+// Pushdown scans (core.PushdownScanner). Hybrid keeps per-(segment,
+// branch) bitmaps, so pushed-down predicates are evaluated on the raw
+// segment page buffer before records are materialized, and a
+// multi-branch scan ORs each segment's local branch bitmaps into one
+// union per segment — each qualifying segment is read once for all
+// requested branches instead of once per branch, and segments with no
+// live record in any requested branch are skipped entirely via the
+// global branch-segment relation.
+
+var (
+	_ core.PushdownScanner = (*Engine)(nil)
+	_ core.BatchInserter   = (*Engine)(nil)
+)
+
+// passSpec is the match-all, project-nothing spec the plain Scan*
+// entry points delegate through, so the engine has exactly one copy of
+// each scan loop.
+func (e *Engine) passSpec() *core.ScanSpec {
+	sp, err := core.NewScanSpec(e.env.Schema, nil, nil)
+	if err != nil {
+		panic(err) // no projection: cannot fail
+	}
+	return sp
+}
+
+// scanSegmentsSpec is scanSegments with the spec evaluated on the raw
+// buffer before materialization.
+func (e *Engine) scanSegmentsSpec(segs []*hseg, pick func(*hseg) *bitmap.Bitmap, spec *core.ScanSpec, fn core.ScanFunc) error {
+	var ferr error
+	for _, s := range segs {
+		bm := pick(s)
+		if bm == nil || !bm.Any() {
+			continue
+		}
+		stop := false
+		err := s.file.ScanLive(bm, func(slot int64, buf []byte) bool {
+			if !bm.Get(int(slot)) {
+				return true
+			}
+			rec, err := spec.Apply(buf)
+			if err != nil {
+				ferr = err
+				return false
+			}
+			if rec == nil {
+				return true
+			}
+			if !fn(rec) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if err == nil {
+			err = ferr
+		}
+		if err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+	}
+	return nil
+}
+
+// ScanBranchPushdown implements core.PushdownScanner.
+func (e *Engine) ScanBranchPushdown(branch vgraph.BranchID, spec *core.ScanSpec, fn core.ScanFunc) error {
+	e.mu.Lock()
+	segs := e.branchSegmentsLocked(branch)
+	pickers := make(map[segID]*bitmap.Bitmap, len(segs))
+	for _, s := range segs {
+		pickers[s.id] = s.local[branch].Clone()
+	}
+	e.mu.Unlock()
+	return e.scanSegmentsSpec(segs, func(s *hseg) *bitmap.Bitmap { return pickers[s.id] }, spec, fn)
+}
+
+// ScanCommitPushdown implements core.PushdownScanner.
+func (e *Engine) ScanCommitPushdown(c *vgraph.Commit, spec *core.ScanSpec, fn core.ScanFunc) error {
+	e.mu.Lock()
+	snap, err := e.checkoutLocked(c.Branch, c.Seq)
+	if err != nil {
+		e.mu.Unlock()
+		return err
+	}
+	var segs []*hseg
+	for id := range snap {
+		segs = append(segs, e.segs[id])
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].id < segs[j].id })
+	e.mu.Unlock()
+	return e.scanSegmentsSpec(segs, func(s *hseg) *bitmap.Bitmap { return snap[s.id] }, spec, fn)
+}
+
+// ScanMultiPushdown implements core.PushdownScanner: one pass per
+// qualifying segment under the union of its local branch bitmaps.
+func (e *Engine) ScanMultiPushdown(branches []vgraph.BranchID, spec *core.ScanSpec, fn core.MultiScanFunc) error {
+	e.mu.Lock()
+	type segScan struct {
+		s     *hseg
+		cols  []*bitmap.Bitmap // per requested branch, nil if absent
+		union *bitmap.Bitmap
+	}
+	var scans []segScan
+	for _, s := range e.segs {
+		sc := segScan{s: s, cols: make([]*bitmap.Bitmap, len(branches)), union: bitmap.New(0)}
+		any := false
+		for i, b := range branches {
+			if bm, ok := s.local[b]; ok && bm.Any() {
+				sc.cols[i] = bm.Clone()
+				sc.union.Or(sc.cols[i])
+				any = true
+			}
+		}
+		if any {
+			scans = append(scans, sc)
+		}
+	}
+	e.mu.Unlock()
+
+	member := bitmap.New(len(branches))
+	var ferr error
+	for _, sc := range scans {
+		stop := false
+		err := sc.s.file.ScanLive(sc.union, func(slot int64, buf []byte) bool {
+			if !sc.union.Get(int(slot)) {
+				return true
+			}
+			rec, err := spec.Apply(buf)
+			if err != nil {
+				ferr = err
+				return false
+			}
+			if rec == nil {
+				return true
+			}
+			for i, col := range sc.cols {
+				member.SetTo(i, col != nil && col.Get(int(slot)))
+			}
+			if !fn(rec, member) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if err == nil {
+			err = ferr
+		}
+		if err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+	}
+	return nil
+}

@@ -1,0 +1,377 @@
+package query
+
+// This file holds the logical query plan behind the facade's fluent
+// builder (decibel.DB.Query) and its compiler/executor. A Plan is
+// purely declarative — table, branches, version, predicate, projection
+// — and compiling it against a Database resolves every name through
+// the catalog and version graph, compiles the typed predicate to its
+// raw form, and packages both into the core.ScanSpec the storage
+// engines execute through the PushdownScanner capability (with a
+// generic post-filter fallback for engines that lack it).
+
+import (
+	"context"
+	"fmt"
+
+	"decibel/internal/bitmap"
+	"decibel/internal/core"
+	"decibel/internal/record"
+	"decibel/internal/vgraph"
+)
+
+// Plan is a logical versioned query: one of the paper's Table 1 shapes
+// over named branches of a named table, with an optional typed
+// predicate and column projection.
+type Plan struct {
+	Table    string   // relation name
+	Branches []string // scanned branches: 1 = single-version, 2 = diff/join, n = multi
+	AllHeads bool     // multi-branch scan over every branch head (Query 4)
+	AtSeq    int      // >= 0: the AtSeq'th commit made on Branches[0] (historical read); -1 = head
+	Where    Expr     // typed predicate; zero value matches all
+	Cols     []string // projected columns; nil = all (the pk is always kept)
+}
+
+// Compiled is a plan resolved against one database: names bound,
+// predicate compiled, pushdown spec built. It is single-use — the
+// projection scratch buffer inside the spec is not safe for concurrent
+// or repeated iteration — so compile once per execution.
+type Compiled struct {
+	db       *core.Database
+	table    *core.Table
+	plan     Plan
+	branches []*vgraph.Branch
+	commit   *vgraph.Commit // non-nil when AtSeq >= 0
+	pred     RawPredicate
+	cols     []int          // resolved projection (nil = all)
+	spec     *core.ScanSpec // pred + projection
+}
+
+// Compile resolves and validates the plan against db. All validation
+// failures wrap sentinel errors: core.ErrNoSuchTable,
+// core.ErrNoSuchBranch, core.ErrNoSuchCommit, core.ErrNoSuchColumn,
+// core.ErrTypeMismatch and core.ErrBadQuery.
+func (p Plan) Compile(db *core.Database) (*Compiled, error) {
+	t, err := db.TableByName(p.Table)
+	if err != nil {
+		return nil, err
+	}
+	c := &Compiled{db: db, table: t, plan: p}
+
+	if p.AllHeads {
+		if len(p.Branches) > 0 {
+			return nil, fmt.Errorf("%w: Heads() combined with explicit branches", core.ErrBadQuery)
+		}
+		c.branches = db.Graph().Branches()
+	} else {
+		if len(p.Branches) == 0 {
+			return nil, fmt.Errorf("%w: no branch given; use On or Heads", core.ErrBadQuery)
+		}
+		c.branches = make([]*vgraph.Branch, len(p.Branches))
+		for i, name := range p.Branches {
+			b, err := db.BranchNamed(name)
+			if err != nil {
+				return nil, err
+			}
+			c.branches[i] = b
+		}
+	}
+
+	if p.AtSeq >= 0 {
+		if p.AllHeads || len(c.branches) != 1 {
+			return nil, fmt.Errorf("%w: At() requires exactly one branch", core.ErrBadQuery)
+		}
+		for _, cm := range db.Graph().CommitsOnBranch(c.branches[0].ID) {
+			if cm.Seq == p.AtSeq {
+				c.commit = cm
+				break
+			}
+		}
+		if c.commit == nil {
+			return nil, fmt.Errorf("%w: %s@%d", core.ErrNoSuchCommit, c.branches[0].Name, p.AtSeq)
+		}
+	}
+
+	schema := t.Schema()
+	c.pred, err = CompileExpr(p.Where, schema)
+	if err != nil {
+		return nil, err
+	}
+	if p.Cols != nil {
+		c.cols = make([]int, len(p.Cols))
+		for i, name := range p.Cols {
+			ci := schema.ColumnIndex(name)
+			if ci < 0 {
+				return nil, fmt.Errorf("%w: %q", core.ErrNoSuchColumn, name)
+			}
+			c.cols[i] = ci
+		}
+	}
+	c.spec, err = core.NewScanSpec(schema, c.pred, c.cols)
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Branches returns the resolved branches in scan order; for a
+// multi-branch scan, membership bitmap bit i corresponds to the i-th
+// entry.
+func (c *Compiled) Branches() []*vgraph.Branch { return c.branches }
+
+// OutSchema returns the schema of the records the query emits (the
+// projected schema when Select was used).
+func (c *Compiled) OutSchema() *record.Schema { return c.spec.Out() }
+
+// single checks the plan addresses exactly one version.
+func (c *Compiled) single() error {
+	if c.plan.AllHeads || len(c.branches) != 1 {
+		return fmt.Errorf("%w: this terminal needs exactly one branch", core.ErrBadQuery)
+	}
+	return nil
+}
+
+// pair checks the plan addresses exactly two branch heads.
+func (c *Compiled) pair() error {
+	if c.plan.AllHeads || len(c.branches) != 2 || c.commit != nil {
+		return fmt.Errorf("%w: this terminal needs exactly two branch heads", core.ErrBadQuery)
+	}
+	return nil
+}
+
+// Scan executes a single-version scan (Query 1): the branch head, or
+// the checked-out commit when the plan has AtSeq.
+func (c *Compiled) Scan(ctx context.Context, fn core.ScanFunc) error {
+	if err := c.single(); err != nil {
+		return err
+	}
+	if c.commit != nil {
+		return c.table.ScanCommitPushdownContext(ctx, c.commit, c.spec, fn)
+	}
+	return c.table.ScanPushdownContext(ctx, c.branches[0].ID, c.spec, fn)
+}
+
+// ScanMulti executes a multi-branch scan (Query 4) over the plan's
+// branches (or every head with AllHeads) as one engine pass; bit i of
+// the membership bitmap corresponds to Branches()[i].
+func (c *Compiled) ScanMulti(ctx context.Context, fn core.MultiScanFunc) error {
+	if c.commit != nil {
+		return fmt.Errorf("%w: At() cannot combine with a multi-branch scan", core.ErrBadQuery)
+	}
+	ids := make([]vgraph.BranchID, len(c.branches))
+	for i, b := range c.branches {
+		ids[i] = b.ID
+	}
+	return c.table.ScanMultiPushdownContext(ctx, ids, c.spec, fn)
+}
+
+// ScanMultiRescan executes the same multi-branch scan as ScanMulti the
+// pre-pushdown way: one independent rescan per branch, merged by
+// primary key in memory. It exists as the measurable baseline for the
+// pushdown benchmarks and for engines whose ScanMulti is unavailable.
+func (c *Compiled) ScanMultiRescan(ctx context.Context, fn core.MultiScanFunc) error {
+	if c.commit != nil {
+		return fmt.Errorf("%w: At() cannot combine with a multi-branch scan", core.ErrBadQuery)
+	}
+	type entry struct {
+		rec    *record.Record
+		member *bitmap.Bitmap
+	}
+	// Merge by record contents, not primary key: an updated key is live
+	// as different copies in different branches and each copy keeps its
+	// own membership, matching what the engines' single-pass ScanMulti
+	// emits.
+	merged := make(map[string]*entry)
+	order := make([]string, 0)
+	for i, b := range c.branches {
+		err := c.table.ScanPushdownContext(ctx, b.ID, c.spec, func(rec *record.Record) bool {
+			key := string(rec.Bytes())
+			en := merged[key]
+			if en == nil {
+				en = &entry{rec: rec.Clone(), member: bitmap.New(len(c.branches))}
+				merged[key] = en
+				order = append(order, key)
+			}
+			en.member.Set(i)
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		// The spec's projection scratch is single-use per scan; rebuild
+		// it for the next branch's rescan (part of the rescan overhead).
+		spec, err := core.NewScanSpec(c.table.Schema(), c.pred, c.cols)
+		if err != nil {
+			return err
+		}
+		c.spec = spec
+	}
+	for _, key := range order {
+		en := merged[key]
+		if !fn(en.rec, en.member) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Diff executes a positive diff (Query 2): records live in
+// Branches()[0] but not Branches()[1], with predicate and projection
+// applied to the emitted side.
+func (c *Compiled) Diff(ctx context.Context, fn core.ScanFunc) error {
+	if err := c.pair(); err != nil {
+		return err
+	}
+	var ferr error
+	err := c.table.ScanDiffContext(ctx, c.branches[0].ID, c.branches[1].ID, func(rec *record.Record, inA bool) bool {
+		if !inA {
+			return true
+		}
+		out, err := c.spec.Apply(rec.Bytes())
+		if err != nil {
+			ferr = err
+			return false
+		}
+		if out == nil {
+			return true
+		}
+		return fn(out)
+	})
+	if err == nil {
+		err = ferr
+	}
+	return err
+}
+
+// Join executes a primary-key version join (Query 3) between the two
+// branch heads: pairs of records sharing a primary key, the left
+// satisfying the predicate. The projection applies to both sides.
+func (c *Compiled) Join(ctx context.Context, fn func(JoinedPair) bool) error {
+	if err := c.pair(); err != nil {
+		return err
+	}
+	build := make(map[int64]*record.Record)
+	if err := c.table.ScanPushdownContext(ctx, c.branches[0].ID, c.spec, func(rec *record.Record) bool {
+		build[rec.PK()] = rec.Clone()
+		return true
+	}); err != nil {
+		return err
+	}
+	if len(build) == 0 {
+		return nil
+	}
+	// Probe side: projection only — the predicate selects left records.
+	probe, err := core.NewScanSpec(c.table.Schema(), nil, c.cols)
+	if err != nil {
+		return err
+	}
+	return c.table.ScanPushdownContext(ctx, c.branches[1].ID, probe, func(rec *record.Record) bool {
+		l, ok := build[rec.PK()]
+		if !ok {
+			return true
+		}
+		return fn(JoinedPair{Left: l, Right: rec})
+	})
+}
+
+// AggKind selects an aggregate terminal.
+type AggKind uint8
+
+// Aggregate kinds.
+const (
+	AggCount AggKind = iota
+	AggSum
+	AggMin
+	AggMax
+)
+
+// Aggregate folds one numeric column (ignored for AggCount) over the
+// plan's scan — single-version, historical, or multi-branch (where
+// each record live in any head counts once). Empty Min/Max fail with
+// core.ErrNoRows. Integer columns are accumulated as int64 and
+// converted on return.
+func (c *Compiled) Aggregate(ctx context.Context, kind AggKind, col string) (float64, error) {
+	schema := c.table.Schema()
+	ci := -1
+	isFloat := false
+	if kind != AggCount {
+		ci = schema.ColumnIndex(col)
+		if ci < 0 {
+			return 0, fmt.Errorf("%w: %q", core.ErrNoSuchColumn, col)
+		}
+		switch schema.Column(ci).Type {
+		case record.Int32, record.Int64:
+		case record.Float64:
+			isFloat = true
+		default:
+			return 0, fmt.Errorf("%w: aggregate over %v column %q", core.ErrTypeMismatch, schema.Column(ci).Type, col)
+		}
+	}
+	// Aggregates read the source schema, so the spec carries only the
+	// predicate (a Select projection does not restrict them).
+	spec, err := core.NewScanSpec(schema, c.pred, nil)
+	if err != nil {
+		return 0, err
+	}
+	var (
+		n    int
+		isum int64
+		fsum float64
+		fmin float64
+		fmax float64
+	)
+	acc := func(rec *record.Record) bool {
+		n++
+		if kind == AggCount {
+			return true
+		}
+		var v float64
+		if isFloat {
+			v = rec.GetFloat64(ci)
+			fsum += v
+		} else {
+			i := rec.Get(ci)
+			isum += i
+			v = float64(i)
+		}
+		if n == 1 || v < fmin {
+			fmin = v
+		}
+		if n == 1 || v > fmax {
+			fmax = v
+		}
+		return true
+	}
+	if c.plan.AllHeads || len(c.branches) > 1 {
+		ids := make([]vgraph.BranchID, len(c.branches))
+		for i, b := range c.branches {
+			ids[i] = b.ID
+		}
+		err = c.table.ScanMultiPushdownContext(ctx, ids, spec, func(rec *record.Record, _ *bitmap.Bitmap) bool {
+			return acc(rec)
+		})
+	} else if c.commit != nil {
+		err = c.table.ScanCommitPushdownContext(ctx, c.commit, spec, acc)
+	} else {
+		err = c.table.ScanPushdownContext(ctx, c.branches[0].ID, spec, acc)
+	}
+	if err != nil {
+		return 0, err
+	}
+	switch kind {
+	case AggCount:
+		return float64(n), nil
+	case AggSum:
+		if isFloat {
+			return fsum, nil
+		}
+		return float64(isum), nil
+	default:
+		if n == 0 {
+			return 0, fmt.Errorf("%w: %s over empty scan", core.ErrNoRows, col)
+		}
+		if kind == AggMin {
+			return fmin, nil
+		}
+		return fmax, nil
+	}
+}

@@ -1,0 +1,173 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"testing"
+
+	"decibel/internal/bitmap"
+	"decibel/internal/core"
+	"decibel/internal/record"
+)
+
+// planFixture builds the same dataset as fixture (master pks 1..10,
+// dev with 3 updated, 10 deleted, 11 added) and returns the database.
+func planFixture(t *testing.T, factory core.Factory) *core.Database {
+	t.Helper()
+	db, _, _, _ := fixture(t, factory)
+	return db
+}
+
+func TestCompileExprRawBuffer(t *testing.T) {
+	s := record.MustSchema(
+		record.Column{Name: "id", Type: record.Int64},
+		record.Column{Name: "n32", Type: record.Int32},
+		record.Column{Name: "f", Type: record.Float64},
+		record.Column{Name: "b", Type: record.Bytes, Size: 6},
+	)
+	r := record.New(s)
+	r.SetPK(7)
+	r.Set(1, -5) // negative Int32: sign extension must survive raw reads
+	r.SetFloat64(2, 2.25)
+	if err := r.SetBytes(3, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		e    Expr
+		want bool
+	}{
+		{"int64 eq", Col("id").Eq(7), true},
+		{"int32 neg lt", Col("n32").Lt(0), true},
+		{"int32 neg ge", Col("n32").Ge(-5), true},
+		{"int32 gt", Col("n32").Gt(-5), false},
+		{"float le", Col("f").Le(2.25), true},
+		{"float int promote", Col("f").Lt(3), true},
+		{"bytes eq", Col("b").Eq("abc"), true},
+		{"bytes lt", Col("b").Lt("abd"), true},
+		{"bytes prefix", Col("b").HasPrefix("ab"), true},
+		{"bytes prefix miss", Col("b").HasPrefix("bc"), false},
+		{"and", Col("id").Eq(7).And(Col("f").Gt(2.0)), true},
+		{"or", Col("id").Eq(8).Or(Col("b").Eq([]byte("abc"))), true},
+		{"not", Col("id").Eq(7).Not(), false},
+	}
+	for _, tc := range cases {
+		raw, err := CompileExpr(tc.e, s)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got := raw(r.Bytes()); got != tc.want {
+			t.Fatalf("%s = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+
+	// Validation failures carry sentinels.
+	if _, err := CompileExpr(Col("ghost").Eq(1), s); !errors.Is(err, core.ErrNoSuchColumn) {
+		t.Fatalf("unknown column err = %v", err)
+	}
+	if _, err := CompileExpr(Col("n32").HasPrefix("x"), s); !errors.Is(err, core.ErrTypeMismatch) {
+		t.Fatalf("prefix on int err = %v", err)
+	}
+	if _, err := CompileExpr(Col("b").Eq(3.5), s); !errors.Is(err, core.ErrTypeMismatch) {
+		t.Fatalf("float on bytes err = %v", err)
+	}
+	// The zero Expr (and All) compile to nil = scan everything.
+	if raw, err := CompileExpr(Expr{}, s); err != nil || raw != nil {
+		t.Fatalf("zero expr = %v, %v", raw, err)
+	}
+	if raw, err := CompileExpr(All(), s); err != nil || raw != nil {
+		t.Fatalf("All() = %v, %v", raw, err)
+	}
+	// A zero Expr inside a combinator matches everything too — the
+	// build-a-filter-incrementally pattern starting from var e Expr.
+	var zero Expr
+	raw, err := CompileExpr(zero.And(Col("id").Eq(7)), s)
+	if err != nil {
+		t.Fatalf("zero-And compile: %v", err)
+	}
+	if !raw(r.Bytes()) {
+		t.Fatal("zero-And should reduce to the leaf")
+	}
+	raw, err = CompileExpr(All().Not(), s)
+	if err != nil {
+		t.Fatalf("Not(All) compile: %v", err)
+	}
+	if raw(r.Bytes()) {
+		t.Fatal("Not(All) matched")
+	}
+}
+
+// TestScanMultiPushdownMatchesRescan checks the single-pass pushdown
+// execution and the per-branch rescan baseline agree record-for-record
+// on every engine, with and without a predicate.
+func TestScanMultiPushdownMatchesRescan(t *testing.T) {
+	for name, f := range factories() {
+		t.Run(name, func(t *testing.T) {
+			db := planFixture(t, f)
+			for _, where := range []Expr{{}, Col("v").Lt(8)} {
+				plan := Plan{Table: "r", AllHeads: true, AtSeq: -1, Where: where}
+				collect := func(scan func(context.Context, core.MultiScanFunc) error) map[int64]string {
+					t.Helper()
+					out := map[int64]string{}
+					err := scan(context.Background(), func(rec *record.Record, m *bitmap.Bitmap) bool {
+						out[rec.Get(1)*1000+rec.PK()] = m.String()
+						return true
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					return out
+				}
+				c1, err := plan.Compile(db)
+				if err != nil {
+					t.Fatal(err)
+				}
+				push := collect(c1.ScanMulti)
+				c2, err := plan.Compile(db)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rescan := collect(c2.ScanMultiRescan)
+				if len(push) == 0 || len(push) != len(rescan) {
+					t.Fatalf("pushdown %d records, rescan %d", len(push), len(rescan))
+				}
+				for k, m := range push {
+					if rescan[k] != m {
+						t.Fatalf("membership diverged for %d: pushdown %s, rescan %s", k, m, rescan[k])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPlanProjection checks Select narrows the emitted schema on every
+// engine through the pushdown path.
+func TestPlanProjection(t *testing.T) {
+	for name, f := range factories() {
+		t.Run(name, func(t *testing.T) {
+			db := planFixture(t, f)
+			plan := Plan{Table: "r", Branches: []string{"dev"}, AtSeq: -1,
+				Where: Col("v").Eq(33), Cols: []string{"v"}}
+			c, err := plan.Compile(db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if nc := c.OutSchema().NumColumns(); nc != 2 {
+				t.Fatalf("projected schema has %d columns", nc)
+			}
+			var got []int64
+			if err := c.Scan(context.Background(), func(rec *record.Record) bool {
+				got = append(got, rec.PK(), rec.Get(1))
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+			sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+			if len(got) != 2 || got[0] != 3 || got[1] != 33 {
+				t.Fatalf("projected scan = %v", got)
+			}
+		})
+	}
+}

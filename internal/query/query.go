@@ -1,9 +1,15 @@
 // Package query implements the versioned query operators of Decibel's
 // benchmark (Table 1): single-version scans with predicates, positive
 // diffs between versions, primary-key joins across versions, and
-// HEAD() scans over all branch heads. Operators are engine-agnostic:
-// every storage scheme pays its own cost through the core.Engine scan
-// interfaces, which is exactly what the benchmark measures.
+// HEAD() scans over all branch heads — plus the typed predicate
+// language (pred.go) and logical query plans (plan.go) behind the
+// public facade's fluent builder.
+//
+// Operators are engine-agnostic: every storage scheme pays its own
+// cost through the core scan interfaces, which is exactly what the
+// benchmark measures. The classic free functions in this file are
+// retained for the ID-based callers and now route through the same
+// pushdown-capable table scans the plan executor uses.
 package query
 
 import (
@@ -15,6 +21,35 @@ import (
 
 // Predicate filters records.
 type Predicate func(*record.Record) bool
+
+// passSpec returns the pass-through pushdown spec the legacy free
+// functions scan under, so they share the engines' pushdown-capable
+// scan paths (and the multi-branch bitmap-union pass) with compiled
+// plans. The record-level Predicate is applied on the record the scan
+// materializes anyway — wrapping it into a raw predicate would decode
+// each matching row twice.
+func passSpec(s *record.Schema) *core.ScanSpec {
+	spec, err := core.NewScanSpec(s, nil, nil)
+	if err != nil {
+		// No projection is requested, so NewScanSpec cannot fail.
+		panic(err)
+	}
+	return spec
+}
+
+// filtered applies a record-level predicate above an engine scan; nil
+// and True pass everything through.
+func filtered(pred Predicate, fn core.ScanFunc) core.ScanFunc {
+	if pred == nil {
+		return fn
+	}
+	return func(rec *record.Record) bool {
+		if !pred(rec) {
+			return true
+		}
+		return fn(rec)
+	}
+}
 
 // True matches every record.
 func True(*record.Record) bool { return true }
@@ -77,22 +112,12 @@ func Not(p Predicate) Predicate {
 //
 //	SELECT * FROM R WHERE R.Version = 'v01'
 func SingleVersionScan(t *core.Table, branch vgraph.BranchID, pred Predicate, fn core.ScanFunc) error {
-	return t.Scan(branch, func(rec *record.Record) bool {
-		if !pred(rec) {
-			return true
-		}
-		return fn(rec)
-	})
+	return t.ScanPushdown(branch, passSpec(t.Schema()), filtered(pred, fn))
 }
 
 // CommitScan is Query 1 against a historical version (checkout read).
 func CommitScan(t *core.Table, c *vgraph.Commit, pred Predicate, fn core.ScanFunc) error {
-	return t.ScanCommit(c, func(rec *record.Record) bool {
-		if !pred(rec) {
-			return true
-		}
-		return fn(rec)
-	})
+	return t.ScanCommitPushdown(c, passSpec(t.Schema()), filtered(pred, fn))
 }
 
 // PositiveDiff is Query 2: emit the records in branch a that do not
@@ -169,8 +194,8 @@ func HeadScan(g *vgraph.Graph, t *core.Table, pred Predicate, fn func(HeadRecord
 // HeadScanBranches is HeadScan restricted to an explicit branch list
 // (the benchmark scans the heads of active branches).
 func HeadScanBranches(t *core.Table, ids []vgraph.BranchID, pred Predicate, fn func(HeadRecord) bool) error {
-	return t.ScanMulti(ids, func(rec *record.Record, member *bitmap.Bitmap) bool {
-		if !pred(rec) {
+	return t.ScanMultiPushdown(ids, passSpec(t.Schema()), func(rec *record.Record, member *bitmap.Bitmap) bool {
+		if pred != nil && !pred(rec) {
 			return true
 		}
 		var active []vgraph.BranchID

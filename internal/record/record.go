@@ -203,6 +203,11 @@ func (s *Schema) ColumnIndex(name string) int {
 // lets the heap layer address records by slot.
 func (s *Schema) RecordSize() int { return s.size }
 
+// ColumnOffset returns the byte offset of column i within the encoded
+// record (header included). Predicate compilers use it to evaluate
+// pushed-down comparisons directly on encoded buffers.
+func (s *Schema) ColumnOffset(i int) int { return HeaderSize + s.offsets[i] }
+
 // Equal reports whether two schemas have identical columns.
 func (s *Schema) Equal(o *Schema) bool {
 	if len(s.cols) != len(o.cols) {

@@ -1,0 +1,148 @@
+package tf
+
+import (
+	"decibel/internal/bitmap"
+	"decibel/internal/core"
+	"decibel/internal/vgraph"
+)
+
+// Pushdown scans (core.PushdownScanner). Tuple-first's liveness is one
+// bitmap per branch over the shared heap, so a pushed-down predicate is
+// evaluated on the raw page buffer before any record is materialized,
+// and a multi-branch scan is driven by the OR of the branch columns —
+// one pass over the heap touching only pages with at least one live
+// tuple in at least one requested branch, instead of one rescan per
+// branch.
+
+var (
+	_ core.PushdownScanner = (*Engine)(nil)
+	_ core.BatchInserter   = (*Engine)(nil)
+)
+
+// passSpec is the match-all, project-nothing spec the plain Scan*
+// entry points delegate through, so the engine has exactly one copy of
+// each scan loop.
+func (e *Engine) passSpec() *core.ScanSpec {
+	sp, err := core.NewScanSpec(e.env.Schema, nil, nil)
+	if err != nil {
+		panic(err) // no projection: cannot fail
+	}
+	return sp
+}
+
+// scanBitmapSpec is scanBitmap with the spec evaluated on the raw
+// buffer before materialization.
+func (e *Engine) scanBitmapSpec(bm *bitmap.Bitmap, spec *core.ScanSpec, fn core.ScanFunc) error {
+	var ferr error
+	err := e.file.ScanLive(bm, func(slot int64, buf []byte) bool {
+		if !bm.Get(int(slot)) {
+			return true
+		}
+		rec, err := spec.Apply(buf)
+		if err != nil {
+			ferr = err
+			return false
+		}
+		if rec == nil {
+			return true
+		}
+		return fn(rec)
+	})
+	if err == nil {
+		err = ferr
+	}
+	return err
+}
+
+// ScanBranchPushdown implements core.PushdownScanner.
+func (e *Engine) ScanBranchPushdown(branch vgraph.BranchID, spec *core.ScanSpec, fn core.ScanFunc) error {
+	e.mu.Lock()
+	bm := e.idx.column(branch)
+	e.mu.Unlock()
+	return e.scanBitmapSpec(bm, spec, fn)
+}
+
+// ScanCommitPushdown implements core.PushdownScanner.
+func (e *Engine) ScanCommitPushdown(c *vgraph.Commit, spec *core.ScanSpec, fn core.ScanFunc) error {
+	e.mu.Lock()
+	log, err := e.openLog(c.Branch)
+	if err != nil {
+		e.mu.Unlock()
+		return err
+	}
+	bm, err := log.Checkout(c.Seq)
+	e.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return e.scanBitmapSpec(bm, spec, fn)
+}
+
+// ScanMultiPushdown implements core.PushdownScanner. With the
+// branch-oriented index the branch columns are ORed into one union
+// bitmap and the heap is walked once under it; the tuple-oriented
+// layout has no cheap columns, so it keeps the full-heap walk with the
+// predicate evaluated on the raw buffer before the per-row membership
+// lookup.
+func (e *Engine) ScanMultiPushdown(branches []vgraph.BranchID, spec *core.ScanSpec, fn core.MultiScanFunc) error {
+	e.mu.Lock()
+	var cols []*bitmap.Bitmap
+	var union *bitmap.Bitmap
+	if _, tupleOriented := e.idx.(*tupleIndex); !tupleOriented {
+		cols = make([]*bitmap.Bitmap, len(branches))
+		union = bitmap.New(0)
+		for i, b := range branches {
+			cols[i] = e.idx.column(b)
+			union.Or(cols[i])
+		}
+	}
+	e.mu.Unlock()
+
+	member := bitmap.New(len(branches))
+	var ferr error
+	if cols != nil {
+		err := e.file.ScanLive(union, func(slot int64, buf []byte) bool {
+			if !union.Get(int(slot)) {
+				return true
+			}
+			rec, err := spec.Apply(buf)
+			if err != nil {
+				ferr = err
+				return false
+			}
+			if rec == nil {
+				return true
+			}
+			for i := range branches {
+				member.SetTo(i, cols[i].Get(int(slot)))
+			}
+			return fn(rec, member)
+		})
+		if err == nil {
+			err = ferr
+		}
+		return err
+	}
+
+	err := e.file.Scan(0, e.file.Count(), func(slot int64, buf []byte) bool {
+		rec, err := spec.Apply(buf)
+		if err != nil {
+			ferr = err
+			return false
+		}
+		if rec == nil {
+			return true
+		}
+		e.mu.Lock()
+		e.idx.membership(slot, branches, member)
+		e.mu.Unlock()
+		if !member.Any() {
+			return true
+		}
+		return fn(rec, member)
+	})
+	if err == nil {
+		err = ferr
+	}
+	return err
+}

@@ -210,6 +210,23 @@ func (e *Engine) commitLocked(c *vgraph.Commit) error {
 func (e *Engine) Insert(branch vgraph.BranchID, rec *record.Record) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	return e.insertLocked(branch, rec)
+}
+
+// InsertBatch implements core.BatchInserter: one lock acquisition and
+// one branch-index lookup for the whole batch.
+func (e *Engine) InsertBatch(branch vgraph.BranchID, recs []*record.Record) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, rec := range recs {
+		if err := e.insertLocked(branch, rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *Engine) insertLocked(branch vgraph.BranchID, rec *record.Record) error {
 	idx, ok := e.pk[branch]
 	if !ok {
 		return fmt.Errorf("tf: unknown branch %d", branch)
@@ -246,92 +263,28 @@ func (e *Engine) Delete(branch vgraph.BranchID, pk int64) error {
 	return nil
 }
 
-// scanBitmap emits every heap record whose bit is set in bm. Pages
-// with no live records are skipped, but with interleaved loading a
-// branch's tuples are "fragmented across the shared heap file", so most
-// pages contain at least one and the scan degrades to reading the whole
-// heap — the tuple-first cost the paper measures. After a table-wise
-// update clusters a branch's records, the skip becomes effective
-// (Section 5.5).
-func (e *Engine) scanBitmap(bm *bitmap.Bitmap, fn core.ScanFunc) error {
-	schema := e.env.Schema
-	return e.file.ScanLive(bm, func(slot int64, buf []byte) bool {
-		if !bm.Get(int(slot)) {
-			return true
-		}
-		rec, err := record.FromBytes(schema, buf)
-		if err != nil {
-			return false
-		}
-		return fn(rec)
-	})
-}
-
-// ScanBranch implements core.Engine (Query 1).
+// ScanBranch implements core.Engine (Query 1). Pages with no live
+// records are skipped, but with interleaved loading a branch's tuples
+// are "fragmented across the shared heap file", so most pages contain
+// at least one and the scan degrades to reading the whole heap — the
+// tuple-first cost the paper measures. After a table-wise update
+// clusters a branch's records, the skip becomes effective (Section
+// 5.5).
 func (e *Engine) ScanBranch(branch vgraph.BranchID, fn core.ScanFunc) error {
-	e.mu.Lock()
-	bm := e.idx.column(branch)
-	e.mu.Unlock()
-	return e.scanBitmap(bm, fn)
+	return e.ScanBranchPushdown(branch, e.passSpec(), fn)
 }
 
 // ScanCommit implements core.Engine: checkout the commit's bitmap from
 // the history file, then scan.
 func (e *Engine) ScanCommit(c *vgraph.Commit, fn core.ScanFunc) error {
-	e.mu.Lock()
-	log, err := e.openLog(c.Branch)
-	if err != nil {
-		e.mu.Unlock()
-		return err
-	}
-	bm, err := log.Checkout(c.Seq)
-	e.mu.Unlock()
-	if err != nil {
-		return err
-	}
-	return e.scanBitmap(bm, fn)
+	return e.ScanCommitPushdown(c, e.passSpec(), fn)
 }
 
 // ScanMulti implements core.Engine (Query 4): one pass over the heap
 // file, emitting each live tuple annotated with the branches it is
 // active in.
 func (e *Engine) ScanMulti(branches []vgraph.BranchID, fn core.MultiScanFunc) error {
-	e.mu.Lock()
-	// Branch-oriented: precompute columns once. Tuple-oriented: use row
-	// lookups (its natural fast path, per Section 3.2).
-	var cols []*bitmap.Bitmap
-	if _, tupleOriented := e.idx.(*tupleIndex); !tupleOriented {
-		cols = make([]*bitmap.Bitmap, len(branches))
-		for i, b := range branches {
-			cols[i] = e.idx.column(b)
-		}
-	}
-	e.mu.Unlock()
-	schema := e.env.Schema
-	member := bitmap.New(len(branches))
-	return e.file.Scan(0, e.file.Count(), func(slot int64, buf []byte) bool {
-		any := false
-		if cols != nil {
-			for i := range branches {
-				live := cols[i].Get(int(slot))
-				member.SetTo(i, live)
-				any = any || live
-			}
-		} else {
-			e.mu.Lock()
-			e.idx.membership(slot, branches, member)
-			e.mu.Unlock()
-			any = member.Any()
-		}
-		if !any {
-			return true
-		}
-		rec, err := record.FromBytes(schema, buf)
-		if err != nil {
-			return false
-		}
-		return fn(rec, member)
-	})
+	return e.ScanMultiPushdown(branches, e.passSpec(), fn)
 }
 
 // Diff implements core.Engine (Query 2): "we simply XOR bitmaps

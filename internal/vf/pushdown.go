@@ -1,0 +1,141 @@
+package vf
+
+import (
+	"fmt"
+
+	"decibel/internal/bitmap"
+	"decibel/internal/core"
+	"decibel/internal/record"
+	"decibel/internal/vgraph"
+)
+
+// Pushdown scans (core.PushdownScanner). Version-first has no branch
+// bitmaps — liveness comes from resolving segment lineages — so its
+// pushdown is predicate + projection evaluation on the raw record
+// buffer during the sequential emit pass, before the callback layer
+// sees a materialized record. Multi-branch scans keep the paper's
+// two-pass shape (shared ancestry resolved once through the interval
+// cache) with the spec applied in the second, sequential pass.
+
+var (
+	_ core.PushdownScanner = (*Engine)(nil)
+	_ core.BatchInserter   = (*Engine)(nil)
+)
+
+// passSpec is the match-all, project-nothing spec the plain Scan*
+// entry points delegate through, so the engine has exactly one copy of
+// each scan loop.
+func (e *Engine) passSpec() *core.ScanSpec {
+	sp, err := core.NewScanSpec(e.env.Schema, nil, nil)
+	if err != nil {
+		panic(err) // no projection: cannot fail
+	}
+	return sp
+}
+
+// emitSpec is emit with the spec evaluated on the raw buffer.
+func (e *Engine) emitSpec(live map[int64]pos, spec *core.ScanSpec, fn func(rec *record.Record, at pos) bool) error {
+	var ferr error
+	err := e.emit(live, func(rec *record.Record, at pos) bool {
+		out, err := spec.Apply(rec.Bytes())
+		if err != nil {
+			ferr = err
+			return false
+		}
+		if out == nil {
+			return true
+		}
+		return fn(out, at)
+	})
+	if err == nil {
+		err = ferr
+	}
+	return err
+}
+
+// ScanBranchPushdown implements core.PushdownScanner.
+func (e *Engine) ScanBranchPushdown(branch vgraph.BranchID, spec *core.ScanSpec, fn core.ScanFunc) error {
+	e.mu.Lock()
+	s, cut, err := e.headLocked(branch)
+	if err != nil {
+		e.mu.Unlock()
+		return err
+	}
+	live, err := e.resolveLive(pos{Seg: s.id, Slot: cut})
+	e.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return e.emitSpec(live, spec, func(rec *record.Record, _ pos) bool { return fn(rec) })
+}
+
+// ScanCommitPushdown implements core.PushdownScanner.
+func (e *Engine) ScanCommitPushdown(c *vgraph.Commit, spec *core.ScanSpec, fn core.ScanFunc) error {
+	e.mu.Lock()
+	p, ok := e.commits[c.ID]
+	if !ok {
+		e.mu.Unlock()
+		return fmt.Errorf("vf: commit %d has no recorded offset", c.ID)
+	}
+	live, err := e.resolveLive(p)
+	e.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return e.emitSpec(live, spec, func(rec *record.Record, _ pos) bool { return fn(rec) })
+}
+
+// ScanMultiPushdown implements core.PushdownScanner.
+func (e *Engine) ScanMultiPushdown(branches []vgraph.BranchID, spec *core.ScanSpec, fn core.MultiScanFunc) error {
+	e.mu.Lock()
+	union := make(map[pos]*bitmap.Bitmap)
+	for i, b := range branches {
+		s, cut, err := e.headLocked(b)
+		if err != nil {
+			e.mu.Unlock()
+			return err
+		}
+		live, err := e.resolveLive(pos{Seg: s.id, Slot: cut})
+		if err != nil {
+			e.mu.Unlock()
+			return err
+		}
+		for _, p := range live {
+			m := union[p]
+			if m == nil {
+				m = bitmap.New(len(branches))
+				union[p] = m
+			}
+			m.Set(i)
+		}
+	}
+	e.mu.Unlock()
+
+	flat := make(map[int64]pos, len(union))
+	i := int64(0)
+	for p := range union {
+		flat[i] = p
+		i++
+	}
+	return e.emitSpec(flat, spec, func(rec *record.Record, at pos) bool {
+		return fn(rec, union[at])
+	})
+}
+
+// InsertBatch implements core.BatchInserter: one lock acquisition and
+// one head lookup for the whole batch.
+func (e *Engine) InsertBatch(branch vgraph.BranchID, recs []*record.Record) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, _, err := e.headLocked(branch)
+	if err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		if _, err := s.file.Append(rec.Bytes()); err != nil {
+			return err
+		}
+	}
+	e.invalidateSeg(s.id)
+	return nil
+}

@@ -16,7 +16,6 @@ import (
 	"sort"
 	"sync"
 
-	"decibel/internal/bitmap"
 	"decibel/internal/core"
 	"decibel/internal/heap"
 	"decibel/internal/record"
@@ -355,34 +354,12 @@ func (e *Engine) emit(live map[int64]pos, fn func(rec *record.Record, at pos) bo
 
 // ScanBranch implements core.Engine (Query 1).
 func (e *Engine) ScanBranch(branch vgraph.BranchID, fn core.ScanFunc) error {
-	e.mu.Lock()
-	s, cut, err := e.headLocked(branch)
-	if err != nil {
-		e.mu.Unlock()
-		return err
-	}
-	live, err := e.resolveLive(pos{Seg: s.id, Slot: cut})
-	e.mu.Unlock()
-	if err != nil {
-		return err
-	}
-	return e.emit(live, func(rec *record.Record, _ pos) bool { return fn(rec) })
+	return e.ScanBranchPushdown(branch, e.passSpec(), fn)
 }
 
 // ScanCommit implements core.Engine: checkout by offset.
 func (e *Engine) ScanCommit(c *vgraph.Commit, fn core.ScanFunc) error {
-	e.mu.Lock()
-	p, ok := e.commits[c.ID]
-	if !ok {
-		e.mu.Unlock()
-		return fmt.Errorf("vf: commit %d has no recorded offset", c.ID)
-	}
-	live, err := e.resolveLive(p)
-	e.mu.Unlock()
-	if err != nil {
-		return err
-	}
-	return e.emit(live, func(rec *record.Record, _ pos) bool { return fn(rec) })
+	return e.ScanCommitPushdown(c, e.passSpec(), fn)
 }
 
 // ScanMulti implements core.Engine (Query 4). This is the paper's
@@ -391,40 +368,7 @@ func (e *Engine) ScanCommit(c *vgraph.Commit, fn core.ScanFunc) error {
 // the interval cache), the second pass reads the union sequentially and
 // emits each record copy with its branch membership.
 func (e *Engine) ScanMulti(branches []vgraph.BranchID, fn core.MultiScanFunc) error {
-	e.mu.Lock()
-	union := make(map[pos]*bitmap.Bitmap)
-	for i, b := range branches {
-		s, cut, err := e.headLocked(b)
-		if err != nil {
-			e.mu.Unlock()
-			return err
-		}
-		live, err := e.resolveLive(pos{Seg: s.id, Slot: cut})
-		if err != nil {
-			e.mu.Unlock()
-			return err
-		}
-		for _, p := range live {
-			m := union[p]
-			if m == nil {
-				m = bitmap.New(len(branches))
-				union[p] = m
-			}
-			m.Set(i)
-		}
-	}
-	e.mu.Unlock()
-
-	// Second pass: sequential per segment.
-	flat := make(map[int64]pos, len(union)) // fake pk keys for emit reuse
-	i := int64(0)
-	for p := range union {
-		flat[i] = p
-		i++
-	}
-	return e.emit(flat, func(rec *record.Record, at pos) bool {
-		return fn(rec, union[at])
-	})
+	return e.ScanMultiPushdown(branches, e.passSpec(), fn)
 }
 
 // Diff implements core.Engine (Query 2). Version-first resolves both

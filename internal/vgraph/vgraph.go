@@ -14,6 +14,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"time"
 )
 
 // CommitID identifies a version. IDs are dense, starting at 1; 0 is
@@ -37,7 +38,8 @@ type Commit struct {
 	Branch  BranchID   `json:"branch"`  // branch the commit was made on
 	Seq     int        `json:"seq"`     // zero-based commit index within that branch
 	Message string     `json:"message"`
-	Depth   int        `json:"depth"` // longest path from the init commit
+	Depth   int        `json:"depth"`          // longest path from the init commit
+	Time    int64      `json:"time,omitempty"` // creation time, Unix seconds (0 in pre-existing graphs)
 	// PrecedenceFirst applies to merge commits: true if Parents[0] (the
 	// branch merged into) wins conflicting fields, the paper's default
 	// precedence policy.
@@ -153,7 +155,7 @@ func (g *Graph) Init(message string) (*Branch, *Commit, error) {
 	}
 	b := &Branch{ID: g.nextB, Name: MasterName, Parent: g.nextB, Active: true}
 	g.nextB++
-	c := &Commit{ID: g.nextC, Branch: b.ID, Seq: 0, Message: message, Depth: 0}
+	c := &Commit{ID: g.nextC, Branch: b.ID, Seq: 0, Message: message, Depth: 0, Time: time.Now().Unix()}
 	g.nextC++
 	b.Head = c.ID
 	g.commits[c.ID] = c
@@ -207,6 +209,7 @@ func (g *Graph) NewCommit(branch BranchID, message string) (*Commit, error) {
 		Seq:     g.seqOnBranchLocked(branch),
 		Message: message,
 		Depth:   head.Depth + 1,
+		Time:    time.Now().Unix(),
 	}
 	g.nextC++
 	g.commits[c.ID] = c
@@ -255,6 +258,7 @@ func (g *Graph) NewMergeCommit(into, other BranchID, message string, precedenceF
 		Seq:             g.seqOnBranchLocked(into),
 		Message:         message,
 		Depth:           d + 1,
+		Time:            time.Now().Unix(),
 		PrecedenceFirst: precedenceFirst,
 	}
 	g.nextC++

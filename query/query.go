@@ -1,8 +1,22 @@
 // Package query is the public face of the versioned query operators of
 // Decibel's benchmark (Table 1): single-version scans with predicates,
 // positive diffs between versions, primary-key joins across versions,
-// and HEAD() scans over all branch heads. Operators work on any
-// decibel.Table regardless of storage engine.
+// and HEAD() scans over all branch heads.
+//
+// The fluent, name-based way to run these queries is the builder on
+// the facade — decibel.DB.Query — which adds typed column predicates,
+// projections, aggregates and engine-level pushdown:
+//
+//	rows, qErr := db.Query("products").
+//		On("master").
+//		Where(query.Col("price").Lt(9.5)).
+//		Select("sku", "price").
+//		Rows()
+//
+// The free functions below are the original ID-based operators, kept
+// for callers that already hold vgraph IDs. They are thin wrappers
+// over the same pushdown-capable scan paths the builder compiles to,
+// and are deprecated in favor of it.
 package query
 
 import (
@@ -10,8 +24,24 @@ import (
 	iquery "decibel/internal/query"
 )
 
-// Predicate filters records.
+// Predicate filters records (the legacy, integer-indexed form).
+//
+// Deprecated: build typed, name-based predicates with Col and pass
+// them to decibel.DB.Query's Where.
 type Predicate = iquery.Predicate
+
+// Expr is a typed predicate over named columns; see decibel.Expr.
+type Expr = iquery.Expr
+
+// ColRef references a named column inside a predicate.
+type ColRef = iquery.ColRef
+
+// Col starts a typed predicate on the named column, e.g.
+// query.Col("price").Lt(9.5); see decibel.Col.
+func Col(name string) ColRef { return iquery.Col(name) }
+
+// MatchAll is the explicit always-true typed predicate.
+func MatchAll() Expr { return iquery.All() }
 
 // JoinedPair is one output row of a version join.
 type JoinedPair = iquery.JoinedPair
@@ -21,65 +51,93 @@ type JoinedPair = iquery.JoinedPair
 type HeadRecord = iquery.HeadRecord
 
 // True matches every record.
+//
+// Deprecated: with the builder, simply omit Where (or use MatchAll).
 func True(r *decibel.Record) bool { return iquery.True(r) }
 
 // ColumnEquals matches records whose column equals v.
+//
+// Deprecated: use Col(name).Eq(v) with decibel.DB.Query.
 func ColumnEquals(col int, v int64) Predicate { return iquery.ColumnEquals(col, v) }
 
 // ColumnLess matches records whose column is less than v.
+//
+// Deprecated: use Col(name).Lt(v) with decibel.DB.Query.
 func ColumnLess(col int, v int64) Predicate { return iquery.ColumnLess(col, v) }
 
 // ColumnMod matches records whose column value modulo m equals rem.
 func ColumnMod(col int, m, rem int64) Predicate { return iquery.ColumnMod(col, m, rem) }
 
 // And combines predicates conjunctively.
+//
+// Deprecated: use Expr.And.
 func And(ps ...Predicate) Predicate { return iquery.And(ps...) }
 
 // Or combines predicates disjunctively.
+//
+// Deprecated: use Expr.Or.
 func Or(ps ...Predicate) Predicate { return iquery.Or(ps...) }
 
 // Not negates a predicate.
+//
+// Deprecated: use Expr.Not.
 func Not(p Predicate) Predicate { return iquery.Not(p) }
 
 // SingleVersionScan is Query 1: scan one branch head under a predicate.
+//
+// Deprecated: use db.Query(table).On(branch).Where(...).Rows().
 func SingleVersionScan(t *decibel.Table, branch decibel.BranchID, pred Predicate, fn decibel.ScanFunc) error {
 	return iquery.SingleVersionScan(t, branch, pred, fn)
 }
 
 // CommitScan is Query 1 against a committed (checked-out) version.
+//
+// Deprecated: use db.Query(table).On(branch).At(seq).Rows().
 func CommitScan(t *decibel.Table, c *decibel.Commit, pred Predicate, fn decibel.ScanFunc) error {
 	return iquery.CommitScan(t, c, pred, fn)
 }
 
 // PositiveDiff is Query 2: emit the records in branch a that do not
 // appear in branch b.
+//
+// Deprecated: use db.Query(table).Diff(a, b).
 func PositiveDiff(t *decibel.Table, a, b decibel.BranchID, fn decibel.ScanFunc) error {
 	return iquery.PositiveDiff(t, a, b, fn)
 }
 
 // VersionJoin is Query 3: a primary-key join between two branch heads,
 // emitting pairs whose left record satisfies the predicate.
+//
+// Deprecated: use db.Query(table).Where(...).Join(left, right).
 func VersionJoin(t *decibel.Table, left, right decibel.BranchID, pred Predicate, fn func(JoinedPair) bool) error {
 	return iquery.VersionJoin(t, left, right, pred, fn)
 }
 
 // HeadScan is Query 4: emit every record live in the head of any
 // branch satisfying the predicate, annotated with its active branches.
+//
+// Deprecated: use db.Query(table).Heads().Annotated().
 func HeadScan(g *decibel.Graph, t *decibel.Table, pred Predicate, fn func(HeadRecord) bool) error {
 	return iquery.HeadScan(g, t, pred, fn)
 }
 
 // HeadScanBranches is HeadScan restricted to an explicit branch list.
+//
+// Deprecated: use db.Query(table).On(branches...).Annotated().
 func HeadScanBranches(t *decibel.Table, ids []decibel.BranchID, pred Predicate, fn func(HeadRecord) bool) error {
 	return iquery.HeadScanBranches(t, ids, pred, fn)
 }
 
 // Count runs a counting aggregate over a single-version scan.
+//
+// Deprecated: use db.Query(table).On(branch).Count().
 func Count(t *decibel.Table, branch decibel.BranchID, pred Predicate) (int, error) {
 	return iquery.Count(t, branch, pred)
 }
 
 // Sum aggregates one column over a single-version scan.
+//
+// Deprecated: use db.Query(table).On(branch).Sum(col).
 func Sum(t *decibel.Table, branch decibel.BranchID, col int, pred Predicate) (int64, error) {
 	return iquery.Sum(t, branch, col, pred)
 }

@@ -64,6 +64,21 @@ func (tx *Tx) Insert(table string, rec *Record) error {
 	return nil
 }
 
+// InsertBatch upserts a batch of records into the transaction's branch
+// head as one engine call, amortizing the per-record lock acquisition
+// and validation of Insert — the fast path for bulk loads. On error a
+// prefix of the batch may have been applied; like every Tx write it is
+// rolled back if the transaction aborts.
+func (tx *Tx) InsertBatch(table string, recs []*Record) error {
+	// Note every key before writing: a batch that fails part-way has
+	// applied an unknown prefix, and rollback must cover all of it
+	// (reverting an untouched key merely restores its committed state).
+	for _, rec := range recs {
+		tx.note(table, rec.PK())
+	}
+	return tx.session.InsertBatchContext(tx.ctx, table, recs)
+}
+
 // Delete removes a primary key from the transaction's branch head.
 // Deleting an absent key is a no-op.
 func (tx *Tx) Delete(table string, pk int64) error {
@@ -205,6 +220,17 @@ func WithMergePrecedence(intoWins bool) MergeOption {
 // writes. Two merges locking the same pair of branches in opposite
 // directions resolve by the lock manager's deadlock timeout.
 func (db *DB) Merge(into, from string, opts ...MergeOption) (*Commit, MergeStats, error) {
+	return db.MergeContext(context.Background(), into, from, opts...)
+}
+
+// MergeContext is Merge bounded by a context: the lock waits and the
+// per-relation engine merges honor cancellation, with one relation as
+// the granularity — large multi-table merges were the last long
+// uninterruptible operation. A merge canceled between relations leaves
+// the same partially-merged state a crash there would (the merge
+// commit exists, later tables are unmerged), so treat a canceled merge
+// like a torn one: re-merge or discard the branch.
+func (db *DB) MergeContext(ctx context.Context, into, from string, opts ...MergeOption) (*Commit, MergeStats, error) {
 	cfg := mergeConfig{
 		message:  fmt.Sprintf("merge %s into %s", from, into),
 		kind:     ThreeWay,
@@ -218,10 +244,10 @@ func (db *DB) Merge(into, from string, opts ...MergeOption) (*Commit, MergeStats
 		return nil, MergeStats{}, err
 	}
 	defer s.Close()
-	if err := s.CheckoutForWrite(context.Background(), into); err != nil {
+	if err := s.CheckoutForWrite(ctx, into); err != nil {
 		return nil, MergeStats{}, err
 	}
-	if err := s.AcquireBranch(context.Background(), from, false); err != nil {
+	if err := s.AcquireBranch(ctx, from, false); err != nil {
 		return nil, MergeStats{}, err
 	}
 	bi, err := db.BranchNamed(into)
@@ -232,7 +258,7 @@ func (db *DB) Merge(into, from string, opts ...MergeOption) (*Commit, MergeStats
 	if err != nil {
 		return nil, MergeStats{}, err
 	}
-	return db.Database.Merge(bi.ID, bf.ID, cfg.message, cfg.kind, cfg.intoWins)
+	return db.Database.MergeContext(ctx, bi.ID, bf.ID, cfg.message, cfg.kind, cfg.intoWins)
 }
 
 // Rows iterates the records live at the named branch's head of the
