@@ -17,6 +17,8 @@
 //	decibel -dir data checkout <branch>[@<n>]
 //	decibel -dir data diff <branchA> <branchB>
 //	decibel -dir data merge <into> <other> [two|three] [first|second]
+//	decibel -dir data alter <branch> add price:float64=9.5
+//	decibel -dir data alter <branch> drop <col>
 //	decibel -dir data select [table] -branch a,b -where 'price<9.5' -cols sku,price
 //	decibel -dir data log [branch]
 //	decibel -dir data stats
@@ -59,6 +61,12 @@ commands:
   merge <into> <other> [two|three] [first|second]
                              merge <other> into <into> (default three-way,
                              <into> wins conflicts)
+  alter <branch> add <name:type[=default]>
+                             add a column on the branch (committed as a
+                             schema-change version; existing rows read
+                             back the default, no data is rewritten)
+  alter <branch> drop <col>  drop a column on the branch (logical: reads
+                             of earlier versions still see it)
   select [table]             run a versioned query (defaults to -table):
                                -branch a[,b,...]  branch head(s) to scan
                                -heads             scan every branch head
@@ -127,6 +135,52 @@ func parseSchema(spec string) (*decibel.Schema, error) {
 		}
 	}
 	return b.Build()
+}
+
+// parseColumn turns one "name:type" spec (same grammar as init) into a
+// column descriptor for alter add.
+func parseColumn(spec string) (decibel.Column, error) {
+	name, typ, _ := strings.Cut(strings.TrimSpace(spec), ":")
+	if name == "" {
+		return decibel.Column{}, fmt.Errorf("alter add: empty column name")
+	}
+	switch {
+	case typ == "" || typ == "int64":
+		return decibel.Int64Column(name), nil
+	case typ == "int32":
+		return decibel.Int32Column(name), nil
+	case typ == "float64":
+		return decibel.Float64Column(name), nil
+	case strings.HasPrefix(typ, "bytes"):
+		size, err := strconv.Atoi(typ[len("bytes"):])
+		if err != nil {
+			return decibel.Column{}, fmt.Errorf("column %q: bytes type needs a size, e.g. bytes16", name)
+		}
+		return decibel.BytesColumn(name, size), nil
+	default:
+		return decibel.Column{}, fmt.Errorf("column %q: unknown type %q (want int32|int64|float64|bytes<N>)", name, typ)
+	}
+}
+
+// parseColumnValue converts a textual default to the Go type the
+// column expects.
+func parseColumnValue(col decibel.Column, raw string) (any, error) {
+	switch col.Type {
+	case decibel.Float64:
+		f, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return nil, fmt.Errorf("default for %q: %w", col.Name, err)
+		}
+		return f, nil
+	case decibel.Bytes:
+		return raw, nil
+	default:
+		n, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("default for %q: %w", col.Name, err)
+		}
+		return n, nil
+	}
 }
 
 // setColumn parses v according to the type of column i and stores it
@@ -350,6 +404,51 @@ func run(dir, engine, table string, args []string) error {
 		}
 		return diffErr()
 
+	case "alter":
+		// alter <branch> add <name:type[=default]> | alter <branch> drop <col>
+		if len(rest) < 3 {
+			return fmt.Errorf("alter <branch> add <name:type[=default]> | alter <branch> drop <col>")
+		}
+		branch, op := rest[0], rest[1]
+		switch op {
+		case "add":
+			spec, defRaw, hasDef := strings.Cut(rest[2], "=")
+			col, err := parseColumn(spec)
+			if err != nil {
+				return err
+			}
+			var defs []decibel.ColumnDefault
+			if hasDef {
+				v, err := parseColumnValue(col, defRaw)
+				if err != nil {
+					return err
+				}
+				defs = append(defs, decibel.Default(v))
+			}
+			c, err := db.Commit(branch, func(tx *decibel.Tx) error {
+				tx.SetMessage("add column " + col.Name)
+				return tx.AddColumn(table, col, defs...)
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("commit %d on %s: added column %s (schema v%d); existing rows read back the default\n",
+				c.ID, branch, col.String(), c.SchemaVer)
+		case "drop":
+			c, err := db.Commit(branch, func(tx *decibel.Tx) error {
+				tx.SetMessage("drop column " + rest[2])
+				return tx.DropColumn(table, rest[2])
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("commit %d on %s: dropped column %q (schema v%d); earlier versions keep it\n",
+				c.ID, branch, rest[2], c.SchemaVer)
+		default:
+			return fmt.Errorf("alter: unknown operation %q (want add or drop)", op)
+		}
+		return nil
+
 	case "merge":
 		if len(rest) < 2 {
 			return fmt.Errorf("merge <into> <other> [two|three] [first|second]")
@@ -378,7 +477,15 @@ func run(dir, engine, table string, args []string) error {
 			if err != nil {
 				return err
 			}
-			for _, c := range db.Graph().CommitsOnBranch(b.ID) {
+			commits := db.Graph().CommitsOnBranch(b.ID)
+			// The schema-change marker compares each commit against the
+			// previous one on the branch, seeded from the branch point so
+			// a change in the branch's first commit is marked too.
+			prevVer := -1
+			if fc, ok := db.Graph().Commit(b.From); ok {
+				prevVer = fc.SchemaVer
+			}
+			for _, c := range commits {
 				when := "-"
 				if c.Time != 0 {
 					when = time.Unix(c.Time, 0).UTC().Format(time.RFC3339)
@@ -387,7 +494,14 @@ func run(dir, engine, table string, args []string) error {
 				if c.ID == b.Head {
 					marker = "*"
 				}
-				fmt.Printf("%s %s@%-3d commit %-4d %s  %s\n", marker, rest[0], c.Seq, c.ID, when, c.Message)
+				// Mark commits that evolved (or adopted, via merge) the
+				// schema relative to the branch's previous commit.
+				schemaNote := ""
+				if prevVer >= 0 && c.SchemaVer != prevVer {
+					schemaNote = fmt.Sprintf("  [schema v%d]", c.SchemaVer)
+				}
+				prevVer = c.SchemaVer
+				fmt.Printf("%s %s@%-3d commit %-4d %s  %s%s\n", marker, rest[0], c.Seq, c.ID, when, c.Message, schemaNote)
 			}
 			fmt.Printf("checkout any with: checkout %s@<n>\n", rest[0])
 			return nil

@@ -50,4 +50,15 @@ var (
 
 	// ErrNoRows reports Min/Max over a scan that matched no records.
 	ErrNoRows = core.ErrNoRows
+
+	// ErrColumnNotYetAdded reports a reference to a column that was
+	// added at a later schema version than the one the operation
+	// addresses (an At(seq) query naming a column a later commit
+	// introduced, or a write carrying it to a branch that has not
+	// adopted the change).
+	ErrColumnNotYetAdded = core.ErrColumnNotYetAdded
+
+	// ErrSchemaChange reports an invalid Tx.AddColumn/DropColumn request
+	// (duplicate column, bad default, dropping the primary key, ...).
+	ErrSchemaChange = core.ErrSchemaChange
 )

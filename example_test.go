@@ -301,3 +301,80 @@ func ExampleDB_Query() {
 	// pk=2 master=24.50 dev=19.99
 	// records across heads: 4
 }
+
+// ExampleTx_AddColumn evolves a table's schema on one branch: the new
+// column gets a default, rows stored before the change are never
+// rewritten (reads fill the default), historical versions keep their
+// old shape, and other branches stay unchanged until they merge the
+// evolving branch.
+func ExampleTx_AddColumn() {
+	dir, err := os.MkdirTemp("", "decibel-addcolumn-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := decibel.Open(dir, decibel.WithEngine("hybrid"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	schema := decibel.NewSchema().Int64("id").Int32("qty").MustBuild()
+	if _, err := db.CreateTable("products", schema); err != nil {
+		log.Fatal(err)
+	}
+	if _, _, err := db.Init("catalog"); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.Commit("master", func(tx *decibel.Tx) error {
+		rec := decibel.NewRecord(schema)
+		rec.SetPK(1)
+		rec.Set(1, 10)
+		return tx.Insert("products", rec)
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.Branch("master", "dev"); err != nil {
+		log.Fatal(err)
+	}
+
+	// Add a price column on dev, with a default for existing rows. The
+	// change takes effect at commit; nothing on disk is rewritten.
+	if _, err := db.Commit("dev", func(tx *decibel.Tx) error {
+		return tx.AddColumn("products", decibel.Float64Column("price"), decibel.Default(9.5))
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// dev sees the column (old rows show the default) ...
+	rows, rowsErr := db.Query("products").On("dev").Select("qty", "price").Rows()
+	for rec := range rows {
+		s := rec.Schema()
+		fmt.Printf("dev: pk=%d qty=%d price=%.2f\n",
+			rec.PK(), rec.Get(s.ColumnIndex("qty")), rec.GetFloat64(s.ColumnIndex("price")))
+	}
+	if err := rowsErr(); err != nil {
+		log.Fatal(err)
+	}
+
+	// ... while a query At a version from before the change reports
+	// that the column did not exist yet.
+	_, err = db.Query("products").On("master").At(1).Select("price").Count()
+	fmt.Println("price at master@1:", errors.Is(err, decibel.ErrColumnNotYetAdded))
+
+	// Merging dev carries the schema change to master.
+	if _, _, err := db.Merge("master", "dev"); err != nil {
+		log.Fatal(err)
+	}
+	n, err := db.Query("products").On("master").Where(decibel.Col("price").Ge(9.5)).Count()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("master rows at the default price:", n)
+
+	// Output:
+	// dev: pk=1 qty=10 price=9.50
+	// price at master@1: true
+	// master rows at the default price: 1
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
@@ -25,12 +26,21 @@ import (
 // "adequate (taking a few hundred ms)"; so do we, with the fanout
 // configurable.
 //
-// On-disk format, one file per (branch) or per (branch, segment):
+// On-disk format, one file per (branch) or per (branch, segment): a
+// one-byte format marker followed by entries
 //
-//	entry := kind(1 byte: 0 base, 1 composite) | len(uvarint) | RLE bytes
+//	file  := magic(0xD1) | entry*
+//	entry := kind(1 byte: 0 base, 1 composite) | len(uvarint) | RLE bytes | crc32(4 bytes LE)
 //
 // Entries are append-only; a torn final entry (e.g. after a crash) is
-// detected by length and truncated away on open.
+// detected by length and truncated away on open. The trailing CRC-32
+// (IEEE, over kind, length and payload) catches the case length
+// framing cannot: a write torn mid-entry whose tail is later overlaid
+// by other bytes can otherwise re-parse as a plausible entry and
+// silently corrupt every snapshot from that commit on (found by
+// FuzzCommitLogTornTail). Files from before the checksum era lack the
+// marker (their first byte is an entry kind, 0 or 1) and are migrated
+// to the current format on open instead of failing the CRC check.
 type CommitLog struct {
 	mu     sync.Mutex
 	path   string
@@ -78,41 +88,83 @@ func OpenCommitLog(path string, fanout int) (*CommitLog, error) {
 	return cl, nil
 }
 
+// logMagic marks a checksummed log file. Legacy (pre-checksum) files
+// start directly with an entry whose kind byte is 0 or 1, so the
+// marker doubles as the format detector.
+const logMagic = 0xD1
+
+// parseEntry decodes one entry at the front of rest. It returns the
+// entry's total encoded length (0 when rest holds no complete, valid
+// entry — a torn or corrupt tail).
+func parseEntry(rest []byte, withCRC bool) (kind byte, payloadOff int64, payload []byte, bm *Bitmap, total int64) {
+	if len(rest) < 1 {
+		return 0, 0, nil, nil, 0
+	}
+	kind = rest[0]
+	plen, n := binary.Uvarint(rest[1:])
+	if n <= 0 || kind > 1 {
+		return 0, 0, nil, nil, 0
+	}
+	// A payload cannot extend past the buffer; checking against the
+	// remaining length up front also rejects absurd uvarint values that
+	// would overflow the int64 arithmetic below.
+	if plen > uint64(len(rest)) {
+		return 0, 0, nil, nil, 0
+	}
+	hdr := int64(1 + n)
+	total = hdr + int64(plen)
+	if withCRC {
+		total += crcSize
+	}
+	if int64(len(rest)) < total {
+		return 0, 0, nil, nil, 0 // torn entry
+	}
+	payload = rest[hdr : hdr+int64(plen)]
+	if withCRC && binary.LittleEndian.Uint32(rest[hdr+int64(plen):]) != crc32.ChecksumIEEE(rest[:hdr+int64(plen)]) {
+		return 0, 0, nil, nil, 0 // corrupt entry: treat like a torn tail
+	}
+	bm, used, err := DecodeRLE(payload)
+	if err != nil || used != int(plen) {
+		return 0, 0, nil, nil, 0
+	}
+	return kind, hdr, payload, bm, total
+}
+
 // recover scans the file, indexing entries and truncating a torn tail.
+// Legacy files without the format marker are rewritten in the current
+// checksummed format first.
 func (cl *CommitLog) recover() error {
 	data, err := io.ReadAll(cl.f)
 	if err != nil {
 		return fmt.Errorf("commitlog: %w", err)
 	}
-	pos := int64(0)
-	valid := int64(0)
+	if len(data) == 0 {
+		if _, err := cl.f.Write([]byte{logMagic}); err != nil {
+			return fmt.Errorf("commitlog: %w", err)
+		}
+		return nil
+	}
+	if data[0] != logMagic {
+		var err error
+		if data, err = cl.migrateLegacy(data); err != nil {
+			return err
+		}
+	}
+	pos := int64(1) // past the format marker
+	valid := pos
 	for int(pos) < len(data) {
-		rest := data[pos:]
-		if len(rest) < 1 {
+		kind, payloadOff, payload, bm, total := parseEntry(data[pos:], true)
+		if total == 0 {
 			break
 		}
-		kind := rest[0]
-		plen, n := binary.Uvarint(rest[1:])
-		if n <= 0 || kind > 1 {
-			break
-		}
-		hdr := int64(1 + n)
-		if int64(len(rest)) < hdr+int64(plen) {
-			break // torn entry
-		}
-		payload := rest[hdr : hdr+int64(plen)]
-		bm, used, err := DecodeRLE(payload)
-		if err != nil || used != int(plen) {
-			break
-		}
-		e := logEntry{off: pos + hdr, size: int(plen)}
+		e := logEntry{off: pos + payloadOff, size: len(payload)}
 		if kind == 0 {
 			cl.base = append(cl.base, e)
 			cl.last.Xor(bm)
 		} else {
 			cl.composite = append(cl.composite, e)
 		}
-		pos += hdr + int64(plen)
+		pos += total
 		valid = pos
 	}
 	if valid < int64(len(data)) {
@@ -142,6 +194,58 @@ func (cl *CommitLog) recover() error {
 		}
 	}
 	return nil
+}
+
+// migrateLegacy rewrites a pre-checksum log file in the current format
+// (marker plus per-entry CRC) and returns the new file contents. The
+// original bytes are preserved at <path>.pre-crc and the rewrite goes
+// through a temp file and rename, so neither a crash mid-migration nor
+// a misidentified file loses data. A file that yields no decodable
+// legacy entries at all is refused rather than rewritten: it is far
+// more likely a current-format log with a damaged marker byte (or
+// foreign data) than a legacy log, and destroying it would reintroduce
+// the silent-corruption class the CRC exists to catch.
+func (cl *CommitLog) migrateLegacy(data []byte) ([]byte, error) {
+	out := []byte{logMagic}
+	entries := 0
+	pos := int64(0)
+	for int(pos) < len(data) {
+		kind, _, payload, _, total := parseEntry(data[pos:], false)
+		if total == 0 {
+			break // torn legacy tail: dropped, like recovery would
+		}
+		hdr := make([]byte, 0, 11)
+		hdr = append(hdr, kind)
+		hdr = binary.AppendUvarint(hdr, uint64(len(payload)))
+		crc := crc32.NewIEEE()
+		crc.Write(hdr)
+		crc.Write(payload)
+		out = append(out, hdr...)
+		out = append(out, payload...)
+		out = binary.LittleEndian.AppendUint32(out, crc.Sum32())
+		pos += total
+		entries++
+	}
+	if entries == 0 {
+		return nil, fmt.Errorf("commitlog: %s has no format marker and no decodable legacy entries; refusing to rewrite it", cl.path)
+	}
+	if err := os.WriteFile(cl.path+".pre-crc", data, 0o644); err != nil {
+		return nil, fmt.Errorf("commitlog: backing up legacy log: %w", err)
+	}
+	tmp := cl.path + ".tmp"
+	if err := os.WriteFile(tmp, out, 0o644); err != nil {
+		return nil, fmt.Errorf("commitlog: migrating legacy log: %w", err)
+	}
+	if err := os.Rename(tmp, cl.path); err != nil {
+		return nil, fmt.Errorf("commitlog: migrating legacy log: %w", err)
+	}
+	f, err := os.OpenFile(cl.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("commitlog: reopening migrated log: %w", err)
+	}
+	cl.f.Close()
+	cl.f = f
+	return out, nil
 }
 
 // NumCommits returns the number of commits recorded.
@@ -180,11 +284,19 @@ func (cl *CommitLog) Append(cur *Bitmap) (int, error) {
 	return len(cl.base) - 1, nil
 }
 
+// crcSize is the per-entry trailing checksum width.
+const crcSize = 4
+
 func (cl *CommitLog) writeEntry(kind byte, bm *Bitmap, index *[]logEntry) error {
 	payload := MarshalRLE(bm)
 	hdr := make([]byte, 0, 11)
 	hdr = append(hdr, kind)
 	hdr = binary.AppendUvarint(hdr, uint64(len(payload)))
+	crc := crc32.NewIEEE()
+	crc.Write(hdr)
+	crc.Write(payload)
+	var sum [crcSize]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
 	off, err := cl.f.Seek(0, io.SeekEnd)
 	if err != nil {
 		return err
@@ -193,6 +305,9 @@ func (cl *CommitLog) writeEntry(kind byte, bm *Bitmap, index *[]logEntry) error 
 		return err
 	}
 	if _, err := cl.f.Write(payload); err != nil {
+		return err
+	}
+	if _, err := cl.f.Write(sum[:]); err != nil {
 		return err
 	}
 	*index = append(*index, logEntry{off: off + int64(len(hdr)), size: len(payload)})

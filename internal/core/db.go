@@ -37,6 +37,7 @@ type Database struct {
 	tables map[string]*Table
 	order  []string // table creation order
 
+	epoch   int // committed schema epoch (max SchemaVer across the graph)
 	nextTxn uint64
 	closed  atomic.Bool
 }
@@ -44,12 +45,21 @@ type Database struct {
 // Table is one versioned relation inside a Database.
 type Table struct {
 	name   string
-	schema *record.Schema
+	hist   *record.History
 	engine Engine
 	db     *Database
+
+	// passSpecs caches the stateless pass-through scan specs (no
+	// predicate, no projection) per schema epoch, so repeated plain
+	// scans do not rebuild them. Scoped to the table, it dies with the
+	// database instead of pinning the history process-wide.
+	passSpecs sync.Map // int (epoch) -> *ScanSpec
 }
 
-// catalog is the persisted table list.
+// catalog is the persisted table list with each table's full schema
+// history: the ordered physical columns annotated with the schema
+// epoch that added (and, for logical drops, hid) them, plus encoded
+// defaults for columns added after table creation.
 type catalog struct {
 	Tables []catalogTable `json:"tables"`
 }
@@ -60,9 +70,12 @@ type catalogTable struct {
 }
 
 type catalogColumn struct {
-	Name string `json:"name"`
-	Type uint8  `json:"type"`
-	Size int    `json:"size,omitempty"` // payload capacity of Bytes columns
+	Name      string `json:"name"`
+	Type      uint8  `json:"type"`
+	Size      int    `json:"size,omitempty"`      // payload capacity of Bytes columns
+	AddedIn   int    `json:"addedIn,omitempty"`   // schema epoch that introduced the column (0 = creation)
+	DroppedIn int    `json:"droppedIn,omitempty"` // schema epoch that hid it (0 = never)
+	Default   []byte `json:"default,omitempty"`   // encoded default for added columns
 }
 
 // Open opens (or creates) the dataset at dir using the given storage
@@ -145,19 +158,30 @@ func (db *Database) loadCatalogContext(ctx context.Context) error {
 	if err := json.Unmarshal(data, &cat); err != nil {
 		return fmt.Errorf("core: corrupt catalog: %w", err)
 	}
+	// Schema changes replay from the commit log: the committed schema
+	// epoch is the newest SchemaVer any commit carries, and catalog
+	// entries from epochs beyond it belong to changes whose commit never
+	// made it to disk — they are rolled back like any torn commit.
+	db.epoch = db.graph.MaxSchemaVer()
 	for _, ct := range cat.Tables {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		cols := make([]record.Column, len(ct.Columns))
+		cols := make([]record.HistoryColumn, len(ct.Columns))
 		for i, c := range ct.Columns {
-			cols[i] = record.Column{Name: c.Name, Type: record.Type(c.Type), Size: c.Size}
+			cols[i] = record.HistoryColumn{
+				Col:       record.Column{Name: c.Name, Type: record.Type(c.Type), Size: c.Size},
+				AddedIn:   c.AddedIn,
+				DroppedIn: c.DroppedIn,
+				Default:   c.Default,
+			}
 		}
-		schema, err := record.NewSchema(cols...)
+		hist, err := record.RestoreHistory(cols)
 		if err != nil {
-			return err
+			return fmt.Errorf("core: corrupt catalog for table %q: %w", ct.Name, err)
 		}
-		if _, err := db.attachTable(ct.Name, schema); err != nil {
+		hist.Revert(db.epoch)
+		if _, err := db.attachTable(ct.Name, hist); err != nil {
 			return err
 		}
 	}
@@ -169,9 +193,11 @@ func (db *Database) saveCatalogLocked() error {
 	for _, name := range db.order {
 		t := db.tables[name]
 		ct := catalogTable{Name: name}
-		for i := 0; i < t.schema.NumColumns(); i++ {
-			c := t.schema.Column(i)
-			ct.Columns = append(ct.Columns, catalogColumn{Name: c.Name, Type: uint8(c.Type), Size: c.Size})
+		for _, hc := range t.hist.Columns() {
+			ct.Columns = append(ct.Columns, catalogColumn{
+				Name: hc.Col.Name, Type: uint8(hc.Col.Type), Size: hc.Col.Size,
+				AddedIn: hc.AddedIn, DroppedIn: hc.DroppedIn, Default: hc.Default,
+			})
 		}
 		cat.Tables = append(cat.Tables, ct)
 	}
@@ -186,17 +212,17 @@ func (db *Database) saveCatalogLocked() error {
 	return os.Rename(tmp, db.catalogPath())
 }
 
-func (db *Database) attachTable(name string, schema *record.Schema) (*Table, error) {
+func (db *Database) attachTable(name string, hist *record.History) (*Table, error) {
 	tdir := filepath.Join(db.dir, "tables", name)
 	if err := os.MkdirAll(tdir, 0o755); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	env := &Env{Dir: tdir, Schema: schema, Graph: db.graph, Pool: db.pool, Opt: db.opt}
+	env := &Env{Dir: tdir, Schema: hist.VisibleAt(0), Hist: hist, Graph: db.graph, Pool: db.pool, Opt: db.opt}
 	eng, err := db.factory(env)
 	if err != nil {
 		return nil, err
 	}
-	t := &Table{name: name, schema: schema, engine: eng, db: db}
+	t := &Table{name: name, hist: hist, engine: eng, db: db}
 	db.tables[name] = t
 	db.order = append(db.order, name)
 	return t, nil
@@ -221,7 +247,7 @@ func (db *Database) CreateTable(name string, schema *record.Schema) (*Table, err
 	if _, dup := db.tables[name]; dup {
 		return nil, fmt.Errorf("core: table %q already exists", name)
 	}
-	t, err := db.attachTable(name, schema)
+	t, err := db.attachTable(name, record.NewHistory(schema))
 	if err != nil {
 		return nil, err
 	}
@@ -364,6 +390,120 @@ func (db *Database) Commit(branch vgraph.BranchID, message string) (*vgraph.Comm
 	return c, nil
 }
 
+// SchemaChange is one pending schema-evolution operation, applied
+// atomically with the commit that carries it.
+type SchemaChange struct {
+	Table string
+	// Add, when non-nil, appends the column with the given default
+	// (Default nil = zero value). The column lands after every existing
+	// physical column, so records stored earlier stay byte prefixes of
+	// the new layout and are never rewritten.
+	Add     *record.Column
+	Default any
+	// Drop, when non-empty, logically drops the named column: it
+	// disappears from the schema visible at this and later epochs but
+	// keeps its bytes in stored records, and reads at earlier versions
+	// still see it.
+	Drop string
+}
+
+// SchemaEpoch returns the committed schema epoch of the dataset.
+func (db *Database) SchemaEpoch() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.epoch
+}
+
+// CommitSchema is Commit for a transaction carrying schema changes:
+// the changes are validated and applied to the catalog histories under
+// a new schema epoch, the catalog is persisted, and the commit is
+// created stamped with the new epoch — from it onward the branch (and
+// every branch that later merges it) sees the evolved schema, while
+// reads at earlier commits keep resolving the schema as of then. The
+// catalog is persisted before the commit is created, so a crash
+// between the two rolls the changes back on reopen (the epoch is never
+// referenced by any commit).
+func (db *Database) CommitSchema(branch vgraph.BranchID, message string, changes []SchemaChange) (*vgraph.Commit, error) {
+	if len(changes) == 0 {
+		return db.Commit(branch, message)
+	}
+	if err := db.beginOp(); err != nil {
+		return nil, err
+	}
+	defer db.endOp()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.graph.Branch(branch); !ok {
+		return nil, fmt.Errorf("%w: id %d", ErrNoSuchBranch, branch)
+	}
+	// Schema evolution is one linear chain of epochs. A branch may only
+	// extend the chain if its head has adopted every prior change
+	// (made them itself or merged the branch that did); otherwise a
+	// change committed here would silently surface another branch's
+	// unmerged columns. Diverged branches must merge first.
+	if head := db.headEpoch(branch); head != db.epoch {
+		return nil, fmt.Errorf("%w: branch is at schema epoch %d but the dataset is at %d; merge the branch that evolved the schema before changing it again",
+			ErrSchemaChange, head, db.epoch)
+	}
+	newEpoch := db.epoch + 1
+	applied := make(map[*record.History]bool)
+	rollback := func() {
+		for h := range applied {
+			h.Revert(db.epoch)
+		}
+	}
+	for _, ch := range changes {
+		t, ok := db.tables[ch.Table]
+		if !ok {
+			rollback()
+			return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, ch.Table)
+		}
+		var err error
+		switch {
+		case ch.Add != nil && ch.Drop != "":
+			err = errors.New("both Add and Drop set")
+		case ch.Add != nil:
+			err = t.hist.AddColumn(newEpoch, *ch.Add, ch.Default)
+		case ch.Drop != "":
+			err = t.hist.DropColumn(newEpoch, ch.Drop)
+		default:
+			err = errors.New("empty schema change")
+		}
+		if err != nil {
+			rollback()
+			return nil, fmt.Errorf("%w: %v", ErrSchemaChange, err)
+		}
+		applied[t.hist] = true
+	}
+	if err := db.saveCatalogLocked(); err != nil {
+		rollback()
+		return nil, err
+	}
+	if err := db.journalOp("schema", message); err != nil {
+		rollback()
+		return nil, err
+	}
+	c, err := db.graph.NewCommitSchema(branch, message, newEpoch)
+	if err != nil {
+		rollback()
+		if serr := db.saveCatalogLocked(); serr != nil {
+			return nil, errors.Join(err, serr)
+		}
+		return nil, err
+	}
+	db.epoch = newEpoch
+	for _, tname := range db.order {
+		if err := db.tables[tname].engine.Commit(c); err != nil {
+			// The schema changes and the commit are already durable; a
+			// failing engine hook leaves a torn commit, like any commit.
+			// Return the commit alongside the error so the session knows
+			// the queued changes were applied and must not be retried.
+			return c, err
+		}
+	}
+	return c, nil
+}
+
 // Merge merges the head of branch other into branch into across all
 // relations, committing the result as a merge version. precedenceFirst
 // selects whether into (true) or other (false) wins conflicts.
@@ -489,11 +629,92 @@ func (db *Database) Close() error {
 // Name returns the table name.
 func (t *Table) Name() string { return t.name }
 
-// Schema returns the table schema.
-func (t *Table) Schema() *record.Schema { return t.schema }
+// Schema returns the table's current visible schema (the newest schema
+// epoch). Historical versions resolve their own schema; see SchemaAt.
+func (t *Table) Schema() *record.Schema { return t.hist.VisibleLatest() }
+
+// SchemaAt returns the schema visible as of a schema epoch (the value
+// stamped on a commit's SchemaVer): what a read of that commit sees.
+func (t *Table) SchemaAt(epoch int) *record.Schema { return t.hist.VisibleAt(epoch) }
+
+// History exposes the table's versioned schema history.
+func (t *Table) History() *record.History { return t.hist }
 
 // Engine exposes the underlying storage engine (benchmarks use this).
 func (t *Table) Engine() Engine { return t.engine }
+
+// headEpoch returns the schema epoch of the branch's head commit — the
+// schema version writes to that branch encode under.
+func (db *Database) headEpoch(branch vgraph.BranchID) int {
+	b, ok := db.graph.Branch(branch)
+	if !ok {
+		return 0
+	}
+	c, ok := db.graph.Commit(b.Head)
+	if !ok {
+		return 0
+	}
+	return c.SchemaVer
+}
+
+// BranchEpoch returns the schema epoch at a branch's head — the
+// version head reads of that branch resolve the schema at.
+func (t *Table) BranchEpoch(branch vgraph.BranchID) int { return t.db.headEpoch(branch) }
+
+// MaxBranchEpoch returns the newest head schema epoch among the given
+// branches — the version multi-branch scans and diffs emit under
+// (rows from branches still on older versions widen with defaults).
+func (t *Table) MaxBranchEpoch(branches []vgraph.BranchID) int {
+	max := 0
+	for _, b := range branches {
+		if e := t.db.headEpoch(b); e > max {
+			max = e
+		}
+	}
+	return max
+}
+
+// PassSpec returns the cached match-all, project-nothing scan spec for
+// one schema epoch. Specs without predicate or projection are
+// stateless, so one instance serves every scan at the same version.
+func (t *Table) PassSpec(epoch int) *ScanSpec {
+	if sp, ok := t.passSpecs.Load(epoch); ok {
+		return sp.(*ScanSpec)
+	}
+	spec, err := NewScanSpecAt(t.hist, epoch, nil, nil)
+	if err != nil {
+		panic(err) // no projection: cannot fail
+	}
+	sp, _ := t.passSpecs.LoadOrStore(epoch, spec)
+	return sp.(*ScanSpec)
+}
+
+// checkWrite validates that a record's schema may be written to the
+// branch (every column visible at the branch head's schema epoch),
+// classifying failures: columns a later epoch introduces fail with
+// ErrColumnNotYetAdded, anything else with ErrSchemaChange.
+func (t *Table) checkWrite(branch vgraph.BranchID, s *record.Schema) error {
+	if t.hist.Epoch() == 0 {
+		return nil // single-version table: nothing to resolve
+	}
+	epoch := t.db.headEpoch(branch)
+	err := t.hist.CheckWritable(s, epoch)
+	if err == nil {
+		return nil
+	}
+	vis := t.hist.VisibleAt(epoch)
+	for i := 0; i < s.NumColumns(); i++ {
+		name := s.Column(i).Name
+		if vis.ColumnIndex(name) >= 0 {
+			continue
+		}
+		if addedIn, _, ok := t.hist.ColumnEpochs(name); ok && addedIn > epoch {
+			return fmt.Errorf("%w: %q (added at schema epoch %d, branch head is at %d)",
+				ErrColumnNotYetAdded, name, addedIn, epoch)
+		}
+	}
+	return fmt.Errorf("%w: %v", ErrSchemaChange, err)
+}
 
 // Insert upserts a record into a branch head.
 func (t *Table) Insert(branch vgraph.BranchID, rec *record.Record) error {
@@ -501,6 +722,9 @@ func (t *Table) Insert(branch vgraph.BranchID, rec *record.Record) error {
 		return err
 	}
 	defer t.db.endOp()
+	if err := t.checkWrite(branch, rec.Schema()); err != nil {
+		return err
+	}
 	return t.engine.Insert(branch, rec)
 }
 

@@ -74,10 +74,57 @@ type Stats struct {
 // Env is the shared environment a Database hands to its engines.
 type Env struct {
 	Dir    string         // engine-private directory (exists)
-	Schema *record.Schema // table schema
-	Graph  *vgraph.Graph  // shared version graph
-	Pool   *heap.Pool     // shared buffer pool
-	Opt    Options        // global options
+	Schema *record.Schema // table schema at open time (base of Hist)
+	// Hist is the table's versioned schema history. Engines consult it
+	// for the physical layout of each stored file (tagged with its
+	// column count at creation), the current layout new appends use,
+	// and the conversions that decode old buffers with defaults filled.
+	// A nil Hist (engines opened outside a Database, e.g. in tests)
+	// behaves as a single-version history over Schema.
+	Hist  *record.History
+	Graph *vgraph.Graph // shared version graph
+	Pool  *heap.Pool    // shared buffer pool
+	Opt   Options       // global options
+}
+
+// History returns the table's schema history, lazily wrapping Schema
+// when the Env was built without one.
+func (env *Env) History() *record.History {
+	if env.Hist == nil {
+		env.Hist = record.NewHistory(env.Schema)
+	}
+	return env.Hist
+}
+
+// BranchEpoch returns the schema epoch at the head of a branch: the
+// version a head scan of the branch resolves its schema at, and the
+// generation its writes encode under.
+func (env *Env) BranchEpoch(b vgraph.BranchID) int {
+	if env.Graph == nil {
+		return 0
+	}
+	br, ok := env.Graph.Branch(b)
+	if !ok {
+		return 0
+	}
+	c, ok := env.Graph.Commit(br.Head)
+	if !ok {
+		return 0
+	}
+	return c.SchemaVer
+}
+
+// MaxBranchEpoch returns the newest head schema epoch among the given
+// branches: multi-branch scans and diffs emit under it, filling
+// defaults for rows from branches still on older versions.
+func (env *Env) MaxBranchEpoch(bs []vgraph.BranchID) int {
+	max := 0
+	for _, b := range bs {
+		if e := env.BranchEpoch(b); e > max {
+			max = e
+		}
+	}
+	return max
 }
 
 // Options tunes storage behaviour. The zero value gives sensible

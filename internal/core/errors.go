@@ -55,4 +55,15 @@ var (
 	// ErrNoRows reports an aggregate (Min/Max) over a scan that matched
 	// no records.
 	ErrNoRows = errors.New("decibel: no rows")
+
+	// ErrColumnNotYetAdded reports a reference to a column that exists
+	// in the table's schema history but was added after the version the
+	// operation addresses: an At(seq) query naming a column a later
+	// commit introduced, or a write carrying the column to a branch
+	// whose head predates it.
+	ErrColumnNotYetAdded = errors.New("decibel: column not yet added at this version")
+
+	// ErrSchemaChange reports an invalid schema-change request (duplicate
+	// column, bad default, dropping the primary key, ...).
+	ErrSchemaChange = errors.New("decibel: invalid schema change")
 )

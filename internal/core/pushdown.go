@@ -28,6 +28,13 @@ type ScanSpec struct {
 	// (header byte included). nil matches every record.
 	Pred func(buf []byte) bool
 
+	// hist/epoch make the spec version-aware: schema is the table
+	// schema visible at epoch, and Prep converts buffers stored under
+	// older physical layouts into it before Pred or Apply see them. A
+	// nil hist spec only handles buffers already in schema's layout.
+	hist  *record.History
+	epoch int
+
 	cols    []int          // source column index per output column
 	out     *record.Schema // projected schema (nil = no projection)
 	scratch *record.Record
@@ -40,6 +47,59 @@ type ScanSpec struct {
 // key across versions.
 func NewScanSpec(schema *record.Schema, pred func([]byte) bool, cols []int) (*ScanSpec, error) {
 	sp := &ScanSpec{schema: schema, Pred: pred}
+	return sp.project0(cols)
+}
+
+// NewScanSpecAt builds a version-aware spec: the scan's target schema
+// is the one visible at the given schema epoch of the table's history,
+// and Prep supplies the per-segment conversions that decode buffers
+// stored under older layouts (defaults filled, columns projected to
+// the epoch's view) without touching the stored pages.
+func NewScanSpecAt(hist *record.History, epoch int, pred func([]byte) bool, cols []int) (*ScanSpec, error) {
+	sp := &ScanSpec{schema: hist.VisibleAt(epoch), Pred: pred, hist: hist, epoch: epoch}
+	return sp.project0(cols)
+}
+
+// Epoch returns the schema epoch the spec's target schema is resolved
+// at (0 for version-unaware specs).
+func (sp *ScanSpec) Epoch() int { return sp.epoch }
+
+// Prep returns the conversion for buffers stored under the physical
+// layout with physCols columns, or nil when they are already in the
+// spec's target layout (the common case — engines then skip the call
+// per record). Each returned function owns a fresh scratch buffer, so
+// Prep itself does not make the spec stateful; the converted buffer it
+// returns is only valid until the next call of that same function.
+func (sp *ScanSpec) Prep(physCols int) (func(buf []byte) []byte, error) {
+	if sp.hist == nil {
+		return nil, nil
+	}
+	cv, err := sp.hist.Conv(physCols, sp.epoch)
+	if err != nil {
+		return nil, err
+	}
+	if cv.Identity() {
+		return nil, nil
+	}
+	scratch := cv.NewScratch()
+	return func(buf []byte) []byte { return cv.Convert(buf, scratch) }, nil
+}
+
+// Clone returns a spec sharing the compiled predicate, schema history
+// and resolved projection, but with its own projection scratch record
+// — the only stateful piece of a spec. Cloning per execution is what
+// lets a compiled plan be reused instead of re-planned.
+func (sp *ScanSpec) Clone() *ScanSpec {
+	c := *sp
+	if sp.out != nil {
+		c.scratch = record.New(sp.out)
+	}
+	return &c
+}
+
+// project0 resolves the projection column indices.
+func (sp *ScanSpec) project0(cols []int) (*ScanSpec, error) {
+	schema := sp.schema
 	if cols == nil {
 		return sp, nil
 	}
@@ -270,6 +330,11 @@ func (t *Table) InsertBatch(branch vgraph.BranchID, recs []*record.Record) error
 		return err
 	}
 	defer t.db.endOp()
+	for _, rec := range recs {
+		if err := t.checkWrite(branch, rec.Schema()); err != nil {
+			return err
+		}
+	}
 	if bi, ok := t.engine.(BatchInserter); ok {
 		return bi.InsertBatch(branch, recs)
 	}

@@ -22,7 +22,11 @@ type Session struct {
 	txn    uint64
 	branch *vgraph.Branch // current working branch (writes allowed at head)
 	commit *vgraph.Commit // checked-out commit (reads see this version)
-	closed bool
+	// pending collects schema changes queued with AddColumn/DropColumn;
+	// they take effect atomically at CommitWork and are discarded when
+	// the session closes without committing.
+	pending []SchemaChange
+	closed  bool
 }
 
 // NewSession opens a session positioned at the head of master.
@@ -362,6 +366,80 @@ func (s *Session) ScanContext(ctx context.Context, table string, fn ScanFunc) er
 	return t.ScanCommitContext(ctx, commit, fn)
 }
 
+// AddColumn queues a schema change on the session: from the commit
+// that carries it, the named table gains the column with the given
+// default (nil = zero value). The change applies atomically at
+// CommitWork — inserts inside the same transaction still write the old
+// shape, and the new column becomes writable from the next transaction
+// on the branch. Records already stored are never rewritten: reads
+// fill the default.
+func (s *Session) AddColumn(table string, col record.Column, def any) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.atHead(); err != nil {
+		return err
+	}
+	t, ok := s.db.Table(table)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchTable, table)
+	}
+	// Validate eagerly so the caller hears about bad changes at queue
+	// time: name collisions (with the history and with other queued
+	// changes) and ill-typed defaults.
+	if _, _, exists := t.History().ColumnEpochs(col.Name); exists {
+		return fmt.Errorf("%w: column %q already exists in table %q", ErrSchemaChange, col.Name, table)
+	}
+	for _, ch := range s.pending {
+		if ch.Table == table && ch.Add != nil && ch.Add.Name == col.Name {
+			return fmt.Errorf("%w: column %q already queued for table %q", ErrSchemaChange, col.Name, table)
+		}
+	}
+	if _, err := record.EncodeDefault(col, def); err != nil {
+		return fmt.Errorf("%w: %v", ErrSchemaChange, err)
+	}
+	c := col
+	s.pending = append(s.pending, SchemaChange{Table: table, Add: &c, Default: def})
+	return nil
+}
+
+// DropColumn queues a logical column drop on the session: from the
+// commit that carries it, the column disappears from the table's
+// visible schema (reads at earlier versions still see it, and its
+// bytes stay in stored records). Applies atomically at CommitWork,
+// like AddColumn.
+func (s *Session) DropColumn(table, column string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.atHead(); err != nil {
+		return err
+	}
+	t, ok := s.db.Table(table)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchTable, table)
+	}
+	if t.Schema().ColumnIndex(column) < 0 {
+		return fmt.Errorf("%w: no column %q in table %q", ErrSchemaChange, column, table)
+	}
+	if t.Schema().ColumnIndex(column) == 0 {
+		return fmt.Errorf("%w: cannot drop the primary key column %q", ErrSchemaChange, column)
+	}
+	for _, ch := range s.pending {
+		if ch.Table == table && (ch.Drop == column || (ch.Add != nil && ch.Add.Name == column)) {
+			return fmt.Errorf("%w: column %q already has a queued change", ErrSchemaChange, column)
+		}
+	}
+	s.pending = append(s.pending, SchemaChange{Table: table, Drop: column})
+	return nil
+}
+
+// PendingSchemaChanges reports how many schema changes the session has
+// queued for its next CommitWork.
+func (s *Session) PendingSchemaChanges() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending)
+}
+
 // CommitWork commits the session's branch, making its updates
 // atomically visible, and releases all locks (end of the 2PL
 // transaction).
@@ -386,11 +464,24 @@ func (s *Session) CommitWorkContext(ctx context.Context, message string) (*vgrap
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	c, err := s.db.Commit(b.ID, message)
+	var c *vgraph.Commit
+	if len(s.pending) > 0 {
+		c, err = s.db.CommitSchema(b.ID, message, s.pending)
+		if c != nil {
+			// The schema commit is durable even if a later engine hook
+			// failed; clearing the queue here keeps a retried CommitWork
+			// from re-applying committed changes (which would fail with
+			// duplicate-column errors forever).
+			s.pending = nil
+		}
+	} else {
+		c, err = s.db.Commit(b.ID, message)
+	}
 	s.db.locks.ReleaseAll(s.txn)
 	if err != nil {
 		return nil, err
 	}
+	s.pending = nil
 	s.commit = c
 	return c, nil
 }

@@ -36,11 +36,15 @@ var deletedPos = pos{Seg: -1, Slot: -1}
 
 // hseg is one segment: a heap file plus its local bitmap index, "one
 // bitmap per (segment, branch) tracking only the set of branches which
-// inherit records contained in that segment".
+// inherit records contained in that segment". cols is the segment's
+// schema-version id: the number of physical columns its records are
+// encoded with.
 type hseg struct {
 	id     segID
 	owner  vgraph.BranchID // branch whose head this segment is/was
 	file   *heap.File
+	cols   int
+	schema *record.Schema
 	frozen bool
 	local  map[vgraph.BranchID]*bitmap.Bitmap
 }
@@ -63,8 +67,9 @@ type logKey struct {
 
 // Engine is the hybrid storage engine.
 type Engine struct {
-	mu  sync.Mutex
-	env *core.Env
+	mu   sync.Mutex
+	env  *core.Env
+	hist *record.History
 
 	segs    []*hseg
 	headSeg map[vgraph.BranchID]segID
@@ -72,6 +77,8 @@ type Engine struct {
 
 	logs     map[logKey]*bitmap.CommitLog
 	startSeq map[logKey]int // branch commit seq at which the log begins
+
+	insBuf []byte // storage-conversion scratch for appends; guarded by mu
 }
 
 // persisted catalog.
@@ -79,6 +86,7 @@ type segMetaJSON struct {
 	ID     segID           `json:"id"`
 	Owner  vgraph.BranchID `json:"owner"`
 	Frozen bool            `json:"frozen"`
+	Cols   int             `json:"cols,omitempty"` // 0 in pre-versioning catalogs: full layout
 }
 
 type metaJSON struct {
@@ -93,6 +101,7 @@ func init() { core.RegisterEngine("hybrid", Factory, "hy") }
 func Factory(env *core.Env) (core.Engine, error) {
 	e := &Engine{
 		env:      env,
+		hist:     env.History(),
 		headSeg:  make(map[vgraph.BranchID]segID),
 		pk:       make(map[vgraph.BranchID]*pkIndex),
 		logs:     make(map[logKey]*bitmap.CommitLog),
@@ -130,7 +139,7 @@ func (e *Engine) openLog(k logKey) (*bitmap.CommitLog, error) {
 func (e *Engine) persistLocked() error {
 	m := metaJSON{HeadSeg: e.headSeg, StartSeq: make(map[string]int)}
 	for _, s := range e.segs {
-		m.Segments = append(m.Segments, segMetaJSON{ID: s.id, Owner: s.owner, Frozen: s.frozen})
+		m.Segments = append(m.Segments, segMetaJSON{ID: s.id, Owner: s.owner, Frozen: s.frozen, Cols: s.cols})
 	}
 	for k, seq := range e.startSeq {
 		m.StartSeq[fmt.Sprintf("%d:%d", k.Branch, k.Seg)] = seq
@@ -162,7 +171,16 @@ func (e *Engine) recover() error {
 	}
 	sort.Slice(m.Segments, func(i, j int) bool { return m.Segments[i].ID < m.Segments[j].ID })
 	for _, sm := range m.Segments {
-		f, err := heap.Open(e.env.Pool, e.segPath(sm.ID), e.env.Schema.RecordSize())
+		cols := sm.Cols
+		if cols == 0 {
+			// Catalog from before schema versioning: single-version table.
+			cols = e.hist.PhysCols()
+		}
+		schema, err := e.hist.PhysByCount(cols)
+		if err != nil {
+			return fmt.Errorf("hy: segment %d: %w", sm.ID, err)
+		}
+		f, err := heap.Open(e.env.Pool, e.segPath(sm.ID), schema.RecordSize())
 		if err != nil {
 			return err
 		}
@@ -170,7 +188,7 @@ func (e *Engine) recover() error {
 			f.Freeze()
 		}
 		e.segs = append(e.segs, &hseg{
-			id: sm.ID, owner: sm.Owner, file: f, frozen: sm.Frozen,
+			id: sm.ID, owner: sm.Owner, file: f, cols: cols, schema: schema, frozen: sm.Frozen,
 			local: make(map[vgraph.BranchID]*bitmap.Bitmap),
 		})
 	}
@@ -219,23 +237,25 @@ func (e *Engine) recover() error {
 			e.segs[id].local[br.ID] = bm
 		}
 	}
-	// Rebuild primary-key indexes from the restored bitmaps.
+	// Rebuild primary-key indexes from the restored bitmaps. Keys sit
+	// at a fixed offset in every schema version, so the rebuild reads
+	// raw buffers without converting them.
 	for _, br := range e.env.Graph.Branches() {
 		idx := newPKIndex()
 		e.pk[br.ID] = idx
-		rec := record.New(e.env.Schema)
 		for _, s := range e.segs {
 			bm, ok := s.local[br.ID]
 			if !ok {
 				continue
 			}
+			buf := make([]byte, s.schema.RecordSize())
 			var scanErr error
 			bm.ForEach(func(slot int) bool {
-				if err := s.file.Read(int64(slot), rec.Bytes()); err != nil {
+				if err := s.file.Read(int64(slot), buf); err != nil {
 					scanErr = err
 					return false
 				}
-				idx.set(rec.PK(), pos{Seg: s.id, Slot: int64(slot)})
+				idx.set(record.PKOf(buf), pos{Seg: s.id, Slot: int64(slot)})
 				return true
 			})
 			if scanErr != nil {
@@ -246,13 +266,17 @@ func (e *Engine) recover() error {
 	return nil
 }
 
-func (e *Engine) newSegmentLocked(owner vgraph.BranchID) (*hseg, error) {
-	id := segID(len(e.segs))
-	f, err := heap.Open(e.env.Pool, e.segPath(id), e.env.Schema.RecordSize())
+func (e *Engine) newSegmentLocked(owner vgraph.BranchID, cols int) (*hseg, error) {
+	schema, err := e.hist.PhysByCount(cols)
 	if err != nil {
 		return nil, err
 	}
-	s := &hseg{id: id, owner: owner, file: f, local: make(map[vgraph.BranchID]*bitmap.Bitmap)}
+	id := segID(len(e.segs))
+	f, err := heap.Open(e.env.Pool, e.segPath(id), schema.RecordSize())
+	if err != nil {
+		return nil, err
+	}
+	s := &hseg{id: id, owner: owner, file: f, cols: cols, schema: schema, local: make(map[vgraph.BranchID]*bitmap.Bitmap)}
 	e.segs = append(e.segs, s)
 	return s, nil
 }
@@ -261,7 +285,7 @@ func (e *Engine) newSegmentLocked(owner vgraph.BranchID) (*hseg, error) {
 func (e *Engine) Init(master *vgraph.Branch, c0 *vgraph.Commit) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	s, err := e.newSegmentLocked(master.ID)
+	s, err := e.newSegmentLocked(master.ID, e.hist.PhysCols())
 	if err != nil {
 		return err
 	}
@@ -326,13 +350,16 @@ func (e *Engine) Branch(child *vgraph.Branch, from *vgraph.Commit) error {
 			s.file.Freeze()
 		}
 	}
-	np, err := e.newSegmentLocked(parent)
+	// Both fresh heads start at the branch point's storage generation;
+	// a later schema change rotates them lazily on first write.
+	cols := e.hist.NumPhysAt(from.SchemaVer)
+	np, err := e.newSegmentLocked(parent, cols)
 	if err != nil {
 		return err
 	}
 	np.local[parent] = bitmap.New(0)
 	e.headSeg[parent] = np.id
-	nc, err := e.newSegmentLocked(child.ID)
+	nc, err := e.newSegmentLocked(child.ID, cols)
 	if err != nil {
 		return err
 	}
@@ -348,16 +375,16 @@ func (e *Engine) Branch(child *vgraph.Branch, from *vgraph.Commit) error {
 		}
 	}
 	idx := newPKIndex()
-	rec := record.New(e.env.Schema)
 	for id, bm := range snap {
 		s := e.segs[id]
+		buf := make([]byte, s.schema.RecordSize())
 		var scanErr error
 		bm.ForEach(func(slot int) bool {
-			if err := s.file.Read(int64(slot), rec.Bytes()); err != nil {
+			if err := s.file.Read(int64(slot), buf); err != nil {
 				scanErr = err
 				return false
 			}
-			idx.set(rec.PK(), pos{Seg: id, Slot: int64(slot)})
+			idx.set(record.PKOf(buf), pos{Seg: id, Slot: int64(slot)})
 			return true
 		})
 		if scanErr != nil {
@@ -454,17 +481,59 @@ func (e *Engine) InsertBatch(branch vgraph.BranchID, recs []*record.Record) erro
 	return nil
 }
 
+// writeHeadLocked returns the branch's head segment, rotating it when
+// a committed schema change has widened the branch's storage
+// generation: the old head freezes into an internal segment (its pages
+// are never rewritten) and a fresh head at the new layout takes
+// subsequent appends — the same freeze machinery a branch point uses.
+func (e *Engine) writeHeadLocked(branch vgraph.BranchID) (*hseg, error) {
+	head, ok := e.headSeg[branch]
+	if !ok {
+		return nil, fmt.Errorf("hy: branch %d has no head segment", branch)
+	}
+	s := e.segs[head]
+	need := e.hist.NumPhysAt(e.env.BranchEpoch(branch))
+	if s.cols >= need {
+		return s, nil
+	}
+	if !s.frozen {
+		s.frozen = true
+		s.file.Freeze()
+	}
+	ns, err := e.newSegmentLocked(branch, need)
+	if err != nil {
+		return nil, err
+	}
+	ns.local[branch] = bitmap.New(0)
+	e.headSeg[branch] = ns.id
+	return ns, e.persistLocked()
+}
+
+// appendSegLocked encodes rec under the segment's physical layout
+// (widening older-schema records with declared defaults) and appends
+// it, returning the slot.
+func (e *Engine) appendSegLocked(s *hseg, rec *record.Record) (int64, error) {
+	if n := s.schema.RecordSize(); len(e.insBuf) < n {
+		e.insBuf = make([]byte, n)
+	}
+	buf, err := e.hist.StorageBytes(rec, s.cols, e.insBuf[:s.schema.RecordSize()])
+	if err != nil {
+		return 0, err
+	}
+	return s.file.Append(buf)
+}
+
 func (e *Engine) insertLocked(branch vgraph.BranchID, rec *record.Record) error {
 	idx, ok := e.pk[branch]
 	if !ok {
 		return fmt.Errorf("hy: unknown branch %d", branch)
 	}
-	head, ok := e.headSeg[branch]
-	if !ok {
-		return fmt.Errorf("hy: branch %d has no head segment", branch)
+	s, err := e.writeHeadLocked(branch)
+	if err != nil {
+		return err
 	}
-	s := e.segs[head]
-	slot, err := s.file.Append(rec.Bytes())
+	head := s.id
+	slot, err := e.appendSegLocked(s, rec)
 	if err != nil {
 		return err
 	}
@@ -506,12 +575,12 @@ func (e *Engine) Delete(branch vgraph.BranchID, pk int64) error {
 // only segments with records live in the branch are read (the global
 // branch-segment relation).
 func (e *Engine) ScanBranch(branch vgraph.BranchID, fn core.ScanFunc) error {
-	return e.ScanBranchPushdown(branch, e.passSpec(), fn)
+	return e.ScanBranchPushdown(branch, e.passSpec(e.env.BranchEpoch(branch)), fn)
 }
 
 // ScanCommit implements core.Engine.
 func (e *Engine) ScanCommit(c *vgraph.Commit, fn core.ScanFunc) error {
-	return e.ScanCommitPushdown(c, e.passSpec(), fn)
+	return e.ScanCommitPushdown(c, e.passSpec(c.SchemaVer), fn)
 }
 
 // ScanMulti implements core.Engine (Query 4): the global
@@ -519,7 +588,7 @@ func (e *Engine) ScanCommit(c *vgraph.Commit, fn core.ScanFunc) error {
 // in any scanned branch; each is scanned once with membership computed
 // from its small local bitmaps.
 func (e *Engine) ScanMulti(branches []vgraph.BranchID, fn core.MultiScanFunc) error {
-	return e.ScanMultiPushdown(branches, e.passSpec(), fn)
+	return e.ScanMultiPushdown(branches, e.passSpec(e.env.MaxBranchEpoch(branches)), fn)
 }
 
 // Diff implements core.Engine (Query 2): per-segment bitmap XORs over
@@ -551,15 +620,27 @@ func (e *Engine) Diff(a, b vgraph.BranchID, fn core.DiffFunc) error {
 	}
 	e.mu.Unlock()
 
-	schema := e.env.Schema
+	// Emit under the newer of the two heads' schemas; rows in segments
+	// from older schema versions decode with defaults filled.
+	epoch := e.env.MaxBranchEpoch([]vgraph.BranchID{a, b})
 	for _, d := range diffs {
+		cv, err := e.hist.Conv(d.s.cols, epoch)
+		if err != nil {
+			return err
+		}
+		var scratch []byte
+		if !cv.Identity() {
+			scratch = cv.NewScratch()
+		}
 		stop := false
-		err := d.s.file.ScanLive(d.x, func(slot int64, buf []byte) bool {
+		var ferr error
+		err = d.s.file.ScanLive(d.x, func(slot int64, buf []byte) bool {
 			if !d.x.Get(int(slot)) {
 				return true
 			}
-			rec, err := record.FromBytes(schema, buf)
+			rec, err := record.FromBytes(cv.Out(), cv.Convert(buf, scratch))
 			if err != nil {
+				ferr = err
 				return false
 			}
 			if !fn(rec, d.colA.Get(int(slot))) {
@@ -568,6 +649,9 @@ func (e *Engine) Diff(a, b vgraph.BranchID, fn core.DiffFunc) error {
 			}
 			return true
 		})
+		if err == nil {
+			err = ferr
+		}
 		if err != nil {
 			return err
 		}

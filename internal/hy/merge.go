@@ -32,7 +32,12 @@ func (e *Engine) Merge(into, other vgraph.BranchID, mc *vgraph.Commit, kind core
 		return st, err
 	}
 
-	recSize := int64(e.env.Schema.RecordSize())
+	// Rows from the two branches (and the LCA) may sit in segments of
+	// different schema versions; resolve everything under the merge
+	// commit's schema and make sure the head segment materialized
+	// results land in can hold the merged layout.
+	epoch := mc.SchemaVer
+	recSize := int64(e.hist.VisibleAt(epoch).RecordSize())
 	type entry struct {
 		lcaPos   pos
 		hasLCA   bool
@@ -41,7 +46,6 @@ func (e *Engine) Merge(into, other vgraph.BranchID, mc *vgraph.Commit, kind core
 	}
 	entries := make(map[int64]*entry)
 	collect := func(branch vgraph.BranchID, isA bool) error {
-		rec := record.New(e.env.Schema)
 		for _, s := range e.segs {
 			cur := s.local[branch]
 			lca := lcaSnap[s.id]
@@ -55,15 +59,16 @@ func (e *Engine) Merge(into, other vgraph.BranchID, mc *vgraph.Commit, kind core
 				lca = bitmap.New(0)
 			}
 			x := bitmap.Xor(cur, lca)
+			buf := make([]byte, s.schema.RecordSize())
 			var scanErr error
 			x.ForEach(func(slot int) bool {
-				if err := s.file.Read(int64(slot), rec.Bytes()); err != nil {
+				if err := s.file.Read(int64(slot), buf); err != nil {
 					scanErr = err
 					return false
 				}
 				st.TuplesScanned++
 				st.DiffBytes += recSize
-				pk := rec.PK()
+				pk := record.PKOf(buf)
 				en := entries[pk]
 				if en == nil {
 					en = &entry{}
@@ -95,14 +100,23 @@ func (e *Engine) Merge(into, other vgraph.BranchID, mc *vgraph.Commit, kind core
 
 	idxA := e.pk[into]
 	idxB := e.pk[other]
-	head := e.headSeg[into]
+	headSeg, err := e.writeHeadLocked(into)
+	if err != nil {
+		return st, err
+	}
+	head := headSeg.id
 	readAt := func(p pos) (*record.Record, error) {
-		rec := record.New(e.env.Schema)
-		if err := e.segs[p.Seg].file.Read(p.Slot, rec.Bytes()); err != nil {
+		s := e.segs[p.Seg]
+		buf := make([]byte, s.schema.RecordSize())
+		if err := s.file.Read(p.Slot, buf); err != nil {
+			return nil, err
+		}
+		cv, err := e.hist.Conv(s.cols, epoch)
+		if err != nil {
 			return nil, err
 		}
 		st.TuplesScanned++
-		return rec, nil
+		return cv.Materialize(buf), nil
 	}
 	setLive := func(branch vgraph.BranchID, p pos) {
 		s := e.segs[p.Seg]
@@ -168,7 +182,7 @@ func (e *Engine) Merge(into, other vgraph.BranchID, mc *vgraph.Commit, kind core
 				case recB != nil && rec.Equal(recB):
 					p = posB
 				default:
-					slot, err := e.segs[head].file.Append(rec.Bytes())
+					slot, err := e.appendSegLocked(e.segs[head], rec)
 					if err != nil {
 						return err
 					}

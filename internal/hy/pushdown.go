@@ -24,9 +24,10 @@ var (
 
 // passSpec is the match-all, project-nothing spec the plain Scan*
 // entry points delegate through, so the engine has exactly one copy of
-// each scan loop.
-func (e *Engine) passSpec() *core.ScanSpec {
-	sp, err := core.NewScanSpec(e.env.Schema, nil, nil)
+// each scan loop. epoch selects the schema version records are emitted
+// under.
+func (e *Engine) passSpec(epoch int) *core.ScanSpec {
+	sp, err := core.NewScanSpecAt(e.hist, epoch, nil, nil)
 	if err != nil {
 		panic(err) // no projection: cannot fail
 	}
@@ -34,7 +35,8 @@ func (e *Engine) passSpec() *core.ScanSpec {
 }
 
 // scanSegmentsSpec is scanSegments with the spec evaluated on the raw
-// buffer before materialization.
+// buffer before materialization. Buffers from segments older than the
+// spec's schema epoch are widened (defaults filled) first.
 func (e *Engine) scanSegmentsSpec(segs []*hseg, pick func(*hseg) *bitmap.Bitmap, spec *core.ScanSpec, fn core.ScanFunc) error {
 	var ferr error
 	for _, s := range segs {
@@ -42,10 +44,17 @@ func (e *Engine) scanSegmentsSpec(segs []*hseg, pick func(*hseg) *bitmap.Bitmap,
 		if bm == nil || !bm.Any() {
 			continue
 		}
+		prep, err := spec.Prep(s.cols)
+		if err != nil {
+			return err
+		}
 		stop := false
-		err := s.file.ScanLive(bm, func(slot int64, buf []byte) bool {
+		err = s.file.ScanLive(bm, func(slot int64, buf []byte) bool {
 			if !bm.Get(int(slot)) {
 				return true
+			}
+			if prep != nil {
+				buf = prep(buf)
 			}
 			rec, err := spec.Apply(buf)
 			if err != nil {
@@ -132,10 +141,17 @@ func (e *Engine) ScanMultiPushdown(branches []vgraph.BranchID, spec *core.ScanSp
 	member := bitmap.New(len(branches))
 	var ferr error
 	for _, sc := range scans {
+		prep, err := spec.Prep(sc.s.cols)
+		if err != nil {
+			return err
+		}
 		stop := false
-		err := sc.s.file.ScanLive(sc.union, func(slot int64, buf []byte) bool {
+		err = sc.s.file.ScanLive(sc.union, func(slot int64, buf []byte) bool {
 			if !sc.union.Get(int(slot)) {
 				return true
+			}
+			if prep != nil {
+				buf = prep(buf)
 			}
 			rec, err := spec.Apply(buf)
 			if err != nil {

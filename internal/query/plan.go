@@ -31,19 +31,25 @@ type Plan struct {
 	Cols     []string // projected columns; nil = all (the pk is always kept)
 }
 
-// Compiled is a plan resolved against one database: names bound,
-// predicate compiled, pushdown spec built. It is single-use — the
-// projection scratch buffer inside the spec is not safe for concurrent
-// or repeated iteration — so compile once per execution.
+// Compiled is a plan resolved against one database: names bound, the
+// schema resolved as of the addressed version, predicate compiled,
+// pushdown spec built. A Compiled is reusable across executions — each
+// run clones the spec's projection scratch (the only stateful piece),
+// so callers can compile once and execute many times instead of
+// re-planning per call. It binds the catalog and version graph as of
+// compile time: after a schema change or new commits moved the
+// addressed heads, compile again.
 type Compiled struct {
 	db       *core.Database
 	table    *core.Table
 	plan     Plan
 	branches []*vgraph.Branch
 	commit   *vgraph.Commit // non-nil when AtSeq >= 0
+	epoch    int            // schema epoch the query addresses
+	schema   *record.Schema // schema visible at epoch
 	pred     RawPredicate
 	cols     []int          // resolved projection (nil = all)
-	spec     *core.ScanSpec // pred + projection
+	proto    *core.ScanSpec // pred + projection; cloned per execution
 }
 
 // Compile resolves and validates the plan against db. All validation
@@ -91,22 +97,37 @@ func (p Plan) Compile(db *core.Database) (*Compiled, error) {
 		}
 	}
 
-	schema := t.Schema()
-	c.pred, err = CompileExpr(p.Where, schema)
+	// Resolve the schema as of the addressed version: the commit's
+	// stamped epoch for At(), otherwise the newest head epoch among the
+	// scanned branches (rows from older branches or segments widen with
+	// defaults at scan time). Columns a later epoch introduces fail
+	// with ErrColumnNotYetAdded.
+	if c.commit != nil {
+		c.epoch = c.commit.SchemaVer
+	} else {
+		ids := make([]vgraph.BranchID, len(c.branches))
+		for i, b := range c.branches {
+			ids[i] = b.ID
+		}
+		c.epoch = t.MaxBranchEpoch(ids)
+	}
+	c.schema = t.SchemaAt(c.epoch)
+	scope := colScope{schema: c.schema, hist: t.History(), epoch: c.epoch}
+	c.pred, err = compileExprScope(p.Where, scope)
 	if err != nil {
 		return nil, err
 	}
 	if p.Cols != nil {
 		c.cols = make([]int, len(p.Cols))
 		for i, name := range p.Cols {
-			ci := schema.ColumnIndex(name)
+			ci := c.schema.ColumnIndex(name)
 			if ci < 0 {
-				return nil, fmt.Errorf("%w: %q", core.ErrNoSuchColumn, name)
+				return nil, scope.missing(name)
 			}
 			c.cols[i] = ci
 		}
 	}
-	c.spec, err = core.NewScanSpec(schema, c.pred, c.cols)
+	c.proto, err = core.NewScanSpecAt(t.History(), c.epoch, c.pred, c.cols)
 	if err != nil {
 		return nil, err
 	}
@@ -120,7 +141,14 @@ func (c *Compiled) Branches() []*vgraph.Branch { return c.branches }
 
 // OutSchema returns the schema of the records the query emits (the
 // projected schema when Select was used).
-func (c *Compiled) OutSchema() *record.Schema { return c.spec.Out() }
+func (c *Compiled) OutSchema() *record.Schema { return c.proto.Out() }
+
+// Epoch returns the schema epoch the query addresses.
+func (c *Compiled) Epoch() int { return c.epoch }
+
+// execSpec returns the scan spec for one execution: the compiled
+// prototype, cloned so each run owns its projection scratch.
+func (c *Compiled) execSpec() *core.ScanSpec { return c.proto.Clone() }
 
 // single checks the plan addresses exactly one version.
 func (c *Compiled) single() error {
@@ -145,9 +173,9 @@ func (c *Compiled) Scan(ctx context.Context, fn core.ScanFunc) error {
 		return err
 	}
 	if c.commit != nil {
-		return c.table.ScanCommitPushdownContext(ctx, c.commit, c.spec, fn)
+		return c.table.ScanCommitPushdownContext(ctx, c.commit, c.execSpec(), fn)
 	}
-	return c.table.ScanPushdownContext(ctx, c.branches[0].ID, c.spec, fn)
+	return c.table.ScanPushdownContext(ctx, c.branches[0].ID, c.execSpec(), fn)
 }
 
 // ScanMulti executes a multi-branch scan (Query 4) over the plan's
@@ -161,7 +189,7 @@ func (c *Compiled) ScanMulti(ctx context.Context, fn core.MultiScanFunc) error {
 	for i, b := range c.branches {
 		ids[i] = b.ID
 	}
-	return c.table.ScanMultiPushdownContext(ctx, ids, c.spec, fn)
+	return c.table.ScanMultiPushdownContext(ctx, ids, c.execSpec(), fn)
 }
 
 // ScanMultiRescan executes the same multi-branch scan as ScanMulti the
@@ -183,7 +211,9 @@ func (c *Compiled) ScanMultiRescan(ctx context.Context, fn core.MultiScanFunc) e
 	merged := make(map[string]*entry)
 	order := make([]string, 0)
 	for i, b := range c.branches {
-		err := c.table.ScanPushdownContext(ctx, b.ID, c.spec, func(rec *record.Record) bool {
+		// Each rescan clones the spec so it owns a fresh projection
+		// scratch (part of the per-branch rescan overhead).
+		err := c.table.ScanPushdownContext(ctx, b.ID, c.execSpec(), func(rec *record.Record) bool {
 			key := string(rec.Bytes())
 			en := merged[key]
 			if en == nil {
@@ -197,13 +227,6 @@ func (c *Compiled) ScanMultiRescan(ctx context.Context, fn core.MultiScanFunc) e
 		if err != nil {
 			return err
 		}
-		// The spec's projection scratch is single-use per scan; rebuild
-		// it for the next branch's rescan (part of the rescan overhead).
-		spec, err := core.NewScanSpec(c.table.Schema(), c.pred, c.cols)
-		if err != nil {
-			return err
-		}
-		c.spec = spec
 	}
 	for _, key := range order {
 		en := merged[key]
@@ -221,12 +244,13 @@ func (c *Compiled) Diff(ctx context.Context, fn core.ScanFunc) error {
 	if err := c.pair(); err != nil {
 		return err
 	}
+	spec := c.execSpec()
 	var ferr error
 	err := c.table.ScanDiffContext(ctx, c.branches[0].ID, c.branches[1].ID, func(rec *record.Record, inA bool) bool {
 		if !inA {
 			return true
 		}
-		out, err := c.spec.Apply(rec.Bytes())
+		out, err := spec.Apply(rec.Bytes())
 		if err != nil {
 			ferr = err
 			return false
@@ -250,7 +274,7 @@ func (c *Compiled) Join(ctx context.Context, fn func(JoinedPair) bool) error {
 		return err
 	}
 	build := make(map[int64]*record.Record)
-	if err := c.table.ScanPushdownContext(ctx, c.branches[0].ID, c.spec, func(rec *record.Record) bool {
+	if err := c.table.ScanPushdownContext(ctx, c.branches[0].ID, c.execSpec(), func(rec *record.Record) bool {
 		build[rec.PK()] = rec.Clone()
 		return true
 	}); err != nil {
@@ -260,7 +284,7 @@ func (c *Compiled) Join(ctx context.Context, fn func(JoinedPair) bool) error {
 		return nil
 	}
 	// Probe side: projection only — the predicate selects left records.
-	probe, err := core.NewScanSpec(c.table.Schema(), nil, c.cols)
+	probe, err := core.NewScanSpecAt(c.table.History(), c.epoch, nil, c.cols)
 	if err != nil {
 		return err
 	}
@@ -290,13 +314,13 @@ const (
 // core.ErrNoRows. Integer columns are accumulated as int64 and
 // converted on return.
 func (c *Compiled) Aggregate(ctx context.Context, kind AggKind, col string) (float64, error) {
-	schema := c.table.Schema()
+	schema := c.schema
 	ci := -1
 	isFloat := false
 	if kind != AggCount {
 		ci = schema.ColumnIndex(col)
 		if ci < 0 {
-			return 0, fmt.Errorf("%w: %q", core.ErrNoSuchColumn, col)
+			return 0, (colScope{schema: schema, hist: c.table.History(), epoch: c.epoch}).missing(col)
 		}
 		switch schema.Column(ci).Type {
 		case record.Int32, record.Int64:
@@ -308,7 +332,7 @@ func (c *Compiled) Aggregate(ctx context.Context, kind AggKind, col string) (flo
 	}
 	// Aggregates read the source schema, so the spec carries only the
 	// predicate (a Select projection does not restrict them).
-	spec, err := core.NewScanSpec(schema, c.pred, nil)
+	spec, err := core.NewScanSpecAt(c.table.History(), c.epoch, c.pred, nil)
 	if err != nil {
 		return 0, err
 	}

@@ -171,3 +171,62 @@ func TestPlanProjection(t *testing.T) {
 		})
 	}
 }
+
+// TestCompiledReuse guards the planner-reuse contract: one Compiled
+// executes repeatedly — including with a projection, whose scratch
+// record used to make plans single-use — and later executions see
+// writes that happened after compilation (the plan re-reads the
+// engine; only names, schema and predicate are bound at compile time).
+func TestCompiledReuse(t *testing.T) {
+	for name, factory := range factories() {
+		t.Run(name, func(t *testing.T) {
+			db, tbl, master, _ := fixture(t, factory)
+			c, err := Plan{
+				Table:    "r",
+				Branches: []string{"master"},
+				AtSeq:    -1,
+				Where:    Col("v").Ge(1),
+				Cols:     []string{"v"},
+			}.Compile(db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			count := func() int {
+				n := 0
+				if err := c.Scan(context.Background(), func(r *record.Record) bool {
+					if r.Schema().NumColumns() != 2 { // pk + projected v
+						t.Fatalf("projection lost on reuse: %d columns", r.Schema().NumColumns())
+					}
+					n++
+					return true
+				}); err != nil {
+					t.Fatal(err)
+				}
+				return n
+			}
+			if got := count(); got != 10 {
+				t.Fatalf("first execution scanned %d, want 10", got)
+			}
+			if got := count(); got != 10 {
+				t.Fatalf("second execution scanned %d, want 10", got)
+			}
+			// New data lands in later executions of the same Compiled.
+			if err := tbl.Insert(master.ID, rec(tbl.Schema(), 12, 12)); err != nil {
+				t.Fatal(err)
+			}
+			if got := count(); got != 11 {
+				t.Fatalf("execution after insert scanned %d, want 11", got)
+			}
+			// Aggregates reuse the same compiled predicate too.
+			for i := 0; i < 2; i++ {
+				n, err := c.Aggregate(context.Background(), AggCount, "")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if int(n) != 11 {
+					t.Fatalf("aggregate run %d = %v, want 11", i, n)
+				}
+			}
+		})
+	}
+}

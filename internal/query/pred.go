@@ -137,19 +137,56 @@ func (e Expr) isAll() bool {
 // RawPredicate is a compiled predicate over an encoded record buffer.
 type RawPredicate = func(buf []byte) bool
 
+// colScope is the schema a predicate compiles against plus the
+// version context that classifies unknown column names: a column the
+// history added after the addressed version fails with
+// core.ErrColumnNotYetAdded instead of a bare ErrNoSuchColumn.
+type colScope struct {
+	schema *record.Schema
+	hist   *record.History // nil: version-unaware compilation
+	epoch  int
+}
+
+// missing builds the error for a column name absent from the scope.
+func (sc colScope) missing(name string) error {
+	if sc.hist != nil {
+		if addedIn, droppedIn, ok := sc.hist.ColumnEpochs(name); ok {
+			if addedIn > sc.epoch {
+				return fmt.Errorf("%w: %q (added at schema epoch %d, queried version is at %d)",
+					core.ErrColumnNotYetAdded, name, addedIn, sc.epoch)
+			}
+			if droppedIn != 0 && droppedIn <= sc.epoch {
+				return fmt.Errorf("%w: %q (dropped at schema epoch %d)", core.ErrNoSuchColumn, name, droppedIn)
+			}
+		}
+	}
+	return fmt.Errorf("%w: %q", core.ErrNoSuchColumn, name)
+}
+
 // CompileExpr validates e against the schema and compiles it to a raw
 // predicate over encoded record buffers. A trivially-true expression
 // compiles to nil (scan everything). Unknown columns fail with
 // core.ErrNoSuchColumn, ill-typed comparisons with
 // core.ErrTypeMismatch.
 func CompileExpr(e Expr, s *record.Schema) (RawPredicate, error) {
+	return compileExprScope(e, colScope{schema: s})
+}
+
+// CompileExprAt is CompileExpr against the schema visible at a schema
+// epoch of the table's history: references to columns a later epoch
+// introduces fail with core.ErrColumnNotYetAdded.
+func CompileExprAt(e Expr, hist *record.History, epoch int) (RawPredicate, error) {
+	return compileExprScope(e, colScope{schema: hist.VisibleAt(epoch), hist: hist, epoch: epoch})
+}
+
+func compileExprScope(e Expr, sc colScope) (RawPredicate, error) {
 	if e.isAll() {
 		return nil, nil
 	}
-	return compileNode(e, s)
+	return compileNode(e, sc)
 }
 
-func compileNode(e Expr, s *record.Schema) (RawPredicate, error) {
+func compileNode(e Expr, sc colScope) (RawPredicate, error) {
 	// A trivially-true node (the zero Expr, or All()) matches every
 	// record wherever it appears in the tree, not just at the root.
 	if e.isAll() {
@@ -157,11 +194,11 @@ func compileNode(e Expr, s *record.Schema) (RawPredicate, error) {
 	}
 	switch e.kind {
 	case exprLeaf:
-		return compileLeaf(e, s)
+		return compileLeaf(e, sc)
 	case exprAnd, exprOr:
 		kids := make([]RawPredicate, len(e.kids))
 		for i, k := range e.kids {
-			p, err := compileNode(k, s)
+			p, err := compileNode(k, sc)
 			if err != nil {
 				return nil, err
 			}
@@ -186,7 +223,7 @@ func compileNode(e Expr, s *record.Schema) (RawPredicate, error) {
 			return false
 		}, nil
 	case exprNot:
-		p, err := compileNode(e.kids[0], s)
+		p, err := compileNode(e.kids[0], sc)
 		if err != nil {
 			return nil, err
 		}
@@ -196,10 +233,11 @@ func compileNode(e Expr, s *record.Schema) (RawPredicate, error) {
 	}
 }
 
-func compileLeaf(e Expr, s *record.Schema) (RawPredicate, error) {
+func compileLeaf(e Expr, sc colScope) (RawPredicate, error) {
+	s := sc.schema
 	i := s.ColumnIndex(e.col)
 	if i < 0 {
-		return nil, fmt.Errorf("%w: %q", core.ErrNoSuchColumn, e.col)
+		return nil, sc.missing(e.col)
 	}
 	c := s.Column(i)
 	off := s.ColumnOffset(i)

@@ -22,19 +22,16 @@ import (
 // Predicate filters records.
 type Predicate func(*record.Record) bool
 
-// passSpec returns the pass-through pushdown spec the legacy free
-// functions scan under, so they share the engines' pushdown-capable
-// scan paths (and the multi-branch bitmap-union pass) with compiled
-// plans. The record-level Predicate is applied on the record the scan
-// materializes anyway — wrapping it into a raw predicate would decode
-// each matching row twice.
-func passSpec(s *record.Schema) *core.ScanSpec {
-	spec, err := core.NewScanSpec(s, nil, nil)
-	if err != nil {
-		// No projection is requested, so NewScanSpec cannot fail.
-		panic(err)
-	}
-	return spec
+// passSpec returns the table's cached pass-through pushdown spec for
+// one schema epoch, so the legacy free functions share the engines'
+// pushdown-capable scan paths (and the multi-branch bitmap-union pass)
+// with compiled plans without rebuilding plan state per call (the
+// "planner reuse" follow-on; compiled plans get the same via
+// Compiled.execSpec). The record-level Predicate is applied on the
+// record the scan materializes anyway — wrapping it into a raw
+// predicate would decode each matching row twice.
+func passSpec(t *core.Table, epoch int) *core.ScanSpec {
+	return t.PassSpec(epoch)
 }
 
 // filtered applies a record-level predicate above an engine scan; nil
@@ -112,12 +109,12 @@ func Not(p Predicate) Predicate {
 //
 //	SELECT * FROM R WHERE R.Version = 'v01'
 func SingleVersionScan(t *core.Table, branch vgraph.BranchID, pred Predicate, fn core.ScanFunc) error {
-	return t.ScanPushdown(branch, passSpec(t.Schema()), filtered(pred, fn))
+	return t.ScanPushdown(branch, passSpec(t, t.BranchEpoch(branch)), filtered(pred, fn))
 }
 
 // CommitScan is Query 1 against a historical version (checkout read).
 func CommitScan(t *core.Table, c *vgraph.Commit, pred Predicate, fn core.ScanFunc) error {
-	return t.ScanCommitPushdown(c, passSpec(t.Schema()), filtered(pred, fn))
+	return t.ScanCommitPushdown(c, passSpec(t, c.SchemaVer), filtered(pred, fn))
 }
 
 // PositiveDiff is Query 2: emit the records in branch a that do not
@@ -194,7 +191,7 @@ func HeadScan(g *vgraph.Graph, t *core.Table, pred Predicate, fn func(HeadRecord
 // HeadScanBranches is HeadScan restricted to an explicit branch list
 // (the benchmark scans the heads of active branches).
 func HeadScanBranches(t *core.Table, ids []vgraph.BranchID, pred Predicate, fn func(HeadRecord) bool) error {
-	return t.ScanMultiPushdown(ids, passSpec(t.Schema()), func(rec *record.Record, member *bitmap.Bitmap) bool {
+	return t.ScanMultiPushdown(ids, passSpec(t, t.MaxBranchEpoch(ids)), func(rec *record.Record, member *bitmap.Bitmap) bool {
 		if pred != nil && !pred(rec) {
 			return true
 		}

@@ -268,6 +268,18 @@ func UnmarshalSchema(data []byte) (*Schema, int, error) {
 	return s, pos, nil
 }
 
+// PKOf reads the primary key straight from an encoded record buffer.
+// Column 0 is Int64 at a fixed offset in every schema version (the
+// physical layout only appends columns), so key extraction never needs
+// the buffer's schema.
+func PKOf(buf []byte) int64 {
+	return int64(binary.LittleEndian.Uint64(buf[HeaderSize:]))
+}
+
+// TombstoneOf reads the deletion flag straight from an encoded record
+// buffer, schema-free like PKOf.
+func TombstoneOf(buf []byte) bool { return buf[0]&FlagTombstone != 0 }
+
 // Record is one fixed-width tuple: a flags header followed by the
 // encoded column values. A Record owns its buffer.
 type Record struct {

@@ -1,0 +1,253 @@
+package tf
+
+// Schema-versioned storage for the tuple-first scheme. The shared heap
+// is a sequence of extents: fixed-width heap files, each tagged with
+// the number of physical schema columns its records were encoded under
+// (the extent's schema-version id). Slot numbers — what the bitmap
+// index and the primary-key indexes address — are global: an extent
+// covers [base, base+count). A schema change never rewrites a page;
+// it just seals the current extent, and the next insert under the
+// wider layout opens a new one. Reads convert old-extent buffers on
+// the fly, filling declared defaults for columns the extent predates.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"decibel/internal/heap"
+	"decibel/internal/record"
+)
+
+// extent is one fixed-width run of the shared heap.
+type extent struct {
+	file   *heap.File
+	base   int64 // global slot of the extent's slot 0
+	cols   int   // physical schema columns records here are encoded with
+	schema *record.Schema
+	sealed bool
+}
+
+// extMeta is the persisted extent table. Count is the sealed extent's
+// final slot count (0 and unused for the open tail extent, whose count
+// comes from the file length).
+type extMeta struct {
+	Cols  int   `json:"cols"`
+	Count int64 `json:"count,omitempty"`
+}
+
+type extFile struct {
+	Extents []extMeta `json:"extents"`
+}
+
+func (e *Engine) extPath(i int) string {
+	if i == 0 {
+		return filepath.Join(e.env.Dir, "data.heap")
+	}
+	return filepath.Join(e.env.Dir, fmt.Sprintf("data.e%d.heap", i))
+}
+
+func (e *Engine) extMetaPath() string { return filepath.Join(e.env.Dir, "extents.json") }
+
+// openExtents loads (or initializes) the extent table. Datasets from
+// before schema versioning have no extents.json and exactly one
+// extent at the table's full physical layout.
+func (e *Engine) openExtents() error {
+	metas := []extMeta{{Cols: e.hist.PhysCols()}}
+	data, err := os.ReadFile(e.extMetaPath())
+	switch {
+	case err == nil:
+		var ef extFile
+		if err := json.Unmarshal(data, &ef); err != nil {
+			return fmt.Errorf("tf: corrupt extent table: %w", err)
+		}
+		if len(ef.Extents) > 0 {
+			metas = ef.Extents
+		}
+	case !errors.Is(err, os.ErrNotExist):
+		return fmt.Errorf("tf: %w", err)
+	}
+	base := int64(0)
+	for i, m := range metas {
+		schema, err := e.hist.PhysByCount(m.Cols)
+		if err != nil {
+			return fmt.Errorf("tf: extent %d: %w", i, err)
+		}
+		f, err := heap.Open(e.env.Pool, e.extPath(i), schema.RecordSize())
+		if err != nil {
+			return err
+		}
+		sealed := i < len(metas)-1
+		if sealed {
+			if f.Count() < m.Count {
+				f.Close()
+				return fmt.Errorf("tf: extent %d holds %d records, sealed at %d", i, f.Count(), m.Count)
+			}
+			f.Freeze()
+		}
+		e.exts = append(e.exts, &extent{file: f, base: base, cols: m.Cols, schema: schema, sealed: sealed})
+		if sealed {
+			base += m.Count
+		} else {
+			base += f.Count()
+		}
+	}
+	return nil
+}
+
+// persistExtentsLocked writes the extent table; caller holds e.mu.
+func (e *Engine) persistExtentsLocked() error {
+	ef := extFile{}
+	for _, x := range e.exts {
+		m := extMeta{Cols: x.cols}
+		if x.sealed {
+			m.Count = x.file.Count()
+		}
+		ef.Extents = append(ef.Extents, m)
+	}
+	data, err := json.Marshal(&ef)
+	if err != nil {
+		return fmt.Errorf("tf: %w", err)
+	}
+	tmp := e.extMetaPath() + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("tf: %w", err)
+	}
+	return os.Rename(tmp, e.extMetaPath())
+}
+
+// lastExt returns the open tail extent.
+func (e *Engine) lastExt() *extent { return e.exts[len(e.exts)-1] }
+
+// extFor locates the extent containing a global slot. Extents are few
+// (one per schema change), so a backward linear scan suffices.
+func (e *Engine) extFor(slot int64) *extent {
+	for i := len(e.exts) - 1; i >= 0; i-- {
+		if slot >= e.exts[i].base {
+			return e.exts[i]
+		}
+	}
+	return e.exts[0]
+}
+
+// totalCount returns the next global slot number.
+func (e *Engine) totalCount() int64 {
+	last := e.lastExt()
+	return last.base + last.file.Count()
+}
+
+// ensureExtentLocked makes the tail extent hold at least cols physical
+// columns, sealing the current tail and opening a new extent when the
+// schema has widened since it was created. Caller holds e.mu.
+func (e *Engine) ensureExtentLocked(cols int) error {
+	last := e.lastExt()
+	if last.cols >= cols {
+		return nil
+	}
+	schema, err := e.hist.PhysByCount(cols)
+	if err != nil {
+		return err
+	}
+	// Seal: flush so the recorded count is backed by the file on reopen.
+	if err := last.file.Flush(); err != nil {
+		return err
+	}
+	last.file.Freeze()
+	last.sealed = true
+	f, err := heap.Open(e.env.Pool, e.extPath(len(e.exts)), schema.RecordSize())
+	if err != nil {
+		return err
+	}
+	e.exts = append(e.exts, &extent{
+		file: f, base: last.base + last.file.Count(), cols: cols, schema: schema,
+	})
+	return e.persistExtentsLocked()
+}
+
+// appendLocked writes one encoded record (in the tail extent's layout)
+// and returns its global slot. Caller holds e.mu.
+func (e *Engine) appendLocked(buf []byte) (int64, error) {
+	last := e.lastExt()
+	slot, err := last.file.Append(buf)
+	if err != nil {
+		return 0, err
+	}
+	return last.base + slot, nil
+}
+
+// extReader reads raw record buffers by global slot, reusing one
+// scratch buffer per extent width.
+type extReader struct {
+	e   *Engine
+	ext *extent
+	buf []byte
+}
+
+func (e *Engine) reader() *extReader { return &extReader{e: e} }
+
+// read returns the raw stored buffer of a global slot and its extent.
+// The buffer is valid until the next read call.
+func (r *extReader) read(slot int64) ([]byte, *extent, error) {
+	x := r.e.extFor(slot)
+	if r.ext != x {
+		r.ext = x
+		r.buf = make([]byte, x.schema.RecordSize())
+	}
+	if err := x.file.Read(slot-x.base, r.buf); err != nil {
+		return nil, nil, err
+	}
+	return r.buf, x, nil
+}
+
+// readRecAt materializes the record at a global slot under the schema
+// visible at the given epoch (defaults filled for columns the record's
+// extent predates).
+func (e *Engine) readRecAt(r *extReader, slot int64, epoch int) (*record.Record, error) {
+	buf, x, err := r.read(slot)
+	if err != nil {
+		return nil, err
+	}
+	cv, err := e.hist.Conv(x.cols, epoch)
+	if err != nil {
+		return nil, err
+	}
+	return cv.Materialize(buf), nil
+}
+
+// offsetBitmap adapts a global-slot bitmap to one extent's local slot
+// space for heap.File.ScanLive.
+type offsetBitmap struct {
+	bm   heap.Bitmapper
+	base int64
+}
+
+func (o offsetBitmap) NextSet(i int) int {
+	n := o.bm.NextSet(i + int(o.base))
+	if n < 0 {
+		return -1
+	}
+	return n - int(o.base)
+}
+
+// scanExtents walks every extent in global slot order, handing fn the
+// per-extent file plus base. Returning false stops the walk. The
+// extent slice is snapshotted under e.mu: a concurrent insert may
+// rotate (append) a new extent mid-scan, and published extents are
+// immutable, so the snapshot stays consistent.
+func (e *Engine) scanExtents(fn func(x *extent) (cont bool, err error)) error {
+	e.mu.Lock()
+	exts := e.exts
+	e.mu.Unlock()
+	for _, x := range exts {
+		cont, err := fn(x)
+		if err != nil {
+			return err
+		}
+		if !cont {
+			return nil
+		}
+	}
+	return nil
+}

@@ -12,7 +12,9 @@ import (
 // and a multi-branch scan is driven by the OR of the branch columns —
 // one pass over the heap touching only pages with at least one live
 // tuple in at least one requested branch, instead of one rescan per
-// branch.
+// branch. The heap is walked extent by extent; buffers from extents
+// older than the spec's schema epoch are widened (defaults filled)
+// before the predicate sees them, so old pages are never rewritten.
 
 var (
 	_ core.PushdownScanner = (*Engine)(nil)
@@ -21,32 +23,49 @@ var (
 
 // passSpec is the match-all, project-nothing spec the plain Scan*
 // entry points delegate through, so the engine has exactly one copy of
-// each scan loop.
-func (e *Engine) passSpec() *core.ScanSpec {
-	sp, err := core.NewScanSpec(e.env.Schema, nil, nil)
+// each scan loop. epoch selects the schema version records are emitted
+// under.
+func (e *Engine) passSpec(epoch int) *core.ScanSpec {
+	sp, err := core.NewScanSpecAt(e.hist, epoch, nil, nil)
 	if err != nil {
 		panic(err) // no projection: cannot fail
 	}
 	return sp
 }
 
-// scanBitmapSpec is scanBitmap with the spec evaluated on the raw
-// buffer before materialization.
+// scanBitmapSpec walks the extents under a global liveness bitmap with
+// the spec evaluated on the (version-converted) raw buffer before
+// materialization.
 func (e *Engine) scanBitmapSpec(bm *bitmap.Bitmap, spec *core.ScanSpec, fn core.ScanFunc) error {
 	var ferr error
-	err := e.file.ScanLive(bm, func(slot int64, buf []byte) bool {
-		if !bm.Get(int(slot)) {
-			return true
-		}
-		rec, err := spec.Apply(buf)
+	err := e.scanExtents(func(ext *extent) (bool, error) {
+		prep, err := spec.Prep(ext.cols)
 		if err != nil {
-			ferr = err
-			return false
+			return false, err
 		}
-		if rec == nil {
+		cont := true
+		err = ext.file.ScanLive(offsetBitmap{bm: bm, base: ext.base}, func(local int64, buf []byte) bool {
+			if !bm.Get(int(ext.base + local)) {
+				return true
+			}
+			if prep != nil {
+				buf = prep(buf)
+			}
+			rec, err := spec.Apply(buf)
+			if err != nil {
+				ferr = err
+				return false
+			}
+			if rec == nil {
+				return true
+			}
+			if !fn(rec) {
+				cont = false
+				return false
+			}
 			return true
-		}
-		return fn(rec)
+		})
+		return cont, err
 	})
 	if err == nil {
 		err = ferr
@@ -101,9 +120,55 @@ func (e *Engine) ScanMultiPushdown(branches []vgraph.BranchID, spec *core.ScanSp
 	member := bitmap.New(len(branches))
 	var ferr error
 	if cols != nil {
-		err := e.file.ScanLive(union, func(slot int64, buf []byte) bool {
-			if !union.Get(int(slot)) {
+		err := e.scanExtents(func(ext *extent) (bool, error) {
+			prep, err := spec.Prep(ext.cols)
+			if err != nil {
+				return false, err
+			}
+			cont := true
+			err = ext.file.ScanLive(offsetBitmap{bm: union, base: ext.base}, func(local int64, buf []byte) bool {
+				slot := ext.base + local
+				if !union.Get(int(slot)) {
+					return true
+				}
+				if prep != nil {
+					buf = prep(buf)
+				}
+				rec, err := spec.Apply(buf)
+				if err != nil {
+					ferr = err
+					return false
+				}
+				if rec == nil {
+					return true
+				}
+				for i := range branches {
+					member.SetTo(i, cols[i].Get(int(slot)))
+				}
+				if !fn(rec, member) {
+					cont = false
+					return false
+				}
 				return true
+			})
+			return cont, err
+		})
+		if err == nil {
+			err = ferr
+		}
+		return err
+	}
+
+	err := e.scanExtents(func(ext *extent) (bool, error) {
+		prep, err := spec.Prep(ext.cols)
+		if err != nil {
+			return false, err
+		}
+		cont := true
+		err = ext.file.Scan(0, ext.file.Count(), func(local int64, buf []byte) bool {
+			slot := ext.base + local
+			if prep != nil {
+				buf = prep(buf)
 			}
 			rec, err := spec.Apply(buf)
 			if err != nil {
@@ -113,33 +178,19 @@ func (e *Engine) ScanMultiPushdown(branches []vgraph.BranchID, spec *core.ScanSp
 			if rec == nil {
 				return true
 			}
-			for i := range branches {
-				member.SetTo(i, cols[i].Get(int(slot)))
+			e.mu.Lock()
+			e.idx.membership(slot, branches, member)
+			e.mu.Unlock()
+			if !member.Any() {
+				return true
 			}
-			return fn(rec, member)
+			if !fn(rec, member) {
+				cont = false
+				return false
+			}
+			return true
 		})
-		if err == nil {
-			err = ferr
-		}
-		return err
-	}
-
-	err := e.file.Scan(0, e.file.Count(), func(slot int64, buf []byte) bool {
-		rec, err := spec.Apply(buf)
-		if err != nil {
-			ferr = err
-			return false
-		}
-		if rec == nil {
-			return true
-		}
-		e.mu.Lock()
-		e.idx.membership(slot, branches, member)
-		e.mu.Unlock()
-		if !member.Any() {
-			return true
-		}
-		return fn(rec, member)
+		return cont, err
 	})
 	if err == nil {
 		err = ferr

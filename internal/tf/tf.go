@@ -7,22 +7,25 @@ import (
 
 	"decibel/internal/bitmap"
 	"decibel/internal/core"
-	"decibel/internal/heap"
 	"decibel/internal/record"
 	"decibel/internal/vgraph"
 )
 
-// Engine is the tuple-first storage engine. All branches share one heap
-// file; liveness is tracked by the bitmap index; per-branch commit
-// history files store RLE-compressed XOR deltas of branch bitmaps.
+// Engine is the tuple-first storage engine. All branches share one
+// heap — a sequence of fixed-width extents, one per schema version the
+// table has stored records under (see extent.go); liveness is tracked
+// by the bitmap index over global slots; per-branch commit history
+// files store RLE-compressed XOR deltas of branch bitmaps.
 type Engine struct {
-	mu  sync.Mutex
-	env *core.Env
+	mu   sync.Mutex
+	env  *core.Env
+	hist *record.History
 
-	file *heap.File
-	idx  index
-	pk   map[vgraph.BranchID]*pkIndex
-	logs map[vgraph.BranchID]*bitmap.CommitLog
+	exts   []*extent
+	idx    index
+	pk     map[vgraph.BranchID]*pkIndex
+	logs   map[vgraph.BranchID]*bitmap.CommitLog
+	insBuf []byte // storage-conversion scratch for inserts; guarded by mu
 }
 
 func init() { core.RegisterEngine("tuple-first", Factory, "tf") }
@@ -31,6 +34,7 @@ func init() { core.RegisterEngine("tuple-first", Factory, "tf") }
 func Factory(env *core.Env) (core.Engine, error) {
 	e := &Engine{
 		env:  env,
+		hist: env.History(),
 		pk:   make(map[vgraph.BranchID]*pkIndex),
 		logs: make(map[vgraph.BranchID]*bitmap.CommitLog),
 	}
@@ -39,16 +43,20 @@ func Factory(env *core.Env) (core.Engine, error) {
 	} else {
 		e.idx = newBranchIndex()
 	}
-	var err error
-	e.file, err = heap.Open(env.Pool, filepath.Join(env.Dir, "data.heap"), env.Schema.RecordSize())
-	if err != nil {
+	if err := e.openExtents(); err != nil {
 		return nil, err
 	}
 	if err := e.recover(); err != nil {
-		e.file.Close()
+		e.closeFiles()
 		return nil, err
 	}
 	return e, nil
+}
+
+func (e *Engine) closeFiles() {
+	for _, x := range e.exts {
+		x.file.Close()
+	}
 }
 
 // Kind implements core.Engine.
@@ -105,14 +113,15 @@ func (e *Engine) recover() error {
 		e.idx.addBranch(b.ID, bm)
 		idx := newPKIndex()
 		e.pk[b.ID] = idx
-		rec := record.New(e.env.Schema)
+		r := e.reader()
 		var scanErr error
 		bm.ForEach(func(slot int) bool {
-			if err := e.file.Read(int64(slot), rec.Bytes()); err != nil {
+			buf, _, err := r.read(int64(slot))
+			if err != nil {
 				scanErr = err
 				return false
 			}
-			idx.set(rec.PK(), int64(slot))
+			idx.set(record.PKOf(buf), int64(slot))
 			return true
 		})
 		if scanErr != nil {
@@ -160,14 +169,15 @@ func (e *Engine) Branch(child *vgraph.Branch, from *vgraph.Commit) error {
 		}
 	}
 	idx := newPKIndex()
-	rec := record.New(e.env.Schema)
+	r := e.reader()
 	var scanErr error
 	snap.ForEach(func(slot int) bool {
-		if err := e.file.Read(int64(slot), rec.Bytes()); err != nil {
+		buf, _, err := r.read(int64(slot))
+		if err != nil {
 			scanErr = err
 			return false
 		}
-		idx.set(rec.PK(), int64(slot))
+		idx.set(record.PKOf(buf), int64(slot))
 		return true
 	})
 	if scanErr != nil {
@@ -200,7 +210,11 @@ func (e *Engine) commitLocked(c *vgraph.Commit) error {
 		if err := log.Sync(); err != nil {
 			return err
 		}
-		return e.file.Sync()
+		for _, x := range e.exts {
+			if err := x.file.Sync(); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }
@@ -231,7 +245,20 @@ func (e *Engine) insertLocked(branch vgraph.BranchID, rec *record.Record) error 
 	if !ok {
 		return fmt.Errorf("tf: unknown branch %d", branch)
 	}
-	slot, err := e.file.Append(rec.Bytes())
+	// The branch writes at its head commit's schema generation; widen
+	// the shared heap's tail extent if the schema has grown past it.
+	if err := e.ensureExtentLocked(e.hist.NumPhysAt(e.env.BranchEpoch(branch))); err != nil {
+		return err
+	}
+	last := e.lastExt()
+	if n := last.schema.RecordSize(); len(e.insBuf) < n {
+		e.insBuf = make([]byte, n)
+	}
+	buf, err := e.hist.StorageBytes(rec, last.cols, e.insBuf[:last.schema.RecordSize()])
+	if err != nil {
+		return err
+	}
+	slot, err := e.appendLocked(buf)
 	if err != nil {
 		return err
 	}
@@ -271,20 +298,20 @@ func (e *Engine) Delete(branch vgraph.BranchID, pk int64) error {
 // clusters a branch's records, the skip becomes effective (Section
 // 5.5).
 func (e *Engine) ScanBranch(branch vgraph.BranchID, fn core.ScanFunc) error {
-	return e.ScanBranchPushdown(branch, e.passSpec(), fn)
+	return e.ScanBranchPushdown(branch, e.passSpec(e.env.BranchEpoch(branch)), fn)
 }
 
 // ScanCommit implements core.Engine: checkout the commit's bitmap from
 // the history file, then scan.
 func (e *Engine) ScanCommit(c *vgraph.Commit, fn core.ScanFunc) error {
-	return e.ScanCommitPushdown(c, e.passSpec(), fn)
+	return e.ScanCommitPushdown(c, e.passSpec(c.SchemaVer), fn)
 }
 
 // ScanMulti implements core.Engine (Query 4): one pass over the heap
 // file, emitting each live tuple annotated with the branches it is
 // active in.
 func (e *Engine) ScanMulti(branches []vgraph.BranchID, fn core.MultiScanFunc) error {
-	return e.ScanMultiPushdown(branches, e.passSpec(), fn)
+	return e.ScanMultiPushdown(branches, e.passSpec(e.env.MaxBranchEpoch(branches)), fn)
 }
 
 // Diff implements core.Engine (Query 2): "we simply XOR bitmaps
@@ -295,17 +322,39 @@ func (e *Engine) Diff(a, b vgraph.BranchID, fn core.DiffFunc) error {
 	colB := e.idx.column(b)
 	e.mu.Unlock()
 	x := bitmap.Xor(colA, colB)
-	schema := e.env.Schema
-	return e.file.ScanLive(x, func(slot int64, buf []byte) bool {
-		if !x.Get(int(slot)) {
-			return true
-		}
-		rec, err := record.FromBytes(schema, buf)
+	// The diff emits under the newer of the two heads' schemas; rows
+	// from older extents decode with defaults filled.
+	epoch := e.env.MaxBranchEpoch([]vgraph.BranchID{a, b})
+	var ferr error
+	err := e.scanExtents(func(ext *extent) (bool, error) {
+		cv, err := e.hist.Conv(ext.cols, epoch)
 		if err != nil {
-			return false
+			return false, err
 		}
-		return fn(rec, colA.Get(int(slot)))
+		scratch := cv.NewScratch()
+		cont := true
+		err = ext.file.ScanLive(offsetBitmap{bm: x, base: ext.base}, func(local int64, buf []byte) bool {
+			slot := ext.base + local
+			if !x.Get(int(slot)) {
+				return true
+			}
+			rec, err := record.FromBytes(cv.Out(), cv.Convert(buf, scratch))
+			if err != nil {
+				ferr = err
+				return false
+			}
+			if !fn(rec, colA.Get(int(slot))) {
+				cont = false
+				return false
+			}
+			return true
+		})
+		return cont, err
 	})
+	if err == nil {
+		err = ferr
+	}
+	return err
 }
 
 // Merge implements core.Engine following Section 3.2: the LCA commit's
@@ -331,6 +380,14 @@ func (e *Engine) Merge(into, other vgraph.BranchID, mc *vgraph.Commit, kind core
 	if err != nil {
 		return st, err
 	}
+	// Rows from the two branches (and the LCA) may span schema
+	// versions; resolve everything under the merge commit's schema and
+	// make sure the tail extent can hold materialized results.
+	epoch := mc.SchemaVer
+	if err := e.ensureExtentLocked(e.hist.NumPhysAt(epoch)); err != nil {
+		return st, err
+	}
+
 	bmA := e.idx.column(into)
 	bmB := e.idx.column(other)
 	changedA := bitmap.Xor(bmA, lcaBM)
@@ -342,16 +399,17 @@ func (e *Engine) Merge(into, other vgraph.BranchID, mc *vgraph.Commit, kind core
 		changedB bool
 	}
 	entries := make(map[int64]*entry)
-	recSize := int64(e.env.Schema.RecordSize())
+	recSize := int64(e.hist.VisibleAt(epoch).RecordSize())
 	collect := func(changed *bitmap.Bitmap, isA bool) error {
-		rec := record.New(e.env.Schema)
+		r := e.reader()
 		var err error
 		changed.ForEach(func(slot int) bool {
-			if err = e.file.Read(int64(slot), rec.Bytes()); err != nil {
+			var buf []byte
+			if buf, _, err = r.read(int64(slot)); err != nil {
 				return false
 			}
 			st.TuplesScanned++
-			pk := rec.PK()
+			pk := record.PKOf(buf)
 			en := entries[pk]
 			if en == nil {
 				en = &entry{lcaSlot: -1}
@@ -379,9 +437,10 @@ func (e *Engine) Merge(into, other vgraph.BranchID, mc *vgraph.Commit, kind core
 
 	idxA := e.pk[into]
 	idxB := e.pk[other]
+	mergeReader := e.reader()
 	readRec := func(slot int64) (*record.Record, error) {
-		rec := record.New(e.env.Schema)
-		if err := e.file.Read(slot, rec.Bytes()); err != nil {
+		rec, err := e.readRecAt(mergeReader, slot, epoch)
+		if err != nil {
 			return nil, err
 		}
 		st.TuplesScanned++
@@ -450,8 +509,17 @@ func (e *Engine) resolveConflict(pk, slotA, slotB, lcaSlot int64, into vgraph.Br
 		case recB != nil && rec.Equal(recB):
 			slot = slotB
 		default:
-			// Materialize the merged record at the end of the heap file.
-			if slot, err = e.file.Append(rec.Bytes()); err != nil {
+			// Materialize the merged record at the end of the heap,
+			// widened to the tail extent's physical layout.
+			last := e.lastExt()
+			if n := last.schema.RecordSize(); len(e.insBuf) < n {
+				e.insBuf = make([]byte, n)
+			}
+			var buf []byte
+			if buf, err = e.hist.StorageBytes(rec, last.cols, e.insBuf[:last.schema.RecordSize()]); err != nil {
+				return err
+			}
+			if slot, err = e.appendLocked(buf); err != nil {
 				return err
 			}
 			e.idx.appendTuple(slot)
@@ -501,10 +569,12 @@ func (e *Engine) Stats() (core.Stats, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	st := core.Stats{
-		Records:      e.file.Count(),
-		DataBytes:    e.file.SizeBytes(),
 		IndexBytes:   e.idx.bytes(),
-		SegmentCount: 1,
+		SegmentCount: len(e.exts),
+	}
+	for _, x := range e.exts {
+		st.Records += x.file.Count()
+		st.DataBytes += x.file.SizeBytes()
 	}
 	for b, idx := range e.pk {
 		st.IndexBytes += idx.bytes()
@@ -525,7 +595,12 @@ func (e *Engine) Stats() (core.Stats, error) {
 func (e *Engine) Flush() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.file.Flush()
+	for _, x := range e.exts {
+		if err := x.file.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Close implements core.Engine.
@@ -538,8 +613,10 @@ func (e *Engine) Close() error {
 			first = err
 		}
 	}
-	if err := e.file.Close(); err != nil && first == nil {
-		first = err
+	for _, x := range e.exts {
+		if err := x.file.Close(); err != nil && first == nil {
+			first = err
+		}
 	}
 	return first
 }

@@ -50,8 +50,8 @@ func (e *Engine) DumpKey(pk int64) string {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	var sb strings.Builder
-	rec := record.New(e.env.Schema)
 	for _, s := range e.segs {
+		rec := record.New(s.schema)
 		n := s.file.Count()
 		for slot := int64(0); slot < n; slot++ {
 			if err := s.file.Read(slot, rec.Bytes()); err != nil {

@@ -199,13 +199,10 @@ func (e *Engine) table(iv interval) (intervalTable, error) {
 		return t, nil
 	}
 	t := make(intervalTable)
-	schema := e.env.Schema
+	// Key extraction is schema-version-free: the primary key and the
+	// tombstone flag sit at fixed offsets in every physical layout.
 	err := e.segs[iv.Seg].file.Scan(iv.From, iv.To, func(slot int64, buf []byte) bool {
-		rec, err := record.FromBytes(schema, buf)
-		if err != nil {
-			return false
-		}
-		t[rec.PK()] = tableEntry{Slot: slot, Tombstone: rec.Tombstone()}
+		t[record.PKOf(buf)] = tableEntry{Slot: slot, Tombstone: record.TombstoneOf(buf)}
 		return true
 	})
 	if err != nil {

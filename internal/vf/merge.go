@@ -59,8 +59,11 @@ func (e *Engine) Merge(into, other vgraph.BranchID, mc *vgraph.Commit, kind core
 		return st, err
 	}
 
-	// Create the merged head segment with its two branch points.
-	d, err := e.newSegmentLocked(into)
+	// Create the merged head segment with its two branch points, at the
+	// physical layout of the merge commit's schema epoch (the newer of
+	// the two parents: rows inherited from the older side decode with
+	// defaults filled).
+	d, err := e.newSegmentLocked(into, e.hist.NumPhysAt(mc.SchemaVer))
 	if err != nil {
 		return st, err
 	}
@@ -104,14 +107,22 @@ func (e *Engine) Merge(into, other vgraph.BranchID, mc *vgraph.Commit, kind core
 		union[pk] = struct{}{}
 	}
 
-	recSize := int64(e.env.Schema.RecordSize())
+	// Records from the two sides (and the LCA) may be stored under
+	// different schema versions; resolve all of them under the merge
+	// commit's visible schema before comparing or three-way merging.
+	recSize := int64(e.hist.VisibleAt(mc.SchemaVer).RecordSize())
 	readAt := func(p pos) (*record.Record, error) {
-		rec := record.New(e.env.Schema)
-		if err := e.segs[p.Seg].file.Read(p.Slot, rec.Bytes()); err != nil {
+		s := e.segs[p.Seg]
+		buf := make([]byte, s.schema.RecordSize())
+		if err := s.file.Read(p.Slot, buf); err != nil {
+			return nil, err
+		}
+		cv, err := e.hist.Conv(s.cols, mc.SchemaVer)
+		if err != nil {
 			return nil, err
 		}
 		st.TuplesScanned++
-		return rec, nil
+		return cv.Materialize(buf), nil
 	}
 	// ensure applies the desired outcome for pk: nothing if the pure
 	// scan already agrees, an override otherwise.
@@ -198,16 +209,13 @@ func (e *Engine) Merge(into, other vgraph.BranchID, mc *vgraph.Commit, kind core
 			default:
 				// Materialize the resolved record into the merged head
 				// segment; its own interval outranks everything below.
-				slot, err := d.file.Append(res.Record.Bytes())
-				if err != nil {
+				if err := e.appendLocked(d, res.Record); err != nil {
 					return st, err
 				}
-				e.invalidateSeg(d.id)
 				st.Materialized++
 				// Appended records rank above overrides, so no override is
 				// needed — but the key may also be claimed by an override
 				// added for a different reason; appending is sufficient.
-				_ = slot
 			}
 			continue
 		}

@@ -24,20 +24,36 @@ var (
 
 // passSpec is the match-all, project-nothing spec the plain Scan*
 // entry points delegate through, so the engine has exactly one copy of
-// each scan loop.
-func (e *Engine) passSpec() *core.ScanSpec {
-	sp, err := core.NewScanSpec(e.env.Schema, nil, nil)
+// each scan loop. epoch selects the schema version records are emitted
+// under.
+func (e *Engine) passSpec(epoch int) *core.ScanSpec {
+	sp, err := core.NewScanSpecAt(e.hist, epoch, nil, nil)
 	if err != nil {
 		panic(err) // no projection: cannot fail
 	}
 	return sp
 }
 
-// emitSpec is emit with the spec evaluated on the raw buffer.
+// emitSpec is emit with the spec evaluated on the raw buffer. Buffers
+// from segments older than the spec's schema epoch are widened
+// (defaults filled) before the predicate sees them.
 func (e *Engine) emitSpec(live map[int64]pos, spec *core.ScanSpec, fn func(rec *record.Record, at pos) bool) error {
 	var ferr error
-	err := e.emit(live, func(rec *record.Record, at pos) bool {
-		out, err := spec.Apply(rec.Bytes())
+	var lastSeg *segment
+	var prep func([]byte) []byte
+	err := e.emit(live, func(buf []byte, seg *segment, at pos) bool {
+		if seg != lastSeg {
+			var err error
+			if prep, err = spec.Prep(seg.cols); err != nil {
+				ferr = err
+				return false
+			}
+			lastSeg = seg
+		}
+		if prep != nil {
+			buf = prep(buf)
+		}
+		out, err := spec.Apply(buf)
 		if err != nil {
 			ferr = err
 			return false
@@ -127,15 +143,14 @@ func (e *Engine) ScanMultiPushdown(branches []vgraph.BranchID, spec *core.ScanSp
 func (e *Engine) InsertBatch(branch vgraph.BranchID, recs []*record.Record) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	s, _, err := e.headLocked(branch)
+	s, err := e.writeHeadLocked(branch)
 	if err != nil {
 		return err
 	}
 	for _, rec := range recs {
-		if _, err := s.file.Append(rec.Bytes()); err != nil {
+		if err := e.appendLocked(s, rec); err != nil {
 			return err
 		}
 	}
-	e.invalidateSeg(s.id)
 	return nil
 }

@@ -46,13 +46,17 @@ type link struct {
 	PrecedenceFirst bool            `json:"precedenceFirst,omitempty"`
 }
 
-// segMeta is the persisted description of one segment.
+// segMeta is the persisted description of one segment. Cols is the
+// segment's schema-version id: the number of physical columns its
+// records are encoded with (0 in catalogs from before schema
+// versioning, meaning the table's full layout).
 type segMeta struct {
 	ID        segID           `json:"id"`
 	Branch    vgraph.BranchID `json:"branch"`
 	HasLink   bool            `json:"hasLink"`
 	Link      link            `json:"link"`
 	SafeCount int64           `json:"safeCount"` // slots valid at last persist; reopen truncates past this
+	Cols      int             `json:"cols,omitempty"`
 	Overrides []override      `json:"overrides,omitempty"`
 }
 
@@ -70,6 +74,8 @@ type segment struct {
 	id        segID
 	branch    vgraph.BranchID
 	file      *heap.File
+	cols      int // physical schema columns records here are encoded with
+	schema    *record.Schema
 	hasLink   bool
 	link      link
 	overrides []override
@@ -77,8 +83,9 @@ type segment struct {
 
 // Engine is the version-first storage engine.
 type Engine struct {
-	mu  sync.Mutex
-	env *core.Env
+	mu   sync.Mutex
+	env  *core.Env
+	hist *record.History
 
 	segs     []*segment
 	byBranch map[vgraph.BranchID]segID
@@ -87,6 +94,8 @@ type Engine struct {
 	// cache holds resolved per-interval key tables for frozen intervals;
 	// entries for a segment are dropped when it takes new appends.
 	cache map[intervalKey]intervalTable
+
+	insBuf []byte // storage-conversion scratch for appends; guarded by mu
 }
 
 func init() { core.RegisterEngine("version-first", Factory, "vf") }
@@ -95,6 +104,7 @@ func init() { core.RegisterEngine("version-first", Factory, "vf") }
 func Factory(env *core.Env) (core.Engine, error) {
 	e := &Engine{
 		env:      env,
+		hist:     env.History(),
 		byBranch: make(map[vgraph.BranchID]segID),
 		commits:  make(map[vgraph.CommitID]pos),
 		cache:    make(map[intervalKey]intervalTable),
@@ -145,7 +155,7 @@ func (e *Engine) persistLocked() error {
 	for _, s := range e.segs {
 		m.Segments = append(m.Segments, segMeta{
 			ID: s.id, Branch: s.branch, HasLink: s.hasLink, Link: s.link,
-			SafeCount: safe[s.id], Overrides: s.overrides,
+			SafeCount: safe[s.id], Cols: s.cols, Overrides: s.overrides,
 		})
 	}
 	data, err := json.Marshal(&m)
@@ -188,7 +198,17 @@ func (e *Engine) recover() error {
 	}
 	sort.Slice(m.Segments, func(i, j int) bool { return m.Segments[i].ID < m.Segments[j].ID })
 	for _, sm := range m.Segments {
-		f, err := heap.Open(e.env.Pool, e.segPath(sm.ID), e.env.Schema.RecordSize())
+		cols := sm.Cols
+		if cols == 0 {
+			// Catalog from before schema versioning: the table has a
+			// single version, so every segment uses the full layout.
+			cols = e.hist.PhysCols()
+		}
+		schema, err := e.hist.PhysByCount(cols)
+		if err != nil {
+			return fmt.Errorf("vf: segment %d: %w", sm.ID, err)
+		}
+		f, err := heap.Open(e.env.Pool, e.segPath(sm.ID), schema.RecordSize())
 		if err != nil {
 			return err
 		}
@@ -198,8 +218,8 @@ func (e *Engine) recover() error {
 			}
 		}
 		e.segs = append(e.segs, &segment{
-			id: sm.ID, branch: sm.Branch, file: f, hasLink: sm.HasLink, link: sm.Link,
-			overrides: sm.Overrides,
+			id: sm.ID, branch: sm.Branch, file: f, cols: cols, schema: schema,
+			hasLink: sm.HasLink, link: sm.Link, overrides: sm.Overrides,
 		})
 	}
 	e.byBranch = m.ByBranch
@@ -213,14 +233,20 @@ func (e *Engine) recover() error {
 	return nil
 }
 
-// newSegmentLocked creates a fresh segment file for a branch.
-func (e *Engine) newSegmentLocked(branch vgraph.BranchID) (*segment, error) {
-	id := segID(len(e.segs))
-	f, err := heap.Open(e.env.Pool, e.segPath(id), e.env.Schema.RecordSize())
+// newSegmentLocked creates a fresh segment file for a branch, encoded
+// under the physical layout with cols columns (the segment's
+// schema-version id).
+func (e *Engine) newSegmentLocked(branch vgraph.BranchID, cols int) (*segment, error) {
+	schema, err := e.hist.PhysByCount(cols)
 	if err != nil {
 		return nil, err
 	}
-	s := &segment{id: id, branch: branch, file: f}
+	id := segID(len(e.segs))
+	f, err := heap.Open(e.env.Pool, e.segPath(id), schema.RecordSize())
+	if err != nil {
+		return nil, err
+	}
+	s := &segment{id: id, branch: branch, file: f, cols: cols, schema: schema}
 	e.segs = append(e.segs, s)
 	return s, nil
 }
@@ -229,7 +255,7 @@ func (e *Engine) newSegmentLocked(branch vgraph.BranchID) (*segment, error) {
 func (e *Engine) Init(master *vgraph.Branch, c0 *vgraph.Commit) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	s, err := e.newSegmentLocked(master.ID)
+	s, err := e.newSegmentLocked(master.ID, e.hist.PhysCols())
 	if err != nil {
 		return err
 	}
@@ -249,7 +275,7 @@ func (e *Engine) Branch(child *vgraph.Branch, from *vgraph.Commit) error {
 	if !ok {
 		return fmt.Errorf("vf: commit %d has no recorded offset", from.ID)
 	}
-	s, err := e.newSegmentLocked(child.ID)
+	s, err := e.newSegmentLocked(child.ID, e.hist.NumPhysAt(from.SchemaVer))
 	if err != nil {
 		return err
 	}
@@ -287,20 +313,62 @@ func (e *Engine) headLocked(b vgraph.BranchID) (*segment, int64, error) {
 	return s, s.file.Count(), nil
 }
 
+// writeHeadLocked returns the branch's head segment, first rotating it
+// when a committed schema change has widened the branch's storage
+// generation since the segment was created: the old head becomes an
+// ordinary parent in the lineage (its pages are never rewritten) and a
+// fresh segment at the new layout takes subsequent appends.
+func (e *Engine) writeHeadLocked(branch vgraph.BranchID) (*segment, error) {
+	s, _, err := e.headLocked(branch)
+	if err != nil {
+		return nil, err
+	}
+	need := e.hist.NumPhysAt(e.env.BranchEpoch(branch))
+	if s.cols >= need {
+		return s, nil
+	}
+	ns, err := e.newSegmentLocked(branch, need)
+	if err != nil {
+		return nil, err
+	}
+	var headCommit vgraph.CommitID
+	if b, ok := e.env.Graph.Branch(branch); ok {
+		headCommit = b.Head
+	}
+	ns.hasLink = true
+	ns.link = link{ParentSeg: s.id, ParentSlot: s.file.Count(), ParentCommit: headCommit}
+	e.byBranch[branch] = ns.id
+	return ns, e.persistLocked()
+}
+
+// appendLocked encodes rec under the segment's physical layout
+// (widening older-schema records with declared defaults) and appends
+// it.
+func (e *Engine) appendLocked(s *segment, rec *record.Record) error {
+	if n := s.schema.RecordSize(); len(e.insBuf) < n {
+		e.insBuf = make([]byte, n)
+	}
+	buf, err := e.hist.StorageBytes(rec, s.cols, e.insBuf[:s.schema.RecordSize()])
+	if err != nil {
+		return err
+	}
+	if _, err := s.file.Append(buf); err != nil {
+		return err
+	}
+	e.invalidateSeg(s.id)
+	return nil
+}
+
 // Insert implements core.Engine: "tuple inserts and updates are
 // appended to the end of the segment file for the updated branch".
 func (e *Engine) Insert(branch vgraph.BranchID, rec *record.Record) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	s, _, err := e.headLocked(branch)
+	s, err := e.writeHeadLocked(branch)
 	if err != nil {
 		return err
 	}
-	if _, err := s.file.Append(rec.Bytes()); err != nil {
-		return err
-	}
-	e.invalidateSeg(s.id)
-	return nil
+	return e.appendLocked(s, rec)
 }
 
 // Delete implements core.Engine: "when a tuple is deleted, we insert a
@@ -308,11 +376,11 @@ func (e *Engine) Insert(branch vgraph.BranchID, rec *record.Record) error {
 func (e *Engine) Delete(branch vgraph.BranchID, pk int64) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	s, _, err := e.headLocked(branch)
+	s, err := e.writeHeadLocked(branch)
 	if err != nil {
 		return err
 	}
-	tomb := record.New(e.env.Schema)
+	tomb := record.New(s.schema)
 	tomb.SetPK(pk)
 	tomb.SetTombstone(true)
 	if _, err := s.file.Append(tomb.Bytes()); err != nil {
@@ -324,8 +392,9 @@ func (e *Engine) Delete(branch vgraph.BranchID, pk int64) error {
 
 // emit reads the live set's record copies segment by segment in slot
 // order (the second, sequential pass of the paper's scanner) and feeds
-// them to fn annotated with their position.
-func (e *Engine) emit(live map[int64]pos, fn func(rec *record.Record, at pos) bool) error {
+// fn the raw stored buffer, its segment (whose cols identify the
+// schema version the bytes are encoded under) and its position.
+func (e *Engine) emit(live map[int64]pos, fn func(buf []byte, seg *segment, at pos) bool) error {
 	bySeg := make(map[segID][]int64)
 	for _, p := range live {
 		bySeg[p.Seg] = append(bySeg[p.Seg], p.Slot)
@@ -335,16 +404,23 @@ func (e *Engine) emit(live map[int64]pos, fn func(rec *record.Record, at pos) bo
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	rec := record.New(e.env.Schema)
+	// Snapshot the segment table under the lock: a concurrent insert
+	// may rotate the branch head (appending a segment) mid-emit, and
+	// published segments are immutable, so the snapshot stays
+	// consistent for the ids the live set references.
+	e.mu.Lock()
+	segs := e.segs
+	e.mu.Unlock()
 	for _, id := range ids {
 		slots := bySeg[id]
 		sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
-		f := e.segs[id].file
+		s := segs[id]
+		buf := make([]byte, s.schema.RecordSize())
 		for _, slot := range slots {
-			if err := f.Read(slot, rec.Bytes()); err != nil {
+			if err := s.file.Read(slot, buf); err != nil {
 				return err
 			}
-			if !fn(rec, pos{Seg: id, Slot: slot}) {
+			if !fn(buf, s, pos{Seg: id, Slot: slot}) {
 				return nil
 			}
 		}
@@ -354,12 +430,12 @@ func (e *Engine) emit(live map[int64]pos, fn func(rec *record.Record, at pos) bo
 
 // ScanBranch implements core.Engine (Query 1).
 func (e *Engine) ScanBranch(branch vgraph.BranchID, fn core.ScanFunc) error {
-	return e.ScanBranchPushdown(branch, e.passSpec(), fn)
+	return e.ScanBranchPushdown(branch, e.passSpec(e.env.BranchEpoch(branch)), fn)
 }
 
 // ScanCommit implements core.Engine: checkout by offset.
 func (e *Engine) ScanCommit(c *vgraph.Commit, fn core.ScanFunc) error {
-	return e.ScanCommitPushdown(c, e.passSpec(), fn)
+	return e.ScanCommitPushdown(c, e.passSpec(c.SchemaVer), fn)
 }
 
 // ScanMulti implements core.Engine (Query 4). This is the paper's
@@ -368,7 +444,7 @@ func (e *Engine) ScanCommit(c *vgraph.Commit, fn core.ScanFunc) error {
 // the interval cache), the second pass reads the union sequentially and
 // emits each record copy with its branch membership.
 func (e *Engine) ScanMulti(branches []vgraph.BranchID, fn core.MultiScanFunc) error {
-	return e.ScanMultiPushdown(branches, e.passSpec(), fn)
+	return e.ScanMultiPushdown(branches, e.passSpec(e.env.MaxBranchEpoch(branches)), fn)
 }
 
 // Diff implements core.Engine (Query 2). Version-first resolves both
@@ -410,10 +486,46 @@ func (e *Engine) Diff(a, b vgraph.BranchID, fn core.DiffFunc) error {
 			onlyB[pk] = p
 		}
 	}
-	if err := e.emit(onlyA, func(rec *record.Record, _ pos) bool { return fn(rec, true) }); err != nil {
+	// Emit under the newer of the two heads' schemas, widening rows
+	// stored under older segment layouts.
+	epoch := e.env.MaxBranchEpoch([]vgraph.BranchID{a, b})
+	emitConv := func(live map[int64]pos, inA bool) error {
+		var ferr error
+		var lastSeg *segment
+		var cv *record.Conv
+		var scratch []byte
+		err := e.emit(live, func(buf []byte, seg *segment, _ pos) bool {
+			if seg != lastSeg {
+				var err error
+				if cv, err = e.hist.Conv(seg.cols, epoch); err != nil {
+					ferr = err
+					return false
+				}
+				if !cv.Identity() {
+					scratch = cv.NewScratch()
+				}
+				lastSeg = seg
+			}
+			out := buf
+			if !cv.Identity() {
+				out = cv.Convert(buf, scratch)
+			}
+			rec, err := record.FromBytes(cv.Out(), out)
+			if err != nil {
+				ferr = err
+				return false
+			}
+			return fn(rec, inA)
+		})
+		if err == nil {
+			err = ferr
+		}
 		return err
 	}
-	return e.emit(onlyB, func(rec *record.Record, _ pos) bool { return fn(rec, false) })
+	if err := emitConv(onlyA, true); err != nil {
+		return err
+	}
+	return emitConv(onlyB, false)
 }
 
 // Stats implements core.Engine.

@@ -40,6 +40,11 @@ type Commit struct {
 	Message string     `json:"message"`
 	Depth   int        `json:"depth"`          // longest path from the init commit
 	Time    int64      `json:"time,omitempty"` // creation time, Unix seconds (0 in pre-existing graphs)
+	// SchemaVer is the dataset schema epoch in effect at this commit:
+	// inherited from the first parent (the max of both parents for
+	// merges), bumped when the commit itself carries schema changes.
+	// Reads "as of" this commit resolve the catalog at this epoch.
+	SchemaVer int `json:"schemaVer,omitempty"`
 	// PrecedenceFirst applies to merge commits: true if Parents[0] (the
 	// branch merged into) wins conflicting fields, the paper's default
 	// precedence policy.
@@ -195,6 +200,14 @@ func (g *Graph) NewBranch(name string, from CommitID) (*Branch, error) {
 // not allowed to non-head versions of branches"), which this enforces
 // by construction.
 func (g *Graph) NewCommit(branch BranchID, message string) (*Commit, error) {
+	return g.NewCommitSchema(branch, message, -1)
+}
+
+// NewCommitSchema is NewCommit with an explicit schema epoch stamp:
+// schemaVer >= 0 marks the commit as carrying schema changes up to
+// that epoch, while -1 inherits the branch head's epoch (the common
+// case — most commits change data, not schema).
+func (g *Graph) NewCommitSchema(branch BranchID, message string, schemaVer int) (*Commit, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	b, ok := g.branches[branch]
@@ -202,19 +215,39 @@ func (g *Graph) NewCommit(branch BranchID, message string) (*Commit, error) {
 		return nil, fmt.Errorf("vgraph: branch %d does not exist", branch)
 	}
 	head := g.commits[b.Head]
+	if schemaVer < 0 {
+		schemaVer = head.SchemaVer
+	}
 	c := &Commit{
-		ID:      g.nextC,
-		Parents: []CommitID{b.Head},
-		Branch:  branch,
-		Seq:     g.seqOnBranchLocked(branch),
-		Message: message,
-		Depth:   head.Depth + 1,
-		Time:    time.Now().Unix(),
+		ID:        g.nextC,
+		Parents:   []CommitID{b.Head},
+		Branch:    branch,
+		Seq:       g.seqOnBranchLocked(branch),
+		Message:   message,
+		Depth:     head.Depth + 1,
+		Time:      time.Now().Unix(),
+		SchemaVer: schemaVer,
 	}
 	g.nextC++
 	g.commits[c.ID] = c
 	b.Head = c.ID
 	return c, g.persistLocked()
+}
+
+// MaxSchemaVer returns the newest schema epoch any commit is stamped
+// with — the dataset's committed schema epoch. Crash recovery rolls
+// catalog histories back to this point, so schema changes whose commit
+// never made it to the graph disappear with their commit.
+func (g *Graph) MaxSchemaVer() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	max := 0
+	for _, c := range g.commits {
+		if c.SchemaVer > max {
+			max = c.SchemaVer
+		}
+	}
+	return max
 }
 
 // seqOnBranchLocked counts prior commits made on the branch (the
@@ -251,6 +284,12 @@ func (g *Graph) NewMergeCommit(into, other BranchID, message string, precedenceF
 	if od := g.commits[bo.Head].Depth; od > d {
 		d = od
 	}
+	// A merge adopts the newer schema epoch of its two parents: rows
+	// inherited from the older side decode with defaults filled.
+	sv := g.commits[bi.Head].SchemaVer
+	if osv := g.commits[bo.Head].SchemaVer; osv > sv {
+		sv = osv
+	}
 	c := &Commit{
 		ID:              g.nextC,
 		Parents:         []CommitID{bi.Head, bo.Head},
@@ -259,6 +298,7 @@ func (g *Graph) NewMergeCommit(into, other BranchID, message string, precedenceF
 		Message:         message,
 		Depth:           d + 1,
 		Time:            time.Now().Unix(),
+		SchemaVer:       sv,
 		PrecedenceFirst: precedenceFirst,
 	}
 	g.nextC++

@@ -50,6 +50,22 @@ func (b *SchemaBuilder) Bytes(name string, size int) *SchemaBuilder {
 	return b
 }
 
+// Int32Column describes a 4-byte signed integer column, for
+// Tx.AddColumn.
+func Int32Column(name string) Column { return Column{Name: name, Type: record.Int32} }
+
+// Int64Column describes an 8-byte signed integer column.
+func Int64Column(name string) Column { return Column{Name: name, Type: record.Int64} }
+
+// Float64Column describes an 8-byte IEEE 754 double column.
+func Float64Column(name string) Column { return Column{Name: name, Type: record.Float64} }
+
+// BytesColumn describes a fixed-capacity byte-string column holding
+// values up to size bytes.
+func BytesColumn(name string, size int) Column {
+	return Column{Name: name, Type: record.Bytes, Size: size}
+}
+
 // Build validates and returns the schema.
 func (b *SchemaBuilder) Build() (*Schema, error) {
 	return record.NewSchema(b.cols...)

@@ -1,0 +1,42 @@
+#!/bin/sh
+# bench-compare.sh — compare two bench-json.sh outputs and fail when
+# the candidate is more than THRESHOLD_PCT percent slower than the
+# baseline on the geometric mean across shared benchmarks. This is the
+# CI regression gate guarding the pushdown fast paths.
+#
+# Usage: sh scripts/bench-compare.sh BENCH_baseline.json BENCH_pr.json
+set -eu
+
+BASE="${1:?usage: bench-compare.sh baseline.json candidate.json}"
+CAND="${2:?usage: bench-compare.sh baseline.json candidate.json}"
+THRESHOLD_PCT="${THRESHOLD_PCT:-25}"
+
+# Flatten {"benchmarks":[{"name":...,"ns_per_op":...}]} to "name ns" lines.
+flat() {
+    tr '{' '\n' < "$1" | sed -n \
+        's/.*"name":"\([^"]*\)".*"ns_per_op":\([0-9.]*\).*/\1 \2/p'
+}
+
+flat "$BASE" > /tmp/bench_base.$$
+flat "$CAND" > /tmp/bench_cand.$$
+trap 'rm -f /tmp/bench_base.$$ /tmp/bench_cand.$$' EXIT
+
+awk -v threshold="$THRESHOLD_PCT" '
+NR == FNR { base[$1] = $2; next }
+{
+    if (!($1 in base) || base[$1] <= 0 || $2 <= 0) next
+    ratio = $2 / base[$1]
+    printf "%-70s %12.1f -> %12.1f ns/op  (%+.1f%%)\n", $1, base[$1], $2, (ratio - 1) * 100
+    logsum += log(ratio)
+    n++
+}
+END {
+    if (n == 0) { print "bench-compare: no shared benchmarks between the two files"; exit 1 }
+    geo = exp(logsum / n)
+    printf "geomean ratio: %.3f over %d benchmarks (gate: %.2f)\n", geo, n, 1 + threshold / 100
+    if (geo > 1 + threshold / 100) {
+        printf "bench-compare: FAIL — candidate is %.1f%% slower than baseline (threshold %s%%)\n", (geo - 1) * 100, threshold
+        exit 1
+    }
+    print "bench-compare: OK"
+}' /tmp/bench_base.$$ /tmp/bench_cand.$$

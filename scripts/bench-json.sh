@@ -1,0 +1,49 @@
+#!/bin/sh
+# bench-json.sh — run the query benchmarks and emit their results as
+# JSON, so CI can record the perf trajectory as an artifact and the
+# regression gate can diff runs.
+#
+# Usage: sh scripts/bench-json.sh [out.json]
+#
+# Environment:
+#   BENCH     benchmark regexp           (default 'BenchmarkMultiBranchScan|BenchmarkQueryShapes')
+#   BENCHTIME -benchtime value           (default 3x)
+#   COUNT     -count value               (default 3)
+#   PKG       package to benchmark       (default ./bench)
+#
+# Output schema: {"benchmarks":[{"name":"...","ns_per_op":N}, ...]}
+# with one entry per benchmark name, ns_per_op the minimum across
+# -count runs (minimum is the stable estimator on noisy CI machines).
+set -eu
+
+OUT="${1:-BENCH_pr.json}"
+BENCH="${BENCH:-BenchmarkMultiBranchScan|BenchmarkQueryShapes}"
+BENCHTIME="${BENCHTIME:-3x}"
+COUNT="${COUNT:-3}"
+PKG="${PKG:-./bench}"
+
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+go test -run='^$' -bench="$BENCH" -benchtime="$BENCHTIME" -count="$COUNT" "$PKG" | tee "$TMP" >&2
+
+awk '
+/^Benchmark/ && $4 == "ns/op" {
+    name = $1
+    sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
+    ns = $3 + 0
+    if (!(name in best) || ns < best[name]) best[name] = ns
+    if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+}
+END {
+    if (n == 0) { print "bench-json: no benchmark results parsed" > "/dev/stderr"; exit 1 }
+    printf "{\"benchmarks\":[";
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        printf "%s{\"name\":\"%s\",\"ns_per_op\":%.1f}", (i > 1 ? "," : ""), name, best[name]
+    }
+    printf "]}\n"
+}' "$TMP" > "$OUT"
+
+echo "bench-json: wrote $OUT" >&2
+cat "$OUT"

@@ -104,6 +104,53 @@ func (tx *Tx) Rows(table string) (iter.Seq[*Record], func() error) {
 	return seq, func() error { return err }
 }
 
+// ColumnDefault carries the default value of a column added by
+// Tx.AddColumn; build one with Default.
+type ColumnDefault struct{ v any }
+
+// Default declares the value existing records show for a column added
+// after they were stored: integers for Int32/Int64 columns, floats
+// (or integers) for Float64, strings or []byte for Bytes. Omitting the
+// default yields the column type's zero value.
+func Default(v any) ColumnDefault { return ColumnDefault{v: v} }
+
+// AddColumn evolves the named table's schema: from the commit this
+// transaction produces, the table has the new column, appended after
+// every existing one. Records stored before the change are never
+// rewritten — reads fill the declared default — and reads of earlier
+// commits (RowsAt, Query...At) keep the schema as of then, so a query
+// At a version predating the column fails with ErrColumnNotYetAdded.
+// Only the branch this transaction commits to (and branches that later
+// merge it) see the new column; other branches keep their shape until
+// they do, which is how branched datasets diverge structurally.
+//
+// The change applies atomically at commit: inserts inside the same
+// transaction still write the old shape, and the column becomes
+// writable from the next transaction on the branch. An aborted
+// transaction discards it.
+//
+// Schema evolution forms one linear chain of versions per dataset: a
+// branch may only commit a schema change if its head has adopted every
+// earlier change (made them itself, or merged the branch that did).
+// Committing a change on a branch that diverged from the newest schema
+// fails with ErrSchemaChange — merge the evolving branch first.
+func (tx *Tx) AddColumn(table string, col Column, def ...ColumnDefault) error {
+	var v any
+	if len(def) > 0 {
+		v = def[0].v
+	}
+	return tx.session.AddColumn(table, col, v)
+}
+
+// DropColumn queues a logical drop of the named column: from the
+// commit this transaction produces, the column disappears from the
+// table's visible schema. Stored records keep its bytes and reads at
+// earlier versions still see it; the name stays reserved. The primary
+// key cannot be dropped.
+func (tx *Tx) DropColumn(table, column string) error {
+	return tx.session.DropColumn(table, column)
+}
+
 // Branch returns the name of the branch the transaction writes to.
 func (tx *Tx) Branch() string { return tx.branch }
 
