@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"iter"
 
+	"decibel/internal/core"
 	iquery "decibel/internal/query"
 	"decibel/internal/record"
 )
@@ -108,6 +109,26 @@ func (q *Query) Select(cols ...string) *Query {
 	return q
 }
 
+// OrderBy sorts the rows Rows/Diff emit by the named column,
+// ascending (desc flips the direction; NaN orders below every number).
+// The column must exist at the addressed version — unknown names fail
+// at plan time with ErrNoSuchColumn — and must survive Select. OrderBy
+// requires a gather, so combine it with Limit where possible: together
+// they run as a bounded top-k heap instead of a full sort.
+func (q *Query) OrderBy(col string, desc bool) *Query {
+	q.plan.OrderCol = col
+	q.plan.OrderDesc = desc
+	return q
+}
+
+// Limit caps the number of rows Rows/Diff emit. Without OrderBy the
+// scan simply stops early; with it, the query keeps the first n rows
+// of the ordered output via a top-k heap.
+func (q *Query) Limit(n int) *Query {
+	q.plan.Limit = n
+	return q
+}
+
 // compile resolves the plan against the database.
 func (q *Query) compile() (*iquery.Compiled, error) {
 	return q.plan.Compile(q.db.Database)
@@ -140,13 +161,15 @@ func (q *Query) RowsContext(ctx context.Context) (iter.Seq[*Record], func() erro
 	if err != nil {
 		return errSeq(err)
 	}
+	scan := func(fn core.ScanFunc) error {
+		if q.plan.AllHeads || len(q.plan.Branches) > 1 {
+			return c.ScanMulti(ctx, func(rec *record.Record, _ *Bitmap) bool { return fn(rec) })
+		}
+		return c.Scan(ctx, fn)
+	}
 	var scanErr error
 	seq := func(yield func(*Record) bool) {
-		if q.plan.AllHeads || len(q.plan.Branches) > 1 {
-			scanErr = c.ScanMulti(ctx, func(rec *record.Record, _ *Bitmap) bool { return yield(rec) })
-		} else {
-			scanErr = c.Scan(ctx, func(rec *record.Record) bool { return yield(rec) })
-		}
+		scanErr = c.EmitOrdered(scan, func(rec *record.Record) bool { return yield(rec) })
 	}
 	return seq, func() error { return scanErr }
 }
@@ -163,6 +186,9 @@ func (q *Query) Annotated() (iter.Seq2[*Record, []string], func() error) {
 
 // AnnotatedContext is Annotated bounded by a context.
 func (q *Query) AnnotatedContext(ctx context.Context) (iter.Seq2[*Record, []string], func() error) {
+	if q.plan.OrderCol != "" || q.plan.Limit > 0 {
+		return errSeq2[*Record, []string](fmt.Errorf("%w: OrderBy/Limit do not apply to Annotated", ErrBadQuery))
+	}
 	c, err := q.compile()
 	if err != nil {
 		return errSeq2[*Record, []string](err)
@@ -197,9 +223,10 @@ func (q *Query) DiffContext(ctx context.Context, a, b string) (iter.Seq[*Record]
 	if err != nil {
 		return errSeq(err)
 	}
+	scan := func(fn core.ScanFunc) error { return c.Diff(ctx, fn) }
 	var scanErr error
 	seq := func(yield func(*Record) bool) {
-		scanErr = c.Diff(ctx, func(rec *record.Record) bool { return yield(rec) })
+		scanErr = c.EmitOrdered(scan, func(rec *record.Record) bool { return yield(rec) })
 	}
 	return seq, func() error { return scanErr }
 }

@@ -20,8 +20,9 @@
 //	decibel -dir data alter <branch> add price:float64=9.5
 //	decibel -dir data alter <branch> drop <col>
 //	decibel -dir data select [table] -branch a,b -where 'price<9.5' -cols sku,price
+//	decibel -dir data select [table] -diff dev,master -where 'price<9.5' -order price:desc -limit 10
 //	decibel -dir data log [branch]
-//	decibel -dir data stats
+//	decibel -dir data stats [table]
 //	decibel help
 //
 // Column types in init are name:type pairs; type is one of int32,
@@ -71,13 +72,18 @@ commands:
                                -branch a[,b,...]  branch head(s) to scan
                                -heads             scan every branch head
                                -at <n>            the n-th commit on the branch
+                               -diff a,b          records at a's head but not b's
+                                                  (-where runs inside the diff scan)
                                -where <expr>      conjuncts joined by &&, each
                                                   col{=|!=|<|<=|>|>=|^=}value
                                -cols a,b          project named columns
+                               -order col[:desc]  sort the output by a column
+                               -limit <n>         emit at most n rows
                                -count             print the count only
   log [branch]               list branches and commit counts; with a
                              branch, its commits (seq, id, time, message)
-  stats                      storage statistics
+  stats [table]              storage statistics; with a table, its
+                             per-segment zone-map summaries
   help                       print this help
 
 flags:
@@ -527,6 +533,22 @@ func run(dir, engine, table string, args []string) error {
 		fmt.Printf("index bytes:    %d\n", st.IndexBytes)
 		fmt.Printf("history bytes:  %d\n", st.CommitBytes)
 		fmt.Printf("segments:       %d\n", st.SegmentCount)
+		// stats <table>: per-segment zone-map summaries (what predicate
+		// pushdown prunes scans with).
+		if len(rest) == 1 {
+			t, err := db.TableByName(rest[0])
+			if err != nil {
+				return err
+			}
+			segs := t.SegmentStats()
+			fmt.Printf("\ntable %q: %d segments (zone maps; * marks open append heads)\n", rest[0], len(segs))
+			for _, sg := range segs {
+				fmt.Printf("  %-22s rows=%-7d schema-cols=%d\n", sg.Name, sg.Rows, sg.Cols)
+				for _, z := range sg.Zones {
+					fmt.Printf("    %-14s [%s .. %s]\n", z.Column, z.Min, z.Max)
+				}
+			}
+		}
 		return nil
 
 	default:
@@ -543,8 +565,11 @@ func runSelect(db *decibel.DB, table string, args []string) error {
 	branches := fs.String("branch", "", "comma-separated branch name(s) to scan")
 	heads := fs.Bool("heads", false, "scan every branch head (HEAD() query)")
 	at := fs.Int("at", -1, "historical commit seq on the single branch")
+	diff := fs.String("diff", "", "a,b: positive diff — records live at a's head but not b's (-where/-cols apply)")
 	where := fs.String("where", "", "predicate: conjuncts joined by &&, each col{=|!=|<|<=|>|>=|^=}value")
 	cols := fs.String("cols", "", "comma-separated columns to project")
+	order := fs.String("order", "", "column to sort the output by; append ':desc' to reverse")
+	limit := fs.Int("limit", 0, "emit at most this many rows (0 = all)")
 	count := fs.Bool("count", false, "print only the matching record count")
 	// Accept "select <table> -flags" and "select -flags <table>".
 	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
@@ -564,7 +589,17 @@ func runSelect(db *decibel.DB, table string, args []string) error {
 	}
 	q := db.Query(table)
 	multi := *heads
+	isDiff := *diff != ""
+	var diffA, diffB string
 	switch {
+	case isDiff && (*heads || *branches != "" || *at >= 0):
+		return fmt.Errorf("-diff cannot combine with -heads, -branch or -at")
+	case isDiff:
+		var ok bool
+		diffA, diffB, ok = strings.Cut(*diff, ",")
+		if !ok || diffA == "" || diffB == "" {
+			return fmt.Errorf("-diff wants two branch names: -diff a,b")
+		}
 	case *heads && *branches != "":
 		return fmt.Errorf("-heads and -branch are mutually exclusive")
 	case *heads:
@@ -588,6 +623,35 @@ func runSelect(db *decibel.DB, table string, args []string) error {
 	}
 	if *cols != "" {
 		q = q.Select(strings.Split(*cols, ",")...)
+	}
+	if *order != "" {
+		col, dir, _ := strings.Cut(*order, ":")
+		if dir != "" && dir != "asc" && dir != "desc" {
+			return fmt.Errorf("-order %q: direction must be asc or desc", *order)
+		}
+		q = q.OrderBy(col, dir == "desc")
+	}
+	if *limit > 0 {
+		q = q.Limit(*limit)
+	}
+
+	if isDiff {
+		// The positive diff of Query 2, with -where evaluated inside the
+		// engines' XOR/lineage diff scans (predicate pushdown) and
+		// -cols/-order/-limit applied to the emitted side.
+		rows, qErr := q.Diff(diffA, diffB)
+		n := 0
+		for rec := range rows {
+			if !*count {
+				fmt.Println(rec.String())
+			}
+			n++
+		}
+		if err := qErr(); err != nil {
+			return err
+		}
+		fmt.Printf("%d records in %s but not %s\n", n, diffA, diffB)
+		return nil
 	}
 
 	if *count {

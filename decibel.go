@@ -54,6 +54,7 @@ import (
 	"decibel/internal/bitmap"
 	"decibel/internal/core"
 	"decibel/internal/record"
+	"decibel/internal/store"
 	"decibel/internal/vgraph"
 
 	// Link the three storage engines into every facade consumer; each
@@ -134,6 +135,11 @@ type (
 
 	// DiffFunc receives diff records; inA marks the positive side.
 	DiffFunc = core.DiffFunc
+
+	// SegmentStat summarizes one storage segment — row count, schema
+	// version id, freeze state and per-column zone map — for
+	// diagnostics; see Table.SegmentStats and the CLI's `stats`.
+	SegmentStat = store.SegmentStat
 )
 
 // Column types. Int32 and Int64 are read and written with Record.Get

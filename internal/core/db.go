@@ -13,6 +13,7 @@ import (
 	"decibel/internal/heap"
 	"decibel/internal/lock"
 	"decibel/internal/record"
+	"decibel/internal/store"
 	"decibel/internal/vgraph"
 	"decibel/internal/wal"
 )
@@ -672,6 +673,24 @@ func (t *Table) MaxBranchEpoch(branches []vgraph.BranchID) int {
 		}
 	}
 	return max
+}
+
+// SegmentStatser is the optional engine capability behind per-segment
+// diagnostics: engines built on the shared segment store report each
+// segment's row count, schema-version id and zone map.
+type SegmentStatser interface {
+	SegmentStats() []store.SegmentStat
+}
+
+// SegmentStats returns per-segment summaries — row counts, schema
+// version ids and zone maps — when the engine exposes them (all three
+// built-in engines do); nil otherwise. This is what the CLI's
+// `stats <table>` renders.
+func (t *Table) SegmentStats() []store.SegmentStat {
+	if ss, ok := t.engine.(SegmentStatser); ok {
+		return ss.SegmentStats()
+	}
+	return nil
 }
 
 // PassSpec returns the cached match-all, project-nothing scan spec for

@@ -38,6 +38,13 @@ type ScanSpec struct {
 	cols    []int          // source column index per output column
 	out     *record.Schema // projected schema (nil = no projection)
 	scratch *record.Record
+
+	// bounds are the planner's per-column interval constraints and
+	// visPhys the visible-to-physical column mapping they are resolved
+	// through; see SetBounds/SkipSegment in bounds.go. Both are
+	// immutable once set and shared by Clone.
+	bounds  []Bound
+	visPhys []int
 }
 
 // NewScanSpec builds a spec over the table schema. pred may be nil
@@ -205,6 +212,24 @@ func (sp *ScanSpec) filterMulti(fn MultiScanFunc, errp *error) MultiScanFunc {
 	}
 }
 
+// filterDiff is filter for the diff callback shape.
+func (sp *ScanSpec) filterDiff(fn DiffFunc, errp *error) DiffFunc {
+	if sp == nil {
+		return fn
+	}
+	return func(rec *record.Record, inA bool) bool {
+		out, err := sp.Apply(rec.Bytes())
+		if err != nil {
+			*errp = err
+			return false
+		}
+		if out == nil {
+			return true
+		}
+		return fn(out, inA)
+	}
+}
+
 // PushdownScanner is the optional engine capability behind the query
 // builder's fast paths. Engines that implement it receive the compiled
 // ScanSpec and evaluate it inside their own scan loops — before
@@ -225,6 +250,19 @@ type PushdownScanner interface {
 	// engine's scan loop, executed as a single pass using bitmap
 	// union/intersection where the engine's layout allows it.
 	ScanMultiPushdown(branches []vgraph.BranchID, spec *ScanSpec, fn MultiScanFunc) error
+}
+
+// DiffScanner is the optional engine capability behind predicate
+// pushdown for Diff (Query 2): engines that implement it evaluate the
+// compiled ScanSpec — predicate, projection and zone-map pruning —
+// inside their XOR/lineage diff loops, instead of the executor
+// post-filtering fully materialized records. Engines without it are
+// driven through their plain Diff with the spec applied above.
+type DiffScanner interface {
+	// ScanDiffPushdown is Diff with the spec applied in the engine's
+	// diff loop. The spec's epoch must resolve both branches' schemas
+	// (the max of the two head epochs, like Diff's own emission).
+	ScanDiffPushdown(a, b vgraph.BranchID, spec *ScanSpec, fn DiffFunc) error
 }
 
 // BatchInserter is the optional engine capability behind InsertBatch:
@@ -310,6 +348,37 @@ func (t *Table) ScanMultiPushdownContext(ctx context.Context, branches []vgraph.
 		err = ps.ScanMultiPushdown(branches, spec, wrapped)
 	} else {
 		err = t.engine.ScanMulti(branches, spec.filterMulti(wrapped, &ferr))
+	}
+	if err == nil {
+		err = ferr
+	}
+	if err != nil {
+		return err
+	}
+	return ctx.Err()
+}
+
+// ScanDiffPushdown streams the symmetric difference of two branch
+// heads with the spec evaluated as deep as the engine allows: engines
+// with the DiffScanner capability apply predicate, projection and
+// zone-map segment pruning inside their diff loops; others run their
+// plain Diff with the spec applied above it.
+func (t *Table) ScanDiffPushdown(a, b vgraph.BranchID, spec *ScanSpec, fn DiffFunc) error {
+	return t.ScanDiffPushdownContext(context.Background(), a, b, spec, fn)
+}
+
+// ScanDiffPushdownContext is ScanDiffPushdown bounded by a context.
+func (t *Table) ScanDiffPushdownContext(ctx context.Context, a, b vgraph.BranchID, spec *ScanSpec, fn DiffFunc) error {
+	if err := t.db.beginOp(); err != nil {
+		return err
+	}
+	defer t.db.endOp()
+	wrapped := ctxWrap2(ctx, fn)
+	var err, ferr error
+	if ds, ok := t.engine.(DiffScanner); ok && spec != nil {
+		err = ds.ScanDiffPushdown(a, b, spec, wrapped)
+	} else {
+		err = t.engine.Diff(a, b, spec.filterDiff(wrapped, &ferr))
 	}
 	if err == nil {
 		err = ferr

@@ -366,6 +366,28 @@ func (s *Session) ScanContext(ctx context.Context, table string, fn ScanFunc) er
 	return t.ScanCommitContext(ctx, commit, fn)
 }
 
+// atHeadForSchema is atHead for queuing schema changes, failing fast
+// with a clear sentinel when the session is detached: altering a
+// historical checkout can never succeed (schema changes commit at a
+// branch head), so instead of the generic ErrNotAtHead — which for
+// plain writes just means "re-checkout and retry" and would otherwise
+// only surface at commit time — the error wraps both ErrSchemaChange
+// and ErrDetachedHead for errors.Is.
+func (s *Session) atHeadForSchema() (*vgraph.Branch, error) {
+	if s.closed {
+		return nil, ErrSessionClosed
+	}
+	if s.branch == nil {
+		return nil, fmt.Errorf("%w: %w; schema changes commit at a branch head", ErrSchemaChange, ErrDetachedHead)
+	}
+	b, _ := s.db.graph.Branch(s.branch.ID)
+	if s.commit == nil || b.Head != s.commit.ID {
+		return nil, fmt.Errorf("%w: %w; the session is checked out at a historical commit — checkout the branch head to alter",
+			ErrSchemaChange, ErrDetachedHead)
+	}
+	return b, nil
+}
+
 // AddColumn queues a schema change on the session: from the commit
 // that carries it, the named table gains the column with the given
 // default (nil = zero value). The change applies atomically at
@@ -376,7 +398,7 @@ func (s *Session) ScanContext(ctx context.Context, table string, fn ScanFunc) er
 func (s *Session) AddColumn(table string, col record.Column, def any) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, err := s.atHead(); err != nil {
+	if _, err := s.atHeadForSchema(); err != nil {
 		return err
 	}
 	t, ok := s.db.Table(table)
@@ -410,7 +432,7 @@ func (s *Session) AddColumn(table string, col record.Column, def any) error {
 func (s *Session) DropColumn(table, column string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, err := s.atHead(); err != nil {
+	if _, err := s.atHeadForSchema(); err != nil {
 		return err
 	}
 	t, ok := s.db.Table(table)

@@ -18,8 +18,8 @@ import (
 
 	"decibel/internal/bitmap"
 	"decibel/internal/core"
-	"decibel/internal/heap"
 	"decibel/internal/record"
+	"decibel/internal/store"
 	"decibel/internal/vgraph"
 )
 
@@ -34,19 +34,15 @@ type pos struct {
 
 var deletedPos = pos{Seg: -1, Slot: -1}
 
-// hseg is one segment: a heap file plus its local bitmap index, "one
-// bitmap per (segment, branch) tracking only the set of branches which
-// inherit records contained in that segment". cols is the segment's
-// schema-version id: the number of physical columns its records are
-// encoded with.
+// hseg is one segment: a shared store segment (heap file, schema-
+// version id, zone map, freeze state) plus its local bitmap index,
+// "one bitmap per (segment, branch) tracking only the set of branches
+// which inherit records contained in that segment".
 type hseg struct {
-	id     segID
-	owner  vgraph.BranchID // branch whose head this segment is/was
-	file   *heap.File
-	cols   int
-	schema *record.Schema
-	frozen bool
-	local  map[vgraph.BranchID]*bitmap.Bitmap
+	*store.Segment
+	id    segID
+	owner vgraph.BranchID // branch whose head this segment is/was
+	local map[vgraph.BranchID]*bitmap.Bitmap
 }
 
 // liveCount returns the number of records live in the branch within
@@ -70,6 +66,7 @@ type Engine struct {
 	mu   sync.Mutex
 	env  *core.Env
 	hist *record.History
+	st   *store.Store
 
 	segs    []*hseg
 	headSeg map[vgraph.BranchID]segID
@@ -77,16 +74,15 @@ type Engine struct {
 
 	logs     map[logKey]*bitmap.CommitLog
 	startSeq map[logKey]int // branch commit seq at which the log begins
-
-	insBuf []byte // storage-conversion scratch for appends; guarded by mu
 }
 
-// persisted catalog.
+// persisted catalog: the shared store state (cols — 0 in
+// pre-versioning catalogs, meaning the full layout —, frozen flag,
+// zone map) plus hybrid's ownership fields.
 type segMetaJSON struct {
-	ID     segID           `json:"id"`
-	Owner  vgraph.BranchID `json:"owner"`
-	Frozen bool            `json:"frozen"`
-	Cols   int             `json:"cols,omitempty"` // 0 in pre-versioning catalogs: full layout
+	store.SegMeta
+	ID    segID           `json:"id"`
+	Owner vgraph.BranchID `json:"owner"`
 }
 
 type metaJSON struct {
@@ -102,6 +98,7 @@ func Factory(env *core.Env) (core.Engine, error) {
 	e := &Engine{
 		env:      env,
 		hist:     env.History(),
+		st:       store.New(env.Pool, env.History()),
 		headSeg:  make(map[vgraph.BranchID]segID),
 		pk:       make(map[vgraph.BranchID]*pkIndex),
 		logs:     make(map[logKey]*bitmap.CommitLog),
@@ -139,7 +136,7 @@ func (e *Engine) openLog(k logKey) (*bitmap.CommitLog, error) {
 func (e *Engine) persistLocked() error {
 	m := metaJSON{HeadSeg: e.headSeg, StartSeq: make(map[string]int)}
 	for _, s := range e.segs {
-		m.Segments = append(m.Segments, segMetaJSON{ID: s.id, Owner: s.owner, Frozen: s.frozen, Cols: s.cols})
+		m.Segments = append(m.Segments, segMetaJSON{SegMeta: s.Meta(), ID: s.id, Owner: s.owner})
 	}
 	for k, seq := range e.startSeq {
 		m.StartSeq[fmt.Sprintf("%d:%d", k.Branch, k.Seg)] = seq
@@ -171,24 +168,16 @@ func (e *Engine) recover() error {
 	}
 	sort.Slice(m.Segments, func(i, j int) bool { return m.Segments[i].ID < m.Segments[j].ID })
 	for _, sm := range m.Segments {
-		cols := sm.Cols
-		if cols == 0 {
-			// Catalog from before schema versioning: single-version table.
-			cols = e.hist.PhysCols()
-		}
-		schema, err := e.hist.PhysByCount(cols)
+		// The store resolves a zero Cols (catalog from before schema
+		// versioning) to the full layout, re-freezes frozen segments and
+		// restores — or rebuilds, for catalogs from before zone maps —
+		// each segment's zone map.
+		seg, err := e.st.Open(e.segPath(sm.ID), sm.SegMeta, -1)
 		if err != nil {
 			return fmt.Errorf("hy: segment %d: %w", sm.ID, err)
 		}
-		f, err := heap.Open(e.env.Pool, e.segPath(sm.ID), schema.RecordSize())
-		if err != nil {
-			return err
-		}
-		if sm.Frozen {
-			f.Freeze()
-		}
 		e.segs = append(e.segs, &hseg{
-			id: sm.ID, owner: sm.Owner, file: f, cols: cols, schema: schema, frozen: sm.Frozen,
+			Segment: seg, id: sm.ID, owner: sm.Owner,
 			local: make(map[vgraph.BranchID]*bitmap.Bitmap),
 		})
 	}
@@ -248,10 +237,10 @@ func (e *Engine) recover() error {
 			if !ok {
 				continue
 			}
-			buf := make([]byte, s.schema.RecordSize())
+			buf := make([]byte, s.Schema.RecordSize())
 			var scanErr error
 			bm.ForEach(func(slot int) bool {
-				if err := s.file.Read(int64(slot), buf); err != nil {
+				if err := s.File.Read(int64(slot), buf); err != nil {
 					scanErr = err
 					return false
 				}
@@ -267,16 +256,12 @@ func (e *Engine) recover() error {
 }
 
 func (e *Engine) newSegmentLocked(owner vgraph.BranchID, cols int) (*hseg, error) {
-	schema, err := e.hist.PhysByCount(cols)
-	if err != nil {
-		return nil, err
-	}
 	id := segID(len(e.segs))
-	f, err := heap.Open(e.env.Pool, e.segPath(id), schema.RecordSize())
+	seg, err := e.st.Create(e.segPath(id), cols)
 	if err != nil {
 		return nil, err
 	}
-	s := &hseg{id: id, owner: owner, file: f, cols: cols, schema: schema, local: make(map[vgraph.BranchID]*bitmap.Bitmap)}
+	s := &hseg{Segment: seg, id: id, owner: owner, local: make(map[vgraph.BranchID]*bitmap.Bitmap)}
 	e.segs = append(e.segs, s)
 	return s, nil
 }
@@ -344,11 +329,7 @@ func (e *Engine) Branch(child *vgraph.Branch, from *vgraph.Commit) error {
 	}
 	// Freeze the parent's head and open fresh heads for both branches.
 	if old, ok := e.headSeg[parent]; ok {
-		s := e.segs[old]
-		if !s.frozen {
-			s.frozen = true
-			s.file.Freeze()
-		}
+		e.segs[old].Freeze()
 	}
 	// Both fresh heads start at the branch point's storage generation;
 	// a later schema change rotates them lazily on first write.
@@ -377,10 +358,10 @@ func (e *Engine) Branch(child *vgraph.Branch, from *vgraph.Commit) error {
 	idx := newPKIndex()
 	for id, bm := range snap {
 		s := e.segs[id]
-		buf := make([]byte, s.schema.RecordSize())
+		buf := make([]byte, s.Schema.RecordSize())
 		var scanErr error
 		bm.ForEach(func(slot int) bool {
-			if err := s.file.Read(int64(slot), buf); err != nil {
+			if err := s.File.Read(int64(slot), buf); err != nil {
 				scanErr = err
 				return false
 			}
@@ -429,7 +410,7 @@ func (e *Engine) commitLocked(c *vgraph.Commit) error {
 			if err := l.Sync(); err != nil {
 				return err
 			}
-			if err := s.file.Sync(); err != nil {
+			if err := s.File.Sync(); err != nil {
 				return err
 			}
 		}
@@ -481,46 +462,31 @@ func (e *Engine) InsertBatch(branch vgraph.BranchID, recs []*record.Record) erro
 	return nil
 }
 
-// writeHeadLocked returns the branch's head segment, rotating it when
-// a committed schema change has widened the branch's storage
-// generation: the old head freezes into an internal segment (its pages
-// are never rewritten) and a fresh head at the new layout takes
-// subsequent appends — the same freeze machinery a branch point uses.
+// writeHeadLocked returns the branch's head segment, rotating it
+// through the shared store when a committed schema change has widened
+// the branch's storage generation: the old head freezes into an
+// internal segment (its pages are never rewritten) and a fresh head at
+// the new layout takes subsequent appends — the same freeze machinery
+// a branch point uses.
 func (e *Engine) writeHeadLocked(branch vgraph.BranchID) (*hseg, error) {
 	head, ok := e.headSeg[branch]
 	if !ok {
 		return nil, fmt.Errorf("hy: branch %d has no head segment", branch)
 	}
 	s := e.segs[head]
-	need := e.hist.NumPhysAt(e.env.BranchEpoch(branch))
-	if s.cols >= need {
-		return s, nil
-	}
-	if !s.frozen {
-		s.frozen = true
-		s.file.Freeze()
-	}
-	ns, err := e.newSegmentLocked(branch, need)
+	id := segID(len(e.segs))
+	ns, rotated, err := e.st.WriteTarget(s.Segment, e.hist.NumPhysAt(e.env.BranchEpoch(branch)), true, e.segPath(id))
 	if err != nil {
 		return nil, err
 	}
-	ns.local[branch] = bitmap.New(0)
-	e.headSeg[branch] = ns.id
-	return ns, e.persistLocked()
-}
-
-// appendSegLocked encodes rec under the segment's physical layout
-// (widening older-schema records with declared defaults) and appends
-// it, returning the slot.
-func (e *Engine) appendSegLocked(s *hseg, rec *record.Record) (int64, error) {
-	if n := s.schema.RecordSize(); len(e.insBuf) < n {
-		e.insBuf = make([]byte, n)
+	if !rotated {
+		return s, nil
 	}
-	buf, err := e.hist.StorageBytes(rec, s.cols, e.insBuf[:s.schema.RecordSize()])
-	if err != nil {
-		return 0, err
-	}
-	return s.file.Append(buf)
+	hs := &hseg{Segment: ns, id: id, owner: branch, local: make(map[vgraph.BranchID]*bitmap.Bitmap)}
+	e.segs = append(e.segs, hs)
+	hs.local[branch] = bitmap.New(0)
+	e.headSeg[branch] = hs.id
+	return hs, e.persistLocked()
 }
 
 func (e *Engine) insertLocked(branch vgraph.BranchID, rec *record.Record) error {
@@ -533,7 +499,7 @@ func (e *Engine) insertLocked(branch vgraph.BranchID, rec *record.Record) error 
 		return err
 	}
 	head := s.id
-	slot, err := e.appendSegLocked(s, rec)
+	slot, err := e.st.Append(s.Segment, rec)
 	if err != nil {
 		return err
 	}
@@ -592,74 +558,27 @@ func (e *Engine) ScanMulti(branches []vgraph.BranchID, fn core.MultiScanFunc) er
 }
 
 // Diff implements core.Engine (Query 2): per-segment bitmap XORs over
-// only the segments live in either branch.
+// only the segments live in either branch. It shares the pushdown diff
+// loop through a match-all spec emitting under the newer of the two
+// heads' schemas.
 func (e *Engine) Diff(a, b vgraph.BranchID, fn core.DiffFunc) error {
-	e.mu.Lock()
-	type segDiff struct {
-		s       *hseg
-		x, colA *bitmap.Bitmap
-	}
-	var diffs []segDiff
-	for _, s := range e.segs {
-		colA, okA := s.local[a]
-		colB, okB := s.local[b]
-		if !okA && !okB {
-			continue
-		}
-		if colA == nil {
-			colA = bitmap.New(0)
-		}
-		if colB == nil {
-			colB = bitmap.New(0)
-		}
-		x := bitmap.Xor(colA, colB)
-		if !x.Any() {
-			continue
-		}
-		diffs = append(diffs, segDiff{s: s, x: x, colA: colA.Clone()})
-	}
-	e.mu.Unlock()
+	return e.ScanDiffPushdown(a, b, e.passSpec(e.env.MaxBranchEpoch([]vgraph.BranchID{a, b})), fn)
+}
 
-	// Emit under the newer of the two heads' schemas; rows in segments
-	// from older schema versions decode with defaults filled.
-	epoch := e.env.MaxBranchEpoch([]vgraph.BranchID{a, b})
-	for _, d := range diffs {
-		cv, err := e.hist.Conv(d.s.cols, epoch)
-		if err != nil {
-			return err
+// SegmentStats implements core.SegmentStatser: one summary per
+// segment, zone maps included.
+func (e *Engine) SegmentStats() []store.SegmentStat {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]store.SegmentStat, 0, len(e.segs))
+	for _, s := range e.segs {
+		name := fmt.Sprintf("seg%d[owner=%d]", s.id, s.owner)
+		if !s.Frozen {
+			name += "*" // open head segment
 		}
-		var scratch []byte
-		if !cv.Identity() {
-			scratch = cv.NewScratch()
-		}
-		stop := false
-		var ferr error
-		err = d.s.file.ScanLive(d.x, func(slot int64, buf []byte) bool {
-			if !d.x.Get(int(slot)) {
-				return true
-			}
-			rec, err := record.FromBytes(cv.Out(), cv.Convert(buf, scratch))
-			if err != nil {
-				ferr = err
-				return false
-			}
-			if !fn(rec, d.colA.Get(int(slot))) {
-				stop = true
-				return false
-			}
-			return true
-		})
-		if err == nil {
-			err = ferr
-		}
-		if err != nil {
-			return err
-		}
-		if stop {
-			return nil
-		}
+		out = append(out, s.Stat(name))
 	}
-	return nil
+	return out
 }
 
 // Stats implements core.Engine.
@@ -668,8 +587,8 @@ func (e *Engine) Stats() (core.Stats, error) {
 	defer e.mu.Unlock()
 	st := core.Stats{SegmentCount: len(e.segs)}
 	for _, s := range e.segs {
-		st.Records += s.file.Count()
-		st.DataBytes += s.file.SizeBytes()
+		st.Records += s.File.Count()
+		st.DataBytes += s.File.SizeBytes()
 		for _, bm := range s.local {
 			st.IndexBytes += int64(bm.Len()+7) / 8
 		}
@@ -699,7 +618,7 @@ func (e *Engine) Flush() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	for _, s := range e.segs {
-		if err := s.file.Flush(); err != nil {
+		if err := s.File.Flush(); err != nil {
 			return err
 		}
 	}
@@ -720,7 +639,7 @@ func (e *Engine) Close() error {
 		}
 	}
 	for _, s := range e.segs {
-		if err := s.file.Close(); err != nil && first == nil {
+		if err := s.File.Close(); err != nil && first == nil {
 			first = err
 		}
 	}

@@ -90,7 +90,7 @@ func TestSegmentLifecycle(t *testing.T) {
 	if len(e.segs) != 3 {
 		t.Fatalf("segments after branch = %d", len(e.segs))
 	}
-	if !e.segs[oldHead].frozen {
+	if !e.segs[oldHead].Frozen {
 		t.Fatal("old parent head not frozen")
 	}
 	if e.headSeg[master.ID] == oldHead || e.headSeg[child.ID] == oldHead {
@@ -105,13 +105,13 @@ func TestSegmentLifecycle(t *testing.T) {
 		t.Fatal("internal segment missing a branch bitmap")
 	}
 	// Appends to the frozen file fail; inserts route to the new heads.
-	if _, err := s.file.Append(rec(env.Schema, 9, 9).Bytes()); err == nil {
+	if _, err := s.File.Append(rec(env.Schema, 9, 9).Bytes()); err == nil {
 		t.Fatal("append to frozen segment succeeded")
 	}
 	if err := e.Insert(master.ID, rec(env.Schema, 2, 2)); err != nil {
 		t.Fatal(err)
 	}
-	if e.segs[e.headSeg[master.ID]].file.Count() != 1 {
+	if e.segs[e.headSeg[master.ID]].File.Count() != 1 {
 		t.Fatal("insert did not land in the new head segment")
 	}
 }

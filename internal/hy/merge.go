@@ -59,10 +59,10 @@ func (e *Engine) Merge(into, other vgraph.BranchID, mc *vgraph.Commit, kind core
 				lca = bitmap.New(0)
 			}
 			x := bitmap.Xor(cur, lca)
-			buf := make([]byte, s.schema.RecordSize())
+			buf := make([]byte, s.Schema.RecordSize())
 			var scanErr error
 			x.ForEach(func(slot int) bool {
-				if err := s.file.Read(int64(slot), buf); err != nil {
+				if err := s.File.Read(int64(slot), buf); err != nil {
 					scanErr = err
 					return false
 				}
@@ -107,11 +107,11 @@ func (e *Engine) Merge(into, other vgraph.BranchID, mc *vgraph.Commit, kind core
 	head := headSeg.id
 	readAt := func(p pos) (*record.Record, error) {
 		s := e.segs[p.Seg]
-		buf := make([]byte, s.schema.RecordSize())
-		if err := s.file.Read(p.Slot, buf); err != nil {
+		buf := make([]byte, s.Schema.RecordSize())
+		if err := s.File.Read(p.Slot, buf); err != nil {
 			return nil, err
 		}
-		cv, err := e.hist.Conv(s.cols, epoch)
+		cv, err := e.hist.Conv(s.Cols, epoch)
 		if err != nil {
 			return nil, err
 		}
@@ -182,7 +182,7 @@ func (e *Engine) Merge(into, other vgraph.BranchID, mc *vgraph.Commit, kind core
 				case recB != nil && rec.Equal(recB):
 					p = posB
 				default:
-					slot, err := e.appendSegLocked(e.segs[head], rec)
+					slot, err := e.st.Append(e.segs[head].Segment, rec)
 					if err != nil {
 						return err
 					}

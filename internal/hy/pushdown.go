@@ -8,17 +8,19 @@ import (
 	"decibel/internal/vgraph"
 )
 
-// Pushdown scans (core.PushdownScanner). Hybrid keeps per-(segment,
-// branch) bitmaps, so pushed-down predicates are evaluated on the raw
-// segment page buffer before records are materialized, and a
-// multi-branch scan ORs each segment's local branch bitmaps into one
-// union per segment — each qualifying segment is read once for all
-// requested branches instead of once per branch, and segments with no
-// live record in any requested branch are skipped entirely via the
-// global branch-segment relation.
+// Pushdown scans (core.PushdownScanner, core.DiffScanner). Hybrid
+// keeps per-(segment, branch) bitmaps, so pushed-down predicates are
+// evaluated on the raw segment page buffer before records are
+// materialized, and a multi-branch scan ORs each segment's local
+// branch bitmaps into one union per segment — each qualifying segment
+// is read once for all requested branches instead of once per branch.
+// Segments are skipped entirely two ways: via the global branch-
+// segment relation (no live record in any requested branch) and via
+// their zone maps (no stored value can satisfy the spec's bounds).
 
 var (
 	_ core.PushdownScanner = (*Engine)(nil)
+	_ core.DiffScanner     = (*Engine)(nil)
 	_ core.BatchInserter   = (*Engine)(nil)
 )
 
@@ -44,12 +46,15 @@ func (e *Engine) scanSegmentsSpec(segs []*hseg, pick func(*hseg) *bitmap.Bitmap,
 		if bm == nil || !bm.Any() {
 			continue
 		}
-		prep, err := spec.Prep(s.cols)
+		if spec.SkipSegment(s.Zone(), s.Cols) {
+			continue
+		}
+		prep, err := spec.Prep(s.Cols)
 		if err != nil {
 			return err
 		}
 		stop := false
-		err = s.file.ScanLive(bm, func(slot int64, buf []byte) bool {
+		err = s.File.ScanLive(bm, func(slot int64, buf []byte) bool {
 			if !bm.Get(int(slot)) {
 				return true
 			}
@@ -112,6 +117,81 @@ func (e *Engine) ScanCommitPushdown(c *vgraph.Commit, spec *core.ScanSpec, fn co
 	return e.scanSegmentsSpec(segs, func(s *hseg) *bitmap.Bitmap { return snap[s.id] }, spec, fn)
 }
 
+// ScanDiffPushdown implements core.DiffScanner: per-segment bitmap
+// XORs over only the segments live in either branch, with zone-map
+// pruning and the spec evaluated on the raw buffer before either
+// output side materializes a record.
+func (e *Engine) ScanDiffPushdown(a, b vgraph.BranchID, spec *core.ScanSpec, fn core.DiffFunc) error {
+	e.mu.Lock()
+	type segDiff struct {
+		s       *hseg
+		x, colA *bitmap.Bitmap
+	}
+	var diffs []segDiff
+	for _, s := range e.segs {
+		colA, okA := s.local[a]
+		colB, okB := s.local[b]
+		if !okA && !okB {
+			continue
+		}
+		if colA == nil {
+			colA = bitmap.New(0)
+		}
+		if colB == nil {
+			colB = bitmap.New(0)
+		}
+		x := bitmap.Xor(colA, colB)
+		if !x.Any() {
+			continue
+		}
+		diffs = append(diffs, segDiff{s: s, x: x, colA: colA.Clone()})
+	}
+	e.mu.Unlock()
+
+	for _, d := range diffs {
+		if spec.SkipSegment(d.s.Zone(), d.s.Cols) {
+			continue
+		}
+		prep, err := spec.Prep(d.s.Cols)
+		if err != nil {
+			return err
+		}
+		stop := false
+		var ferr error
+		err = d.s.File.ScanLive(d.x, func(slot int64, buf []byte) bool {
+			if !d.x.Get(int(slot)) {
+				return true
+			}
+			if prep != nil {
+				buf = prep(buf)
+			}
+			rec, err := spec.Apply(buf)
+			if err != nil {
+				ferr = err
+				return false
+			}
+			if rec == nil {
+				return true
+			}
+			if !fn(rec, d.colA.Get(int(slot))) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if err == nil {
+			err = ferr
+		}
+		if err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+	}
+	return nil
+}
+
 // ScanMultiPushdown implements core.PushdownScanner: one pass per
 // qualifying segment under the union of its local branch bitmaps.
 func (e *Engine) ScanMultiPushdown(branches []vgraph.BranchID, spec *core.ScanSpec, fn core.MultiScanFunc) error {
@@ -141,12 +221,15 @@ func (e *Engine) ScanMultiPushdown(branches []vgraph.BranchID, spec *core.ScanSp
 	member := bitmap.New(len(branches))
 	var ferr error
 	for _, sc := range scans {
-		prep, err := spec.Prep(sc.s.cols)
+		if spec.SkipSegment(sc.s.Zone(), sc.s.Cols) {
+			continue
+		}
+		prep, err := spec.Prep(sc.s.Cols)
 		if err != nil {
 			return err
 		}
 		stop := false
-		err = sc.s.file.ScanLive(sc.union, func(slot int64, buf []byte) bool {
+		err = sc.s.File.ScanLive(sc.union, func(slot int64, buf []byte) bool {
 			if !sc.union.Get(int(slot)) {
 				return true
 			}

@@ -1,0 +1,148 @@
+package query
+
+// OrderBy/Limit execution. Ordering requires a gather (engines emit in
+// storage order), so the executor picks the cheapest shape: Limit
+// alone streams and stops early; OrderBy alone gathers everything and
+// sorts; OrderBy+Limit keeps a bounded top-k heap so memory stays
+// O(limit) regardless of the scan size.
+
+import (
+	"bytes"
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"decibel/internal/core"
+	"decibel/internal/record"
+)
+
+// Ordered reports whether the plan requests ordered emission.
+func (c *Compiled) Ordered() bool { return c.orderIdx >= 0 }
+
+// noOrdering rejects OrderBy/Limit on terminals that have no row
+// stream to order (aggregates, joins, annotated scans).
+func (c *Compiled) noOrdering(terminal string) error {
+	if c.Ordered() || c.plan.Limit > 0 {
+		return fmt.Errorf("%w: OrderBy/Limit do not apply to %s", core.ErrBadQuery, terminal)
+	}
+	return nil
+}
+
+// orderCmp returns the comparator over emitted records implied by the
+// plan: ascending (or descending) by the order column, with NaN
+// ordering below every number.
+func (c *Compiled) orderCmp() func(a, b *record.Record) int {
+	idx := c.orderIdx
+	var cmp func(a, b *record.Record) int
+	switch c.proto.Out().Column(idx).Type {
+	case record.Float64:
+		cmp = func(a, b *record.Record) int {
+			return cmpFloatOrder(a.GetFloat64(idx), b.GetFloat64(idx))
+		}
+	case record.Bytes:
+		cmp = func(a, b *record.Record) int {
+			return bytes.Compare(a.GetBytes(idx), b.GetBytes(idx))
+		}
+	default:
+		cmp = func(a, b *record.Record) int {
+			return cmpI(a.Get(idx), b.Get(idx))
+		}
+	}
+	if c.plan.OrderDesc {
+		inner := cmp
+		cmp = func(a, b *record.Record) int { return -inner(a, b) }
+	}
+	return cmp
+}
+
+// cmpFloatOrder is the total order behind OrderBy on Float64 columns:
+// NaN sorts below every number (and equal to itself), so the
+// comparator stays a strict weak ordering — cmpF alone would answer 0
+// for NaN against anything and give sort/heap an inconsistent order.
+func cmpFloatOrder(a, b float64) int {
+	aNaN, bNaN := math.IsNaN(a), math.IsNaN(b)
+	switch {
+	case aNaN && bNaN:
+		return 0
+	case aNaN:
+		return -1
+	case bNaN:
+		return +1
+	}
+	return cmpF(a, b)
+}
+
+// recHeap is a max-heap under the plan comparator: the root is the
+// worst retained row, evicted when a better one arrives.
+type recHeap struct {
+	recs []*record.Record
+	cmp  func(a, b *record.Record) int
+}
+
+func (h *recHeap) Len() int           { return len(h.recs) }
+func (h *recHeap) Less(i, j int) bool { return h.cmp(h.recs[i], h.recs[j]) > 0 }
+func (h *recHeap) Swap(i, j int)      { h.recs[i], h.recs[j] = h.recs[j], h.recs[i] }
+func (h *recHeap) Push(x any)         { h.recs = append(h.recs, x.(*record.Record)) }
+func (h *recHeap) Pop() any {
+	n := len(h.recs)
+	r := h.recs[n-1]
+	h.recs = h.recs[:n-1]
+	return r
+}
+
+// EmitOrdered drives one scan shape (single-version, multi-branch or
+// diff — whatever `scan` runs) and applies the plan's OrderBy/Limit to
+// its output before feeding fn.
+func (c *Compiled) EmitOrdered(scan func(core.ScanFunc) error, fn core.ScanFunc) error {
+	limit := c.plan.Limit
+	if !c.Ordered() {
+		if limit <= 0 {
+			return scan(fn)
+		}
+		// Limit alone: stream and cut the scan short.
+		n := 0
+		return scan(func(rec *record.Record) bool {
+			if !fn(rec) {
+				return false
+			}
+			n++
+			return n < limit
+		})
+	}
+
+	cmp := c.orderCmp()
+	var gathered []*record.Record
+	if limit > 0 {
+		// Top-k: bounded heap of the best `limit` rows seen so far.
+		h := &recHeap{cmp: cmp}
+		err := scan(func(rec *record.Record) bool {
+			if h.Len() < limit {
+				heap.Push(h, rec.Clone())
+			} else if cmp(rec, h.recs[0]) < 0 {
+				h.recs[0] = rec.Clone()
+				heap.Fix(h, 0)
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		gathered = h.recs
+	} else {
+		err := scan(func(rec *record.Record) bool {
+			gathered = append(gathered, rec.Clone())
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	sort.SliceStable(gathered, func(i, j int) bool { return cmp(gathered[i], gathered[j]) < 0 })
+	for _, rec := range gathered {
+		if !fn(rec) {
+			return nil
+		}
+	}
+	return nil
+}

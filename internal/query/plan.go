@@ -29,6 +29,19 @@ type Plan struct {
 	AtSeq    int      // >= 0: the AtSeq'th commit made on Branches[0] (historical read); -1 = head
 	Where    Expr     // typed predicate; zero value matches all
 	Cols     []string // projected columns; nil = all (the pk is always kept)
+
+	// OrderCol orders emitted rows by the named column ("" = storage
+	// order); OrderDesc flips the direction. Limit caps the number of
+	// emitted rows (0 = unlimited). With both set the executor keeps a
+	// top-k heap instead of gathering the full result.
+	OrderCol  string
+	OrderDesc bool
+	Limit     int
+
+	// NoPrune disables zone-map segment pruning for this plan: the
+	// retained baseline the pruning benchmarks and the property tests
+	// measure the pruned paths against.
+	NoPrune bool
 }
 
 // Compiled is a plan resolved against one database: names bound, the
@@ -48,8 +61,10 @@ type Compiled struct {
 	epoch    int            // schema epoch the query addresses
 	schema   *record.Schema // schema visible at epoch
 	pred     RawPredicate
+	bounds   []core.Bound   // zone-map pruning bounds (nil with NoPrune)
 	cols     []int          // resolved projection (nil = all)
-	proto    *core.ScanSpec // pred + projection; cloned per execution
+	proto    *core.ScanSpec // pred + projection + bounds; cloned per execution
+	orderIdx int            // OrderCol's index in the output schema; -1 = unordered
 }
 
 // Compile resolves and validates the plan against db. All validation
@@ -130,6 +145,24 @@ func (p Plan) Compile(db *core.Database) (*Compiled, error) {
 	c.proto, err = core.NewScanSpecAt(t.History(), c.epoch, c.pred, c.cols)
 	if err != nil {
 		return nil, err
+	}
+	if !p.NoPrune {
+		c.bounds = extractBounds(p.Where, scope)
+		c.proto.SetBounds(c.bounds)
+	}
+
+	c.orderIdx = -1
+	if p.OrderCol != "" {
+		if c.schema.ColumnIndex(p.OrderCol) < 0 {
+			return nil, scope.missing(p.OrderCol)
+		}
+		c.orderIdx = c.proto.Out().ColumnIndex(p.OrderCol)
+		if c.orderIdx < 0 {
+			return nil, fmt.Errorf("%w: OrderBy column %q is not part of the Select projection", core.ErrBadQuery, p.OrderCol)
+		}
+	}
+	if p.Limit < 0 {
+		return nil, fmt.Errorf("%w: negative Limit %d", core.ErrBadQuery, p.Limit)
 	}
 	return c, nil
 }
@@ -238,9 +271,27 @@ func (c *Compiled) ScanMultiRescan(ctx context.Context, fn core.MultiScanFunc) e
 }
 
 // Diff executes a positive diff (Query 2): records live in
-// Branches()[0] but not Branches()[1], with predicate and projection
-// applied to the emitted side.
+// Branches()[0] but not Branches()[1], with predicate, projection and
+// zone-map pruning pushed into the engine's diff loop (engines without
+// the DiffScanner capability post-filter above their plain Diff).
 func (c *Compiled) Diff(ctx context.Context, fn core.ScanFunc) error {
+	if err := c.pair(); err != nil {
+		return err
+	}
+	return c.table.ScanDiffPushdownContext(ctx, c.branches[0].ID, c.branches[1].ID, c.execSpec(),
+		func(rec *record.Record, inA bool) bool {
+			if !inA {
+				return true
+			}
+			return fn(rec)
+		})
+}
+
+// DiffPostFilter executes the same positive diff as Diff the
+// pre-pushdown way: the engine's plain Diff materializes every
+// differing record and the spec is applied above it. It exists as the
+// measurable baseline for the diff-pushdown benchmarks.
+func (c *Compiled) DiffPostFilter(ctx context.Context, fn core.ScanFunc) error {
 	if err := c.pair(); err != nil {
 		return err
 	}
@@ -271,6 +322,9 @@ func (c *Compiled) Diff(ctx context.Context, fn core.ScanFunc) error {
 // satisfying the predicate. The projection applies to both sides.
 func (c *Compiled) Join(ctx context.Context, fn func(JoinedPair) bool) error {
 	if err := c.pair(); err != nil {
+		return err
+	}
+	if err := c.noOrdering("Join"); err != nil {
 		return err
 	}
 	build := make(map[int64]*record.Record)
@@ -314,6 +368,9 @@ const (
 // core.ErrNoRows. Integer columns are accumulated as int64 and
 // converted on return.
 func (c *Compiled) Aggregate(ctx context.Context, kind AggKind, col string) (float64, error) {
+	if err := c.noOrdering("aggregates"); err != nil {
+		return 0, err
+	}
 	schema := c.schema
 	ci := -1
 	isFloat := false
@@ -331,11 +388,13 @@ func (c *Compiled) Aggregate(ctx context.Context, kind AggKind, col string) (flo
 		}
 	}
 	// Aggregates read the source schema, so the spec carries only the
-	// predicate (a Select projection does not restrict them).
+	// predicate (a Select projection does not restrict them) plus the
+	// pruning bounds derived from it.
 	spec, err := core.NewScanSpecAt(c.table.History(), c.epoch, c.pred, nil)
 	if err != nil {
 		return 0, err
 	}
+	spec.SetBounds(c.bounds)
 	var (
 		n    int
 		isum int64

@@ -475,6 +475,41 @@ func (h *History) VisibleLatest() *Schema {
 	return h.VisibleAt(e)
 }
 
+// VisiblePhys returns, for each column of the schema visible at epoch,
+// its index in the physical layout. Zone maps are kept per physical
+// column of each segment; this is the mapping a pruning decision uses
+// to look a predicate's (visible) column up in a segment's zones.
+func (h *History) VisiblePhys(epoch int) []int {
+	vis := h.VisibleAt(epoch)
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := make([]int, vis.NumColumns())
+	for i := 0; i < vis.NumColumns(); i++ {
+		out[i] = -1
+		name := vis.Column(i).Name
+		for j := range h.cols {
+			if h.cols[j].col.Name == name {
+				out[i] = j
+				break
+			}
+		}
+	}
+	return out
+}
+
+// DefaultBytes returns the encoded declared default of the physical
+// column at index phys (nil means the zero value). Records stored
+// before the column existed read back this value, so it participates
+// in zone-map pruning for segments the column postdates.
+func (h *History) DefaultBytes(phys int) []byte {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	if phys < 0 || phys >= len(h.cols) {
+		return nil
+	}
+	return h.cols[phys].def
+}
+
 // ColumnEpochs reports when the named column entered (and, if dropped,
 // left) the schema. ok is false for names the table never had.
 func (h *History) ColumnEpochs(name string) (addedIn, droppedIn int, ok bool) {

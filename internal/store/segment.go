@@ -1,0 +1,273 @@
+package store
+
+import (
+	"expvar"
+	"fmt"
+	"sync/atomic"
+
+	"decibel/internal/heap"
+	"decibel/internal/record"
+)
+
+// SegMeta is the persisted, engine-independent part of a segment's
+// catalog entry. Engines embed it in their own catalog JSON (tf's
+// extent table, vf's and hy's segment lists) so the shared state —
+// the physical schema-version id, the freeze flag and the zone map —
+// serializes alongside the engine-specific fields. Catalogs written
+// before this layer existed lack the zone (and may record Cols 0 for
+// "full layout"); Open rebuilds transparently.
+type SegMeta struct {
+	Cols   int      `json:"cols,omitempty"`
+	Frozen bool     `json:"frozen,omitempty"`
+	Zone   *ZoneMap `json:"zone,omitempty"`
+}
+
+// Segment is one append target: a fixed-width heap file tagged with
+// the physical layout its records are encoded under, plus its zone
+// map. Engines embed *Segment in their per-scheme segment structs and
+// add layout-specific state (tf's global slot base, vf's lineage link,
+// hy's local bitmaps).
+type Segment struct {
+	File   *heap.File
+	Cols   int            // physical schema columns records here are encoded with
+	Schema *record.Schema // layout of Cols columns
+	Frozen bool
+	zone   *ZoneMap
+}
+
+// Store owns the shared segment mechanics for one engine instance:
+// opening and creating segments against the table's schema history,
+// rotating append targets when the schema widens, and encoding records
+// into a segment's physical layout. Mutating methods run under the
+// owning engine's lock (the Store has no lock of its own — the
+// append scratch buffer relies on the engine's).
+type Store struct {
+	Pool *heap.Pool
+	Hist *record.History
+
+	insBuf []byte // storage-conversion scratch; guarded by the engine's lock
+}
+
+// New builds a Store over the engine's buffer pool and schema history.
+func New(pool *heap.Pool, hist *record.History) *Store {
+	return &Store{Pool: pool, Hist: hist}
+}
+
+// Open opens (or creates) the segment whose heap file lives at path,
+// restoring the shared state from m. A non-positive m.Cols means the
+// catalog predates schema versioning and the segment uses the table's
+// full physical layout. safeCount >= 0 rolls back uncommitted appends
+// by truncating the file past it (vf's recovery contract); pass -1 to
+// keep every record. The zone map is restored from m.Zone and extended
+// over any rows it does not cover — which rebuilds it wholesale for
+// catalogs from before zone maps existed.
+func (st *Store) Open(path string, m SegMeta, safeCount int64) (*Segment, error) {
+	cols := m.Cols
+	if cols <= 0 {
+		cols = st.Hist.PhysCols()
+	}
+	schema, err := st.Hist.PhysByCount(cols)
+	if err != nil {
+		return nil, err
+	}
+	f, err := heap.Open(st.Pool, path, schema.RecordSize())
+	if err != nil {
+		return nil, err
+	}
+	if safeCount >= 0 && f.Count() > safeCount {
+		if err := f.Truncate(safeCount); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	s := &Segment{File: f, Cols: cols, Schema: schema, zone: m.Zone}
+	if m.Frozen {
+		s.Freeze()
+	}
+	if err := st.extendZone(s); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Create creates a fresh, empty segment at path with the physical
+// layout of cols columns.
+func (st *Store) Create(path string, cols int) (*Segment, error) {
+	return st.Open(path, SegMeta{Cols: cols}, -1)
+}
+
+// extendZone brings the segment's zone map up to the file's row count,
+// scanning only the uncovered tail. A missing, over-long (the file was
+// truncated below what the map covered) or shape-mismatched map is
+// rebuilt from scratch.
+func (st *Store) extendZone(s *Segment) error {
+	count := s.File.Count()
+	z := s.zone
+	if z == nil || z.Rows() > count || z.NumCols() != s.Schema.NumColumns() {
+		z = NewZoneMap(s.Schema.NumColumns())
+		s.zone = z
+	}
+	from := z.Rows()
+	if from >= count {
+		return nil
+	}
+	return s.File.Scan(from, count, func(_ int64, buf []byte) bool {
+		z.Update(s.Schema, buf)
+		return true
+	})
+}
+
+// Meta returns the segment's persistable shared state. The zone map is
+// shared, not copied; its JSON marshaling snapshots it under its own
+// lock.
+func (s *Segment) Meta() SegMeta {
+	return SegMeta{Cols: s.Cols, Frozen: s.Frozen, Zone: s.zone}
+}
+
+// Zone returns the segment's zone map.
+func (s *Segment) Zone() *ZoneMap { return s.zone }
+
+// Freeze marks the segment immutable: the heap file rejects further
+// appends. Freezing twice is a no-op.
+func (s *Segment) Freeze() {
+	if !s.Frozen {
+		s.Frozen = true
+		s.File.Freeze()
+	}
+}
+
+// NeedsRotation reports whether the segment's layout is too narrow to
+// store records at the physical width `need` — the trigger for sealing
+// it and opening a successor (a schema change never rewrites pages).
+func (s *Segment) NeedsRotation(need int) bool { return s.Cols < need }
+
+// AppendRaw appends one record buffer already encoded in the segment's
+// layout, folding it into the zone map.
+func (s *Segment) AppendRaw(buf []byte) (int64, error) {
+	slot, err := s.File.Append(buf)
+	if err != nil {
+		return 0, err
+	}
+	s.zone.Update(s.Schema, buf)
+	return slot, nil
+}
+
+// Append encodes rec — built under any schema the history has produced
+// — into the segment's physical layout (widening older-schema records
+// with declared defaults) and appends it. Caller holds the engine
+// lock guarding the Store's scratch buffer.
+func (st *Store) Append(s *Segment, rec *record.Record) (int64, error) {
+	if n := s.Schema.RecordSize(); len(st.insBuf) < n {
+		st.insBuf = make([]byte, n)
+	}
+	buf, err := st.Hist.StorageBytes(rec, s.Cols, st.insBuf[:s.Schema.RecordSize()])
+	if err != nil {
+		return 0, err
+	}
+	return s.AppendRaw(buf)
+}
+
+// AppendTombstone appends a deletion marker for pk in the segment's
+// layout (vf's delete path). Tombstones never enter the zone map.
+func (s *Segment) AppendTombstone(pk int64) (int64, error) {
+	tomb := record.New(s.Schema)
+	tomb.SetPK(pk)
+	tomb.SetTombstone(true)
+	return s.AppendRaw(tomb.Bytes())
+}
+
+// WriteTarget is the shared rotation step of every engine's write
+// path: it returns s unchanged while its layout can hold records of
+// physical width need; otherwise it freezes s (when freeze is set —
+// hybrid freezes rotated heads like branch points, version-first
+// leaves them as plain lineage parents) and creates a successor at
+// newPath with the wider layout. rotated reports which happened, so
+// the engine can relink its bookkeeping (extent table, lineage link,
+// head-segment map) around the new segment.
+func (st *Store) WriteTarget(s *Segment, need int, freeze bool, newPath string) (ns *Segment, rotated bool, err error) {
+	if !s.NeedsRotation(need) {
+		return s, false, nil
+	}
+	if freeze {
+		// Flush first so the sealed segment's recorded row count is
+		// backed by the file on reopen.
+		if err := s.File.Flush(); err != nil {
+			return nil, false, err
+		}
+		s.Freeze()
+	}
+	ns, err = st.Create(newPath, need)
+	if err != nil {
+		return nil, false, err
+	}
+	return ns, true, nil
+}
+
+// Segment-scan counters: every zone-map pruning decision increments
+// exactly one of them, so a selective scan's segment skipping is
+// observable (expvar "decibel.segments_scanned"/".segments_skipped",
+// and per-op deltas in the bench harness).
+var (
+	segsScanned atomic.Int64
+	segsSkipped atomic.Int64
+)
+
+func init() {
+	expvar.Publish("decibel.segments_scanned", expvar.Func(func() any { return segsScanned.Load() }))
+	expvar.Publish("decibel.segments_skipped", expvar.Func(func() any { return segsSkipped.Load() }))
+}
+
+// CountSegmentScanned records a segment that a pruning decision let
+// through to a page-level scan.
+func CountSegmentScanned() { segsScanned.Add(1) }
+
+// CountSegmentSkipped records a segment a zone map pruned entirely.
+func CountSegmentSkipped() { segsSkipped.Add(1) }
+
+// SegmentScanCounters returns the cumulative pruning counters.
+func SegmentScanCounters() (scanned, skipped int64) {
+	return segsScanned.Load(), segsSkipped.Load()
+}
+
+// ColZoneStat is one formatted zone-map entry for diagnostics.
+type ColZoneStat struct {
+	Column string
+	Min    string
+	Max    string
+}
+
+// SegmentStat is the per-segment summary behind the CLI's
+// `stats <table>` output.
+type SegmentStat struct {
+	Name   string
+	Rows   int64
+	Cols   int
+	Frozen bool
+	Zones  []ColZoneStat
+}
+
+// Stat summarizes the segment under the given display name.
+func (s *Segment) Stat(name string) SegmentStat {
+	st := SegmentStat{Name: name, Rows: s.File.Count(), Cols: s.Cols, Frozen: s.Frozen}
+	for i := 0; i < s.Schema.NumColumns(); i++ {
+		cz, ok := s.zone.Col(i)
+		zs := ColZoneStat{Column: s.Schema.Column(i).Name, Min: "-", Max: "-"}
+		if ok && !cz.Empty && !cz.Unbounded {
+			switch s.Schema.Column(i).Type {
+			case record.Int32, record.Int64:
+				zs.Min, zs.Max = fmt.Sprintf("%d", cz.MinI), fmt.Sprintf("%d", cz.MaxI)
+			case record.Float64:
+				zs.Min, zs.Max = fmt.Sprintf("%g", cz.MinF), fmt.Sprintf("%g", cz.MaxF)
+			case record.Bytes:
+				zs.Min = fmt.Sprintf("%q", cz.MinB)
+				zs.Max = fmt.Sprintf("%q", cz.MaxB)
+				if cz.MaxBTrunc {
+					zs.Max += "…"
+				}
+			}
+		}
+		st.Zones = append(st.Zones, zs)
+	}
+	return st
+}

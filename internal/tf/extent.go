@@ -1,14 +1,16 @@
 package tf
 
 // Schema-versioned storage for the tuple-first scheme. The shared heap
-// is a sequence of extents: fixed-width heap files, each tagged with
-// the number of physical schema columns its records were encoded under
-// (the extent's schema-version id). Slot numbers — what the bitmap
-// index and the primary-key indexes address — are global: an extent
-// covers [base, base+count). A schema change never rewrites a page;
-// it just seals the current extent, and the next insert under the
-// wider layout opens a new one. Reads convert old-extent buffers on
-// the fly, filling declared defaults for columns the extent predates.
+// is a sequence of extents: fixed-width heap files managed by the
+// shared segment store (internal/store), each tagged with the number
+// of physical schema columns its records were encoded under. Slot
+// numbers — what the bitmap index and the primary-key indexes address
+// — are global: an extent covers [base, base+count). A schema change
+// never rewrites a page; it just seals the current extent, and the
+// next insert under the wider layout opens a new one. Reads convert
+// old-extent buffers on the fly, filling declared defaults for columns
+// the extent predates, and each extent's zone map lets bounded scans
+// skip it wholesale.
 
 import (
 	"encoding/json"
@@ -19,22 +21,22 @@ import (
 
 	"decibel/internal/heap"
 	"decibel/internal/record"
+	"decibel/internal/store"
 )
 
-// extent is one fixed-width run of the shared heap.
+// extent is one fixed-width run of the shared heap: a store segment
+// plus the global slot of its slot 0.
 type extent struct {
-	file   *heap.File
-	base   int64 // global slot of the extent's slot 0
-	cols   int   // physical schema columns records here are encoded with
-	schema *record.Schema
-	sealed bool
+	*store.Segment
+	base int64
 }
 
-// extMeta is the persisted extent table. Count is the sealed extent's
-// final slot count (0 and unused for the open tail extent, whose count
-// comes from the file length).
+// extMeta is the persisted extent table entry: the shared segment
+// state (schema-version id, freeze flag, zone map) plus the sealed
+// extent's final slot count (0 and unused for the open tail extent,
+// whose count comes from the file length).
 type extMeta struct {
-	Cols  int   `json:"cols"`
+	store.SegMeta
 	Count int64 `json:"count,omitempty"`
 }
 
@@ -52,10 +54,11 @@ func (e *Engine) extPath(i int) string {
 func (e *Engine) extMetaPath() string { return filepath.Join(e.env.Dir, "extents.json") }
 
 // openExtents loads (or initializes) the extent table. Datasets from
-// before schema versioning have no extents.json and exactly one
-// extent at the table's full physical layout.
+// before schema versioning have no extents.json and exactly one extent
+// at the table's full physical layout; catalogs from before zone maps
+// have no persisted zones — the store rebuilds them from the files.
 func (e *Engine) openExtents() error {
-	metas := []extMeta{{Cols: e.hist.PhysCols()}}
+	metas := []extMeta{{SegMeta: store.SegMeta{Cols: e.hist.PhysCols()}}}
 	data, err := os.ReadFile(e.extMetaPath())
 	switch {
 	case err == nil:
@@ -71,39 +74,34 @@ func (e *Engine) openExtents() error {
 	}
 	base := int64(0)
 	for i, m := range metas {
-		schema, err := e.hist.PhysByCount(m.Cols)
+		sealed := i < len(metas)-1
+		m.Frozen = sealed // positional; ignore whatever the catalog says
+		seg, err := e.st.Open(e.extPath(i), m.SegMeta, -1)
 		if err != nil {
 			return fmt.Errorf("tf: extent %d: %w", i, err)
 		}
-		f, err := heap.Open(e.env.Pool, e.extPath(i), schema.RecordSize())
-		if err != nil {
-			return err
+		if sealed && seg.File.Count() < m.Count {
+			seg.File.Close()
+			return fmt.Errorf("tf: extent %d holds %d records, sealed at %d", i, seg.File.Count(), m.Count)
 		}
-		sealed := i < len(metas)-1
-		if sealed {
-			if f.Count() < m.Count {
-				f.Close()
-				return fmt.Errorf("tf: extent %d holds %d records, sealed at %d", i, f.Count(), m.Count)
-			}
-			f.Freeze()
-		}
-		e.exts = append(e.exts, &extent{file: f, base: base, cols: m.Cols, schema: schema, sealed: sealed})
+		e.exts = append(e.exts, &extent{Segment: seg, base: base})
 		if sealed {
 			base += m.Count
 		} else {
-			base += f.Count()
+			base += seg.File.Count()
 		}
 	}
 	return nil
 }
 
-// persistExtentsLocked writes the extent table; caller holds e.mu.
+// persistExtentsLocked writes the extent table (zone maps included);
+// caller holds e.mu.
 func (e *Engine) persistExtentsLocked() error {
 	ef := extFile{}
 	for _, x := range e.exts {
-		m := extMeta{Cols: x.cols}
-		if x.sealed {
-			m.Count = x.file.Count()
+		m := extMeta{SegMeta: x.Meta()}
+		if x.Frozen {
+			m.Count = x.File.Count()
 		}
 		ef.Extents = append(ef.Extents, m)
 	}
@@ -135,42 +133,28 @@ func (e *Engine) extFor(slot int64) *extent {
 // totalCount returns the next global slot number.
 func (e *Engine) totalCount() int64 {
 	last := e.lastExt()
-	return last.base + last.file.Count()
+	return last.base + last.File.Count()
 }
 
 // ensureExtentLocked makes the tail extent hold at least cols physical
 // columns, sealing the current tail and opening a new extent when the
-// schema has widened since it was created. Caller holds e.mu.
+// schema has widened since it was created (the shared store's
+// rotation). Caller holds e.mu.
 func (e *Engine) ensureExtentLocked(cols int) error {
 	last := e.lastExt()
-	if last.cols >= cols {
-		return nil
-	}
-	schema, err := e.hist.PhysByCount(cols)
-	if err != nil {
+	ns, rotated, err := e.st.WriteTarget(last.Segment, cols, true, e.extPath(len(e.exts)))
+	if err != nil || !rotated {
 		return err
 	}
-	// Seal: flush so the recorded count is backed by the file on reopen.
-	if err := last.file.Flush(); err != nil {
-		return err
-	}
-	last.file.Freeze()
-	last.sealed = true
-	f, err := heap.Open(e.env.Pool, e.extPath(len(e.exts)), schema.RecordSize())
-	if err != nil {
-		return err
-	}
-	e.exts = append(e.exts, &extent{
-		file: f, base: last.base + last.file.Count(), cols: cols, schema: schema,
-	})
+	e.exts = append(e.exts, &extent{Segment: ns, base: last.base + last.File.Count()})
 	return e.persistExtentsLocked()
 }
 
-// appendLocked writes one encoded record (in the tail extent's layout)
-// and returns its global slot. Caller holds e.mu.
-func (e *Engine) appendLocked(buf []byte) (int64, error) {
+// appendLocked encodes rec into the tail extent's layout and returns
+// its global slot. Caller holds e.mu.
+func (e *Engine) appendLocked(rec *record.Record) (int64, error) {
 	last := e.lastExt()
-	slot, err := last.file.Append(buf)
+	slot, err := e.st.Append(last.Segment, rec)
 	if err != nil {
 		return 0, err
 	}
@@ -193,9 +177,9 @@ func (r *extReader) read(slot int64) ([]byte, *extent, error) {
 	x := r.e.extFor(slot)
 	if r.ext != x {
 		r.ext = x
-		r.buf = make([]byte, x.schema.RecordSize())
+		r.buf = make([]byte, x.Schema.RecordSize())
 	}
-	if err := x.file.Read(slot-x.base, r.buf); err != nil {
+	if err := x.File.Read(slot-x.base, r.buf); err != nil {
 		return nil, nil, err
 	}
 	return r.buf, x, nil
@@ -209,7 +193,7 @@ func (e *Engine) readRecAt(r *extReader, slot int64, epoch int) (*record.Record,
 	if err != nil {
 		return nil, err
 	}
-	cv, err := e.hist.Conv(x.cols, epoch)
+	cv, err := e.hist.Conv(x.Cols, epoch)
 	if err != nil {
 		return nil, err
 	}
@@ -232,7 +216,7 @@ func (o offsetBitmap) NextSet(i int) int {
 }
 
 // scanExtents walks every extent in global slot order, handing fn the
-// per-extent file plus base. Returning false stops the walk. The
+// per-extent segment plus base. Returning false stops the walk. The
 // extent slice is snapshotted under e.mu: a concurrent insert may
 // rotate (append) a new extent mid-scan, and published extents are
 // immutable, so the snapshot stays consistent.

@@ -6,18 +6,22 @@ import (
 	"decibel/internal/vgraph"
 )
 
-// Pushdown scans (core.PushdownScanner). Tuple-first's liveness is one
-// bitmap per branch over the shared heap, so a pushed-down predicate is
-// evaluated on the raw page buffer before any record is materialized,
-// and a multi-branch scan is driven by the OR of the branch columns —
-// one pass over the heap touching only pages with at least one live
-// tuple in at least one requested branch, instead of one rescan per
-// branch. The heap is walked extent by extent; buffers from extents
-// older than the spec's schema epoch are widened (defaults filled)
-// before the predicate sees them, so old pages are never rewritten.
+// Pushdown scans (core.PushdownScanner, core.DiffScanner). Tuple-
+// first's liveness is one bitmap per branch over the shared heap, so a
+// pushed-down predicate is evaluated on the raw page buffer before any
+// record is materialized, and a multi-branch scan is driven by the OR
+// of the branch columns — one pass over the heap touching only pages
+// with at least one live tuple in at least one requested branch,
+// instead of one rescan per branch. The heap is walked extent by
+// extent: an extent whose zone map proves no record can satisfy the
+// spec's bounds is skipped without touching a page, and buffers from
+// extents older than the spec's schema epoch are widened (defaults
+// filled) before the predicate sees them, so old pages are never
+// rewritten.
 
 var (
 	_ core.PushdownScanner = (*Engine)(nil)
+	_ core.DiffScanner     = (*Engine)(nil)
 	_ core.BatchInserter   = (*Engine)(nil)
 )
 
@@ -35,16 +39,20 @@ func (e *Engine) passSpec(epoch int) *core.ScanSpec {
 
 // scanBitmapSpec walks the extents under a global liveness bitmap with
 // the spec evaluated on the (version-converted) raw buffer before
-// materialization.
+// materialization. Extents pruned by their zone maps are skipped
+// whole.
 func (e *Engine) scanBitmapSpec(bm *bitmap.Bitmap, spec *core.ScanSpec, fn core.ScanFunc) error {
 	var ferr error
 	err := e.scanExtents(func(ext *extent) (bool, error) {
-		prep, err := spec.Prep(ext.cols)
+		if spec.SkipSegment(ext.Zone(), ext.Cols) {
+			return true, nil
+		}
+		prep, err := spec.Prep(ext.Cols)
 		if err != nil {
 			return false, err
 		}
 		cont := true
-		err = ext.file.ScanLive(offsetBitmap{bm: bm, base: ext.base}, func(local int64, buf []byte) bool {
+		err = ext.File.ScanLive(offsetBitmap{bm: bm, base: ext.base}, func(local int64, buf []byte) bool {
 			if !bm.Get(int(ext.base + local)) {
 				return true
 			}
@@ -97,12 +105,62 @@ func (e *Engine) ScanCommitPushdown(c *vgraph.Commit, spec *core.ScanSpec, fn co
 	return e.scanBitmapSpec(bm, spec, fn)
 }
 
+// ScanDiffPushdown implements core.DiffScanner: the branch bitmaps are
+// XORed and the heap walked once under the result, with zone-map
+// extent pruning and the predicate evaluated on the raw buffer before
+// either output side materializes a record.
+func (e *Engine) ScanDiffPushdown(a, b vgraph.BranchID, spec *core.ScanSpec, fn core.DiffFunc) error {
+	e.mu.Lock()
+	colA := e.idx.column(a)
+	colB := e.idx.column(b)
+	e.mu.Unlock()
+	x := bitmap.Xor(colA, colB)
+	var ferr error
+	err := e.scanExtents(func(ext *extent) (bool, error) {
+		if spec.SkipSegment(ext.Zone(), ext.Cols) {
+			return true, nil
+		}
+		prep, err := spec.Prep(ext.Cols)
+		if err != nil {
+			return false, err
+		}
+		cont := true
+		err = ext.File.ScanLive(offsetBitmap{bm: x, base: ext.base}, func(local int64, buf []byte) bool {
+			slot := ext.base + local
+			if !x.Get(int(slot)) {
+				return true
+			}
+			if prep != nil {
+				buf = prep(buf)
+			}
+			rec, err := spec.Apply(buf)
+			if err != nil {
+				ferr = err
+				return false
+			}
+			if rec == nil {
+				return true
+			}
+			if !fn(rec, colA.Get(int(slot))) {
+				cont = false
+				return false
+			}
+			return true
+		})
+		return cont, err
+	})
+	if err == nil {
+		err = ferr
+	}
+	return err
+}
+
 // ScanMultiPushdown implements core.PushdownScanner. With the
 // branch-oriented index the branch columns are ORed into one union
 // bitmap and the heap is walked once under it; the tuple-oriented
 // layout has no cheap columns, so it keeps the full-heap walk with the
 // predicate evaluated on the raw buffer before the per-row membership
-// lookup.
+// lookup. Either way, zone-pruned extents are skipped whole.
 func (e *Engine) ScanMultiPushdown(branches []vgraph.BranchID, spec *core.ScanSpec, fn core.MultiScanFunc) error {
 	e.mu.Lock()
 	var cols []*bitmap.Bitmap
@@ -121,12 +179,15 @@ func (e *Engine) ScanMultiPushdown(branches []vgraph.BranchID, spec *core.ScanSp
 	var ferr error
 	if cols != nil {
 		err := e.scanExtents(func(ext *extent) (bool, error) {
-			prep, err := spec.Prep(ext.cols)
+			if spec.SkipSegment(ext.Zone(), ext.Cols) {
+				return true, nil
+			}
+			prep, err := spec.Prep(ext.Cols)
 			if err != nil {
 				return false, err
 			}
 			cont := true
-			err = ext.file.ScanLive(offsetBitmap{bm: union, base: ext.base}, func(local int64, buf []byte) bool {
+			err = ext.File.ScanLive(offsetBitmap{bm: union, base: ext.base}, func(local int64, buf []byte) bool {
 				slot := ext.base + local
 				if !union.Get(int(slot)) {
 					return true
@@ -160,12 +221,15 @@ func (e *Engine) ScanMultiPushdown(branches []vgraph.BranchID, spec *core.ScanSp
 	}
 
 	err := e.scanExtents(func(ext *extent) (bool, error) {
-		prep, err := spec.Prep(ext.cols)
+		if spec.SkipSegment(ext.Zone(), ext.Cols) {
+			return true, nil
+		}
+		prep, err := spec.Prep(ext.Cols)
 		if err != nil {
 			return false, err
 		}
 		cont := true
-		err = ext.file.Scan(0, ext.file.Count(), func(local int64, buf []byte) bool {
+		err = ext.File.Scan(0, ext.File.Count(), func(local int64, buf []byte) bool {
 			slot := ext.base + local
 			if prep != nil {
 				buf = prep(buf)

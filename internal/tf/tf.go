@@ -8,24 +8,26 @@ import (
 	"decibel/internal/bitmap"
 	"decibel/internal/core"
 	"decibel/internal/record"
+	"decibel/internal/store"
 	"decibel/internal/vgraph"
 )
 
 // Engine is the tuple-first storage engine. All branches share one
-// heap — a sequence of fixed-width extents, one per schema version the
-// table has stored records under (see extent.go); liveness is tracked
-// by the bitmap index over global slots; per-branch commit history
-// files store RLE-compressed XOR deltas of branch bitmaps.
+// heap — a sequence of fixed-width extents managed by the shared
+// segment store, one per schema version the table has stored records
+// under (see extent.go); liveness is tracked by the bitmap index over
+// global slots; per-branch commit history files store RLE-compressed
+// XOR deltas of branch bitmaps.
 type Engine struct {
 	mu   sync.Mutex
 	env  *core.Env
 	hist *record.History
+	st   *store.Store
 
-	exts   []*extent
-	idx    index
-	pk     map[vgraph.BranchID]*pkIndex
-	logs   map[vgraph.BranchID]*bitmap.CommitLog
-	insBuf []byte // storage-conversion scratch for inserts; guarded by mu
+	exts []*extent
+	idx  index
+	pk   map[vgraph.BranchID]*pkIndex
+	logs map[vgraph.BranchID]*bitmap.CommitLog
 }
 
 func init() { core.RegisterEngine("tuple-first", Factory, "tf") }
@@ -35,6 +37,7 @@ func Factory(env *core.Env) (core.Engine, error) {
 	e := &Engine{
 		env:  env,
 		hist: env.History(),
+		st:   store.New(env.Pool, env.History()),
 		pk:   make(map[vgraph.BranchID]*pkIndex),
 		logs: make(map[vgraph.BranchID]*bitmap.CommitLog),
 	}
@@ -55,7 +58,7 @@ func Factory(env *core.Env) (core.Engine, error) {
 
 func (e *Engine) closeFiles() {
 	for _, x := range e.exts {
-		x.file.Close()
+		x.File.Close()
 	}
 }
 
@@ -211,7 +214,7 @@ func (e *Engine) commitLocked(c *vgraph.Commit) error {
 			return err
 		}
 		for _, x := range e.exts {
-			if err := x.file.Sync(); err != nil {
+			if err := x.File.Sync(); err != nil {
 				return err
 			}
 		}
@@ -250,15 +253,7 @@ func (e *Engine) insertLocked(branch vgraph.BranchID, rec *record.Record) error 
 	if err := e.ensureExtentLocked(e.hist.NumPhysAt(e.env.BranchEpoch(branch))); err != nil {
 		return err
 	}
-	last := e.lastExt()
-	if n := last.schema.RecordSize(); len(e.insBuf) < n {
-		e.insBuf = make([]byte, n)
-	}
-	buf, err := e.hist.StorageBytes(rec, last.cols, e.insBuf[:last.schema.RecordSize()])
-	if err != nil {
-		return err
-	}
-	slot, err := e.appendLocked(buf)
+	slot, err := e.appendLocked(rec)
 	if err != nil {
 		return err
 	}
@@ -315,46 +310,11 @@ func (e *Engine) ScanMulti(branches []vgraph.BranchID, fn core.MultiScanFunc) er
 }
 
 // Diff implements core.Engine (Query 2): "we simply XOR bitmaps
-// together and emit records on the appropriate output iterator".
+// together and emit records on the appropriate output iterator". It
+// shares the pushdown diff loop through a match-all spec emitting
+// under the newer of the two heads' schemas.
 func (e *Engine) Diff(a, b vgraph.BranchID, fn core.DiffFunc) error {
-	e.mu.Lock()
-	colA := e.idx.column(a)
-	colB := e.idx.column(b)
-	e.mu.Unlock()
-	x := bitmap.Xor(colA, colB)
-	// The diff emits under the newer of the two heads' schemas; rows
-	// from older extents decode with defaults filled.
-	epoch := e.env.MaxBranchEpoch([]vgraph.BranchID{a, b})
-	var ferr error
-	err := e.scanExtents(func(ext *extent) (bool, error) {
-		cv, err := e.hist.Conv(ext.cols, epoch)
-		if err != nil {
-			return false, err
-		}
-		scratch := cv.NewScratch()
-		cont := true
-		err = ext.file.ScanLive(offsetBitmap{bm: x, base: ext.base}, func(local int64, buf []byte) bool {
-			slot := ext.base + local
-			if !x.Get(int(slot)) {
-				return true
-			}
-			rec, err := record.FromBytes(cv.Out(), cv.Convert(buf, scratch))
-			if err != nil {
-				ferr = err
-				return false
-			}
-			if !fn(rec, colA.Get(int(slot))) {
-				cont = false
-				return false
-			}
-			return true
-		})
-		return cont, err
-	})
-	if err == nil {
-		err = ferr
-	}
-	return err
+	return e.ScanDiffPushdown(a, b, e.passSpec(e.env.MaxBranchEpoch([]vgraph.BranchID{a, b})), fn)
 }
 
 // Merge implements core.Engine following Section 3.2: the LCA commit's
@@ -511,15 +471,7 @@ func (e *Engine) resolveConflict(pk, slotA, slotB, lcaSlot int64, into vgraph.Br
 		default:
 			// Materialize the merged record at the end of the heap,
 			// widened to the tail extent's physical layout.
-			last := e.lastExt()
-			if n := last.schema.RecordSize(); len(e.insBuf) < n {
-				e.insBuf = make([]byte, n)
-			}
-			var buf []byte
-			if buf, err = e.hist.StorageBytes(rec, last.cols, e.insBuf[:last.schema.RecordSize()]); err != nil {
-				return err
-			}
-			if slot, err = e.appendLocked(buf); err != nil {
+			if slot, err = e.appendLocked(rec); err != nil {
 				return err
 			}
 			e.idx.appendTuple(slot)
@@ -564,6 +516,18 @@ func (e *Engine) resolveConflict(pk, slotA, slotB, lcaSlot int64, into vgraph.Br
 	return apply(res.Record, false)
 }
 
+// SegmentStats implements core.SegmentStatser: one summary per
+// extent, zone maps included.
+func (e *Engine) SegmentStats() []store.SegmentStat {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]store.SegmentStat, 0, len(e.exts))
+	for i, x := range e.exts {
+		out = append(out, x.Stat(fmt.Sprintf("extent%d[base=%d]", i, x.base)))
+	}
+	return out
+}
+
 // Stats implements core.Engine.
 func (e *Engine) Stats() (core.Stats, error) {
 	e.mu.Lock()
@@ -573,8 +537,8 @@ func (e *Engine) Stats() (core.Stats, error) {
 		SegmentCount: len(e.exts),
 	}
 	for _, x := range e.exts {
-		st.Records += x.file.Count()
-		st.DataBytes += x.file.SizeBytes()
+		st.Records += x.File.Count()
+		st.DataBytes += x.File.SizeBytes()
 	}
 	for b, idx := range e.pk {
 		st.IndexBytes += idx.bytes()
@@ -591,16 +555,18 @@ func (e *Engine) Stats() (core.Stats, error) {
 	return st, nil
 }
 
-// Flush implements core.Engine.
+// Flush implements core.Engine. The extent table (and with it every
+// extent's zone map) is persisted alongside the data pages so the
+// maps survive reopen without a rebuild scan.
 func (e *Engine) Flush() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	for _, x := range e.exts {
-		if err := x.file.Flush(); err != nil {
+		if err := x.File.Flush(); err != nil {
 			return err
 		}
 	}
-	return nil
+	return e.persistExtentsLocked()
 }
 
 // Close implements core.Engine.
@@ -608,13 +574,16 @@ func (e *Engine) Close() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	var first error
+	if err := e.persistExtentsLocked(); err != nil {
+		first = err
+	}
 	for _, l := range e.logs {
 		if err := l.Close(); err != nil && first == nil {
 			first = err
 		}
 	}
 	for _, x := range e.exts {
-		if err := x.file.Close(); err != nil && first == nil {
+		if err := x.File.Close(); err != nil && first == nil {
 			first = err
 		}
 	}

@@ -40,7 +40,7 @@ func (e *Engine) DumpLineage(b vgraph.BranchID) string {
 				lk = fmt.Sprintf(" from(seg%d@%d c%d)", l.ParentSeg, l.ParentSlot, l.ParentCommit)
 			}
 		}
-		fmt.Fprintf(&sb, "  seg%d branch=%d count=%d ovr=%d%s\n", sg.id, sg.branch, sg.file.Count(), len(sg.overrides), lk)
+		fmt.Fprintf(&sb, "  seg%d branch=%d count=%d ovr=%d%s\n", sg.id, sg.branch, sg.File.Count(), len(sg.overrides), lk)
 	}
 	return sb.String()
 }
@@ -51,10 +51,10 @@ func (e *Engine) DumpKey(pk int64) string {
 	defer e.mu.Unlock()
 	var sb strings.Builder
 	for _, s := range e.segs {
-		rec := record.New(s.schema)
-		n := s.file.Count()
+		rec := record.New(s.Schema)
+		n := s.File.Count()
 		for slot := int64(0); slot < n; slot++ {
-			if err := s.file.Read(slot, rec.Bytes()); err != nil {
+			if err := s.File.Read(slot, rec.Bytes()); err != nil {
 				continue
 			}
 			if rec.PK() == pk {

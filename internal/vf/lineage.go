@@ -201,7 +201,7 @@ func (e *Engine) table(iv interval) (intervalTable, error) {
 	t := make(intervalTable)
 	// Key extraction is schema-version-free: the primary key and the
 	// tombstone flag sit at fixed offsets in every physical layout.
-	err := e.segs[iv.Seg].file.Scan(iv.From, iv.To, func(slot int64, buf []byte) bool {
+	err := e.segs[iv.Seg].File.Scan(iv.From, iv.To, func(slot int64, buf []byte) bool {
 		t[record.PKOf(buf)] = tableEntry{Slot: slot, Tombstone: record.TombstoneOf(buf)}
 		return true
 	})

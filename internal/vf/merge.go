@@ -75,7 +75,7 @@ func (e *Engine) Merge(into, other vgraph.BranchID, mc *vgraph.Commit, kind core
 		LCACommit: lcaID, PrecedenceFirst: mc.PrecedenceFirst,
 	}
 	e.byBranch[into] = d.id
-	sA.file.Freeze() // the old head becomes an internal, immutable file
+	sA.Freeze() // the old head becomes an internal, immutable file
 
 	// What a pure scan of the new lineage would yield, before any
 	// overrides or materialized records.
@@ -113,11 +113,11 @@ func (e *Engine) Merge(into, other vgraph.BranchID, mc *vgraph.Commit, kind core
 	recSize := int64(e.hist.VisibleAt(mc.SchemaVer).RecordSize())
 	readAt := func(p pos) (*record.Record, error) {
 		s := e.segs[p.Seg]
-		buf := make([]byte, s.schema.RecordSize())
-		if err := s.file.Read(p.Slot, buf); err != nil {
+		buf := make([]byte, s.Schema.RecordSize())
+		if err := s.File.Read(p.Slot, buf); err != nil {
 			return nil, err
 		}
-		cv, err := e.hist.Conv(s.cols, mc.SchemaVer)
+		cv, err := e.hist.Conv(s.Cols, mc.SchemaVer)
 		if err != nil {
 			return nil, err
 		}

@@ -9,16 +9,19 @@ import (
 	"decibel/internal/vgraph"
 )
 
-// Pushdown scans (core.PushdownScanner). Version-first has no branch
-// bitmaps — liveness comes from resolving segment lineages — so its
-// pushdown is predicate + projection evaluation on the raw record
-// buffer during the sequential emit pass, before the callback layer
-// sees a materialized record. Multi-branch scans keep the paper's
-// two-pass shape (shared ancestry resolved once through the interval
-// cache) with the spec applied in the second, sequential pass.
+// Pushdown scans (core.PushdownScanner, core.DiffScanner). Version-
+// first has no branch bitmaps — liveness comes from resolving segment
+// lineages — so its pushdown is predicate + projection evaluation on
+// the raw record buffer during the sequential emit pass, before the
+// callback layer sees a materialized record; segments whose zone maps
+// exclude the spec's bounds are dropped from the emit pass whole.
+// Multi-branch scans keep the paper's two-pass shape (shared ancestry
+// resolved once through the interval cache) with the spec applied in
+// the second, sequential pass.
 
 var (
 	_ core.PushdownScanner = (*Engine)(nil)
+	_ core.DiffScanner     = (*Engine)(nil)
 	_ core.BatchInserter   = (*Engine)(nil)
 )
 
@@ -34,17 +37,19 @@ func (e *Engine) passSpec(epoch int) *core.ScanSpec {
 	return sp
 }
 
-// emitSpec is emit with the spec evaluated on the raw buffer. Buffers
-// from segments older than the spec's schema epoch are widened
-// (defaults filled) before the predicate sees them.
+// emitSpec is emit with the spec evaluated on the raw buffer: whole
+// segments are pruned against the spec's bounds via their zone maps,
+// and buffers from segments older than the spec's schema epoch are
+// widened (defaults filled) before the predicate sees them.
 func (e *Engine) emitSpec(live map[int64]pos, spec *core.ScanSpec, fn func(rec *record.Record, at pos) bool) error {
 	var ferr error
 	var lastSeg *segment
 	var prep func([]byte) []byte
-	err := e.emit(live, func(buf []byte, seg *segment, at pos) bool {
+	skip := func(s *segment) bool { return spec.SkipSegment(s.Zone(), s.Cols) }
+	err := e.emit(live, skip, func(buf []byte, seg *segment, at pos) bool {
 		if seg != lastSeg {
 			var err error
-			if prep, err = spec.Prep(seg.cols); err != nil {
+			if prep, err = spec.Prep(seg.Cols); err != nil {
 				ferr = err
 				return false
 			}
@@ -136,6 +141,62 @@ func (e *Engine) ScanMultiPushdown(branches []vgraph.BranchID, spec *core.ScanSp
 	return e.emitSpec(flat, spec, func(rec *record.Record, at pos) bool {
 		return fn(rec, union[at])
 	})
+}
+
+// ScanDiffPushdown implements core.DiffScanner: both branches' live
+// sets are resolved (the multi-pass cost the paper attributes to this
+// scheme), their symmetric difference grouped by segment, and the spec
+// — zone-map segment pruning included — evaluated during the
+// sequential emit of each side.
+func (e *Engine) ScanDiffPushdown(a, b vgraph.BranchID, spec *core.ScanSpec, fn core.DiffFunc) error {
+	e.mu.Lock()
+	sa, cuta, err := e.headLocked(a)
+	if err != nil {
+		e.mu.Unlock()
+		return err
+	}
+	sb, cutb, err := e.headLocked(b)
+	if err != nil {
+		e.mu.Unlock()
+		return err
+	}
+	liveA, err := e.resolveLive(pos{Seg: sa.id, Slot: cuta})
+	if err != nil {
+		e.mu.Unlock()
+		return err
+	}
+	liveB, err := e.resolveLive(pos{Seg: sb.id, Slot: cutb})
+	e.mu.Unlock()
+	if err != nil {
+		return err
+	}
+
+	onlyA := make(map[int64]pos)
+	onlyB := make(map[int64]pos)
+	for pk, p := range liveA {
+		if q, ok := liveB[pk]; !ok || q != p {
+			onlyA[pk] = p
+		}
+	}
+	for pk, p := range liveB {
+		if q, ok := liveA[pk]; !ok || q != p {
+			onlyB[pk] = p
+		}
+	}
+	stopped := false
+	side := func(inA bool) func(rec *record.Record, _ pos) bool {
+		return func(rec *record.Record, _ pos) bool {
+			if !fn(rec, inA) {
+				stopped = true
+				return false
+			}
+			return true
+		}
+	}
+	if err := e.emitSpec(onlyA, spec, side(true)); err != nil || stopped {
+		return err
+	}
+	return e.emitSpec(onlyB, spec, side(false))
 }
 
 // InsertBatch implements core.BatchInserter: one lock acquisition and

@@ -17,8 +17,8 @@ import (
 	"sync"
 
 	"decibel/internal/core"
-	"decibel/internal/heap"
 	"decibel/internal/record"
+	"decibel/internal/store"
 	"decibel/internal/vgraph"
 )
 
@@ -46,17 +46,17 @@ type link struct {
 	PrecedenceFirst bool            `json:"precedenceFirst,omitempty"`
 }
 
-// segMeta is the persisted description of one segment. Cols is the
-// segment's schema-version id: the number of physical columns its
-// records are encoded with (0 in catalogs from before schema
-// versioning, meaning the table's full layout).
+// segMeta is the persisted description of one segment: the shared
+// store state (schema-version id — 0 in catalogs from before schema
+// versioning, meaning the table's full layout — and the zone map)
+// plus version-first's lineage fields.
 type segMeta struct {
+	store.SegMeta
 	ID        segID           `json:"id"`
 	Branch    vgraph.BranchID `json:"branch"`
 	HasLink   bool            `json:"hasLink"`
 	Link      link            `json:"link"`
 	SafeCount int64           `json:"safeCount"` // slots valid at last persist; reopen truncates past this
-	Cols      int             `json:"cols,omitempty"`
 	Overrides []override      `json:"overrides,omitempty"`
 }
 
@@ -69,13 +69,12 @@ type meta struct {
 	Commits  map[vgraph.CommitID]pos   `json:"commits"`
 }
 
-// segment is the in-memory segment state.
+// segment is the in-memory segment state: the shared store segment
+// plus version-first's lineage link.
 type segment struct {
+	*store.Segment
 	id        segID
 	branch    vgraph.BranchID
-	file      *heap.File
-	cols      int // physical schema columns records here are encoded with
-	schema    *record.Schema
 	hasLink   bool
 	link      link
 	overrides []override
@@ -86,6 +85,7 @@ type Engine struct {
 	mu   sync.Mutex
 	env  *core.Env
 	hist *record.History
+	st   *store.Store
 
 	segs     []*segment
 	byBranch map[vgraph.BranchID]segID
@@ -94,8 +94,6 @@ type Engine struct {
 	// cache holds resolved per-interval key tables for frozen intervals;
 	// entries for a segment are dropped when it takes new appends.
 	cache map[intervalKey]intervalTable
-
-	insBuf []byte // storage-conversion scratch for appends; guarded by mu
 }
 
 func init() { core.RegisterEngine("version-first", Factory, "vf") }
@@ -105,6 +103,7 @@ func Factory(env *core.Env) (core.Engine, error) {
 	e := &Engine{
 		env:      env,
 		hist:     env.History(),
+		st:       store.New(env.Pool, env.History()),
 		byBranch: make(map[vgraph.BranchID]segID),
 		commits:  make(map[vgraph.CommitID]pos),
 		cache:    make(map[intervalKey]intervalTable),
@@ -154,8 +153,9 @@ func (e *Engine) persistLocked() error {
 	m := meta{ByBranch: e.byBranch, Commits: e.commits}
 	for _, s := range e.segs {
 		m.Segments = append(m.Segments, segMeta{
-			ID: s.id, Branch: s.branch, HasLink: s.hasLink, Link: s.link,
-			SafeCount: safe[s.id], Cols: s.cols, Overrides: s.overrides,
+			SegMeta: s.Meta(),
+			ID:      s.id, Branch: s.branch, HasLink: s.hasLink, Link: s.link,
+			SafeCount: safe[s.id], Overrides: s.overrides,
 		})
 	}
 	data, err := json.Marshal(&m)
@@ -168,13 +168,13 @@ func (e *Engine) persistLocked() error {
 	}
 	if e.env.Opt.Fsync {
 		for _, s := range e.segs {
-			if err := s.file.Sync(); err != nil {
+			if err := s.File.Sync(); err != nil {
 				return err
 			}
 		}
 	} else {
 		for _, s := range e.segs {
-			if err := s.file.Flush(); err != nil {
+			if err := s.File.Flush(); err != nil {
 				return err
 			}
 		}
@@ -198,27 +198,16 @@ func (e *Engine) recover() error {
 	}
 	sort.Slice(m.Segments, func(i, j int) bool { return m.Segments[i].ID < m.Segments[j].ID })
 	for _, sm := range m.Segments {
-		cols := sm.Cols
-		if cols == 0 {
-			// Catalog from before schema versioning: the table has a
-			// single version, so every segment uses the full layout.
-			cols = e.hist.PhysCols()
-		}
-		schema, err := e.hist.PhysByCount(cols)
+		// The store resolves a zero Cols (catalog from before schema
+		// versioning) to the table's full layout, rolls back uncommitted
+		// appends past SafeCount, and restores — or rebuilds, for
+		// catalogs from before zone maps — the segment's zone map.
+		seg, err := e.st.Open(e.segPath(sm.ID), sm.SegMeta, sm.SafeCount)
 		if err != nil {
 			return fmt.Errorf("vf: segment %d: %w", sm.ID, err)
 		}
-		f, err := heap.Open(e.env.Pool, e.segPath(sm.ID), schema.RecordSize())
-		if err != nil {
-			return err
-		}
-		if f.Count() > sm.SafeCount {
-			if err := f.Truncate(sm.SafeCount); err != nil {
-				return err
-			}
-		}
 		e.segs = append(e.segs, &segment{
-			id: sm.ID, branch: sm.Branch, file: f, cols: cols, schema: schema,
+			Segment: seg, id: sm.ID, branch: sm.Branch,
 			hasLink: sm.HasLink, link: sm.Link, overrides: sm.Overrides,
 		})
 	}
@@ -237,16 +226,12 @@ func (e *Engine) recover() error {
 // under the physical layout with cols columns (the segment's
 // schema-version id).
 func (e *Engine) newSegmentLocked(branch vgraph.BranchID, cols int) (*segment, error) {
-	schema, err := e.hist.PhysByCount(cols)
-	if err != nil {
-		return nil, err
-	}
 	id := segID(len(e.segs))
-	f, err := heap.Open(e.env.Pool, e.segPath(id), schema.RecordSize())
+	seg, err := e.st.Create(e.segPath(id), cols)
 	if err != nil {
 		return nil, err
 	}
-	s := &segment{id: id, branch: branch, file: f, cols: cols, schema: schema}
+	s := &segment{Segment: seg, id: id, branch: branch}
 	e.segs = append(e.segs, s)
 	return s, nil
 }
@@ -299,7 +284,7 @@ func (e *Engine) commitLocked(c *vgraph.Commit) error {
 	if !ok {
 		return fmt.Errorf("vf: unknown branch %d", c.Branch)
 	}
-	e.commits[c.ID] = pos{Seg: id, Slot: e.segs[id].file.Count()}
+	e.commits[c.ID] = pos{Seg: id, Slot: e.segs[id].File.Count()}
 	return e.persistLocked()
 }
 
@@ -310,49 +295,49 @@ func (e *Engine) headLocked(b vgraph.BranchID) (*segment, int64, error) {
 		return nil, 0, fmt.Errorf("vf: unknown branch %d", b)
 	}
 	s := e.segs[id]
-	return s, s.file.Count(), nil
+	return s, s.File.Count(), nil
 }
 
-// writeHeadLocked returns the branch's head segment, first rotating it
-// when a committed schema change has widened the branch's storage
-// generation since the segment was created: the old head becomes an
-// ordinary parent in the lineage (its pages are never rewritten) and a
-// fresh segment at the new layout takes subsequent appends.
+// writeHeadLocked returns the branch's head segment, rotating it
+// through the shared store when a committed schema change has widened
+// the branch's storage generation since the segment was created: the
+// old head becomes an ordinary parent in the lineage (its pages are
+// never rewritten — and it is not frozen, unlike hybrid's rotated
+// heads, because future appends never target it anyway once byBranch
+// moves on) and a fresh segment at the new layout takes subsequent
+// appends.
 func (e *Engine) writeHeadLocked(branch vgraph.BranchID) (*segment, error) {
 	s, _, err := e.headLocked(branch)
 	if err != nil {
 		return nil, err
 	}
-	need := e.hist.NumPhysAt(e.env.BranchEpoch(branch))
-	if s.cols >= need {
-		return s, nil
-	}
-	ns, err := e.newSegmentLocked(branch, need)
+	id := segID(len(e.segs))
+	ns, rotated, err := e.st.WriteTarget(s.Segment, e.hist.NumPhysAt(e.env.BranchEpoch(branch)), false, e.segPath(id))
 	if err != nil {
 		return nil, err
+	}
+	if !rotated {
+		return s, nil
 	}
 	var headCommit vgraph.CommitID
 	if b, ok := e.env.Graph.Branch(branch); ok {
 		headCommit = b.Head
 	}
-	ns.hasLink = true
-	ns.link = link{ParentSeg: s.id, ParentSlot: s.file.Count(), ParentCommit: headCommit}
-	e.byBranch[branch] = ns.id
-	return ns, e.persistLocked()
+	vs := &segment{
+		Segment: ns, id: id, branch: branch,
+		hasLink: true,
+		link:    link{ParentSeg: s.id, ParentSlot: s.File.Count(), ParentCommit: headCommit},
+	}
+	e.segs = append(e.segs, vs)
+	e.byBranch[branch] = vs.id
+	return vs, e.persistLocked()
 }
 
 // appendLocked encodes rec under the segment's physical layout
 // (widening older-schema records with declared defaults) and appends
-// it.
+// it through the store, which folds it into the zone map.
 func (e *Engine) appendLocked(s *segment, rec *record.Record) error {
-	if n := s.schema.RecordSize(); len(e.insBuf) < n {
-		e.insBuf = make([]byte, n)
-	}
-	buf, err := e.hist.StorageBytes(rec, s.cols, e.insBuf[:s.schema.RecordSize()])
-	if err != nil {
-		return err
-	}
-	if _, err := s.file.Append(buf); err != nil {
+	if _, err := e.st.Append(s.Segment, rec); err != nil {
 		return err
 	}
 	e.invalidateSeg(s.id)
@@ -380,10 +365,7 @@ func (e *Engine) Delete(branch vgraph.BranchID, pk int64) error {
 	if err != nil {
 		return err
 	}
-	tomb := record.New(s.schema)
-	tomb.SetPK(pk)
-	tomb.SetTombstone(true)
-	if _, err := s.file.Append(tomb.Bytes()); err != nil {
+	if _, err := s.AppendTombstone(pk); err != nil {
 		return err
 	}
 	e.invalidateSeg(s.id)
@@ -392,9 +374,11 @@ func (e *Engine) Delete(branch vgraph.BranchID, pk int64) error {
 
 // emit reads the live set's record copies segment by segment in slot
 // order (the second, sequential pass of the paper's scanner) and feeds
-// fn the raw stored buffer, its segment (whose cols identify the
-// schema version the bytes are encoded under) and its position.
-func (e *Engine) emit(live map[int64]pos, fn func(buf []byte, seg *segment, at pos) bool) error {
+// fn the raw stored buffer, its segment (whose Cols identify the
+// schema version the bytes are encoded under) and its position. A
+// non-nil skip is consulted once per segment before any of its pages
+// are read — the zone-map pruning hook.
+func (e *Engine) emit(live map[int64]pos, skip func(*segment) bool, fn func(buf []byte, seg *segment, at pos) bool) error {
 	bySeg := make(map[segID][]int64)
 	for _, p := range live {
 		bySeg[p.Seg] = append(bySeg[p.Seg], p.Slot)
@@ -412,12 +396,15 @@ func (e *Engine) emit(live map[int64]pos, fn func(buf []byte, seg *segment, at p
 	segs := e.segs
 	e.mu.Unlock()
 	for _, id := range ids {
+		s := segs[id]
+		if skip != nil && skip(s) {
+			continue
+		}
 		slots := bySeg[id]
 		sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
-		s := segs[id]
-		buf := make([]byte, s.schema.RecordSize())
+		buf := make([]byte, s.Schema.RecordSize())
 		for _, slot := range slots {
-			if err := s.file.Read(slot, buf); err != nil {
+			if err := s.File.Read(slot, buf); err != nil {
 				return err
 			}
 			if !fn(buf, s, pos{Seg: id, Slot: slot}) {
@@ -450,82 +437,23 @@ func (e *Engine) ScanMulti(branches []vgraph.BranchID, fn core.MultiScanFunc) er
 // Diff implements core.Engine (Query 2). Version-first resolves both
 // branches' live sets (multiple passes over the shared ancestry, the
 // cost the paper attributes to this scheme) and emits the symmetric
-// difference of record copies.
+// difference of record copies. It shares the pushdown diff loop
+// through a match-all spec emitting under the newer of the two heads'
+// schemas.
 func (e *Engine) Diff(a, b vgraph.BranchID, fn core.DiffFunc) error {
-	e.mu.Lock()
-	sa, cuta, err := e.headLocked(a)
-	if err != nil {
-		e.mu.Unlock()
-		return err
-	}
-	sb, cutb, err := e.headLocked(b)
-	if err != nil {
-		e.mu.Unlock()
-		return err
-	}
-	liveA, err := e.resolveLive(pos{Seg: sa.id, Slot: cuta})
-	if err != nil {
-		e.mu.Unlock()
-		return err
-	}
-	liveB, err := e.resolveLive(pos{Seg: sb.id, Slot: cutb})
-	e.mu.Unlock()
-	if err != nil {
-		return err
-	}
+	return e.ScanDiffPushdown(a, b, e.passSpec(e.env.MaxBranchEpoch([]vgraph.BranchID{a, b})), fn)
+}
 
-	onlyA := make(map[int64]pos)
-	onlyB := make(map[int64]pos)
-	for pk, p := range liveA {
-		if q, ok := liveB[pk]; !ok || q != p {
-			onlyA[pk] = p
-		}
+// SegmentStats implements core.SegmentStatser: one summary per
+// lineage segment, zone maps included.
+func (e *Engine) SegmentStats() []store.SegmentStat {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]store.SegmentStat, 0, len(e.segs))
+	for _, s := range e.segs {
+		out = append(out, s.Stat(fmt.Sprintf("seg%d[branch=%d]", s.id, s.branch)))
 	}
-	for pk, p := range liveB {
-		if q, ok := liveA[pk]; !ok || q != p {
-			onlyB[pk] = p
-		}
-	}
-	// Emit under the newer of the two heads' schemas, widening rows
-	// stored under older segment layouts.
-	epoch := e.env.MaxBranchEpoch([]vgraph.BranchID{a, b})
-	emitConv := func(live map[int64]pos, inA bool) error {
-		var ferr error
-		var lastSeg *segment
-		var cv *record.Conv
-		var scratch []byte
-		err := e.emit(live, func(buf []byte, seg *segment, _ pos) bool {
-			if seg != lastSeg {
-				var err error
-				if cv, err = e.hist.Conv(seg.cols, epoch); err != nil {
-					ferr = err
-					return false
-				}
-				if !cv.Identity() {
-					scratch = cv.NewScratch()
-				}
-				lastSeg = seg
-			}
-			out := buf
-			if !cv.Identity() {
-				out = cv.Convert(buf, scratch)
-			}
-			rec, err := record.FromBytes(cv.Out(), out)
-			if err != nil {
-				ferr = err
-				return false
-			}
-			return fn(rec, inA)
-		})
-		if err == nil {
-			err = ferr
-		}
-		return err
-	}
-	if err := emitConv(onlyA, true); err != nil {
-		return err
-	}
-	return emitConv(onlyB, false)
+	return out
 }
 
 // Stats implements core.Engine.
@@ -534,8 +462,8 @@ func (e *Engine) Stats() (core.Stats, error) {
 	defer e.mu.Unlock()
 	st := core.Stats{SegmentCount: len(e.segs)}
 	for _, s := range e.segs {
-		st.Records += s.file.Count()
-		st.DataBytes += s.file.SizeBytes()
+		st.Records += s.File.Count()
+		st.DataBytes += s.File.SizeBytes()
 	}
 	if fi, err := os.Stat(e.metaPath()); err == nil {
 		st.CommitBytes = fi.Size()
@@ -543,7 +471,7 @@ func (e *Engine) Stats() (core.Stats, error) {
 	for _, b := range e.env.Graph.Branches() {
 		if id, ok := e.byBranch[b.ID]; ok {
 			s := e.segs[id]
-			live, err := e.resolveLive(pos{Seg: s.id, Slot: s.file.Count()})
+			live, err := e.resolveLive(pos{Seg: s.id, Slot: s.File.Count()})
 			if err != nil {
 				return st, err
 			}
@@ -558,7 +486,7 @@ func (e *Engine) Flush() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	for _, s := range e.segs {
-		if err := s.file.Flush(); err != nil {
+		if err := s.File.Flush(); err != nil {
 			return err
 		}
 	}
@@ -574,7 +502,7 @@ func (e *Engine) Close() error {
 		first = err
 	}
 	for _, s := range e.segs {
-		if err := s.file.Close(); err != nil && first == nil {
+		if err := s.File.Close(); err != nil && first == nil {
 			first = err
 		}
 	}
