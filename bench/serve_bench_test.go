@@ -1,0 +1,71 @@
+package bench_test
+
+// Serving benchmark: the load generator behind cmd/decibel-loadgen
+// driven against an in-process server, reporting sustained throughput
+// and tail latency for a mixed read/commit workload. Each b.N
+// iteration is one timed loadgen run, so -benchtime=1x (CI) measures a
+// single sustained burst; the reported metrics are rates, not ns/op.
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"decibel"
+	"decibel/loadgen"
+)
+
+func BenchmarkServeLoadgen(b *testing.B) {
+	for _, clients := range []int{8, 32} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			db, err := decibel.Open(b.TempDir(), decibel.WithEngine("hy"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			schema := decibel.NewSchema().Int64("id").Int64("v").MustBuild()
+			if _, err := db.CreateTable("r", schema); err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := db.Init("bench"); err != nil {
+				b.Fatal(err)
+			}
+			ts := httptest.NewServer(decibel.NewServer(db).Handler())
+			defer ts.Close()
+
+			var reads, commits, errors int64
+			var elapsed time.Duration
+			var readP99 time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sum, err := loadgen.Run(context.Background(), loadgen.Config{
+					URL:      ts.URL,
+					Table:    "r",
+					Branch:   decibel.Master,
+					Clients:  clients,
+					Duration: 500 * time.Millisecond,
+					Keys:     4096,
+					Seed:     int64(i + 1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				reads += sum.Reads
+				commits += sum.Commits
+				errors += sum.Errors
+				elapsed += sum.Elapsed
+				readP99 = sum.ReadLat.P99
+			}
+			b.StopTimer()
+			if errors != 0 {
+				b.Fatalf("loadgen reported %d errors", errors)
+			}
+			secs := elapsed.Seconds()
+			b.ReportMetric(float64(reads)/secs, "reads/s")
+			b.ReportMetric(float64(commits)/secs, "commits/s")
+			b.ReportMetric(float64(readP99)/1e6, "read-p99-ms")
+		})
+	}
+}

@@ -89,6 +89,16 @@ func (q *Query) At(seq int) *Query {
 	return q
 }
 
+// AtCommit pins the read to an explicit commit ID — any commit in the
+// graph, including a branch head captured before later commits moved
+// it. Reading a pinned commit takes no branch locks (history is
+// immutable), which is how the server serves snapshot-isolated reads.
+// Requires exactly one On branch; cannot combine with At.
+func (q *Query) AtCommit(id CommitID) *Query {
+	q.plan.AtCommit = id
+	return q
+}
+
 // Where filters the scanned records with a typed predicate. Calling
 // Where repeatedly ANDs the predicates together.
 func (q *Query) Where(e Expr) *Query {

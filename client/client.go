@@ -1,0 +1,173 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client speaks the decibel serve HTTP/JSON protocol. The zero value
+// is not usable; construct with New. A Client is safe for concurrent
+// use by multiple goroutines (it shares one http.Client, so it also
+// shares its connection pool).
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option configures New.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the http.Client used for every request
+// (timeouts, transports, connection limits).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New returns a client for the server at baseURL (e.g.
+// "http://localhost:8527").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: http.DefaultClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Error is a non-2xx server response surfaced as a Go error.
+type Error struct {
+	Status  int    // HTTP status code
+	Code    string // stable sentinel code, e.g. "no_such_branch"
+	Message string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("decibel server: %s (%s, http %d)", e.Message, e.Code, e.Status)
+}
+
+// post issues one JSON round trip; out may be nil to discard the body.
+func (c *Client) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e ErrorResponse
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		if json.Unmarshal(msg, &e) != nil || e.Error == "" {
+			e.Error = strings.TrimSpace(string(msg))
+		}
+		return &Error{Status: resp.StatusCode, Code: e.Code, Message: e.Error}
+	}
+	if out == nil {
+		_, err = io.Copy(io.Discard, resp.Body)
+		return err
+	}
+	dec := json.NewDecoder(resp.Body)
+	dec.UseNumber() // keep int64 column values exact
+	return dec.Decode(out)
+}
+
+// Query runs one query-builder invocation server-side.
+func (c *Client) Query(ctx context.Context, q QueryRequest) (*QueryResponse, error) {
+	var out QueryResponse
+	if err := c.post(ctx, "/v1/query", q, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Commit applies one transaction — all ops atomically, or none.
+func (c *Client) Commit(ctx context.Context, req CommitRequest) (*CommitResponse, error) {
+	var out CommitResponse
+	if err := c.post(ctx, "/v1/commit", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Branch creates a branch from the current head of another.
+func (c *Client) Branch(ctx context.Context, from, name string) (*BranchResponse, error) {
+	var out BranchResponse
+	if err := c.post(ctx, "/v1/branch", BranchRequest{From: from, Name: name}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Merge merges one branch head into another.
+func (c *Client) Merge(ctx context.Context, req MergeRequest) (*MergeResponse, error) {
+	var out MergeResponse
+	if err := c.post(ctx, "/v1/merge", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Alter commits one schema change (add or drop a column) on a branch.
+func (c *Client) Alter(ctx context.Context, req AlterRequest) (*CommitResponse, error) {
+	var out CommitResponse
+	if err := c.post(ctx, "/v1/alter", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Tables lists the dataset's tables with their current schemas.
+func (c *Client) Tables(ctx context.Context) ([]TableResponse, error) {
+	var out []TableResponse
+	if err := c.get(ctx, "/v1/tables", &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Branches lists the dataset's branches.
+func (c *Client) Branches(ctx context.Context) ([]BranchResponse, error) {
+	var out []BranchResponse
+	if err := c.get(ctx, "/v1/branches", &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Healthy reports whether the server answers /healthz with 200.
+func (c *Client) Healthy(ctx context.Context) bool {
+	return c.get(ctx, "/healthz", nil) == nil
+}
+
+// Vars fetches /debug/vars (the server's expvar counters) decoded
+// into a map.
+func (c *Client) Vars(ctx context.Context) (map[string]any, error) {
+	var out map[string]any
+	if err := c.get(ctx, "/debug/vars", &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,64 @@
+// Command decibel-loadgen drives mixed read/commit traffic against a
+// decibel serve endpoint and prints a latency summary. The CI smoke
+// job runs it against a fresh server and asserts zero errors; -json
+// writes the summary as an artifact.
+//
+// Usage:
+//
+//	decibel-loadgen -url http://localhost:8527 -clients 32 -duration 5s \
+//	    -commit-frac 0.2 -table r -branch master -json latency.json
+//
+// Exits non-zero when any operation failed, so a smoke run doubles as
+// an assertion.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"decibel/loadgen"
+)
+
+func main() {
+	var cfg loadgen.Config
+	flag.StringVar(&cfg.URL, "url", "http://localhost:8527", "server base URL")
+	flag.StringVar(&cfg.Table, "table", "r", "table to read and write")
+	flag.StringVar(&cfg.Branch, "branch", "master", "branch all traffic addresses")
+	flag.IntVar(&cfg.Clients, "clients", 32, "concurrent clients")
+	flag.DurationVar(&cfg.Duration, "duration", 5*time.Second, "run length")
+	flag.Float64Var(&cfg.CommitFrac, "commit-frac", 0.2, "fraction of operations that are commits")
+	flag.Int64Var(&cfg.Keys, "keys", 10000, "primary keys drawn from [0, keys)")
+	flag.IntVar(&cfg.BatchSize, "batch", 4, "records per commit")
+	flag.Int64Var(&cfg.Seed, "seed", 1, "base RNG seed")
+	jsonPath := flag.String("json", "", "write the summary as JSON to this path")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	sum, err := loadgen.Run(ctx, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "decibel-loadgen:", err)
+		os.Exit(1)
+	}
+	fmt.Print(sum)
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(sum, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonPath, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "decibel-loadgen: writing summary:", err)
+			os.Exit(1)
+		}
+	}
+	if sum.Errors > 0 {
+		os.Exit(1)
+	}
+}

@@ -32,11 +32,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"decibel"
@@ -80,6 +84,10 @@ commands:
                                -order col[:desc]  sort the output by a column
                                -limit <n>         emit at most n rows
                                -count             print the count only
+  serve                      serve the dataset over HTTP/JSON until
+                             SIGINT/SIGTERM, then drain and close:
+                               -addr <host:port>  listen address
+                                                  (default localhost:8527)
   log [branch]               list branches and commit counts; with a
                              branch, its commits (seq, id, time, message)
   stats [table]              storage statistics; with a table, its
@@ -477,6 +485,9 @@ func run(dir, engine, table string, args []string) error {
 	case "select":
 		return runSelect(db, table, rest)
 
+	case "serve":
+		return runServe(db, rest)
+
 	case "log":
 		if len(rest) == 1 {
 			b, err := db.BranchNamed(rest[0])
@@ -775,4 +786,23 @@ func parseValue(schema *decibel.Schema, col, raw string) (any, error) {
 		}
 		return n, nil
 	}
+}
+
+// runServe runs the HTTP/JSON serving layer over the open dataset
+// until SIGINT/SIGTERM, then drains in-flight requests and sessions
+// and closes the database (run's deferred Close is a no-op by then).
+func runServe(db *decibel.DB, args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "localhost:8527", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("decibel serving on http://%s (SIGINT/SIGTERM to stop)\n", ln.Addr())
+	return decibel.NewServer(db).Serve(ctx, ln)
 }

@@ -41,6 +41,14 @@ type Database struct {
 	epoch   int // committed schema epoch (max SchemaVer across the graph)
 	nextTxn uint64
 	closed  atomic.Bool
+
+	// Session drain (CloseContext): draining refuses new sessions
+	// while the active ones finish; sessWait is closed when the last
+	// active session closes, waking the drainer.
+	draining atomic.Bool
+	sessMu   sync.Mutex
+	sessions int
+	sessWait chan struct{}
 }
 
 // Table is one versioned relation inside a Database.
@@ -603,6 +611,69 @@ func (db *Database) Flush() error {
 		}
 	}
 	return nil
+}
+
+// addSession registers an open session for the drain bookkeeping;
+// it fails with ErrDatabaseClosed once the database is closed or a
+// CloseContext drain has begun.
+func (db *Database) addSession() error {
+	db.sessMu.Lock()
+	defer db.sessMu.Unlock()
+	if db.closed.Load() || db.draining.Load() {
+		return ErrDatabaseClosed
+	}
+	db.sessions++
+	return nil
+}
+
+// dropSession unregisters a session, waking a pending CloseContext
+// drain when the last one leaves.
+func (db *Database) dropSession() {
+	db.sessMu.Lock()
+	db.sessions--
+	if db.sessions == 0 && db.sessWait != nil {
+		close(db.sessWait)
+		db.sessWait = nil
+	}
+	db.sessMu.Unlock()
+}
+
+// ActiveSessions reports the number of open sessions (the server's
+// active-session gauge).
+func (db *Database) ActiveSessions() int {
+	db.sessMu.Lock()
+	defer db.sessMu.Unlock()
+	return db.sessions
+}
+
+// CloseContext is a graceful Close: it stops admitting new sessions
+// (late arrivals get ErrDatabaseClosed), waits for the active ones to
+// close until ctx expires, then closes the database. In-flight scans
+// that passed the close guard always run to completion either way; a
+// drain timeout is reported as ctx.Err() after the close finishes.
+func (db *Database) CloseContext(ctx context.Context) error {
+	db.draining.Store(true)
+	db.sessMu.Lock()
+	var wait chan struct{}
+	if db.sessions > 0 {
+		if db.sessWait == nil {
+			db.sessWait = make(chan struct{})
+		}
+		wait = db.sessWait
+	}
+	db.sessMu.Unlock()
+	var werr error
+	if wait != nil {
+		select {
+		case <-wait:
+		case <-ctx.Done():
+			werr = ctx.Err()
+		}
+	}
+	if err := db.Close(); err != nil {
+		return err
+	}
+	return werr
 }
 
 // Close flushes and closes every engine and the journal. Close is

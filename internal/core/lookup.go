@@ -1,0 +1,63 @@
+package core
+
+import (
+	"context"
+	"expvar"
+	"sync/atomic"
+
+	"decibel/internal/vgraph"
+)
+
+// PKLookupScanner is an optional engine capability: resolve a single
+// primary key against a branch head through the engine's primary-key
+// index, skipping the segment scan entirely. The spec's predicate and
+// projection still run on the looked-up record — the index only
+// replaces the walk, never the filter — so the capability is exactly
+// equivalent to a full scan whose predicate admits at most that key.
+// ok=false means the engine cannot serve the lookup from its index
+// (no index for the branch, say) and the caller must fall back to a
+// scan.
+type PKLookupScanner interface {
+	LookupPKPushdown(branch vgraph.BranchID, pk int64, spec *ScanSpec, fn ScanFunc) (ok bool, err error)
+}
+
+// pointLookups counts branch-head reads served from a primary-key
+// index instead of a segment scan, alongside the segment counters in
+// internal/store.
+var pointLookups atomic.Int64
+
+func init() {
+	expvar.Publish("decibel.point_lookups", expvar.Func(func() any {
+		return pointLookups.Load()
+	}))
+}
+
+// CountPointLookups returns the number of scans served via a
+// primary-key point lookup (benchmarks read this; the expvar
+// decibel.point_lookups exposes the same number).
+func CountPointLookups() int64 { return pointLookups.Load() }
+
+// LookupPKPushdownContext serves a branch-head read whose predicate
+// pins the primary key to a single value from the engine's pk index.
+// It reports ok=false — caller falls back to ScanPushdownContext —
+// when the engine lacks the capability or cannot answer from its
+// index.
+func (t *Table) LookupPKPushdownContext(ctx context.Context, branch vgraph.BranchID, pk int64, spec *ScanSpec, fn ScanFunc) (bool, error) {
+	if err := t.db.beginOp(); err != nil {
+		return false, err
+	}
+	defer t.db.endOp()
+	ls, ok := t.engine.(PKLookupScanner)
+	if !ok || spec == nil {
+		return false, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	served, err := ls.LookupPKPushdown(branch, pk, spec, ctxScanFunc(ctx, fn))
+	if err != nil || !served {
+		return served, err
+	}
+	pointLookups.Add(1)
+	return true, ctx.Err()
+}

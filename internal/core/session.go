@@ -29,12 +29,17 @@ type Session struct {
 	closed  bool
 }
 
-// NewSession opens a session positioned at the head of master.
+// NewSession opens a session positioned at the head of master. Once
+// the database is closed — or a CloseContext drain has begun — it
+// fails with ErrDatabaseClosed.
 func (db *Database) NewSession() (*Session, error) {
 	if err := db.beginOp(); err != nil {
 		return nil, err
 	}
 	defer db.endOp()
+	if err := db.addSession(); err != nil {
+		return nil, err
+	}
 	db.mu.Lock()
 	db.nextTxn++
 	txn := db.nextTxn
@@ -42,6 +47,7 @@ func (db *Database) NewSession() (*Session, error) {
 	s := &Session{db: db, txn: txn}
 	if master, ok := db.graph.BranchByName(vgraph.MasterName); ok {
 		if err := s.Checkout(master.Name); err != nil {
+			db.dropSession()
 			return nil, err
 		}
 	}
@@ -508,12 +514,15 @@ func (s *Session) CommitWorkContext(ctx context.Context, message string) (*vgrap
 	return c, nil
 }
 
-// Close releases the session's locks without committing.
+// Close releases the session's locks without committing and
+// unregisters it from the database's session count; a CloseContext
+// drain waiting on the last session wakes here.
 func (s *Session) Close() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.closed {
 		s.db.locks.ReleaseAll(s.txn)
 		s.closed = true
+		s.db.dropSession()
 	}
 }

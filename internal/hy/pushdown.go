@@ -22,7 +22,50 @@ var (
 	_ core.PushdownScanner = (*Engine)(nil)
 	_ core.DiffScanner     = (*Engine)(nil)
 	_ core.BatchInserter   = (*Engine)(nil)
+	_ core.PKLookupScanner = (*Engine)(nil)
 )
+
+// LookupPKPushdown implements core.PKLookupScanner: a branch-head read
+// of one primary key answered from the per-branch pk index instead of
+// the segment walk. The index maps the key to its live (segment, slot)
+// position; the spec's full predicate and projection run on that one
+// record, so the result is identical to the scan it replaces.
+func (e *Engine) LookupPKPushdown(branch vgraph.BranchID, pk int64, spec *core.ScanSpec, fn core.ScanFunc) (bool, error) {
+	e.mu.Lock()
+	idx, ok := e.pk[branch]
+	if !ok {
+		e.mu.Unlock()
+		return false, nil
+	}
+	p := idx.live(pk)
+	if p == deletedPos {
+		e.mu.Unlock()
+		return true, nil // served: the key is not live in this branch
+	}
+	s := e.segs[p.Seg]
+	buf := make([]byte, s.Schema.RecordSize())
+	if err := s.File.Read(p.Slot, buf); err != nil {
+		e.mu.Unlock()
+		return false, err
+	}
+	prep, err := spec.Prep(s.Cols)
+	if err != nil {
+		e.mu.Unlock()
+		return false, err
+	}
+	if prep != nil {
+		buf = prep(buf)
+	}
+	rec, err := spec.Apply(buf)
+	e.mu.Unlock()
+	if err != nil {
+		return false, err
+	}
+	if rec != nil {
+		fn(rec)
+	}
+	return true, nil
+}
 
 // passSpec is the match-all, project-nothing spec the plain Scan*
 // entry points delegate through, so the engine has exactly one copy of

@@ -27,6 +27,14 @@ type Plan struct {
 	Branches []string // scanned branches: 1 = single-version, 2 = diff/join, n = multi
 	AllHeads bool     // multi-branch scan over every branch head (Query 4)
 	AtSeq    int      // >= 0: the AtSeq'th commit made on Branches[0] (historical read); -1 = head
+
+	// AtCommit pins the read to an explicit commit ID (vgraph.None =
+	// unset). Unlike AtSeq it addresses any commit reachable from the
+	// graph — including a fresh branch's head, which still belongs to
+	// the parent branch's commit sequence — so snapshot readers (the
+	// server) pin the head they resolved rather than a per-branch
+	// coordinate.
+	AtCommit vgraph.CommitID
 	Where    Expr     // typed predicate; zero value matches all
 	Cols     []string // projected columns; nil = all (the pk is always kept)
 
@@ -110,6 +118,20 @@ func (p Plan) Compile(db *core.Database) (*Compiled, error) {
 		if c.commit == nil {
 			return nil, fmt.Errorf("%w: %s@%d", core.ErrNoSuchCommit, c.branches[0].Name, p.AtSeq)
 		}
+	}
+
+	if p.AtCommit != vgraph.None {
+		if p.AtSeq >= 0 {
+			return nil, fmt.Errorf("%w: At() combined with AtCommit()", core.ErrBadQuery)
+		}
+		if p.AllHeads || len(c.branches) != 1 {
+			return nil, fmt.Errorf("%w: AtCommit() requires exactly one branch", core.ErrBadQuery)
+		}
+		cm, ok := db.Graph().Commit(p.AtCommit)
+		if !ok {
+			return nil, fmt.Errorf("%w: id %d", core.ErrNoSuchCommit, p.AtCommit)
+		}
+		c.commit = cm
 	}
 
 	// Resolve the schema as of the addressed version: the commit's
@@ -200,7 +222,11 @@ func (c *Compiled) pair() error {
 }
 
 // Scan executes a single-version scan (Query 1): the branch head, or
-// the checked-out commit when the plan has AtSeq.
+// the checked-out commit when the plan has AtSeq/AtCommit. A head scan
+// whose predicate pins the primary key to one value is served from the
+// engine's pk index (a point lookup) instead of a segment scan when
+// the engine has the capability; the full predicate and projection
+// still run on the looked-up record, so the result is identical.
 func (c *Compiled) Scan(ctx context.Context, fn core.ScanFunc) error {
 	if err := c.single(); err != nil {
 		return err
@@ -208,7 +234,29 @@ func (c *Compiled) Scan(ctx context.Context, fn core.ScanFunc) error {
 	if c.commit != nil {
 		return c.table.ScanCommitPushdownContext(ctx, c.commit, c.execSpec(), fn)
 	}
+	if pk, ok := c.pointPK(); ok {
+		served, err := c.table.LookupPKPushdownContext(ctx, c.branches[0].ID, pk, c.execSpec(), fn)
+		if served || err != nil {
+			return err
+		}
+	}
 	return c.table.ScanPushdownContext(ctx, c.branches[0].ID, c.execSpec(), fn)
+}
+
+// pointPK reports whether the extracted bounds pin the primary key
+// (column 0, always Int64) to exactly one value — the planner's signal
+// that the scan is a point lookup. Bounds are conservative, so a point
+// bound never excludes a matching record; the engines re-run the full
+// predicate on the record the index yields. NoPrune plans extract no
+// bounds and keep the scan path (the benchmark baseline).
+func (c *Compiled) pointPK() (int64, bool) {
+	for i := range c.bounds {
+		b := &c.bounds[i]
+		if b.Col == 0 && b.HasMin && b.HasMax && b.MinI == b.MaxI {
+			return b.MinI, true
+		}
+	}
+	return 0, false
 }
 
 // ScanMulti executes a multi-branch scan (Query 4) over the plan's

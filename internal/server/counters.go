@@ -1,0 +1,38 @@
+package server
+
+import (
+	"expvar"
+	"sync/atomic"
+
+	"decibel/internal/core"
+)
+
+// Serving counters, published once per process alongside the storage
+// counters (decibel.segments_scanned/_skipped, decibel.point_lookups)
+// so /debug/vars is the one observability surface. Package-level
+// because expvar names are process-global: tests construct many
+// Servers, counters must not re-Publish.
+var (
+	requests    = expvar.NewInt("decibel.server.requests")
+	errorsTotal = expvar.NewInt("decibel.server.errors")
+	canceled    = expvar.NewInt("decibel.server.canceled")
+	commits     = expvar.NewInt("decibel.server.commits")
+)
+
+// servedDB is the database whose session count the active-sessions
+// gauge reports: the one behind the most recently constructed Server
+// (one per process outside tests).
+var servedDB atomic.Pointer[core.Database]
+
+func registerDB(db *core.Database) {
+	servedDB.Store(db)
+}
+
+func init() {
+	expvar.Publish("decibel.server.active_sessions", expvar.Func(func() any {
+		if db := servedDB.Load(); db != nil {
+			return db.ActiveSessions()
+		}
+		return 0
+	}))
+}

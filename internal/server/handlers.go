@@ -1,0 +1,393 @@
+package server
+
+import (
+	"context"
+	"net/http"
+
+	"decibel/client"
+	"decibel/internal/bitmap"
+	"decibel/internal/core"
+	iquery "decibel/internal/query"
+	"decibel/internal/record"
+	"decibel/internal/vgraph"
+)
+
+// handleQuery is POST /v1/query: one query-builder invocation.
+//
+// Snapshot isolation: a single-branch read resolves the branch's head
+// commit ID once, here, and compiles the plan pinned to it
+// (Plan.AtCommit), so the whole scan observes exactly that version —
+// lock-free, because commit history is immutable — no matter how many
+// commits land on the branch while it runs. Multi-branch and diff
+// shapes read the engines' internally-snapshotted head bitmaps
+// instead (still lock-free; the union snapshot is taken under the
+// engine mutex, not a branch lock).
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) error {
+	var req client.QueryRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return err
+	}
+	t, err := s.db.TableByName(req.Table)
+	if err != nil {
+		return err
+	}
+	where, err := decodeExpr(req.Where, t.Schema())
+	if err != nil {
+		return err
+	}
+	plan := iquery.Plan{
+		Table:     req.Table,
+		Where:     where,
+		Cols:      req.Select,
+		AtSeq:     -1,
+		OrderCol:  req.OrderBy,
+		OrderDesc: req.Desc,
+		Limit:     req.Limit,
+	}
+	isDiff := len(req.Diff) > 0
+	switch {
+	case isDiff:
+		if len(req.Diff) != 2 || len(req.Branches) > 0 || req.Heads {
+			return badRequestf("diff takes exactly two branches and excludes branches/heads")
+		}
+		plan.Branches = req.Diff
+	case req.Heads:
+		plan.AllHeads = true
+	default:
+		plan.Branches = req.Branches
+	}
+	if req.At != nil {
+		plan.AtSeq = *req.At
+	}
+	plan.AtCommit = vgraph.CommitID(req.AtCommit)
+
+	resp := client.QueryResponse{}
+	// Pin single-branch head reads to the head resolved now.
+	if !isDiff && !req.Heads && len(plan.Branches) == 1 && plan.AtSeq < 0 {
+		b, err := s.db.BranchNamed(plan.Branches[0])
+		if err != nil {
+			return err
+		}
+		if plan.AtCommit == vgraph.None {
+			plan.AtCommit = b.Head
+		}
+		if cm, ok := s.db.Graph().Commit(plan.AtCommit); ok {
+			resp.Commit, resp.Seq, resp.Branch = uint64(cm.ID), cm.Seq, plan.Branches[0]
+		}
+	}
+
+	c, err := plan.Compile(s.db)
+	if err != nil {
+		return err
+	}
+	ctx := r.Context()
+
+	if req.Agg != "" {
+		var kind iquery.AggKind
+		switch req.Agg {
+		case "count":
+			kind = iquery.AggCount
+		case "sum":
+			kind = iquery.AggSum
+		case "min":
+			kind = iquery.AggMin
+		case "max":
+			kind = iquery.AggMax
+		default:
+			return badRequestf("unknown aggregate %q", req.Agg)
+		}
+		v, err := c.Aggregate(ctx, kind, req.AggCol)
+		if err != nil {
+			return err
+		}
+		resp.Agg, resp.Count = v, int(v)
+		if kind != iquery.AggCount {
+			resp.Count = 0
+		}
+		return reply(w, &resp)
+	}
+
+	multi := !isDiff && (req.Heads || len(plan.Branches) > 1)
+	switch {
+	case multi:
+		if plan.OrderCol != "" || plan.Limit > 0 {
+			return badRequestf("orderBy/limit do not apply to multi-branch (annotated) reads")
+		}
+		branches := c.Branches()
+		err = c.ScanMulti(ctx, func(rec *record.Record, member *bitmap.Bitmap) bool {
+			row := rowOf(rec)
+			names := make([]string, 0, 2)
+			member.ForEach(func(i int) bool {
+				names = append(names, branches[i].Name)
+				return true
+			})
+			row["_branches"] = names
+			resp.Rows = append(resp.Rows, row)
+			return true
+		})
+	case isDiff:
+		err = c.EmitOrdered(func(fn core.ScanFunc) error { return c.Diff(ctx, fn) },
+			func(rec *record.Record) bool {
+				resp.Rows = append(resp.Rows, rowOf(rec))
+				return true
+			})
+	default:
+		err = c.EmitOrdered(func(fn core.ScanFunc) error { return c.Scan(ctx, fn) },
+			func(rec *record.Record) bool {
+				resp.Rows = append(resp.Rows, rowOf(rec))
+				return true
+			})
+	}
+	if err != nil {
+		return err
+	}
+	resp.Count = len(resp.Rows)
+	return reply(w, &resp)
+}
+
+// handleCommit is POST /v1/commit: one transaction against a branch
+// head, mirroring the facade's Commit(branch, fn) — the ops apply
+// under the branch's exclusive lock and commit atomically; any
+// failure rolls every touched key back to its committed state.
+func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) error {
+	var req client.CommitRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return err
+	}
+	if len(req.Ops) == 0 {
+		return badRequestf("commit has no ops")
+	}
+	ctx := r.Context()
+	sess, err := s.db.NewSession()
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+	if err := sess.CheckoutForWrite(ctx, req.Branch); err != nil {
+		return err
+	}
+	branchID := sess.Branch().ID
+
+	touched := make(map[string]map[int64]struct{})
+	note := func(table string, pk int64) {
+		if touched[table] == nil {
+			touched[table] = make(map[int64]struct{})
+		}
+		touched[table][pk] = struct{}{}
+	}
+	rollback := func() error {
+		rctx := context.WithoutCancel(ctx)
+		for table, pks := range touched {
+			keys := make([]int64, 0, len(pks))
+			for pk := range pks {
+				keys = append(keys, pk)
+			}
+			if err := sess.Revert(rctx, table, keys); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	for _, op := range req.Ops {
+		var err error
+		switch op.Op {
+		case "insert":
+			var t *core.Table
+			if t, err = s.db.TableByName(op.Table); err == nil {
+				// Writes carry the schema of the branch's head epoch —
+				// not the globally newest one, which another branch's
+				// evolution may have advanced past this branch.
+				var rec *record.Record
+				if rec, err = buildRecord(t.SchemaAt(t.BranchEpoch(branchID)), op.Values); err == nil {
+					note(op.Table, rec.PK())
+					err = sess.InsertContext(ctx, op.Table, rec)
+				}
+			}
+		case "delete":
+			note(op.Table, op.PK)
+			err = sess.DeleteContext(ctx, op.Table, op.PK)
+		default:
+			err = badRequestf("unknown op %q", op.Op)
+		}
+		if err != nil {
+			if rbErr := rollback(); rbErr != nil {
+				return rbErr
+			}
+			return err
+		}
+	}
+
+	message := req.Message
+	if message == "" {
+		message = "commit on " + req.Branch
+	}
+	cm, err := sess.CommitWorkContext(ctx, message)
+	if err != nil {
+		return err
+	}
+	commits.Add(1)
+	return reply(w, &client.CommitResponse{Commit: uint64(cm.ID), Seq: cm.Seq})
+}
+
+// handleBranch is POST /v1/branch: create a branch from the current
+// head of another, holding the parent's shared lock for the span so
+// the branch point cannot move under a concurrent committer.
+func (s *Server) handleBranch(w http.ResponseWriter, r *http.Request) error {
+	var req client.BranchRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return err
+	}
+	if req.From == "" || req.Name == "" {
+		return badRequestf("branch needs from and name")
+	}
+	sess, err := s.db.NewSession()
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+	if err := sess.AcquireBranch(r.Context(), req.From, false); err != nil {
+		return err
+	}
+	b, err := s.db.BranchFromHead(req.Name, req.From)
+	if err != nil {
+		return err
+	}
+	return reply(w, s.branchResponse(b))
+}
+
+// handleMerge is POST /v1/merge, mirroring the facade's Merge: the
+// target's exclusive lock, the source's shared lock, then the engines'
+// merge.
+func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) error {
+	var req client.MergeRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return err
+	}
+	kind := core.ThreeWay
+	switch req.Kind {
+	case "", "threeway":
+	case "twoway":
+		kind = core.TwoWay
+	default:
+		return badRequestf("unknown merge kind %q", req.Kind)
+	}
+	intoWins := true
+	switch req.Precedence {
+	case "", "into":
+	case "from":
+		intoWins = false
+	default:
+		return badRequestf("unknown merge precedence %q", req.Precedence)
+	}
+	message := req.Message
+	if message == "" {
+		message = "merge " + req.From + " into " + req.Into
+	}
+	ctx := r.Context()
+	sess, err := s.db.NewSession()
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+	if err := sess.CheckoutForWrite(ctx, req.Into); err != nil {
+		return err
+	}
+	if err := sess.AcquireBranch(ctx, req.From, false); err != nil {
+		return err
+	}
+	bi, err := s.db.BranchNamed(req.Into)
+	if err != nil {
+		return err
+	}
+	bf, err := s.db.BranchNamed(req.From)
+	if err != nil {
+		return err
+	}
+	cm, stats, err := s.db.MergeContext(ctx, bi.ID, bf.ID, message, kind, intoWins)
+	if err != nil {
+		return err
+	}
+	commits.Add(1)
+	return reply(w, &client.MergeResponse{
+		Commit:    uint64(cm.ID),
+		Merged:    stats.Materialized,
+		Conflicts: stats.Conflicts,
+	})
+}
+
+// handleAlter is POST /v1/alter: one schema-change transaction —
+// exactly one add or drop, taking effect at its commit.
+func (s *Server) handleAlter(w http.ResponseWriter, r *http.Request) error {
+	var req client.AlterRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return err
+	}
+	if (req.Add == nil) == (req.Drop == "") {
+		return badRequestf("alter takes exactly one of add or drop")
+	}
+	ctx := r.Context()
+	sess, err := s.db.NewSession()
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+	if err := sess.CheckoutForWrite(ctx, req.Branch); err != nil {
+		return err
+	}
+	var detail string
+	if req.Add != nil {
+		col, def, err := parseColumnDef(req.Add)
+		if err != nil {
+			return err
+		}
+		if err := sess.AddColumn(req.Table, col, def); err != nil {
+			return err
+		}
+		detail = "add " + col.Name
+	} else {
+		if err := sess.DropColumn(req.Table, req.Drop); err != nil {
+			return err
+		}
+		detail = "drop " + req.Drop
+	}
+	cm, err := sess.CommitWorkContext(ctx, "alter "+req.Table+": "+detail)
+	if err != nil {
+		return err
+	}
+	commits.Add(1)
+	return reply(w, &client.CommitResponse{Commit: uint64(cm.ID), Seq: cm.Seq})
+}
+
+// handleTables is GET /v1/tables.
+func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) error {
+	tables := s.db.Tables()
+	out := make([]client.TableResponse, 0, len(tables))
+	for _, t := range tables {
+		sch := t.Schema()
+		tr := client.TableResponse{Name: t.Name()}
+		for i := 0; i < sch.NumColumns(); i++ {
+			tr.Columns = append(tr.Columns, columnDef(sch.Column(i)))
+		}
+		out = append(out, tr)
+	}
+	return reply(w, out)
+}
+
+// handleBranches is GET /v1/branches.
+func (s *Server) handleBranches(w http.ResponseWriter, r *http.Request) error {
+	branches := s.db.Graph().Branches()
+	out := make([]client.BranchResponse, 0, len(branches))
+	for _, b := range branches {
+		out = append(out, *s.branchResponse(b))
+	}
+	return reply(w, out)
+}
+
+func (s *Server) branchResponse(b *vgraph.Branch) *client.BranchResponse {
+	return &client.BranchResponse{
+		Name:   b.Name,
+		Head:   uint64(b.Head),
+		Commit: len(s.db.Graph().CommitsOnBranch(b.ID)),
+	}
+}

@@ -1,0 +1,275 @@
+// Package loadgen drives mixed read/commit traffic against a decibel
+// serve endpoint through the decibel/client package: N concurrent
+// clients, a configurable commit fraction, per-operation latency
+// collection. It is the engine behind cmd/decibel-loadgen, the serving
+// benchmark and the CI smoke job, so its Summary is the one shape all
+// three consume.
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"decibel/client"
+)
+
+// Config parameterizes one load-generation run.
+type Config struct {
+	URL    string // base URL of the server, e.g. "http://localhost:8527"
+	Table  string // table to read and write
+	Branch string // branch all traffic addresses
+
+	Clients    int           // concurrent workers (default 8)
+	Duration   time.Duration // wall-clock run length (default 5s)
+	CommitFrac float64       // fraction of operations that are commits (default 0.2)
+	Keys       int64         // primary keys drawn from [0, Keys) (default 10000)
+	BatchSize  int           // records per commit transaction (default 4)
+	Seed       int64         // base RNG seed; worker i uses Seed+i
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Clients <= 0 {
+		out.Clients = 8
+	}
+	if out.Duration <= 0 {
+		out.Duration = 5 * time.Second
+	}
+	if out.CommitFrac < 0 {
+		out.CommitFrac = 0
+	}
+	if out.CommitFrac == 0 {
+		out.CommitFrac = 0.2
+	}
+	if out.Keys <= 0 {
+		out.Keys = 10000
+	}
+	if out.BatchSize <= 0 {
+		out.BatchSize = 4
+	}
+	if out.Table == "" {
+		out.Table = "r"
+	}
+	if out.Branch == "" {
+		out.Branch = "master"
+	}
+	return out
+}
+
+// Latency summarizes one operation class's latency distribution.
+type Latency struct {
+	Count int64         `json:"count"`
+	P50   time.Duration `json:"p50_ns"`
+	P90   time.Duration `json:"p90_ns"`
+	P99   time.Duration `json:"p99_ns"`
+	Max   time.Duration `json:"max_ns"`
+}
+
+func (l Latency) String() string {
+	if l.Count == 0 {
+		return "none"
+	}
+	return fmt.Sprintf("n=%d p50=%v p90=%v p99=%v max=%v", l.Count, l.P50, l.P90, l.P99, l.Max)
+}
+
+// Summary is the outcome of a Run.
+type Summary struct {
+	Clients  int           `json:"clients"`
+	Elapsed  time.Duration `json:"elapsed_ns"`
+	Reads    int64         `json:"reads"`
+	Commits  int64         `json:"commits"`
+	Rows     int64         `json:"rows"`   // rows received across all reads
+	Errors   int64         `json:"errors"` // failed operations (shutdown cancellations excluded)
+	LastErr  string        `json:"last_err,omitempty"`
+	ReadLat  Latency       `json:"read_latency"`
+	WriteLat Latency       `json:"commit_latency"`
+}
+
+func (s *Summary) String() string {
+	var b strings.Builder
+	secs := s.Elapsed.Seconds()
+	fmt.Fprintf(&b, "loadgen: %d clients, %.1fs\n", s.Clients, secs)
+	fmt.Fprintf(&b, "  reads:   %6d (%.0f/s, %d rows)  %s\n", s.Reads, float64(s.Reads)/secs, s.Rows, s.ReadLat)
+	fmt.Fprintf(&b, "  commits: %6d (%.0f/s)  %s\n", s.Commits, float64(s.Commits)/secs, s.WriteLat)
+	fmt.Fprintf(&b, "  errors:  %6d", s.Errors)
+	if s.LastErr != "" {
+		fmt.Fprintf(&b, "  (last: %s)", s.LastErr)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// worker accumulates one goroutine's results, merged after the run so
+// the hot path never takes a lock.
+type worker struct {
+	reads, commits, rows, errs int64
+	lastErr                    error
+	readLat, writeLat          []time.Duration
+}
+
+// Run drives the configured mix until the duration elapses or ctx is
+// canceled. An unreachable server fails fast; per-operation failures
+// are counted (not fatal) so a run reports the server's behavior under
+// sustained pressure rather than stopping at the first refusal.
+func Run(ctx context.Context, cfg Config) (*Summary, error) {
+	cfg = cfg.withDefaults()
+	c := client.New(cfg.URL)
+
+	// One up-front schema fetch: value generation follows the table's
+	// columns, so the generator works against any init schema.
+	tables, err := c.Tables(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: fetching schema: %w", err)
+	}
+	var cols []client.ColumnDef
+	for _, t := range tables {
+		if t.Name == cfg.Table {
+			cols = t.Columns
+		}
+	}
+	if cols == nil {
+		return nil, fmt.Errorf("loadgen: server has no table %q", cfg.Table)
+	}
+
+	rctx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+
+	start := time.Now()
+	workers := make([]worker, cfg.Clients)
+	var wg sync.WaitGroup
+	for i := range workers {
+		wg.Add(1)
+		go func(w *worker, seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for rctx.Err() == nil {
+				if rng.Float64() < cfg.CommitFrac {
+					w.commit(rctx, c, cfg, cols, rng)
+				} else {
+					w.read(rctx, c, cfg, rng)
+				}
+			}
+		}(&workers[i], cfg.Seed+int64(i))
+	}
+	wg.Wait()
+
+	sum := &Summary{Clients: cfg.Clients, Elapsed: time.Since(start)}
+	var readLat, writeLat []time.Duration
+	for i := range workers {
+		w := &workers[i]
+		sum.Reads += w.reads
+		sum.Commits += w.commits
+		sum.Rows += w.rows
+		sum.Errors += w.errs
+		if w.lastErr != nil {
+			sum.LastErr = w.lastErr.Error()
+		}
+		readLat = append(readLat, w.readLat...)
+		writeLat = append(writeLat, w.writeLat...)
+	}
+	sum.ReadLat = summarize(readLat)
+	sum.WriteLat = summarize(writeLat)
+	return sum, nil
+}
+
+// note records one operation's outcome. Failures caused by the run
+// ending (context deadline) are neither errors nor samples.
+func (w *worker) note(ctx context.Context, lat *[]time.Duration, d time.Duration, err error) bool {
+	if err != nil {
+		if ctx.Err() != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			return false
+		}
+		w.errs++
+		w.lastErr = err
+		return false
+	}
+	*lat = append(*lat, d)
+	return true
+}
+
+func (w *worker) read(ctx context.Context, c *client.Client, cfg Config, rng *rand.Rand) {
+	req := client.QueryRequest{Table: cfg.Table, Branches: []string{cfg.Branch}}
+	switch rng.Intn(3) {
+	case 0: // point read by primary key
+		req.Where = &client.Expr{Col: "id", Op: "eq", Val: rng.Int63n(cfg.Keys)}
+	case 1: // short range scan
+		lo := rng.Int63n(cfg.Keys)
+		req.Where = &client.Expr{And: []client.Expr{
+			{Col: "id", Op: "ge", Val: lo},
+			{Col: "id", Op: "lt", Val: lo + 64},
+		}}
+	default: // count over the branch head
+		req.Agg = "count"
+	}
+	t0 := time.Now()
+	resp, err := c.Query(ctx, req)
+	if w.note(ctx, &w.readLat, time.Since(t0), err) {
+		w.reads++
+		w.rows += int64(len(resp.Rows))
+	}
+}
+
+func (w *worker) commit(ctx context.Context, c *client.Client, cfg Config, cols []client.ColumnDef, rng *rand.Rand) {
+	ops := make([]client.Op, cfg.BatchSize)
+	for i := range ops {
+		ops[i] = client.Op{Op: "insert", Table: cfg.Table, Values: randomValues(cols, cfg.Keys, rng)}
+	}
+	t0 := time.Now()
+	_, err := c.Commit(ctx, client.CommitRequest{Branch: cfg.Branch, Ops: ops})
+	if w.note(ctx, &w.writeLat, time.Since(t0), err) {
+		w.commits++
+	}
+}
+
+// randomValues draws one record's values from the schema: the leading
+// column is the primary key in [0, keys), the rest follow their types.
+func randomValues(cols []client.ColumnDef, keys int64, rng *rand.Rand) map[string]any {
+	values := make(map[string]any, len(cols))
+	for i, col := range cols {
+		if i == 0 {
+			values[col.Name] = rng.Int63n(keys)
+			continue
+		}
+		switch col.Type {
+		case "float64":
+			values[col.Name] = rng.Float64() * 1000
+		case "bytes":
+			n := col.Cap
+			if n > 12 {
+				n = 12
+			}
+			b := make([]byte, n)
+			for j := range b {
+				b[j] = byte('a' + rng.Intn(26))
+			}
+			values[col.Name] = string(b)
+		default: // int32 | int64
+			values[col.Name] = rng.Int63n(1 << 20)
+		}
+	}
+	return values
+}
+
+func summarize(lat []time.Duration) Latency {
+	if len(lat) == 0 {
+		return Latency{}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(lat)-1))
+		return lat[i]
+	}
+	return Latency{
+		Count: int64(len(lat)),
+		P50:   pct(0.50),
+		P90:   pct(0.90),
+		P99:   pct(0.99),
+		Max:   lat[len(lat)-1],
+	}
+}

@@ -1,0 +1,114 @@
+package decibel_test
+
+// Point-lookup fast-path tests: Where(Col("id").Eq(k)) on a branch
+// head resolves through the primary-key index instead of a segment
+// scan on the engines that maintain one (tuple-first, hybrid),
+// observable through the decibel.point_lookups counter. Results must
+// be indistinguishable from the scan path: residual predicates and
+// projections still apply, absent and deleted keys read back empty,
+// and historical reads bypass the index (it describes heads only).
+
+import (
+	"expvar"
+	"strconv"
+	"testing"
+
+	"decibel"
+)
+
+func pointLookupCount(t *testing.T) int64 {
+	t.Helper()
+	v := expvar.Get("decibel.point_lookups")
+	if v == nil {
+		t.Fatal("decibel.point_lookups not published")
+	}
+	n, err := strconv.ParseInt(v.String(), 10, 64)
+	if err != nil {
+		t.Fatalf("decibel.point_lookups = %q: %v", v.String(), err)
+	}
+	return n
+}
+
+func TestPointLookupFastPath(t *testing.T) {
+	for _, engine := range facadeEngines {
+		t.Run(engine, func(t *testing.T) {
+			db, err := decibel.Open(t.TempDir(), decibel.WithEngine(engine))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			schema := decibel.NewSchema().Int64("id").Int64("v").MustBuild()
+			if _, err := db.CreateTable("r", schema); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := db.Init("init"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := db.Commit("master", func(tx *decibel.Tx) error {
+				for pk := int64(0); pk < 100; pk++ {
+					rec := decibel.NewRecord(schema)
+					rec.SetPK(pk)
+					rec.Set(1, pk*10)
+					if err := tx.Insert("r", rec); err != nil {
+						return err
+					}
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+
+			// serves reports whether this engine has the fast path.
+			serves := engine != "version-first"
+			expect := pointLookupCount(t)
+			// check runs one query and asserts both the result and
+			// whether the point-lookup counter moved.
+			check := func(q *decibel.Query, wantRows int, wantV int64, served bool) {
+				t.Helper()
+				rows, qErr := q.Rows()
+				n := 0
+				for rec := range rows {
+					n++
+					if wantRows == 1 {
+						if got := rec.Get(rec.Schema().ColumnIndex("v")); got != wantV {
+							t.Fatalf("v = %d, want %d", got, wantV)
+						}
+					}
+				}
+				if err := qErr(); err != nil {
+					t.Fatal(err)
+				}
+				if n != wantRows {
+					t.Fatalf("%d rows, want %d", n, wantRows)
+				}
+				if served {
+					expect++
+				}
+				if got := pointLookupCount(t); got != expect {
+					t.Fatalf("point_lookups = %d, want %d (served=%v)", got, expect, served)
+				}
+			}
+
+			// The plain point read.
+			check(db.Query("r").On("master").Where(decibel.Col("id").Eq(int64(7))), 1, 70, serves)
+			// An equivalent closed range [7,7] extracts the same point bound.
+			check(db.Query("r").On("master").Where(decibel.Col("id").Ge(int64(7)).And(decibel.Col("id").Le(int64(7)))), 1, 70, serves)
+			// Absent key: a served empty result, not a fallback scan.
+			check(db.Query("r").On("master").Where(decibel.Col("id").Eq(int64(1000))), 0, 0, serves)
+			// Residual predicate still filters the looked-up record.
+			check(db.Query("r").On("master").Where(decibel.Col("id").Eq(int64(7)).And(decibel.Col("v").Eq(int64(0)))), 0, 0, serves)
+			// Projection applies on the fast path too.
+			check(db.Query("r").On("master").Where(decibel.Col("id").Eq(int64(7))).Select("v"), 1, 70, serves)
+			// Historical reads never use the head index.
+			check(db.Query("r").On("master").At(0).Where(decibel.Col("id").Eq(int64(7))), 0, 0, false)
+
+			// Deleted key: the index reflects the head.
+			if _, err := db.Commit("master", func(tx *decibel.Tx) error { return tx.Delete("r", 7) }); err != nil {
+				t.Fatal(err)
+			}
+			check(db.Query("r").On("master").Where(decibel.Col("id").Eq(int64(7))), 0, 0, serves)
+			// A range that is not a point still scans.
+			check(db.Query("r").On("master").Where(decibel.Col("id").Ge(int64(7)).And(decibel.Col("id").Le(int64(9)))), 2, 0, false)
+		})
+	}
+}
