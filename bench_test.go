@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -80,6 +81,7 @@ func getDataset(b *testing.B, engine string, cfg bench.Config) *bench.Dataset {
 }
 
 func TestMain(m *testing.M) {
+	baseline := runtime.NumGoroutine()
 	code := m.Run()
 	dsMu.Lock()
 	for _, d := range dsCache {
@@ -89,6 +91,16 @@ func TestMain(m *testing.M) {
 		os.RemoveAll(dir)
 	}
 	dsMu.Unlock()
+	// Goroutine-leak gate: the parallel scan pool spawns per-scan
+	// goroutines only, so once every test's databases are closed the
+	// count must settle back to the pre-run baseline (small tolerance
+	// for lazily started runtime/testing goroutines).
+	if code == 0 {
+		if got := settledGoroutines(baseline+4, 10*time.Second); got > baseline+4 {
+			fmt.Fprintf(os.Stderr, "goroutine leak: %d at start, %d after all tests settled\n", baseline, got)
+			code = 1
+		}
+	}
 	os.Exit(code)
 }
 

@@ -139,6 +139,15 @@ func (q *Query) Limit(n int) *Query {
 	return q
 }
 
+// Sequential pins the query to the sequential scan path, bypassing the
+// database's parallel scan executor (see Open's WithScanWorkers). The
+// results are identical either way; this exists as the explicit
+// baseline for equivalence tests and benchmarks.
+func (q *Query) Sequential() *Query {
+	q.plan.NoParallel = true
+	return q
+}
+
 // compile resolves the plan against the database.
 func (q *Query) compile() (*iquery.Compiled, error) {
 	return q.plan.Compile(q.db.Database)

@@ -7,13 +7,16 @@ package decibel_test
 // committed and that same-branch committers serialized.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"decibel"
+	"decibel/internal/core"
 )
 
 func TestConcurrentNameBasedCommits(t *testing.T) {
@@ -116,6 +119,203 @@ func TestConcurrentNameBasedCommits(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestConcurrentParallelScans: parallel scans racing committing
+// writers, branch creation and a schema-epoch rotation, on every
+// engine with the scan pool forced on. Writers commit whole batches to
+// their own branches, so any reader snapshot must contain only that
+// branch's writer and a whole number of batches (a torn snapshot shows
+// either a foreign writer id or a partial batch), and per-branch
+// visible counts never run backwards. Ends with a CloseContext drain
+// racing in-flight parallel scans.
+func TestConcurrentParallelScans(t *testing.T) {
+	const (
+		writers         = 4
+		commitsPer      = 6
+		recordsPerRound = 30
+	)
+	scansBefore, _ := core.ParallelScanCounters()
+	for _, engine := range facadeEngines {
+		t.Run(engine, func(t *testing.T) {
+			db, err := decibel.Open(t.TempDir(), decibel.WithEngine(engine), decibel.WithScanWorkers(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			schema := decibel.NewSchema().Int64("id").Int64("writer").Int64("round").MustBuild()
+			if _, err := db.CreateTable("r", schema); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := db.Init("init"); err != nil {
+				t.Fatal(err)
+			}
+			names := make([]string, writers)
+			for w := range names {
+				names[w] = fmt.Sprintf("worker-%d", w)
+				if _, err := db.Branch("master", names[w]); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			var (
+				wg          sync.WaitGroup
+				writersLeft atomic.Int64
+				mu          sync.Mutex
+				failures    []string
+			)
+			failf := func(format string, args ...any) {
+				mu.Lock()
+				defer mu.Unlock()
+				failures = append(failures, fmt.Sprintf(format, args...))
+			}
+			writersLeft.Store(writers)
+
+			for w, name := range names {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					defer writersLeft.Add(-1)
+					for round := 0; round < commitsPer; round++ {
+						_, err := db.Commit(name, func(tx *decibel.Tx) error {
+							recs := make([]*decibel.Record, 0, recordsPerRound)
+							for i := 0; i < recordsPerRound; i++ {
+								rec := decibel.NewRecord(schema)
+								rec.SetPK(int64(round*recordsPerRound + i))
+								rec.Set(1, int64(w))
+								rec.Set(2, int64(round))
+								recs = append(recs, rec)
+							}
+							return tx.InsertBatch("r", recs)
+						})
+						if err != nil {
+							failf("%s round %d: %v", name, round, err)
+							return
+						}
+						// Mid-run structural churn racing the scans: a branch
+						// off this head (freezing it on segment engines), and
+						// one schema-epoch rotation on master.
+						if round == 2 {
+							if _, err := db.Branch(name, name+"-mid"); err != nil {
+								failf("%s mid-branch: %v", name, err)
+								return
+							}
+						}
+						if w == 0 && round == 3 {
+							if _, err := db.Commit("master", func(tx *decibel.Tx) error {
+								return tx.AddColumn("r", decibel.Column{Name: "extra", Type: decibel.Int64}, decibel.Default(int64(-1)))
+							}); err != nil {
+								failf("schema rotation: %v", err)
+								return
+							}
+						}
+					}
+				}()
+			}
+
+			// Readers: plain rows, ordered+limited rows, aggregates, diff
+			// and heads — all through the parallel executor.
+			for r := 0; r < 6; r++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					lastCount := make(map[string]int)
+					for writersLeft.Load() > 0 {
+						for w, name := range names {
+							n := 0
+							rows, scanErr := db.Query("r").On(name).Rows()
+							for rec := range rows {
+								if got := rec.Get(1); got != int64(w) {
+									failf("%s snapshot holds writer %d", name, got)
+									return
+								}
+								n++
+							}
+							if err := scanErr(); err != nil {
+								failf("rows on %s: %v", name, err)
+								return
+							}
+							if n%recordsPerRound != 0 {
+								failf("%s snapshot has %d records: torn batch", name, n)
+								return
+							}
+							if n < lastCount[name] {
+								failf("%s visible count ran backwards: %d after %d", name, n, lastCount[name])
+								return
+							}
+							lastCount[name] = n
+
+							k := 0
+							rows, scanErr = db.Query("r").On(name).OrderBy("id", false).Limit(10).Rows()
+							for rec := range rows {
+								if got := rec.Get(1); got != int64(w) {
+									failf("%s ordered snapshot holds writer %d", name, got)
+									return
+								}
+								k++
+							}
+							if err := scanErr(); err != nil {
+								failf("ordered rows on %s: %v", name, err)
+								return
+							}
+							if k > 10 {
+								failf("limit 10 emitted %d rows", k)
+								return
+							}
+						}
+						if _, err := db.Query("r").Heads().Count(); err != nil {
+							failf("heads count: %v", err)
+							return
+						}
+						rows, scanErr := db.Query("r").Diff(names[0], names[1])
+						for rec := range rows {
+							if got := rec.Get(1); got != 0 {
+								failf("diff %s\\%s emitted writer %d", names[0], names[1], got)
+								return
+							}
+						}
+						if err := scanErr(); err != nil {
+							failf("diff: %v", err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			if len(failures) > 0 {
+				t.Fatalf("%d failures, first: %s", len(failures), failures[0])
+			}
+
+			// CloseContext drains in-flight parallel scans: fire scans and
+			// close concurrently; scans either complete or fail with
+			// ErrDatabaseClosed, and the drain itself must succeed.
+			var rg sync.WaitGroup
+			for r := 0; r < 4; r++ {
+				rg.Add(1)
+				go func() {
+					defer rg.Done()
+					for i := 0; i < 50; i++ {
+						if _, err := db.Query("r").On(names[0]).Count(); err != nil {
+							if !errors.Is(err, decibel.ErrDatabaseClosed) {
+								failf("scan during drain: %v", err)
+							}
+							return
+						}
+					}
+				}()
+			}
+			if err := db.CloseContext(context.Background()); err != nil {
+				t.Fatalf("CloseContext during parallel scans: %v", err)
+			}
+			rg.Wait()
+			if len(failures) > 0 {
+				t.Fatalf("%d failures, first: %s", len(failures), failures[0])
+			}
+		})
+	}
+	if scansAfter, _ := core.ParallelScanCounters(); scansAfter == scansBefore {
+		t.Fatal("stress run never engaged the parallel executor")
 	}
 }
 

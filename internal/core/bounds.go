@@ -65,6 +65,23 @@ func (sp *ScanSpec) SkipSegment(z *store.ZoneMap, physCols int) bool {
 	return skip
 }
 
+// HasBounds reports whether the spec carries any pruning bounds —
+// scans consult it before paying for per-page zone checks.
+func (sp *ScanSpec) HasBounds() bool { return len(sp.bounds) > 0 }
+
+// SkipPage is SkipSegment at page granularity: z is one chunk of a
+// segment's PageZones index. It feeds the shared page-scan counters
+// instead of the segment ones.
+func (sp *ScanSpec) SkipPage(z *store.ZoneMap, physCols int) bool {
+	skip := sp.skipSegment(z, physCols)
+	if skip {
+		store.CountPageSkipped()
+	} else {
+		store.CountPageScanned()
+	}
+	return skip
+}
+
 func (sp *ScanSpec) skipSegment(z *store.ZoneMap, physCols int) bool {
 	if len(sp.bounds) == 0 {
 		return false

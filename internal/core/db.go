@@ -42,6 +42,11 @@ type Database struct {
 	nextTxn uint64
 	closed  atomic.Bool
 
+	// Parallel scan pool: scanSem bounds the frozen-segment scan
+	// goroutines all tables share; scanWorkers is its size.
+	scanWorkers int
+	scanSem     chan struct{}
+
 	// Session drain (CloseContext): draining refuses new sessions
 	// while the active ones finish; sessWait is closed when the last
 	// active session closes, waking the drainer.
@@ -117,15 +122,18 @@ func OpenContext(ctx context.Context, dir string, factory Factory, opt Options) 
 	if err != nil {
 		return nil, err
 	}
+	workers := resolveScanWorkers(opt)
 	db := &Database{
-		dir:     dir,
-		opt:     opt,
-		factory: factory,
-		graph:   graph,
-		pool:    heap.NewPool(opt.PoolPages, opt.PageSize),
-		locks:   lock.NewManager(0),
-		journal: journal,
-		tables:  make(map[string]*Table),
+		dir:         dir,
+		opt:         opt,
+		factory:     factory,
+		graph:       graph,
+		pool:        heap.NewPool(opt.PoolPages, opt.PageSize),
+		locks:       lock.NewManager(0),
+		journal:     journal,
+		tables:      make(map[string]*Table),
+		scanWorkers: workers,
+		scanSem:     make(chan struct{}, workers),
 	}
 	if err := db.loadCatalogContext(ctx); err != nil {
 		for _, t := range db.Tables() {

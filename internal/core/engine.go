@@ -135,6 +135,7 @@ type Options struct {
 	CommitFanout  int  // commit-log composite layer fanout (0 = default)
 	TupleOriented bool // tuple-first: use the tuple-oriented bitmap matrix
 	Fsync         bool // fsync on commit (off for benchmarks, like the paper's load phase)
+	ScanWorkers   int  // parallel scan pool size (0 = DECIBEL_SCAN_WORKERS env or GOMAXPROCS; 1 disables)
 }
 
 // Factory constructs an engine rooted at env.Dir. Implemented by

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"context"
+	"expvar"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"decibel/internal/bitmap"
+	"decibel/internal/record"
+	"decibel/internal/vgraph"
+)
+
+// Parallel scan execution. Engines with the ParallelScanner capability
+// split a pushdown scan into per-segment units (PartitionScan); the
+// Database drives the frozen units on a bounded worker pool shared by
+// every table, while units over mutable branch heads run on the
+// caller's goroutine under the exact snapshot rules of the sequential
+// paths. Units are emitted in sequential visit order and each unit's
+// output is buffered by the caller-provided sink and flushed in unit
+// index order after the join, so a parallel scan's record stream is
+// identical — rows and order — to the sequential scan it replaces.
+// The engines' own sequential pushdown loops are expressed as
+// RunUnitsSequential over the same partitions, so both modes share one
+// scan body per engine.
+
+// ScanKind selects the scan shape a ScanRequest partitions.
+type ScanKind uint8
+
+const (
+	// ScanKindBranch is a branch-head scan (Query 1).
+	ScanKindBranch ScanKind = iota
+	// ScanKindCommit is a historical commit scan.
+	ScanKindCommit
+	// ScanKindMulti is a multi-branch scan with membership (Query 4).
+	ScanKindMulti
+	// ScanKindDiff is a symmetric branch diff (Query 2).
+	ScanKindDiff
+)
+
+// ScanRequest names one scan for partitioning: the shape plus the
+// shape's addressing fields (only the fields of the request's Kind are
+// consulted).
+type ScanRequest struct {
+	Kind     ScanKind
+	Branch   vgraph.BranchID   // ScanKindBranch
+	Commit   *vgraph.Commit    // ScanKindCommit
+	Branches []vgraph.BranchID // ScanKindMulti
+	A, B     vgraph.BranchID   // ScanKindDiff
+}
+
+// UnitAux carries the per-record annotations of the non-plain callback
+// shapes: InA for diff scans, Member for multi-branch scans. Member is
+// per-unit scratch — like the record, it must be Cloned to be retained
+// across calls.
+type UnitAux struct {
+	InA    bool
+	Member *bitmap.Bitmap
+}
+
+// UnitFunc receives each record one scan unit emits. The record (and
+// aux.Member) may alias engine buffers or per-unit scratch and must be
+// Cloned to be retained. Returning false stops that unit (not its
+// siblings).
+type UnitFunc func(rec *record.Record, aux UnitAux) bool
+
+// ScanUnit is one independently runnable slice of a partitioned scan —
+// in practice one segment's portion. Run may be called at most once.
+// Frozen units touch only immutable storage and may run on any
+// goroutine, each with its own ScanSpec clone; non-frozen units (the
+// mutable branch heads) must run on the goroutine that called
+// PartitionScan, preserving the sequential paths' snapshot rules.
+type ScanUnit struct {
+	Frozen bool
+	Run    func(spec *ScanSpec, fn UnitFunc) error
+}
+
+// ParallelScanner is the optional engine capability behind the parallel
+// scan executor: it splits a scan into units in sequential visit order,
+// snapshotting under the engine lock whatever the matching sequential
+// pushdown path would (bitmaps, segment tables, resolved live sets), so
+// each unit runs without further coordination.
+type ParallelScanner interface {
+	PartitionScan(req ScanRequest) ([]ScanUnit, error)
+}
+
+// UnitSink buffers one unit's output. Fn receives the unit's records —
+// from a pool goroutine for frozen units — and Flush delivers the
+// buffered output on the caller's goroutine once every unit has joined;
+// sinks are flushed in unit index order, and a Flush returning false
+// stops the remaining flushes (the scan's consumer stopped).
+type UnitSink struct {
+	Fn    UnitFunc
+	Flush func() bool
+}
+
+// RunUnitsSequential drives a partition on the calling goroutine in
+// unit order, sharing one spec — the engines' sequential pushdown entry
+// points are this over their own PartitionScan.
+func RunUnitsSequential(units []ScanUnit, spec *ScanSpec, fn UnitFunc) error {
+	stopped := false
+	wrapped := func(rec *record.Record, aux UnitAux) bool {
+		if !fn(rec, aux) {
+			stopped = true
+			return false
+		}
+		return true
+	}
+	for _, u := range units {
+		if err := u.Run(spec, wrapped); err != nil {
+			return err
+		}
+		if stopped {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Parallel-scan counters: how many scans ran through the parallel
+// executor and how many frozen units its pool goroutines executed
+// (expvar "decibel.parallel_scans"/"decibel.scan_workers"). The
+// equivalence harness asserts these move, so a silently bypassed pool
+// cannot pass.
+var (
+	parallelScans   atomic.Int64
+	parallelWorkers atomic.Int64
+)
+
+func init() {
+	expvar.Publish("decibel.parallel_scans", expvar.Func(func() any { return parallelScans.Load() }))
+	expvar.Publish("decibel.scan_workers", expvar.Func(func() any { return parallelWorkers.Load() }))
+}
+
+// ParallelScanCounters returns the cumulative parallel-executor
+// counters: scans driven through it and frozen units run on pool
+// goroutines.
+func ParallelScanCounters() (scans, workers int64) {
+	return parallelScans.Load(), parallelWorkers.Load()
+}
+
+// resolveScanWorkers picks the scan pool size: the explicit
+// Options.ScanWorkers, else the DECIBEL_SCAN_WORKERS environment
+// override, else GOMAXPROCS. A size of 1 disables the parallel
+// executor.
+func resolveScanWorkers(opt Options) int {
+	n := opt.ScanWorkers
+	if n == 0 {
+		if s := os.Getenv("DECIBEL_SCAN_WORKERS"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil {
+				n = v
+			}
+		}
+	}
+	if n == 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// ScanWorkers returns the database's scan pool size (1 = parallel
+// scans disabled).
+func (db *Database) ScanWorkers() int { return db.scanWorkers }
+
+// ParallelScanContext partitions the request and drives it on the
+// database's scan pool: frozen units fan out one goroutine per unit
+// (bounded by the pool size), each with its own spec clone and sink;
+// non-frozen units — the mutable branch heads — run on the calling
+// goroutine. Sinks are flushed in unit order after the join, making
+// the merged stream identical to the sequential scan's. The first unit
+// error, or ctx expiring, cancels the sibling units within one record
+// each.
+//
+// It reports handled=false (with no error and nothing emitted) when
+// the scan should take the sequential path instead: the engine lacks
+// the ParallelScanner capability, the pool is sized <= 1, or the
+// partition has fewer than two frozen units to overlap.
+func (t *Table) ParallelScanContext(ctx context.Context, req ScanRequest, spec *ScanSpec, sink func(unit, total int) UnitSink) (bool, error) {
+	ps, ok := t.engine.(ParallelScanner)
+	if !ok || spec == nil || t.db.scanWorkers <= 1 {
+		return false, nil
+	}
+	if err := t.db.beginOp(); err != nil {
+		return true, err
+	}
+	defer t.db.endOp()
+	units, err := ps.PartitionScan(req)
+	if err != nil {
+		return true, err
+	}
+	frozen := 0
+	for _, u := range units {
+		if u.Frozen {
+			frozen++
+		}
+	}
+	if frozen < 2 {
+		return false, nil
+	}
+	if err := t.db.runUnits(ctx, spec, units, sink); err != nil {
+		return true, err
+	}
+	return true, ctx.Err()
+}
+
+// runUnits executes a partition: frozen units on pool goroutines,
+// mutable ones inline, per-unit sinks flushed in order after the join.
+func (db *Database) runUnits(ctx context.Context, spec *ScanSpec, units []ScanUnit, sink func(unit, total int) UnitSink) error {
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	n := len(units)
+	sinks := make([]UnitSink, n)
+	for i := range units {
+		sinks[i] = sink(i, n)
+	}
+	parallelScans.Add(1)
+
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := range units {
+		if !units[i].Frozen {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			db.scanSem <- struct{}{}
+			defer func() { <-db.scanSem }()
+			if cctx.Err() != nil {
+				return
+			}
+			parallelWorkers.Add(1)
+			if errs[i] = runUnit(cctx, units[i], spec.Clone(), sinks[i].Fn); errs[i] != nil {
+				cancel()
+			}
+		}(i)
+	}
+	for i := range units {
+		if units[i].Frozen {
+			continue
+		}
+		if cctx.Err() != nil {
+			break
+		}
+		if errs[i] = runUnit(cctx, units[i], spec.Clone(), sinks[i].Fn); errs[i] != nil {
+			cancel()
+		}
+	}
+	wg.Wait()
+
+	// Surface the error of the earliest failing unit — the one the
+	// sequential scan would have hit first.
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for i := range sinks {
+		if !sinks[i].Flush() {
+			return nil
+		}
+	}
+	return nil
+}
+
+// runUnit runs one unit with cancellation checked per record.
+func runUnit(ctx context.Context, u ScanUnit, spec *ScanSpec, fn UnitFunc) error {
+	wrapped := func(rec *record.Record, aux UnitAux) bool {
+		return ctx.Err() == nil && fn(rec, aux)
+	}
+	return u.Run(spec, wrapped)
+}

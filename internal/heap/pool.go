@@ -414,6 +414,46 @@ func (f *File) ScanLive(live Bitmapper, fn func(slot int64, rec []byte) bool) er
 	return nil
 }
 
+// ScanLiveRange is ScanLive restricted to slots in [from, to): only
+// pages of that window containing a set bit of live are visited. The
+// page-zone scans use it to drive one window per unpruned page chunk.
+func (f *File) ScanLiveRange(live Bitmapper, from, to int64, fn func(slot int64, rec []byte) bool) error {
+	f.mu.Lock()
+	count := f.count
+	f.mu.Unlock()
+	if to > count {
+		to = count
+	}
+	if from < 0 {
+		from = 0
+	}
+	per := int64(f.perPage)
+	next := int64(live.NextSet(int(from)))
+	for next >= 0 && next < to {
+		pageStart := (next / per) * per
+		if pageStart < from {
+			pageStart = from
+		}
+		pageEnd := (next/per + 1) * per
+		if pageEnd > to {
+			pageEnd = to
+		}
+		stop := false
+		err := f.Scan(pageStart, pageEnd, func(slot int64, rec []byte) bool {
+			if !fn(slot, rec) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if err != nil || stop {
+			return err
+		}
+		next = int64(live.NextSet(int(pageEnd)))
+	}
+	return nil
+}
+
 // Bitmapper is the minimal bitmap-iteration surface ScanLive needs,
 // satisfied by *bitmap.Bitmap (declared here to keep the heap layer
 // free of higher-level dependencies).

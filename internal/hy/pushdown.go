@@ -5,24 +5,33 @@ import (
 
 	"decibel/internal/bitmap"
 	"decibel/internal/core"
+	"decibel/internal/record"
 	"decibel/internal/vgraph"
 )
 
-// Pushdown scans (core.PushdownScanner, core.DiffScanner). Hybrid
-// keeps per-(segment, branch) bitmaps, so pushed-down predicates are
-// evaluated on the raw segment page buffer before records are
-// materialized, and a multi-branch scan ORs each segment's local
-// branch bitmaps into one union per segment — each qualifying segment
-// is read once for all requested branches instead of once per branch.
-// Segments are skipped entirely two ways: via the global branch-
-// segment relation (no live record in any requested branch) and via
-// their zone maps (no stored value can satisfy the spec's bounds).
+// Pushdown scans (core.PushdownScanner, core.DiffScanner,
+// core.ParallelScanner). Hybrid keeps per-(segment, branch) bitmaps,
+// so pushed-down predicates are evaluated on the raw segment page
+// buffer before records are materialized, and a multi-branch scan ORs
+// each segment's local branch bitmaps into one union per segment —
+// each qualifying segment is read once for all requested branches
+// instead of once per branch. Segments are skipped entirely two ways:
+// via the global branch-segment relation (no live record in any
+// requested branch) and via their zone maps (no stored value can
+// satisfy the spec's bounds).
+//
+// Every scan shape is partitioned into one core.ScanUnit per segment
+// (PartitionScan), with the liveness bitmaps snapshotted under the
+// engine lock; the sequential entry points drive the same units via
+// core.RunUnitsSequential, so the parallel executor and the sequential
+// scans share one loop body.
 
 var (
 	_ core.PushdownScanner = (*Engine)(nil)
 	_ core.DiffScanner     = (*Engine)(nil)
 	_ core.BatchInserter   = (*Engine)(nil)
 	_ core.PKLookupScanner = (*Engine)(nil)
+	_ core.ParallelScanner = (*Engine)(nil)
 )
 
 // LookupPKPushdown implements core.PKLookupScanner: a branch-head read
@@ -79,85 +88,157 @@ func (e *Engine) passSpec(epoch int) *core.ScanSpec {
 	return sp
 }
 
-// scanSegmentsSpec is scanSegments with the spec evaluated on the raw
-// buffer before materialization. Buffers from segments older than the
-// spec's schema epoch are widened (defaults filled) first.
-func (e *Engine) scanSegmentsSpec(segs []*hseg, pick func(*hseg) *bitmap.Bitmap, spec *core.ScanSpec, fn core.ScanFunc) error {
-	var ferr error
-	for _, s := range segs {
-		bm := pick(s)
-		if bm == nil || !bm.Any() {
-			continue
-		}
-		if spec.SkipSegment(s.Zone(), s.Cols) {
-			continue
-		}
-		prep, err := spec.Prep(s.Cols)
-		if err != nil {
-			return err
-		}
-		stop := false
-		err = s.File.ScanLive(bm, func(slot int64, buf []byte) bool {
-			if !bm.Get(int(slot)) {
-				return true
+// segUnit builds the scan unit of one segment: zone-map pruning, spec
+// prep for the segment's layout, then a live-page walk with the spec
+// evaluated on the raw buffer before materialization. bm was
+// snapshotted under the engine lock; aux derives the per-record
+// annotation from the slot.
+func segUnit(s *hseg, bm *bitmap.Bitmap, aux func(slot int64) core.UnitAux) core.ScanUnit {
+	return core.ScanUnit{
+		Frozen: s.Frozen,
+		Run: func(spec *core.ScanSpec, fn core.UnitFunc) error {
+			if bm == nil || !bm.Any() {
+				return nil
 			}
-			if prep != nil {
-				buf = prep(buf)
+			if spec.SkipSegment(s.Zone(), s.Cols) {
+				return nil
 			}
-			rec, err := spec.Apply(buf)
+			prep, err := spec.Prep(s.Cols)
 			if err != nil {
-				ferr = err
-				return false
+				return err
 			}
-			if rec == nil {
-				return true
+			var ferr error
+			err = s.File.ScanLive(bm, func(slot int64, buf []byte) bool {
+				if !bm.Get(int(slot)) {
+					return true
+				}
+				if prep != nil {
+					buf = prep(buf)
+				}
+				rec, err := spec.Apply(buf)
+				if err != nil {
+					ferr = err
+					return false
+				}
+				if rec == nil {
+					return true
+				}
+				return fn(rec, aux(slot))
+			})
+			if err == nil {
+				err = ferr
 			}
-			if !fn(rec) {
-				stop = true
-				return false
-			}
-			return true
-		})
-		if err == nil {
-			err = ferr
-		}
-		if err != nil {
 			return err
-		}
-		if stop {
-			return nil
-		}
+		},
 	}
-	return nil
+}
+
+func noAux(int64) core.UnitAux { return core.UnitAux{} }
+
+// PartitionScan implements core.ParallelScanner: one unit per segment
+// holding live records of the request, in the order the sequential
+// scans visit them, with all shared state (bitmaps, checkout
+// snapshots) captured under the engine lock at partition time.
+func (e *Engine) PartitionScan(req core.ScanRequest) ([]core.ScanUnit, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	switch req.Kind {
+	case core.ScanKindBranch:
+		segs := e.branchSegmentsLocked(req.Branch)
+		units := make([]core.ScanUnit, 0, len(segs))
+		for _, s := range segs {
+			units = append(units, segUnit(s, s.local[req.Branch].Clone(), noAux))
+		}
+		return units, nil
+
+	case core.ScanKindCommit:
+		snap, err := e.checkoutLocked(req.Commit.Branch, req.Commit.Seq)
+		if err != nil {
+			return nil, err
+		}
+		var segs []*hseg
+		for id := range snap {
+			segs = append(segs, e.segs[id])
+		}
+		sort.Slice(segs, func(i, j int) bool { return segs[i].id < segs[j].id })
+		units := make([]core.ScanUnit, 0, len(segs))
+		for _, s := range segs {
+			units = append(units, segUnit(s, snap[s.id], noAux))
+		}
+		return units, nil
+
+	case core.ScanKindDiff:
+		var units []core.ScanUnit
+		for _, s := range e.segs {
+			colA, okA := s.local[req.A]
+			colB, okB := s.local[req.B]
+			if !okA && !okB {
+				continue
+			}
+			if colA == nil {
+				colA = bitmap.New(0)
+			}
+			if colB == nil {
+				colB = bitmap.New(0)
+			}
+			x := bitmap.Xor(colA, colB)
+			if !x.Any() {
+				continue
+			}
+			inA := colA.Clone()
+			units = append(units, segUnit(s, x, func(slot int64) core.UnitAux {
+				return core.UnitAux{InA: inA.Get(int(slot))}
+			}))
+		}
+		return units, nil
+
+	case core.ScanKindMulti:
+		var units []core.ScanUnit
+		for _, s := range e.segs {
+			cols := make([]*bitmap.Bitmap, len(req.Branches))
+			union := bitmap.New(0)
+			any := false
+			for i, b := range req.Branches {
+				if bm, ok := s.local[b]; ok && bm.Any() {
+					cols[i] = bm.Clone()
+					union.Or(cols[i])
+					any = true
+				}
+			}
+			if !any {
+				continue
+			}
+			// member is per-unit scratch: each parallel worker owns its
+			// unit's bitmap, and consumers clone what they retain.
+			member := bitmap.New(len(req.Branches))
+			units = append(units, segUnit(s, union, func(slot int64) core.UnitAux {
+				for i, col := range cols {
+					member.SetTo(i, col != nil && col.Get(int(slot)))
+				}
+				return core.UnitAux{Member: member}
+			}))
+		}
+		return units, nil
+	}
+	return nil, nil
 }
 
 // ScanBranchPushdown implements core.PushdownScanner.
 func (e *Engine) ScanBranchPushdown(branch vgraph.BranchID, spec *core.ScanSpec, fn core.ScanFunc) error {
-	e.mu.Lock()
-	segs := e.branchSegmentsLocked(branch)
-	pickers := make(map[segID]*bitmap.Bitmap, len(segs))
-	for _, s := range segs {
-		pickers[s.id] = s.local[branch].Clone()
+	units, err := e.PartitionScan(core.ScanRequest{Kind: core.ScanKindBranch, Branch: branch})
+	if err != nil {
+		return err
 	}
-	e.mu.Unlock()
-	return e.scanSegmentsSpec(segs, func(s *hseg) *bitmap.Bitmap { return pickers[s.id] }, spec, fn)
+	return core.RunUnitsSequential(units, spec, func(rec *record.Record, _ core.UnitAux) bool { return fn(rec) })
 }
 
 // ScanCommitPushdown implements core.PushdownScanner.
 func (e *Engine) ScanCommitPushdown(c *vgraph.Commit, spec *core.ScanSpec, fn core.ScanFunc) error {
-	e.mu.Lock()
-	snap, err := e.checkoutLocked(c.Branch, c.Seq)
+	units, err := e.PartitionScan(core.ScanRequest{Kind: core.ScanKindCommit, Commit: c})
 	if err != nil {
-		e.mu.Unlock()
 		return err
 	}
-	var segs []*hseg
-	for id := range snap {
-		segs = append(segs, e.segs[id])
-	}
-	sort.Slice(segs, func(i, j int) bool { return segs[i].id < segs[j].id })
-	e.mu.Unlock()
-	return e.scanSegmentsSpec(segs, func(s *hseg) *bitmap.Bitmap { return snap[s.id] }, spec, fn)
+	return core.RunUnitsSequential(units, spec, func(rec *record.Record, _ core.UnitAux) bool { return fn(rec) })
 }
 
 // ScanDiffPushdown implements core.DiffScanner: per-segment bitmap
@@ -165,146 +246,19 @@ func (e *Engine) ScanCommitPushdown(c *vgraph.Commit, spec *core.ScanSpec, fn co
 // pruning and the spec evaluated on the raw buffer before either
 // output side materializes a record.
 func (e *Engine) ScanDiffPushdown(a, b vgraph.BranchID, spec *core.ScanSpec, fn core.DiffFunc) error {
-	e.mu.Lock()
-	type segDiff struct {
-		s       *hseg
-		x, colA *bitmap.Bitmap
+	units, err := e.PartitionScan(core.ScanRequest{Kind: core.ScanKindDiff, A: a, B: b})
+	if err != nil {
+		return err
 	}
-	var diffs []segDiff
-	for _, s := range e.segs {
-		colA, okA := s.local[a]
-		colB, okB := s.local[b]
-		if !okA && !okB {
-			continue
-		}
-		if colA == nil {
-			colA = bitmap.New(0)
-		}
-		if colB == nil {
-			colB = bitmap.New(0)
-		}
-		x := bitmap.Xor(colA, colB)
-		if !x.Any() {
-			continue
-		}
-		diffs = append(diffs, segDiff{s: s, x: x, colA: colA.Clone()})
-	}
-	e.mu.Unlock()
-
-	for _, d := range diffs {
-		if spec.SkipSegment(d.s.Zone(), d.s.Cols) {
-			continue
-		}
-		prep, err := spec.Prep(d.s.Cols)
-		if err != nil {
-			return err
-		}
-		stop := false
-		var ferr error
-		err = d.s.File.ScanLive(d.x, func(slot int64, buf []byte) bool {
-			if !d.x.Get(int(slot)) {
-				return true
-			}
-			if prep != nil {
-				buf = prep(buf)
-			}
-			rec, err := spec.Apply(buf)
-			if err != nil {
-				ferr = err
-				return false
-			}
-			if rec == nil {
-				return true
-			}
-			if !fn(rec, d.colA.Get(int(slot))) {
-				stop = true
-				return false
-			}
-			return true
-		})
-		if err == nil {
-			err = ferr
-		}
-		if err != nil {
-			return err
-		}
-		if stop {
-			return nil
-		}
-	}
-	return nil
+	return core.RunUnitsSequential(units, spec, func(rec *record.Record, aux core.UnitAux) bool { return fn(rec, aux.InA) })
 }
 
 // ScanMultiPushdown implements core.PushdownScanner: one pass per
 // qualifying segment under the union of its local branch bitmaps.
 func (e *Engine) ScanMultiPushdown(branches []vgraph.BranchID, spec *core.ScanSpec, fn core.MultiScanFunc) error {
-	e.mu.Lock()
-	type segScan struct {
-		s     *hseg
-		cols  []*bitmap.Bitmap // per requested branch, nil if absent
-		union *bitmap.Bitmap
+	units, err := e.PartitionScan(core.ScanRequest{Kind: core.ScanKindMulti, Branches: branches})
+	if err != nil {
+		return err
 	}
-	var scans []segScan
-	for _, s := range e.segs {
-		sc := segScan{s: s, cols: make([]*bitmap.Bitmap, len(branches)), union: bitmap.New(0)}
-		any := false
-		for i, b := range branches {
-			if bm, ok := s.local[b]; ok && bm.Any() {
-				sc.cols[i] = bm.Clone()
-				sc.union.Or(sc.cols[i])
-				any = true
-			}
-		}
-		if any {
-			scans = append(scans, sc)
-		}
-	}
-	e.mu.Unlock()
-
-	member := bitmap.New(len(branches))
-	var ferr error
-	for _, sc := range scans {
-		if spec.SkipSegment(sc.s.Zone(), sc.s.Cols) {
-			continue
-		}
-		prep, err := spec.Prep(sc.s.Cols)
-		if err != nil {
-			return err
-		}
-		stop := false
-		err = sc.s.File.ScanLive(sc.union, func(slot int64, buf []byte) bool {
-			if !sc.union.Get(int(slot)) {
-				return true
-			}
-			if prep != nil {
-				buf = prep(buf)
-			}
-			rec, err := spec.Apply(buf)
-			if err != nil {
-				ferr = err
-				return false
-			}
-			if rec == nil {
-				return true
-			}
-			for i, col := range sc.cols {
-				member.SetTo(i, col != nil && col.Get(int(slot)))
-			}
-			if !fn(rec, member) {
-				stop = true
-				return false
-			}
-			return true
-		})
-		if err == nil {
-			err = ferr
-		}
-		if err != nil {
-			return err
-		}
-		if stop {
-			return nil
-		}
-	}
-	return nil
+	return core.RunUnitsSequential(units, spec, func(rec *record.Record, aux core.UnitAux) bool { return fn(rec, aux.Member) })
 }

@@ -73,17 +73,30 @@ func cmpFloatOrder(a, b float64) int {
 	return cmpF(a, b)
 }
 
-// recHeap is a max-heap under the plan comparator: the root is the
-// worst retained row, evicted when a better one arrives.
+// seqRec is a gathered record tagged with its arrival position in the
+// scan stream. Ordering ties break by arrival order, which makes the
+// ordered output a deterministic function of the stream — the same
+// stable behavior the old SliceStable gave the no-limit gather, now
+// extended to the top-k heap so the parallel executor's per-unit
+// pre-trim (which ranks under the identical total order) composes
+// exactly.
+type seqRec struct {
+	rec *record.Record
+	seq int
+}
+
+// recHeap is a max-heap under the plan comparator (ties by arrival):
+// the root is the worst retained row, evicted when a better one
+// arrives.
 type recHeap struct {
-	recs []*record.Record
-	cmp  func(a, b *record.Record) int
+	recs []seqRec
+	cmp  func(a, b seqRec) int
 }
 
 func (h *recHeap) Len() int           { return len(h.recs) }
 func (h *recHeap) Less(i, j int) bool { return h.cmp(h.recs[i], h.recs[j]) > 0 }
 func (h *recHeap) Swap(i, j int)      { h.recs[i], h.recs[j] = h.recs[j], h.recs[i] }
-func (h *recHeap) Push(x any)         { h.recs = append(h.recs, x.(*record.Record)) }
+func (h *recHeap) Push(x any)         { h.recs = append(h.recs, x.(seqRec)) }
 func (h *recHeap) Pop() any {
 	n := len(h.recs)
 	r := h.recs[n-1]
@@ -112,15 +125,26 @@ func (c *Compiled) EmitOrdered(scan func(core.ScanFunc) error, fn core.ScanFunc)
 	}
 
 	cmp := c.orderCmp()
-	var gathered []*record.Record
+	scmp := func(a, b seqRec) int {
+		if d := cmp(a.rec, b.rec); d != 0 {
+			return d
+		}
+		return a.seq - b.seq
+	}
+	var gathered []seqRec
+	n := 0
 	if limit > 0 {
 		// Top-k: bounded heap of the best `limit` rows seen so far.
-		h := &recHeap{cmp: cmp}
+		h := &recHeap{cmp: scmp}
 		err := scan(func(rec *record.Record) bool {
+			sr := seqRec{rec: rec, seq: n}
+			n++
 			if h.Len() < limit {
-				heap.Push(h, rec.Clone())
-			} else if cmp(rec, h.recs[0]) < 0 {
-				h.recs[0] = rec.Clone()
+				sr.rec = rec.Clone()
+				heap.Push(h, sr)
+			} else if scmp(sr, h.recs[0]) < 0 {
+				sr.rec = rec.Clone()
+				h.recs[0] = sr
 				heap.Fix(h, 0)
 			}
 			return true
@@ -131,16 +155,17 @@ func (c *Compiled) EmitOrdered(scan func(core.ScanFunc) error, fn core.ScanFunc)
 		gathered = h.recs
 	} else {
 		err := scan(func(rec *record.Record) bool {
-			gathered = append(gathered, rec.Clone())
+			gathered = append(gathered, seqRec{rec: rec.Clone(), seq: n})
+			n++
 			return true
 		})
 		if err != nil {
 			return err
 		}
 	}
-	sort.SliceStable(gathered, func(i, j int) bool { return cmp(gathered[i], gathered[j]) < 0 })
-	for _, rec := range gathered {
-		if !fn(rec) {
+	sort.Slice(gathered, func(i, j int) bool { return scmp(gathered[i], gathered[j]) < 0 })
+	for _, sr := range gathered {
+		if !fn(sr.rec) {
 			return nil
 		}
 	}

@@ -1,0 +1,230 @@
+package query
+
+// Parallel execution of the plan's scan shapes. Each row-emitting
+// terminal (Scan, ScanMulti, Diff) and Aggregate first offers its scan
+// to the database's parallel executor (core.Table.ParallelScanContext)
+// and falls back to the sequential pushdown path when the executor
+// declines — engine without the capability, pool of one, fewer than
+// two frozen segments, or the plan's NoParallel flag.
+//
+// Row shapes buffer each unit's output (records cloned on the worker)
+// and flush the buffers in unit order, reproducing the sequential
+// stream exactly. When the plan carries Limit/OrderBy the units
+// pre-trim: a bare Limit stops each unit after `limit` kept rows, and
+// OrderBy+Limit keeps a per-unit top-k heap — sound because a row of
+// the global top-k is necessarily in its unit's top-k, and exact
+// because both the unit trim and EmitOrdered break ordering ties by
+// arrival order. Only the facade terminals set Limit/OrderBy, and they
+// always run EmitOrdered above these shapes; plans without them emit
+// the exact full sequential stream.
+//
+// Aggregates skip row buffering entirely: each unit folds its own
+// partial (count / sums / min / max) and the partials merge in unit
+// order. Count, Sum over integers, Min and Max merge exactly; a
+// float Sum associates additions differently than the sequential fold,
+// so it can differ in the last ulps on data where addition order
+// matters (exact on the binary fractions the tests use).
+
+import (
+	"container/heap"
+	"context"
+	"sort"
+
+	"decibel/internal/bitmap"
+	"decibel/internal/core"
+	"decibel/internal/record"
+)
+
+// bufRow is one record a scan unit retained: cloned, with whichever
+// annotation its shape needs, tagged with the unit-local arrival
+// sequence so trimmed output replays in scan order.
+type bufRow struct {
+	rec    *record.Record
+	member *bitmap.Bitmap
+	seq    int
+}
+
+// unitBuf buffers one unit's kept rows, pre-trimmed per the plan.
+type unitBuf struct {
+	rows   []bufRow
+	limit  int
+	cmp    func(a, b *record.Record) int // nil = storage order
+	next   int
+	heaped bool
+}
+
+// cmpRows is the plan comparator with arrival-order tie-breaking —
+// the same total order EmitOrdered ranks by.
+func (b *unitBuf) cmpRows(x, y bufRow) int {
+	if d := b.cmp(x.rec, y.rec); d != 0 {
+		return d
+	}
+	return x.seq - y.seq
+}
+
+// heap.Interface (only used with cmp set): max-heap, the root is the
+// worst retained row.
+func (b *unitBuf) Len() int           { return len(b.rows) }
+func (b *unitBuf) Less(i, j int) bool { return b.cmpRows(b.rows[i], b.rows[j]) > 0 }
+func (b *unitBuf) Swap(i, j int)      { b.rows[i], b.rows[j] = b.rows[j], b.rows[i] }
+func (b *unitBuf) Push(x any)         { b.rows = append(b.rows, x.(bufRow)) }
+func (b *unitBuf) Pop() any {
+	n := len(b.rows)
+	r := b.rows[n-1]
+	b.rows = b.rows[:n-1]
+	return r
+}
+
+// add retains one kept row; the false return stops the unit early
+// (bare Limit satisfied).
+func (b *unitBuf) add(row bufRow) bool {
+	row.seq = b.next
+	b.next++
+	if b.cmp != nil && b.limit > 0 {
+		b.heaped = true
+		if len(b.rows) < b.limit {
+			heap.Push(b, row)
+		} else if b.cmpRows(row, b.rows[0]) < 0 {
+			b.rows[0] = row
+			heap.Fix(b, 0)
+		}
+		return true
+	}
+	b.rows = append(b.rows, row)
+	return b.limit <= 0 || len(b.rows) < b.limit
+}
+
+// flush replays the kept rows in scan order.
+func (b *unitBuf) flush(emit func(bufRow) bool) bool {
+	if b.heaped {
+		sort.Slice(b.rows, func(i, j int) bool { return b.rows[i].seq < b.rows[j].seq })
+	}
+	for _, row := range b.rows {
+		if !emit(row) {
+			return false
+		}
+	}
+	return true
+}
+
+// rowSink builds the per-unit sink factory of a row-emitting shape.
+// keep filters on the unit annotation before buffering (the diff
+// terminal's side selection — trims must count only kept rows);
+// saveMember clones the membership bitmap alongside the record.
+func (c *Compiled) rowSink(keep func(core.UnitAux) bool, saveMember bool, emit func(bufRow) bool) func(unit, total int) core.UnitSink {
+	limit := c.plan.Limit
+	var cmp func(a, b *record.Record) int
+	if c.Ordered() {
+		cmp = c.orderCmp()
+	}
+	return func(int, int) core.UnitSink {
+		b := &unitBuf{limit: limit, cmp: cmp}
+		return core.UnitSink{
+			Fn: func(rec *record.Record, aux core.UnitAux) bool {
+				if keep != nil && !keep(aux) {
+					return true
+				}
+				row := bufRow{rec: rec.Clone()}
+				if saveMember && aux.Member != nil {
+					row.member = aux.Member.Clone()
+				}
+				return b.add(row)
+			},
+			Flush: func() bool { return b.flush(emit) },
+		}
+	}
+}
+
+// tryParallelRows offers a plain row scan (branch, commit or diff —
+// keep selects the diff side) to the parallel executor.
+func (c *Compiled) tryParallelRows(ctx context.Context, req core.ScanRequest, keep func(core.UnitAux) bool, fn core.ScanFunc) (bool, error) {
+	if c.plan.NoParallel {
+		return false, nil
+	}
+	// The ctx guard keeps the flush phase (the only part that outlives
+	// the workers) stopping within one record of cancellation, like the
+	// sequential wrappers; ParallelScanContext then surfaces ctx.Err().
+	return c.table.ParallelScanContext(ctx, req, c.execSpec(),
+		c.rowSink(keep, false, func(row bufRow) bool { return ctx.Err() == nil && fn(row.rec) }))
+}
+
+// tryParallelMulti offers the annotated multi-branch scan to the
+// parallel executor.
+func (c *Compiled) tryParallelMulti(ctx context.Context, req core.ScanRequest, fn core.MultiScanFunc) (bool, error) {
+	if c.plan.NoParallel {
+		return false, nil
+	}
+	return c.table.ParallelScanContext(ctx, req, c.execSpec(),
+		c.rowSink(nil, true, func(row bufRow) bool { return ctx.Err() == nil && fn(row.rec, row.member) }))
+}
+
+// aggPart is one unit's partial aggregate.
+type aggPart struct {
+	n          int
+	isum       int64
+	fsum       float64
+	fmin, fmax float64
+}
+
+// merge folds a later unit's partial into the running total.
+func (t *aggPart) merge(p *aggPart) {
+	if p.n == 0 {
+		return
+	}
+	if t.n == 0 {
+		*t = *p
+		return
+	}
+	t.n += p.n
+	t.isum += p.isum
+	t.fsum += p.fsum
+	if p.fmin < t.fmin {
+		t.fmin = p.fmin
+	}
+	if p.fmax > t.fmax {
+		t.fmax = p.fmax
+	}
+}
+
+// tryParallelAggregate offers an aggregate scan to the parallel
+// executor: per-unit partials, no record cloning, merged in unit
+// order on the caller's goroutine.
+func (c *Compiled) tryParallelAggregate(ctx context.Context, req core.ScanRequest, spec *core.ScanSpec, kind AggKind, ci int, isFloat bool) (*aggPart, bool, error) {
+	if c.plan.NoParallel {
+		return nil, false, nil
+	}
+	total := &aggPart{}
+	sink := func(int, int) core.UnitSink {
+		p := &aggPart{}
+		return core.UnitSink{
+			Fn: func(rec *record.Record, _ core.UnitAux) bool {
+				p.n++
+				if kind == AggCount {
+					return true
+				}
+				var v float64
+				if isFloat {
+					v = rec.GetFloat64(ci)
+					p.fsum += v
+				} else {
+					i := rec.Get(ci)
+					p.isum += i
+					v = float64(i)
+				}
+				if p.n == 1 || v < p.fmin {
+					p.fmin = v
+				}
+				if p.n == 1 || v > p.fmax {
+					p.fmax = v
+				}
+				return true
+			},
+			Flush: func() bool { total.merge(p); return true },
+		}
+	}
+	handled, err := c.table.ParallelScanContext(ctx, req, spec, sink)
+	if !handled || err != nil {
+		return nil, handled, err
+	}
+	return total, true, nil
+}

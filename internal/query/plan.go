@@ -50,6 +50,12 @@ type Plan struct {
 	// retained baseline the pruning benchmarks and the property tests
 	// measure the pruned paths against.
 	NoPrune bool
+
+	// NoParallel pins this plan to the sequential scan path even when
+	// the database's parallel executor would accept it: the baseline
+	// the equivalence tests and the parallel-scan benchmarks compare
+	// against.
+	NoParallel bool
 }
 
 // Compiled is a plan resolved against one database: names bound, the
@@ -232,6 +238,10 @@ func (c *Compiled) Scan(ctx context.Context, fn core.ScanFunc) error {
 		return err
 	}
 	if c.commit != nil {
+		req := core.ScanRequest{Kind: core.ScanKindCommit, Commit: c.commit}
+		if handled, err := c.tryParallelRows(ctx, req, nil, fn); handled {
+			return err
+		}
 		return c.table.ScanCommitPushdownContext(ctx, c.commit, c.execSpec(), fn)
 	}
 	if pk, ok := c.pointPK(); ok {
@@ -239,6 +249,10 @@ func (c *Compiled) Scan(ctx context.Context, fn core.ScanFunc) error {
 		if served || err != nil {
 			return err
 		}
+	}
+	req := core.ScanRequest{Kind: core.ScanKindBranch, Branch: c.branches[0].ID}
+	if handled, err := c.tryParallelRows(ctx, req, nil, fn); handled {
+		return err
 	}
 	return c.table.ScanPushdownContext(ctx, c.branches[0].ID, c.execSpec(), fn)
 }
@@ -269,6 +283,9 @@ func (c *Compiled) ScanMulti(ctx context.Context, fn core.MultiScanFunc) error {
 	ids := make([]vgraph.BranchID, len(c.branches))
 	for i, b := range c.branches {
 		ids[i] = b.ID
+	}
+	if handled, err := c.tryParallelMulti(ctx, core.ScanRequest{Kind: core.ScanKindMulti, Branches: ids}, fn); handled {
+		return err
 	}
 	return c.table.ScanMultiPushdownContext(ctx, ids, c.execSpec(), fn)
 }
@@ -324,6 +341,10 @@ func (c *Compiled) ScanMultiRescan(ctx context.Context, fn core.MultiScanFunc) e
 // the DiffScanner capability post-filter above their plain Diff).
 func (c *Compiled) Diff(ctx context.Context, fn core.ScanFunc) error {
 	if err := c.pair(); err != nil {
+		return err
+	}
+	req := core.ScanRequest{Kind: core.ScanKindDiff, A: c.branches[0].ID, B: c.branches[1].ID}
+	if handled, err := c.tryParallelRows(ctx, req, func(aux core.UnitAux) bool { return aux.InA }, fn); handled {
 		return err
 	}
 	return c.table.ScanDiffPushdownContext(ctx, c.branches[0].ID, c.branches[1].ID, c.execSpec(),
@@ -443,6 +464,19 @@ func (c *Compiled) Aggregate(ctx context.Context, kind AggKind, col string) (flo
 		return 0, err
 	}
 	spec.SetBounds(c.bounds)
+	var req core.ScanRequest
+	var ids []vgraph.BranchID
+	if c.plan.AllHeads || len(c.branches) > 1 {
+		ids = make([]vgraph.BranchID, len(c.branches))
+		for i, b := range c.branches {
+			ids[i] = b.ID
+		}
+		req = core.ScanRequest{Kind: core.ScanKindMulti, Branches: ids}
+	} else if c.commit != nil {
+		req = core.ScanRequest{Kind: core.ScanKindCommit, Commit: c.commit}
+	} else {
+		req = core.ScanRequest{Kind: core.ScanKindBranch, Branch: c.branches[0].ID}
+	}
 	var (
 		n    int
 		isum int64
@@ -450,43 +484,46 @@ func (c *Compiled) Aggregate(ctx context.Context, kind AggKind, col string) (flo
 		fmin float64
 		fmax float64
 	)
-	acc := func(rec *record.Record) bool {
-		n++
-		if kind == AggCount {
+	if total, handled, perr := c.tryParallelAggregate(ctx, req, spec, kind, ci, isFloat); handled || perr != nil {
+		if perr != nil {
+			return 0, perr
+		}
+		n, isum, fsum, fmin, fmax = total.n, total.isum, total.fsum, total.fmin, total.fmax
+	} else {
+		acc := func(rec *record.Record) bool {
+			n++
+			if kind == AggCount {
+				return true
+			}
+			var v float64
+			if isFloat {
+				v = rec.GetFloat64(ci)
+				fsum += v
+			} else {
+				i := rec.Get(ci)
+				isum += i
+				v = float64(i)
+			}
+			if n == 1 || v < fmin {
+				fmin = v
+			}
+			if n == 1 || v > fmax {
+				fmax = v
+			}
 			return true
 		}
-		var v float64
-		if isFloat {
-			v = rec.GetFloat64(ci)
-			fsum += v
+		if ids != nil {
+			err = c.table.ScanMultiPushdownContext(ctx, ids, spec, func(rec *record.Record, _ *bitmap.Bitmap) bool {
+				return acc(rec)
+			})
+		} else if c.commit != nil {
+			err = c.table.ScanCommitPushdownContext(ctx, c.commit, spec, acc)
 		} else {
-			i := rec.Get(ci)
-			isum += i
-			v = float64(i)
+			err = c.table.ScanPushdownContext(ctx, c.branches[0].ID, spec, acc)
 		}
-		if n == 1 || v < fmin {
-			fmin = v
+		if err != nil {
+			return 0, err
 		}
-		if n == 1 || v > fmax {
-			fmax = v
-		}
-		return true
-	}
-	if c.plan.AllHeads || len(c.branches) > 1 {
-		ids := make([]vgraph.BranchID, len(c.branches))
-		for i, b := range c.branches {
-			ids[i] = b.ID
-		}
-		err = c.table.ScanMultiPushdownContext(ctx, ids, spec, func(rec *record.Record, _ *bitmap.Bitmap) bool {
-			return acc(rec)
-		})
-	} else if c.commit != nil {
-		err = c.table.ScanCommitPushdownContext(ctx, c.commit, spec, acc)
-	} else {
-		err = c.table.ScanPushdownContext(ctx, c.branches[0].ID, spec, acc)
-	}
-	if err != nil {
-		return 0, err
 	}
 	switch kind {
 	case AggCount:

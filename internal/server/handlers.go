@@ -69,7 +69,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) error {
 			return err
 		}
 		if plan.AtCommit == vgraph.None {
-			plan.AtCommit = b.Head
+			// Graph().Head, not b.Head: the live Branch struct is advanced
+			// in place by concurrent commits.
+			if head, ok := s.db.Graph().Head(b.ID); ok {
+				plan.AtCommit = head
+			}
 		}
 		if cm, ok := s.db.Graph().Commit(plan.AtCommit); ok {
 			resp.Commit, resp.Seq, resp.Branch = uint64(cm.ID), cm.Seq, plan.Branches[0]
@@ -385,9 +389,10 @@ func (s *Server) handleBranches(w http.ResponseWriter, r *http.Request) error {
 }
 
 func (s *Server) branchResponse(b *vgraph.Branch) *client.BranchResponse {
+	head, _ := s.db.Graph().Head(b.ID)
 	return &client.BranchResponse{
 		Name:   b.Name,
-		Head:   uint64(b.Head),
+		Head:   uint64(head),
 		Commit: len(s.db.Graph().CommitsOnBranch(b.ID)),
 	}
 }

@@ -33,6 +33,7 @@ type Segment struct {
 	Schema *record.Schema // layout of Cols columns
 	Frozen bool
 	zone   *ZoneMap
+	pages  *PageZones // optional page-granularity zones (EnablePageZones)
 }
 
 // Store owns the shared segment mechanics for one engine instance:
@@ -150,6 +151,9 @@ func (s *Segment) AppendRaw(buf []byte) (int64, error) {
 		return 0, err
 	}
 	s.zone.Update(s.Schema, buf)
+	if s.pages != nil {
+		s.pages.Update(s.Schema, buf)
+	}
 	return slot, nil
 }
 

@@ -84,6 +84,12 @@ func (e *Engine) openExtents() error {
 			seg.File.Close()
 			return fmt.Errorf("tf: extent %d holds %d records, sealed at %d", i, seg.File.Count(), m.Count)
 		}
+		// The extent-level zone spans every branch's rows and rarely
+		// prunes; page zones restore skipping inside the extent.
+		if err := seg.EnablePageZones(); err != nil {
+			seg.File.Close()
+			return fmt.Errorf("tf: extent %d page zones: %w", i, err)
+		}
 		e.exts = append(e.exts, &extent{Segment: seg, base: base})
 		if sealed {
 			base += m.Count
@@ -144,6 +150,9 @@ func (e *Engine) ensureExtentLocked(cols int) error {
 	last := e.lastExt()
 	ns, rotated, err := e.st.WriteTarget(last.Segment, cols, true, e.extPath(len(e.exts)))
 	if err != nil || !rotated {
+		return err
+	}
+	if err := ns.EnablePageZones(); err != nil {
 		return err
 	}
 	e.exts = append(e.exts, &extent{Segment: ns, base: last.base + last.File.Count()})

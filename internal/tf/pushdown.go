@@ -3,27 +3,41 @@ package tf
 import (
 	"decibel/internal/bitmap"
 	"decibel/internal/core"
+	"decibel/internal/record"
 	"decibel/internal/vgraph"
 )
 
-// Pushdown scans (core.PushdownScanner, core.DiffScanner). Tuple-
-// first's liveness is one bitmap per branch over the shared heap, so a
-// pushed-down predicate is evaluated on the raw page buffer before any
-// record is materialized, and a multi-branch scan is driven by the OR
-// of the branch columns — one pass over the heap touching only pages
-// with at least one live tuple in at least one requested branch,
-// instead of one rescan per branch. The heap is walked extent by
-// extent: an extent whose zone map proves no record can satisfy the
-// spec's bounds is skipped without touching a page, and buffers from
-// extents older than the spec's schema epoch are widened (defaults
-// filled) before the predicate sees them, so old pages are never
-// rewritten.
+// Pushdown scans (core.PushdownScanner, core.DiffScanner,
+// core.ParallelScanner). Tuple-first's liveness is one bitmap per
+// branch over the shared heap, so a pushed-down predicate is evaluated
+// on the raw page buffer before any record is materialized, and a
+// multi-branch scan is driven by the OR of the branch columns — one
+// pass over the heap touching only pages with at least one live tuple
+// in at least one requested branch, instead of one rescan per branch.
+// The heap is walked extent by extent: an extent whose zone map proves
+// no record can satisfy the spec's bounds is skipped without touching
+// a page, and buffers from extents older than the spec's schema epoch
+// are widened (defaults filled) before the predicate sees them, so old
+// pages are never rewritten.
+//
+// Because extents rotate only on schema change, one extent typically
+// spans every branch's rows and its segment-level zone rarely prunes;
+// each extent therefore also carries an in-memory page-zone index
+// (store.PageZones) and bounded scans skip page-sized chunks inside
+// the surviving extents.
+//
+// Each scan shape partitions into one core.ScanUnit per extent
+// (PartitionScan) — sealed extents are frozen units the parallel
+// executor may fan out; the open tail stays on the caller's goroutine —
+// and the sequential entry points drive the same units through
+// core.RunUnitsSequential.
 
 var (
 	_ core.PushdownScanner = (*Engine)(nil)
 	_ core.DiffScanner     = (*Engine)(nil)
 	_ core.BatchInserter   = (*Engine)(nil)
 	_ core.PKLookupScanner = (*Engine)(nil)
+	_ core.ParallelScanner = (*Engine)(nil)
 )
 
 // LookupPKPushdown implements core.PKLookupScanner: a branch-head read
@@ -80,161 +94,182 @@ func (e *Engine) passSpec(epoch int) *core.ScanSpec {
 	return sp
 }
 
-// scanBitmapSpec walks the extents under a global liveness bitmap with
-// the spec evaluated on the (version-converted) raw buffer before
-// materialization. Extents pruned by their zone maps are skipped
-// whole.
-func (e *Engine) scanBitmapSpec(bm *bitmap.Bitmap, spec *core.ScanSpec, fn core.ScanFunc) error {
+// scanExtentSpec is the one extent scan body every pushdown shape
+// shares: segment-level zone pruning, then — when the spec carries
+// bounds and the extent has a page-zone index — a chunk walk skipping
+// the page-sized ranges whose zones exclude the bounds, else a plain
+// live-page walk. fn receives the global slot with the materialized
+// record.
+func scanExtentSpec(ext *extent, bm *bitmap.Bitmap, spec *core.ScanSpec, fn func(slot int64, rec *record.Record) bool) error {
+	if spec.SkipSegment(ext.Zone(), ext.Cols) {
+		return nil
+	}
+	prep, err := spec.Prep(ext.Cols)
+	if err != nil {
+		return err
+	}
 	var ferr error
-	err := e.scanExtents(func(ext *extent) (bool, error) {
-		if spec.SkipSegment(ext.Zone(), ext.Cols) {
-			return true, nil
-		}
-		prep, err := spec.Prep(ext.Cols)
-		if err != nil {
-			return false, err
-		}
-		cont := true
-		err = ext.File.ScanLive(offsetBitmap{bm: bm, base: ext.base}, func(local int64, buf []byte) bool {
-			if !bm.Get(int(ext.base + local)) {
-				return true
-			}
-			if prep != nil {
-				buf = prep(buf)
-			}
-			rec, err := spec.Apply(buf)
-			if err != nil {
-				ferr = err
-				return false
-			}
-			if rec == nil {
-				return true
-			}
-			if !fn(rec) {
-				cont = false
-				return false
-			}
+	stop := false
+	visit := func(local int64, buf []byte) bool {
+		if !bm.Get(int(ext.base + local)) {
 			return true
-		})
-		return cont, err
-	})
+		}
+		if prep != nil {
+			buf = prep(buf)
+		}
+		rec, err := spec.Apply(buf)
+		if err != nil {
+			ferr = err
+			return false
+		}
+		if rec == nil {
+			return true
+		}
+		if !fn(ext.base+local, rec) {
+			stop = true
+			return false
+		}
+		return true
+	}
+	live := offsetBitmap{bm: bm, base: ext.base}
+	if pz := ext.Pages(); pz != nil && spec.HasBounds() {
+		// Any slot the liveness snapshot can mark live was appended —
+		// and folded into its page zone — before the snapshot was taken,
+		// so [0, NumChunks) covers every visitable slot.
+		chunk := pz.Chunk()
+		for p, n := 0, pz.NumChunks(); p < n; p++ {
+			if z := pz.Zone(p); z != nil && spec.SkipPage(z, ext.Cols) {
+				continue
+			}
+			err := ext.File.ScanLiveRange(live, int64(p)*chunk, int64(p+1)*chunk, visit)
+			if err == nil {
+				err = ferr
+			}
+			if err != nil {
+				return err
+			}
+			if stop {
+				return nil
+			}
+		}
+		return nil
+	}
+	err = ext.File.ScanLive(live, visit)
 	if err == nil {
 		err = ferr
 	}
 	return err
 }
 
-// ScanBranchPushdown implements core.PushdownScanner.
-func (e *Engine) ScanBranchPushdown(branch vgraph.BranchID, spec *core.ScanSpec, fn core.ScanFunc) error {
-	e.mu.Lock()
-	bm := e.idx.column(branch)
-	e.mu.Unlock()
-	return e.scanBitmapSpec(bm, spec, fn)
+// extUnit builds the scan unit of one extent over a global-slot
+// liveness bitmap; aux derives the per-record annotation from the
+// global slot. Sealed extents are frozen (immutable pages, immutable
+// bitmapped prefix) and safe on any goroutine.
+func extUnit(ext *extent, bm *bitmap.Bitmap, aux func(slot int64) core.UnitAux) core.ScanUnit {
+	return core.ScanUnit{
+		Frozen: ext.Frozen,
+		Run: func(spec *core.ScanSpec, fn core.UnitFunc) error {
+			return scanExtentSpec(ext, bm, spec, func(slot int64, rec *record.Record) bool {
+				return fn(rec, aux(slot))
+			})
+		},
+	}
 }
 
-// ScanCommitPushdown implements core.PushdownScanner.
-func (e *Engine) ScanCommitPushdown(c *vgraph.Commit, spec *core.ScanSpec, fn core.ScanFunc) error {
-	e.mu.Lock()
-	log, err := e.openLog(c.Branch)
-	if err != nil {
-		e.mu.Unlock()
-		return err
+func noAux(int64) core.UnitAux { return core.UnitAux{} }
+
+// bitmapUnits partitions one global liveness bitmap into per-extent
+// units. exts was snapshotted under e.mu (published extents are
+// immutable; only the tail, which is never Frozen, still grows).
+func bitmapUnits(exts []*extent, bm *bitmap.Bitmap, aux func(slot int64) core.UnitAux) []core.ScanUnit {
+	units := make([]core.ScanUnit, 0, len(exts))
+	for _, x := range exts {
+		units = append(units, extUnit(x, bm, aux))
 	}
-	bm, err := log.Checkout(c.Seq)
-	e.mu.Unlock()
-	if err != nil {
-		return err
-	}
-	return e.scanBitmapSpec(bm, spec, fn)
+	return units
 }
 
-// ScanDiffPushdown implements core.DiffScanner: the branch bitmaps are
-// XORed and the heap walked once under the result, with zone-map
-// extent pruning and the predicate evaluated on the raw buffer before
-// either output side materializes a record.
-func (e *Engine) ScanDiffPushdown(a, b vgraph.BranchID, spec *core.ScanSpec, fn core.DiffFunc) error {
+// PartitionScan implements core.ParallelScanner: one unit per extent
+// in global slot order, with the branch/checkout bitmaps resolved
+// under the engine lock at partition time. The tuple-oriented
+// multi-branch layout has no cheap branch columns — its per-row
+// membership lookups need the engine lock — so its units all stay
+// non-frozen (caller's goroutine), preserving the sequential walk.
+func (e *Engine) PartitionScan(req core.ScanRequest) ([]core.ScanUnit, error) {
 	e.mu.Lock()
-	colA := e.idx.column(a)
-	colB := e.idx.column(b)
-	e.mu.Unlock()
-	x := bitmap.Xor(colA, colB)
-	var ferr error
-	err := e.scanExtents(func(ext *extent) (bool, error) {
-		if spec.SkipSegment(ext.Zone(), ext.Cols) {
-			return true, nil
-		}
-		prep, err := spec.Prep(ext.Cols)
+	defer e.mu.Unlock()
+	exts := e.exts
+	switch req.Kind {
+	case core.ScanKindBranch:
+		return bitmapUnits(exts, e.idx.column(req.Branch), noAux), nil
+
+	case core.ScanKindCommit:
+		log, err := e.openLog(req.Commit.Branch)
 		if err != nil {
-			return false, err
+			return nil, err
 		}
-		cont := true
-		err = ext.File.ScanLive(offsetBitmap{bm: x, base: ext.base}, func(local int64, buf []byte) bool {
-			slot := ext.base + local
-			if !x.Get(int(slot)) {
-				return true
-			}
-			if prep != nil {
-				buf = prep(buf)
-			}
-			rec, err := spec.Apply(buf)
-			if err != nil {
-				ferr = err
-				return false
-			}
-			if rec == nil {
-				return true
-			}
-			if !fn(rec, colA.Get(int(slot))) {
-				cont = false
-				return false
-			}
-			return true
-		})
-		return cont, err
-	})
-	if err == nil {
-		err = ferr
-	}
-	return err
-}
+		bm, err := log.Checkout(req.Commit.Seq)
+		if err != nil {
+			return nil, err
+		}
+		return bitmapUnits(exts, bm, noAux), nil
 
-// ScanMultiPushdown implements core.PushdownScanner. With the
-// branch-oriented index the branch columns are ORed into one union
-// bitmap and the heap is walked once under it; the tuple-oriented
-// layout has no cheap columns, so it keeps the full-heap walk with the
-// predicate evaluated on the raw buffer before the per-row membership
-// lookup. Either way, zone-pruned extents are skipped whole.
-func (e *Engine) ScanMultiPushdown(branches []vgraph.BranchID, spec *core.ScanSpec, fn core.MultiScanFunc) error {
-	e.mu.Lock()
-	var cols []*bitmap.Bitmap
-	var union *bitmap.Bitmap
-	if _, tupleOriented := e.idx.(*tupleIndex); !tupleOriented {
-		cols = make([]*bitmap.Bitmap, len(branches))
-		union = bitmap.New(0)
-		for i, b := range branches {
+	case core.ScanKindDiff:
+		colA := e.idx.column(req.A)
+		colB := e.idx.column(req.B)
+		x := bitmap.Xor(colA, colB)
+		return bitmapUnits(exts, x, func(slot int64) core.UnitAux {
+			return core.UnitAux{InA: colA.Get(int(slot))}
+		}), nil
+
+	case core.ScanKindMulti:
+		if _, tupleOriented := e.idx.(*tupleIndex); tupleOriented {
+			units := make([]core.ScanUnit, 0, len(exts))
+			for _, x := range exts {
+				units = append(units, e.tupleMultiUnit(x, req.Branches))
+			}
+			return units, nil
+		}
+		cols := make([]*bitmap.Bitmap, len(req.Branches))
+		union := bitmap.New(0)
+		for i, b := range req.Branches {
 			cols[i] = e.idx.column(b)
 			union.Or(cols[i])
 		}
+		units := make([]core.ScanUnit, 0, len(exts))
+		for _, x := range exts {
+			// member is per-unit scratch so parallel workers never share.
+			member := bitmap.New(len(req.Branches))
+			units = append(units, extUnit(x, union, func(slot int64) core.UnitAux {
+				for i := range cols {
+					member.SetTo(i, cols[i].Get(int(slot)))
+				}
+				return core.UnitAux{Member: member}
+			}))
+		}
+		return units, nil
 	}
-	e.mu.Unlock()
+	return nil, nil
+}
 
-	member := bitmap.New(len(branches))
-	var ferr error
-	if cols != nil {
-		err := e.scanExtents(func(ext *extent) (bool, error) {
+// tupleMultiUnit is the tuple-oriented multi-branch walk of one
+// extent: a full-extent scan with the predicate evaluated before the
+// per-row membership lookup under the engine lock. Never frozen — the
+// lock round-trip per row serializes it anyway.
+func (e *Engine) tupleMultiUnit(ext *extent, branches []vgraph.BranchID) core.ScanUnit {
+	return core.ScanUnit{
+		Run: func(spec *core.ScanSpec, fn core.UnitFunc) error {
 			if spec.SkipSegment(ext.Zone(), ext.Cols) {
-				return true, nil
+				return nil
 			}
 			prep, err := spec.Prep(ext.Cols)
 			if err != nil {
-				return false, err
+				return err
 			}
-			cont := true
-			err = ext.File.ScanLive(offsetBitmap{bm: union, base: ext.base}, func(local int64, buf []byte) bool {
+			member := bitmap.New(len(branches))
+			var ferr error
+			err = ext.File.Scan(0, ext.File.Count(), func(local int64, buf []byte) bool {
 				slot := ext.base + local
-				if !union.Get(int(slot)) {
-					return true
-				}
 				if prep != nil {
 					buf = prep(buf)
 				}
@@ -246,61 +281,62 @@ func (e *Engine) ScanMultiPushdown(branches []vgraph.BranchID, spec *core.ScanSp
 				if rec == nil {
 					return true
 				}
-				for i := range branches {
-					member.SetTo(i, cols[i].Get(int(slot)))
+				e.mu.Lock()
+				e.idx.membership(slot, branches, member)
+				e.mu.Unlock()
+				if !member.Any() {
+					return true
 				}
-				if !fn(rec, member) {
-					cont = false
-					return false
-				}
-				return true
+				return fn(rec, core.UnitAux{Member: member})
 			})
-			return cont, err
-		})
-		if err == nil {
-			err = ferr
-		}
+			if err == nil {
+				err = ferr
+			}
+			return err
+		},
+	}
+}
+
+// ScanBranchPushdown implements core.PushdownScanner.
+func (e *Engine) ScanBranchPushdown(branch vgraph.BranchID, spec *core.ScanSpec, fn core.ScanFunc) error {
+	units, err := e.PartitionScan(core.ScanRequest{Kind: core.ScanKindBranch, Branch: branch})
+	if err != nil {
 		return err
 	}
+	return core.RunUnitsSequential(units, spec, func(rec *record.Record, _ core.UnitAux) bool { return fn(rec) })
+}
 
-	err := e.scanExtents(func(ext *extent) (bool, error) {
-		if spec.SkipSegment(ext.Zone(), ext.Cols) {
-			return true, nil
-		}
-		prep, err := spec.Prep(ext.Cols)
-		if err != nil {
-			return false, err
-		}
-		cont := true
-		err = ext.File.Scan(0, ext.File.Count(), func(local int64, buf []byte) bool {
-			slot := ext.base + local
-			if prep != nil {
-				buf = prep(buf)
-			}
-			rec, err := spec.Apply(buf)
-			if err != nil {
-				ferr = err
-				return false
-			}
-			if rec == nil {
-				return true
-			}
-			e.mu.Lock()
-			e.idx.membership(slot, branches, member)
-			e.mu.Unlock()
-			if !member.Any() {
-				return true
-			}
-			if !fn(rec, member) {
-				cont = false
-				return false
-			}
-			return true
-		})
-		return cont, err
-	})
-	if err == nil {
-		err = ferr
+// ScanCommitPushdown implements core.PushdownScanner.
+func (e *Engine) ScanCommitPushdown(c *vgraph.Commit, spec *core.ScanSpec, fn core.ScanFunc) error {
+	units, err := e.PartitionScan(core.ScanRequest{Kind: core.ScanKindCommit, Commit: c})
+	if err != nil {
+		return err
 	}
-	return err
+	return core.RunUnitsSequential(units, spec, func(rec *record.Record, _ core.UnitAux) bool { return fn(rec) })
+}
+
+// ScanDiffPushdown implements core.DiffScanner: the branch bitmaps are
+// XORed and the heap walked once under the result, with zone-map
+// extent pruning and the predicate evaluated on the raw buffer before
+// either output side materializes a record.
+func (e *Engine) ScanDiffPushdown(a, b vgraph.BranchID, spec *core.ScanSpec, fn core.DiffFunc) error {
+	units, err := e.PartitionScan(core.ScanRequest{Kind: core.ScanKindDiff, A: a, B: b})
+	if err != nil {
+		return err
+	}
+	return core.RunUnitsSequential(units, spec, func(rec *record.Record, aux core.UnitAux) bool { return fn(rec, aux.InA) })
+}
+
+// ScanMultiPushdown implements core.PushdownScanner. With the
+// branch-oriented index the branch columns are ORed into one union
+// bitmap and the heap is walked once under it; the tuple-oriented
+// layout has no cheap columns, so it keeps the full-heap walk with the
+// predicate evaluated on the raw buffer before the per-row membership
+// lookup. Either way, zone-pruned extents are skipped whole.
+func (e *Engine) ScanMultiPushdown(branches []vgraph.BranchID, spec *core.ScanSpec, fn core.MultiScanFunc) error {
+	units, err := e.PartitionScan(core.ScanRequest{Kind: core.ScanKindMulti, Branches: branches})
+	if err != nil {
+		return err
+	}
+	return core.RunUnitsSequential(units, spec, func(rec *record.Record, aux core.UnitAux) bool { return fn(rec, aux.Member) })
 }

@@ -2,6 +2,7 @@ package vf
 
 import (
 	"fmt"
+	"sort"
 
 	"decibel/internal/bitmap"
 	"decibel/internal/core"
@@ -9,20 +10,31 @@ import (
 	"decibel/internal/vgraph"
 )
 
-// Pushdown scans (core.PushdownScanner, core.DiffScanner). Version-
-// first has no branch bitmaps — liveness comes from resolving segment
-// lineages — so its pushdown is predicate + projection evaluation on
-// the raw record buffer during the sequential emit pass, before the
-// callback layer sees a materialized record; segments whose zone maps
-// exclude the spec's bounds are dropped from the emit pass whole.
-// Multi-branch scans keep the paper's two-pass shape (shared ancestry
-// resolved once through the interval cache) with the spec applied in
-// the second, sequential pass.
+// Pushdown scans (core.PushdownScanner, core.DiffScanner,
+// core.ParallelScanner). Version-first has no branch bitmaps —
+// liveness comes from resolving segment lineages — so its pushdown is
+// predicate + projection evaluation on the raw record buffer during
+// the emit pass, before the callback layer sees a materialized record;
+// segments whose zone maps exclude the spec's bounds are dropped from
+// the emit pass whole. Multi-branch scans keep the paper's two-pass
+// shape (shared ancestry resolved once through the interval cache)
+// with the spec applied in the second pass.
+//
+// The emit pass is partitioned per segment (core.ScanUnit): the live
+// set is resolved under the engine lock, grouped by segment in id
+// order with slots ascending, and each segment's group becomes one
+// unit reading its slots page-run by page-run (one pin per touched
+// page instead of one locked File.Read per record). Segments that are
+// no branch's head never take another append and are frozen units the
+// parallel executor may fan out; branch heads stay on the caller's
+// goroutine. The sequential entry points drive the same units through
+// core.RunUnitsSequential.
 
 var (
 	_ core.PushdownScanner = (*Engine)(nil)
 	_ core.DiffScanner     = (*Engine)(nil)
 	_ core.BatchInserter   = (*Engine)(nil)
+	_ core.ParallelScanner = (*Engine)(nil)
 )
 
 // passSpec is the match-all, project-nothing spec the plain Scan*
@@ -37,166 +49,257 @@ func (e *Engine) passSpec(epoch int) *core.ScanSpec {
 	return sp
 }
 
-// emitSpec is emit with the spec evaluated on the raw buffer: whole
-// segments are pruned against the spec's bounds via their zone maps,
-// and buffers from segments older than the spec's schema epoch are
-// widened (defaults filled) before the predicate sees them.
-func (e *Engine) emitSpec(live map[int64]pos, spec *core.ScanSpec, fn func(rec *record.Record, at pos) bool) error {
-	var ferr error
-	var lastSeg *segment
-	var prep func([]byte) []byte
-	skip := func(s *segment) bool { return spec.SkipSegment(s.Zone(), s.Cols) }
-	err := e.emit(live, skip, func(buf []byte, seg *segment, at pos) bool {
-		if seg != lastSeg {
-			var err error
-			if prep, err = spec.Prep(seg.Cols); err != nil {
-				ferr = err
-				return false
+// segUnit builds the scan unit of one segment's live slots (ascending).
+// Slots are read in page runs: one heap.File.Scan per contiguous group
+// of listed slots on the same page, skipping the unlisted slots in
+// between, so each touched page is pinned once.
+func segUnit(s *segment, slots []int64, frozen bool, aux func(at pos) core.UnitAux) core.ScanUnit {
+	return core.ScanUnit{
+		Frozen: frozen,
+		Run: func(spec *core.ScanSpec, fn core.UnitFunc) error {
+			if spec.SkipSegment(s.Zone(), s.Cols) {
+				return nil
 			}
-			lastSeg = seg
-		}
-		if prep != nil {
-			buf = prep(buf)
-		}
-		out, err := spec.Apply(buf)
-		if err != nil {
-			ferr = err
-			return false
-		}
-		if out == nil {
-			return true
-		}
-		return fn(out, at)
-	})
-	if err == nil {
-		err = ferr
+			prep, err := spec.Prep(s.Cols)
+			if err != nil {
+				return err
+			}
+			per := int64(s.File.PerPage())
+			var ferr error
+			stop := false
+			for i := 0; i < len(slots) && !stop; {
+				page := slots[i] / per
+				j := i + 1
+				for j < len(slots) && slots[j]/per == page {
+					j++
+				}
+				k := i
+				err := s.File.Scan(slots[i], slots[j-1]+1, func(slot int64, buf []byte) bool {
+					if slot != slots[k] {
+						return true
+					}
+					k++
+					if prep != nil {
+						buf = prep(buf)
+					}
+					out, err := spec.Apply(buf)
+					if err != nil {
+						ferr = err
+						return false
+					}
+					if out == nil {
+						return true
+					}
+					if !fn(out, aux(pos{Seg: s.id, Slot: slot})) {
+						stop = true
+						return false
+					}
+					return true
+				})
+				if err == nil {
+					err = ferr
+				}
+				if err != nil {
+					return err
+				}
+				i = j
+			}
+			return nil
+		},
 	}
-	return err
+}
+
+func noAux(pos) core.UnitAux { return core.UnitAux{} }
+
+// headsLocked returns the set of segments currently serving as a
+// branch head — the only segments still taking appends. Caller holds
+// e.mu.
+func (e *Engine) headsLocked() map[segID]bool {
+	heads := make(map[segID]bool, len(e.byBranch))
+	for _, id := range e.byBranch {
+		heads[id] = true
+	}
+	return heads
+}
+
+// unitsFor groups resolved positions by segment — ids ascending, slots
+// ascending, mirroring the sequential emit order — and builds one unit
+// per segment. segs and heads were snapshotted under e.mu.
+func unitsFor(bySeg map[segID][]int64, segs []*segment, heads map[segID]bool, aux func(at pos) core.UnitAux) []core.ScanUnit {
+	ids := make([]segID, 0, len(bySeg))
+	for id := range bySeg {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	units := make([]core.ScanUnit, 0, len(ids))
+	for _, id := range ids {
+		slots := bySeg[id]
+		sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+		units = append(units, segUnit(segs[id], slots, !heads[id], aux))
+	}
+	return units
+}
+
+// groupLive buckets a resolved live set by segment.
+func groupLive(live map[int64]pos) map[segID][]int64 {
+	bySeg := make(map[segID][]int64)
+	for _, p := range live {
+		bySeg[p.Seg] = append(bySeg[p.Seg], p.Slot)
+	}
+	return bySeg
+}
+
+// PartitionScan implements core.ParallelScanner: live sets are
+// resolved under the engine lock exactly as the sequential scans
+// resolve them, then partitioned into per-segment units.
+func (e *Engine) PartitionScan(req core.ScanRequest) ([]core.ScanUnit, error) {
+	switch req.Kind {
+	case core.ScanKindBranch:
+		e.mu.Lock()
+		s, cut, err := e.headLocked(req.Branch)
+		if err != nil {
+			e.mu.Unlock()
+			return nil, err
+		}
+		live, err := e.resolveLive(pos{Seg: s.id, Slot: cut})
+		segs, heads := e.segs, e.headsLocked()
+		e.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		return unitsFor(groupLive(live), segs, heads, noAux), nil
+
+	case core.ScanKindCommit:
+		e.mu.Lock()
+		p, ok := e.commits[req.Commit.ID]
+		if !ok {
+			e.mu.Unlock()
+			return nil, fmt.Errorf("vf: commit %d has no recorded offset", req.Commit.ID)
+		}
+		live, err := e.resolveLive(p)
+		segs, heads := e.segs, e.headsLocked()
+		e.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		return unitsFor(groupLive(live), segs, heads, noAux), nil
+
+	case core.ScanKindMulti:
+		e.mu.Lock()
+		union := make(map[pos]*bitmap.Bitmap)
+		for i, b := range req.Branches {
+			s, cut, err := e.headLocked(b)
+			if err != nil {
+				e.mu.Unlock()
+				return nil, err
+			}
+			live, err := e.resolveLive(pos{Seg: s.id, Slot: cut})
+			if err != nil {
+				e.mu.Unlock()
+				return nil, err
+			}
+			for _, p := range live {
+				m := union[p]
+				if m == nil {
+					m = bitmap.New(len(req.Branches))
+					union[p] = m
+				}
+				m.Set(i)
+			}
+		}
+		segs, heads := e.segs, e.headsLocked()
+		e.mu.Unlock()
+		bySeg := make(map[segID][]int64)
+		for p := range union {
+			bySeg[p.Seg] = append(bySeg[p.Seg], p.Slot)
+		}
+		// union is read-only from here on: per-pos bitmaps are safe to
+		// hand out across units.
+		return unitsFor(bySeg, segs, heads, func(at pos) core.UnitAux {
+			return core.UnitAux{Member: union[at]}
+		}), nil
+
+	case core.ScanKindDiff:
+		e.mu.Lock()
+		sa, cuta, err := e.headLocked(req.A)
+		if err != nil {
+			e.mu.Unlock()
+			return nil, err
+		}
+		sb, cutb, err := e.headLocked(req.B)
+		if err != nil {
+			e.mu.Unlock()
+			return nil, err
+		}
+		liveA, err := e.resolveLive(pos{Seg: sa.id, Slot: cuta})
+		if err != nil {
+			e.mu.Unlock()
+			return nil, err
+		}
+		liveB, err := e.resolveLive(pos{Seg: sb.id, Slot: cutb})
+		segs, heads := e.segs, e.headsLocked()
+		e.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		onlyA := make(map[int64]pos)
+		onlyB := make(map[int64]pos)
+		for pk, p := range liveA {
+			if q, ok := liveB[pk]; !ok || q != p {
+				onlyA[pk] = p
+			}
+		}
+		for pk, p := range liveB {
+			if q, ok := liveA[pk]; !ok || q != p {
+				onlyB[pk] = p
+			}
+		}
+		inA := func(pos) core.UnitAux { return core.UnitAux{InA: true} }
+		inB := func(pos) core.UnitAux { return core.UnitAux{InA: false} }
+		units := unitsFor(groupLive(onlyA), segs, heads, inA)
+		return append(units, unitsFor(groupLive(onlyB), segs, heads, inB)...), nil
+	}
+	return nil, nil
 }
 
 // ScanBranchPushdown implements core.PushdownScanner.
 func (e *Engine) ScanBranchPushdown(branch vgraph.BranchID, spec *core.ScanSpec, fn core.ScanFunc) error {
-	e.mu.Lock()
-	s, cut, err := e.headLocked(branch)
-	if err != nil {
-		e.mu.Unlock()
-		return err
-	}
-	live, err := e.resolveLive(pos{Seg: s.id, Slot: cut})
-	e.mu.Unlock()
+	units, err := e.PartitionScan(core.ScanRequest{Kind: core.ScanKindBranch, Branch: branch})
 	if err != nil {
 		return err
 	}
-	return e.emitSpec(live, spec, func(rec *record.Record, _ pos) bool { return fn(rec) })
+	return core.RunUnitsSequential(units, spec, func(rec *record.Record, _ core.UnitAux) bool { return fn(rec) })
 }
 
 // ScanCommitPushdown implements core.PushdownScanner.
 func (e *Engine) ScanCommitPushdown(c *vgraph.Commit, spec *core.ScanSpec, fn core.ScanFunc) error {
-	e.mu.Lock()
-	p, ok := e.commits[c.ID]
-	if !ok {
-		e.mu.Unlock()
-		return fmt.Errorf("vf: commit %d has no recorded offset", c.ID)
-	}
-	live, err := e.resolveLive(p)
-	e.mu.Unlock()
+	units, err := e.PartitionScan(core.ScanRequest{Kind: core.ScanKindCommit, Commit: c})
 	if err != nil {
 		return err
 	}
-	return e.emitSpec(live, spec, func(rec *record.Record, _ pos) bool { return fn(rec) })
+	return core.RunUnitsSequential(units, spec, func(rec *record.Record, _ core.UnitAux) bool { return fn(rec) })
 }
 
 // ScanMultiPushdown implements core.PushdownScanner.
 func (e *Engine) ScanMultiPushdown(branches []vgraph.BranchID, spec *core.ScanSpec, fn core.MultiScanFunc) error {
-	e.mu.Lock()
-	union := make(map[pos]*bitmap.Bitmap)
-	for i, b := range branches {
-		s, cut, err := e.headLocked(b)
-		if err != nil {
-			e.mu.Unlock()
-			return err
-		}
-		live, err := e.resolveLive(pos{Seg: s.id, Slot: cut})
-		if err != nil {
-			e.mu.Unlock()
-			return err
-		}
-		for _, p := range live {
-			m := union[p]
-			if m == nil {
-				m = bitmap.New(len(branches))
-				union[p] = m
-			}
-			m.Set(i)
-		}
+	units, err := e.PartitionScan(core.ScanRequest{Kind: core.ScanKindMulti, Branches: branches})
+	if err != nil {
+		return err
 	}
-	e.mu.Unlock()
-
-	flat := make(map[int64]pos, len(union))
-	i := int64(0)
-	for p := range union {
-		flat[i] = p
-		i++
-	}
-	return e.emitSpec(flat, spec, func(rec *record.Record, at pos) bool {
-		return fn(rec, union[at])
-	})
+	return core.RunUnitsSequential(units, spec, func(rec *record.Record, aux core.UnitAux) bool { return fn(rec, aux.Member) })
 }
 
 // ScanDiffPushdown implements core.DiffScanner: both branches' live
 // sets are resolved (the multi-pass cost the paper attributes to this
 // scheme), their symmetric difference grouped by segment, and the spec
-// — zone-map segment pruning included — evaluated during the
-// sequential emit of each side.
+// — zone-map segment pruning included — evaluated during the emit of
+// each side.
 func (e *Engine) ScanDiffPushdown(a, b vgraph.BranchID, spec *core.ScanSpec, fn core.DiffFunc) error {
-	e.mu.Lock()
-	sa, cuta, err := e.headLocked(a)
-	if err != nil {
-		e.mu.Unlock()
-		return err
-	}
-	sb, cutb, err := e.headLocked(b)
-	if err != nil {
-		e.mu.Unlock()
-		return err
-	}
-	liveA, err := e.resolveLive(pos{Seg: sa.id, Slot: cuta})
-	if err != nil {
-		e.mu.Unlock()
-		return err
-	}
-	liveB, err := e.resolveLive(pos{Seg: sb.id, Slot: cutb})
-	e.mu.Unlock()
+	units, err := e.PartitionScan(core.ScanRequest{Kind: core.ScanKindDiff, A: a, B: b})
 	if err != nil {
 		return err
 	}
-
-	onlyA := make(map[int64]pos)
-	onlyB := make(map[int64]pos)
-	for pk, p := range liveA {
-		if q, ok := liveB[pk]; !ok || q != p {
-			onlyA[pk] = p
-		}
-	}
-	for pk, p := range liveB {
-		if q, ok := liveA[pk]; !ok || q != p {
-			onlyB[pk] = p
-		}
-	}
-	stopped := false
-	side := func(inA bool) func(rec *record.Record, _ pos) bool {
-		return func(rec *record.Record, _ pos) bool {
-			if !fn(rec, inA) {
-				stopped = true
-				return false
-			}
-			return true
-		}
-	}
-	if err := e.emitSpec(onlyA, spec, side(true)); err != nil || stopped {
-		return err
-	}
-	return e.emitSpec(onlyB, spec, side(false))
+	return core.RunUnitsSequential(units, spec, func(rec *record.Record, aux core.UnitAux) bool { return fn(rec, aux.InA) })
 }
 
 // InsertBatch implements core.BatchInserter: one lock acquisition and

@@ -234,6 +234,20 @@ func (g *Graph) NewCommitSchema(branch BranchID, message string, schemaVer int) 
 	return c, g.persistLocked()
 }
 
+// Head returns the branch's current head commit under the graph lock.
+// Lock-free readers (the server's snapshot pinning) must use this
+// instead of reading the live Branch struct, whose Head field commits
+// advance in place.
+func (g *Graph) Head(branch BranchID) (CommitID, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	b, ok := g.branches[branch]
+	if !ok {
+		return None, false
+	}
+	return b.Head, true
+}
+
 // MaxSchemaVer returns the newest schema epoch any commit is stamped
 // with — the dataset's committed schema epoch. Crash recovery rolls
 // catalog histories back to this point, so schema changes whose commit

@@ -55,3 +55,10 @@ func WithCommitFanout(fanout int) Option {
 func WithTupleOrientedBitmaps(on bool) Option {
 	return func(c *config) { c.opt.TupleOriented = on }
 }
+
+// WithScanWorkers sets the parallel scan pool size. The default (0)
+// takes the DECIBEL_SCAN_WORKERS environment variable, else GOMAXPROCS;
+// 1 disables parallel scans.
+func WithScanWorkers(n int) Option {
+	return func(c *config) { c.opt.ScanWorkers = n }
+}

@@ -1,0 +1,93 @@
+package decibel_test
+
+// Tuple-first page-zone regression: tf's extents span every branch's
+// rows, so the extent-level zone map almost never prunes — per-page
+// zone maps restore skipping inside the extent. This test loads
+// sequential data over many small pages, runs a selective range scan,
+// and asserts pages were actually skipped while the results stay
+// identical to the unpruned baseline.
+
+import (
+	"context"
+	"testing"
+
+	"decibel"
+	iquery "decibel/internal/query"
+	"decibel/internal/record"
+	"decibel/internal/store"
+)
+
+func TestTupleFirstPageZoneSkipping(t *testing.T) {
+	const rows = 2000
+	// Small pages: many page-zone chunks inside the single tf extent.
+	db, err := decibel.Open(t.TempDir(),
+		decibel.WithEngine("tuple-first"), decibel.WithPageSize(2048))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	schema := decibel.NewSchema().Int64("id").Int64("v").MustBuild()
+	if _, err := db.CreateTable("r", schema); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := db.Init("init"); err != nil {
+		t.Fatal(err)
+	}
+	// Sequential values: each page holds a narrow contiguous v range, so
+	// a selective range predicate excludes most pages outright.
+	if _, err := db.Commit("master", func(tx *decibel.Tx) error {
+		recs := make([]*decibel.Record, 0, rows)
+		for pk := int64(0); pk < rows; pk++ {
+			rec := decibel.NewRecord(schema)
+			rec.SetPK(pk)
+			rec.Set(1, pk)
+			recs = append(recs, rec)
+		}
+		return tx.InsertBatch("r", recs)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(noPrune bool) []string {
+		t.Helper()
+		plan := iquery.Plan{
+			Table:    "r",
+			Branches: []string{"master"},
+			AtSeq:    -1,
+			Where:    iquery.Col("v").Ge(rows - 25),
+			NoPrune:  noPrune,
+		}
+		c, err := plan.Compile(db.Database)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []string
+		if err := c.Scan(context.Background(), func(rec *record.Record) bool {
+			out = append(out, rec.String())
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	_, skippedBefore := store.PageScanCounters()
+	got := run(false)
+	_, skippedAfter := store.PageScanCounters()
+
+	want := run(true) // unpruned baseline scans every page
+	if len(got) != len(want) {
+		t.Fatalf("pruned scan emitted %d rows, unpruned %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: pruned %q unpruned %q", i, got[i], want[i])
+		}
+	}
+	if len(got) != 25 {
+		t.Fatalf("selective scan emitted %d rows, want 25", len(got))
+	}
+	if skippedAfter == skippedBefore {
+		t.Fatal("page zones never skipped a page: tf per-page pruning is not engaging")
+	}
+}

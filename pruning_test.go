@@ -26,9 +26,9 @@ import (
 // per wave boundary (freezing hybrid heads), a schema change between
 // wave one and two (price exists only from epoch 1, default 7.5), a
 // few deletes and a merge.
-func buildPruningDB(t *testing.T, engine string) *decibel.DB {
+func buildPruningDB(t *testing.T, engine string, opts ...decibel.Option) *decibel.DB {
 	t.Helper()
-	db, err := decibel.Open(t.TempDir(), decibel.WithEngine(engine))
+	db, err := decibel.Open(t.TempDir(), append([]decibel.Option{decibel.WithEngine(engine)}, opts...)...)
 	if err != nil {
 		t.Fatal(err)
 	}

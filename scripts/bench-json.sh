@@ -6,7 +6,7 @@
 # Usage: sh scripts/bench-json.sh [out.json]
 #
 # Environment:
-#   BENCH     benchmark regexp           (default 'BenchmarkMultiBranchScan|BenchmarkQueryShapes')
+#   BENCH     benchmark regexp           (default: the query, zone-map and parallel-scan benchmarks)
 #   BENCHTIME -benchtime value           (default 3x)
 #   COUNT     -count value               (default 3)
 #   PKG       package to benchmark       (default ./bench)
@@ -17,7 +17,7 @@
 set -eu
 
 OUT="${1:-BENCH_pr.json}"
-BENCH="${BENCH:-BenchmarkMultiBranchScan|BenchmarkQueryShapes|BenchmarkSegmentSkipWhere|BenchmarkDiffPushdown|BenchmarkPointLookup}"
+BENCH="${BENCH:-BenchmarkMultiBranchScan|BenchmarkQueryShapes|BenchmarkSegmentSkipWhere|BenchmarkDiffPushdown|BenchmarkPointLookup|BenchmarkParallelScanCount|BenchmarkParallelScanRows|BenchmarkParallelDiff}"
 BENCHTIME="${BENCHTIME:-3x}"
 COUNT="${COUNT:-3}"
 PKG="${PKG:-./bench}"

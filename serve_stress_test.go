@@ -40,6 +40,18 @@ func expvarInt(t *testing.T, name string) int64 {
 }
 
 func TestConcurrentServing(t *testing.T) {
+	runConcurrentServing(t)
+}
+
+// TestConcurrentServingParallelScans is the same stress run with the
+// parallel scan executor forced on: every served read fans its frozen
+// segments out on the scan pool while writers commit, so snapshot
+// isolation and seq monotonicity are asserted against parallel reads.
+func TestConcurrentServingParallelScans(t *testing.T) {
+	runConcurrentServing(t, decibel.WithScanWorkers(4))
+}
+
+func runConcurrentServing(t *testing.T, opts ...decibel.Option) {
 	const (
 		keys       = 48
 		writers    = 8
@@ -47,7 +59,7 @@ func TestConcurrentServing(t *testing.T) {
 		cancelers  = 2 // writers+readers+cancelers = 32 concurrent clients
 		commitsPer = 12
 	)
-	db, err := decibel.Open(t.TempDir(), decibel.WithEngine("hybrid"))
+	db, err := decibel.Open(t.TempDir(), append([]decibel.Option{decibel.WithEngine("hybrid")}, opts...)...)
 	if err != nil {
 		t.Fatal(err)
 	}
