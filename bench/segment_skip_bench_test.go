@@ -42,10 +42,10 @@ const (
 // old head at the branch point; version-first's merge links a new head
 // over both parents), so master's live set stays spread across the
 // wave segments.
-func loadSegmentBench(tb testing.TB, engine string) *decibel.DB {
+func loadSegmentBench(tb testing.TB, engine string, opts ...decibel.Option) *decibel.DB {
 	tb.Helper()
-	db, err := decibel.Open(tb.TempDir(), decibel.WithEngine(engine),
-		decibel.WithPageSize(256<<10), decibel.WithPoolPages(128))
+	db, err := decibel.Open(tb.TempDir(), append([]decibel.Option{decibel.WithEngine(engine),
+		decibel.WithPageSize(256 << 10), decibel.WithPoolPages(128)}, opts...)...)
 	if err != nil {
 		tb.Fatal(err)
 	}

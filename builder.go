@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"iter"
 
-	"decibel/internal/core"
 	iquery "decibel/internal/query"
 	"decibel/internal/record"
 )
@@ -180,15 +179,9 @@ func (q *Query) RowsContext(ctx context.Context) (iter.Seq[*Record], func() erro
 	if err != nil {
 		return errSeq(err)
 	}
-	scan := func(fn core.ScanFunc) error {
-		if q.plan.AllHeads || len(q.plan.Branches) > 1 {
-			return c.ScanMulti(ctx, func(rec *record.Record, _ *Bitmap) bool { return fn(rec) })
-		}
-		return c.Scan(ctx, fn)
-	}
 	var scanErr error
 	seq := func(yield func(*Record) bool) {
-		scanErr = c.EmitOrdered(scan, func(rec *record.Record) bool { return yield(rec) })
+		scanErr = c.EmitRows(ctx, func(rec *record.Record) bool { return yield(rec) })
 	}
 	return seq, func() error { return scanErr }
 }
@@ -242,10 +235,9 @@ func (q *Query) DiffContext(ctx context.Context, a, b string) (iter.Seq[*Record]
 	if err != nil {
 		return errSeq(err)
 	}
-	scan := func(fn core.ScanFunc) error { return c.Diff(ctx, fn) }
 	var scanErr error
 	seq := func(yield func(*Record) bool) {
-		scanErr = c.EmitOrdered(scan, func(rec *record.Record) bool { return yield(rec) })
+		scanErr = c.EmitDiffRows(ctx, func(rec *record.Record) bool { return yield(rec) })
 	}
 	return seq, func() error { return scanErr }
 }

@@ -84,6 +84,9 @@ commands:
                                -order col[:desc]  sort the output by a column
                                -limit <n>         emit at most n rows
                                -count             print the count only
+  compact                    run one compaction pass: merge runs of small
+                             frozen segments, drop unreachable tombstones,
+                             re-encode frozen segments as compressed pages
   serve                      serve the dataset over HTTP/JSON until
                              SIGINT/SIGTERM, then drain and close:
                                -addr <host:port>  listen address
@@ -91,7 +94,8 @@ commands:
   log [branch]               list branches and commit counts; with a
                              branch, its commits (seq, id, time, message)
   stats [table]              storage statistics; with a table, its
-                             per-segment zone-map summaries
+                             per-segment summaries (encoding, raw vs
+                             on-disk bytes, tombstones, zone maps)
   help                       print this help
 
 flags:
@@ -222,7 +226,13 @@ func setColumn(rec *decibel.Record, schema *decibel.Schema, i int, v string) err
 }
 
 func run(dir, engine, table string, args []string) error {
-	db, err := decibel.Open(dir, decibel.WithEngine(engine))
+	opts := []decibel.Option{decibel.WithEngine(engine)}
+	// compact runs a pass on demand; serve exposes POST /v1/compact.
+	// Both need the subsystem enabled in manual mode.
+	if args[0] == "compact" || args[0] == "serve" {
+		opts = append(opts, decibel.WithCompaction("manual"))
+	}
+	db, err := decibel.Open(dir, opts...)
 	if err != nil {
 		return err
 	}
@@ -482,6 +492,15 @@ func run(dir, engine, table string, args []string) error {
 			mc.ID, st.Conflicts, st.ChangedA, rest[0], st.ChangedB, rest[1])
 		return nil
 
+	case "compact":
+		st, err := db.Compact()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("compacted: %d segments merged, %d compressed, %d tombstones dropped, %d pages written, %d bytes reclaimed\n",
+			st.SegmentsMerged, st.SegmentsCompressed, st.TombstonesDropped, st.PagesCompressed, st.BytesReclaimed)
+		return nil
+
 	case "select":
 		return runSelect(db, table, rest)
 
@@ -554,7 +573,8 @@ func run(dir, engine, table string, args []string) error {
 			segs := t.SegmentStats()
 			fmt.Printf("\ntable %q: %d segments (zone maps; * marks open append heads)\n", rest[0], len(segs))
 			for _, sg := range segs {
-				fmt.Printf("  %-22s rows=%-7d schema-cols=%d\n", sg.Name, sg.Rows, sg.Cols)
+				fmt.Printf("  %-22s rows=%-7d schema-cols=%d enc=%-4s raw=%-9d disk=%-9d tombstones=%d\n",
+					sg.Name, sg.Rows, sg.Cols, sg.Encoding, sg.RawBytes, sg.DiskBytes, sg.Tombstones)
 				for _, z := range sg.Zones {
 					fmt.Printf("    %-14s [%s .. %s]\n", z.Column, z.Min, z.Max)
 				}

@@ -52,6 +52,7 @@ import (
 	"context"
 
 	"decibel/internal/bitmap"
+	"decibel/internal/compact"
 	"decibel/internal/core"
 	"decibel/internal/record"
 	"decibel/internal/store"
@@ -140,6 +141,11 @@ type (
 	// version id, freeze state and per-column zone map — for
 	// diagnostics; see Table.SegmentStats and the CLI's `stats`.
 	SegmentStat = store.SegmentStat
+
+	// CompactionStats is what one compaction pass accomplished —
+	// segments merged and compressed, tombstones dropped, bytes
+	// reclaimed; returned by DB.Compact.
+	CompactionStats = compact.Stats
 )
 
 // Column types. Int32 and Int64 are read and written with Record.Get

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"time"
+
+	"decibel/internal/compact"
+)
+
+// Compactor is the optional engine capability behind background
+// compaction: a pass that merges runs of small frozen segments, drops
+// tombstoned rows no read can reach, and re-encodes frozen segments
+// into compressed pages — all under the engine's own catalog-swap
+// crash-safety protocol. All three built-in engines implement it
+// (tuple-first and version-first compress only; their layouts pin
+// physical slot numbering).
+type Compactor interface {
+	CompactSegments(opt compact.Options) (compact.Stats, error)
+}
+
+// Compact runs one compaction pass over every relation whose engine
+// supports it, returning the aggregated stats. With compaction off it
+// is a no-op; a pass error returns the stats accumulated so far.
+// Completed passes that changed anything feed the process-wide expvar
+// counters.
+func (db *Database) Compact() (compact.Stats, error) {
+	var agg compact.Stats
+	if db.opt.Compaction.Mode == compact.ModeOff {
+		return agg, nil
+	}
+	if err := db.beginOp(); err != nil {
+		return agg, err
+	}
+	defer db.endOp()
+	for _, t := range db.Tables() {
+		c, ok := t.engine.(Compactor)
+		if !ok {
+			continue
+		}
+		st, err := c.CompactSegments(db.opt.Compaction)
+		agg.Add(st)
+		if err != nil {
+			return agg, err
+		}
+	}
+	compact.CountRun(agg)
+	return agg, nil
+}
+
+// startCompactor launches the auto-mode background loop: one Compact
+// pass per interval tick until Close. Pass errors are swallowed — the
+// loop is best-effort maintenance; the next tick retries — except that
+// a closed database ends the loop via the quit channel.
+func (db *Database) startCompactor() {
+	interval := db.opt.Compaction.Defaults().Interval
+	db.compactQuit = make(chan struct{})
+	db.compactWG.Add(1)
+	go func() {
+		defer db.compactWG.Done()
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-db.compactQuit:
+				return
+			case <-tick.C:
+				db.Compact()
+			}
+		}
+	}()
+}

@@ -8,6 +8,7 @@ package core
 
 import (
 	"decibel/internal/bitmap"
+	"decibel/internal/compact"
 	"decibel/internal/heap"
 	"decibel/internal/record"
 	"decibel/internal/vgraph"
@@ -136,6 +137,10 @@ type Options struct {
 	TupleOriented bool // tuple-first: use the tuple-oriented bitmap matrix
 	Fsync         bool // fsync on commit (off for benchmarks, like the paper's load phase)
 	ScanWorkers   int  // parallel scan pool size (0 = DECIBEL_SCAN_WORKERS env or GOMAXPROCS; 1 disables)
+
+	// Compaction configures the background compaction subsystem; the
+	// zero value (compact.ModeOff) disables it entirely.
+	Compaction compact.Options
 }
 
 // Factory constructs an engine rooted at env.Dir. Implemented by

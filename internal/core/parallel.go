@@ -11,6 +11,7 @@ import (
 
 	"decibel/internal/bitmap"
 	"decibel/internal/record"
+	"decibel/internal/store"
 	"decibel/internal/vgraph"
 )
 
@@ -75,16 +76,27 @@ type UnitFunc func(rec *record.Record, aux UnitAux) bool
 // PartitionScan, preserving the sequential paths' snapshot rules.
 type ScanUnit struct {
 	Frozen bool
-	Run    func(spec *ScanSpec, fn UnitFunc) error
+	// Zone and PhysCols describe the unit's segment for order-aware
+	// visiting: the segment's zone map (nil when the engine has none
+	// for this unit) and the physical column count its records are laid
+	// out under. Executors may use them to reorder or early-stop unit
+	// visits only when they can prove the output is unchanged.
+	Zone     *store.ZoneMap
+	PhysCols int
+	Run      func(spec *ScanSpec, fn UnitFunc) error
 }
 
 // ParallelScanner is the optional engine capability behind the parallel
 // scan executor: it splits a scan into units in sequential visit order,
 // snapshotting under the engine lock whatever the matching sequential
 // pushdown path would (bitmaps, segment tables, resolved live sets), so
-// each unit runs without further coordination.
+// each unit runs without further coordination. The returned release
+// func must be called exactly once after the last unit finishes: it
+// unpins the segments the partition references, which is what lets a
+// concurrent compaction retire replaced segment files only after every
+// in-flight reader drains. release is non-nil whenever err is nil.
 type ParallelScanner interface {
-	PartitionScan(req ScanRequest) ([]ScanUnit, error)
+	PartitionScan(req ScanRequest) ([]ScanUnit, func(), error)
 }
 
 // UnitSink buffers one unit's output. Fn receives the unit's records —
@@ -190,10 +202,11 @@ func (t *Table) ParallelScanContext(ctx context.Context, req ScanRequest, spec *
 		return true, err
 	}
 	defer t.db.endOp()
-	units, err := ps.PartitionScan(req)
+	units, release, err := ps.PartitionScan(req)
 	if err != nil {
 		return true, err
 	}
+	defer release()
 	frozen := 0
 	for _, u := range units {
 		if u.Frozen {
@@ -207,6 +220,30 @@ func (t *Table) ParallelScanContext(ctx context.Context, req ScanRequest, spec *
 		return true, err
 	}
 	return true, ctx.Err()
+}
+
+// PartitionUnits exposes the engine's scan partition to executors
+// beyond the pool fan-out — the ordered visitor in internal/query
+// drives units in zone-sorted order with top-k early stop. ok reports
+// whether the engine has the ParallelScanner capability; when it does,
+// release must be called exactly once after the last unit finishes —
+// it unpins the partition's segments (letting a concurrent compaction
+// retire replaced files) and ends the database operation the call
+// began.
+func (t *Table) PartitionUnits(req ScanRequest) (units []ScanUnit, release func(), ok bool, err error) {
+	ps, ok := t.engine.(ParallelScanner)
+	if !ok {
+		return nil, nil, false, nil
+	}
+	if err := t.db.beginOp(); err != nil {
+		return nil, nil, true, err
+	}
+	units, rel, err := ps.PartitionScan(req)
+	if err != nil {
+		t.db.endOp()
+		return nil, nil, true, err
+	}
+	return units, func() { rel(); t.db.endOp() }, true, nil
 }
 
 // runUnits executes a partition: frozen units on pool goroutines,

@@ -244,6 +244,17 @@ func (f *File) SizeBytes() int64 {
 	return f.Count() * int64(f.recSize)
 }
 
+// DiskBytes returns the file's current on-disk size. Dirty pages still
+// resident in the pool are not counted; the value is a footprint
+// statistic, not a durability guarantee.
+func (f *File) DiskBytes() int64 {
+	st, err := f.f.Stat()
+	if err != nil {
+		return 0
+	}
+	return st.Size()
+}
+
 // Freeze marks the file immutable; further appends fail. Hybrid head
 // segments freeze into internal segments at branch points (Section
 // 3.4).

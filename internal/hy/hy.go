@@ -13,7 +13,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
 	"sync"
 
 	"decibel/internal/bitmap"
@@ -68,7 +67,16 @@ type Engine struct {
 	hist *record.History
 	st   *store.Store
 
+	// segs is the segment table in scan order (the order every scan
+	// shape visits segments); byID resolves the stable segment ids that
+	// positions, logs and the catalog reference. The two diverge after
+	// a compaction merge: the merged segment takes a fresh id but sits
+	// at the run's position so scan output order is unchanged. nextID
+	// is the next unused id (ids are never reused, even after merges
+	// retire theirs).
 	segs    []*hseg
+	byID    map[segID]*hseg
+	nextID  segID
 	headSeg map[vgraph.BranchID]segID
 	pk      map[vgraph.BranchID]*pkIndex
 
@@ -99,6 +107,7 @@ func Factory(env *core.Env) (core.Engine, error) {
 		env:      env,
 		hist:     env.History(),
 		st:       store.New(env.Pool, env.History()),
+		byID:     make(map[segID]*hseg),
 		headSeg:  make(map[vgraph.BranchID]segID),
 		pk:       make(map[vgraph.BranchID]*pkIndex),
 		logs:     make(map[logKey]*bitmap.CommitLog),
@@ -166,20 +175,27 @@ func (e *Engine) recover() error {
 	if err := json.Unmarshal(data, &m); err != nil {
 		return fmt.Errorf("hy: corrupt catalog: %w", err)
 	}
-	sort.Slice(m.Segments, func(i, j int) bool { return m.Segments[i].ID < m.Segments[j].ID })
+	// Catalog order is scan order — after a compaction merge the slice
+	// is no longer sorted by id (the merged segment keeps its run's
+	// position under a fresh id), so it must not be re-sorted here.
 	for _, sm := range m.Segments {
 		// The store resolves a zero Cols (catalog from before schema
 		// versioning) to the full layout, re-freezes frozen segments and
 		// restores — or rebuilds, for catalogs from before zone maps —
 		// each segment's zone map.
-		seg, err := e.st.Open(e.segPath(sm.ID), sm.SegMeta, -1)
+		seg, err := e.st.Open(e.segFilePath(sm.ID, sm.Encoding), sm.SegMeta, -1)
 		if err != nil {
 			return fmt.Errorf("hy: segment %d: %w", sm.ID, err)
 		}
-		e.segs = append(e.segs, &hseg{
+		s := &hseg{
 			Segment: seg, id: sm.ID, owner: sm.Owner,
 			local: make(map[vgraph.BranchID]*bitmap.Bitmap),
-		})
+		}
+		e.segs = append(e.segs, s)
+		e.byID[s.id] = s
+		if sm.ID >= e.nextID {
+			e.nextID = sm.ID + 1
+		}
 	}
 	e.headSeg = m.HeadSeg
 	if e.headSeg == nil {
@@ -197,7 +213,11 @@ func (e *Engine) recover() error {
 		if err != nil {
 			return err
 		}
-		e.segs[s].local[b] = l.Head()
+		hs, ok := e.byID[s]
+		if !ok {
+			return fmt.Errorf("hy: corrupt catalog: log for missing segment %d", s)
+		}
+		hs.local[b] = l.Head()
 	}
 	// Branches created but never committed to have no (branch, segment)
 	// logs of their own; rebuild their per-segment liveness from the
@@ -223,7 +243,7 @@ func (e *Engine) recover() error {
 			return fmt.Errorf("hy: recover branch %d: %w", br.ID, err)
 		}
 		for id, bm := range snap {
-			e.segs[id].local[br.ID] = bm
+			e.byID[id].local[br.ID] = bm
 		}
 	}
 	// Rebuild primary-key indexes from the restored bitmaps. Keys sit
@@ -252,17 +272,20 @@ func (e *Engine) recover() error {
 			}
 		}
 	}
+	e.sweepOrphans()
 	return nil
 }
 
 func (e *Engine) newSegmentLocked(owner vgraph.BranchID, cols int) (*hseg, error) {
-	id := segID(len(e.segs))
+	id := e.nextID
 	seg, err := e.st.Create(e.segPath(id), cols)
 	if err != nil {
 		return nil, err
 	}
 	s := &hseg{Segment: seg, id: id, owner: owner, local: make(map[vgraph.BranchID]*bitmap.Bitmap)}
 	e.segs = append(e.segs, s)
+	e.byID[id] = s
+	e.nextID = id + 1
 	return s, nil
 }
 
@@ -325,11 +348,11 @@ func (e *Engine) Branch(child *vgraph.Branch, from *vgraph.Commit) error {
 	}
 
 	for id, bm := range snap {
-		e.segs[id].local[child.ID] = bm.Clone()
+		e.byID[id].local[child.ID] = bm.Clone()
 	}
 	// Freeze the parent's head and open fresh heads for both branches.
 	if old, ok := e.headSeg[parent]; ok {
-		e.segs[old].Freeze()
+		e.byID[old].Freeze()
 	}
 	// Both fresh heads start at the branch point's storage generation;
 	// a later schema change rotates them lazily on first write.
@@ -357,7 +380,7 @@ func (e *Engine) Branch(child *vgraph.Branch, from *vgraph.Commit) error {
 	}
 	idx := newPKIndex()
 	for id, bm := range snap {
-		s := e.segs[id]
+		s := e.byID[id]
 		buf := make([]byte, s.Schema.RecordSize())
 		var scanErr error
 		bm.ForEach(func(slot int) bool {
@@ -473,8 +496,8 @@ func (e *Engine) writeHeadLocked(branch vgraph.BranchID) (*hseg, error) {
 	if !ok {
 		return nil, fmt.Errorf("hy: branch %d has no head segment", branch)
 	}
-	s := e.segs[head]
-	id := segID(len(e.segs))
+	s := e.byID[head]
+	id := e.nextID
 	ns, rotated, err := e.st.WriteTarget(s.Segment, e.hist.NumPhysAt(e.env.BranchEpoch(branch)), true, e.segPath(id))
 	if err != nil {
 		return nil, err
@@ -484,6 +507,8 @@ func (e *Engine) writeHeadLocked(branch vgraph.BranchID) (*hseg, error) {
 	}
 	hs := &hseg{Segment: ns, id: id, owner: branch, local: make(map[vgraph.BranchID]*bitmap.Bitmap)}
 	e.segs = append(e.segs, hs)
+	e.byID[id] = hs
+	e.nextID = id + 1
 	hs.local[branch] = bitmap.New(0)
 	e.headSeg[branch] = hs.id
 	return hs, e.persistLocked()
@@ -504,7 +529,7 @@ func (e *Engine) insertLocked(branch vgraph.BranchID, rec *record.Record) error 
 		return err
 	}
 	if old, ok := idx.get(rec.PK()); ok && old != deletedPos {
-		if bm, ok := e.segs[old.Seg].local[branch]; ok {
+		if bm, ok := e.byID[old.Seg].local[branch]; ok {
 			bm.Clear(int(old.Slot))
 		}
 	}
@@ -530,7 +555,7 @@ func (e *Engine) Delete(branch vgraph.BranchID, pk int64) error {
 	if !ok || old == deletedPos {
 		return nil
 	}
-	if bm, ok := e.segs[old.Seg].local[branch]; ok {
+	if bm, ok := e.byID[old.Seg].local[branch]; ok {
 		bm.Clear(int(old.Slot))
 	}
 	idx.set(pk, deletedPos)

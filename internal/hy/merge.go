@@ -106,7 +106,7 @@ func (e *Engine) Merge(into, other vgraph.BranchID, mc *vgraph.Commit, kind core
 	}
 	head := headSeg.id
 	readAt := func(p pos) (*record.Record, error) {
-		s := e.segs[p.Seg]
+		s := e.byID[p.Seg]
 		buf := make([]byte, s.Schema.RecordSize())
 		if err := s.File.Read(p.Slot, buf); err != nil {
 			return nil, err
@@ -119,7 +119,7 @@ func (e *Engine) Merge(into, other vgraph.BranchID, mc *vgraph.Commit, kind core
 		return cv.Materialize(buf), nil
 	}
 	setLive := func(branch vgraph.BranchID, p pos) {
-		s := e.segs[p.Seg]
+		s := e.byID[p.Seg]
 		bm := s.local[branch]
 		if bm == nil {
 			bm = bitmap.New(0)
@@ -128,7 +128,7 @@ func (e *Engine) Merge(into, other vgraph.BranchID, mc *vgraph.Commit, kind core
 		bm.Set(int(p.Slot))
 	}
 	clearLive := func(branch vgraph.BranchID, p pos) {
-		if bm, ok := e.segs[p.Seg].local[branch]; ok {
+		if bm, ok := e.byID[p.Seg].local[branch]; ok {
 			bm.Clear(int(p.Slot))
 		}
 	}
@@ -182,7 +182,7 @@ func (e *Engine) Merge(into, other vgraph.BranchID, mc *vgraph.Commit, kind core
 				case recB != nil && rec.Equal(recB):
 					p = posB
 				default:
-					slot, err := e.st.Append(e.segs[head].Segment, rec)
+					slot, err := e.st.Append(e.byID[head].Segment, rec)
 					if err != nil {
 						return err
 					}

@@ -1,11 +1,10 @@
 package hy
 
 import (
-	"sort"
-
 	"decibel/internal/bitmap"
 	"decibel/internal/core"
 	"decibel/internal/record"
+	"decibel/internal/store"
 	"decibel/internal/vgraph"
 )
 
@@ -51,7 +50,7 @@ func (e *Engine) LookupPKPushdown(branch vgraph.BranchID, pk int64, spec *core.S
 		e.mu.Unlock()
 		return true, nil // served: the key is not live in this branch
 	}
-	s := e.segs[p.Seg]
+	s := e.byID[p.Seg]
 	buf := make([]byte, s.Schema.RecordSize())
 	if err := s.File.Read(p.Slot, buf); err != nil {
 		e.mu.Unlock()
@@ -95,7 +94,9 @@ func (e *Engine) passSpec(epoch int) *core.ScanSpec {
 // annotation from the slot.
 func segUnit(s *hseg, bm *bitmap.Bitmap, aux func(slot int64) core.UnitAux) core.ScanUnit {
 	return core.ScanUnit{
-		Frozen: s.Frozen,
+		Frozen:   s.Frozen,
+		Zone:     s.Zone(),
+		PhysCols: s.Cols,
 		Run: func(spec *core.ScanSpec, fn core.UnitFunc) error {
 			if bm == nil || !bm.Any() {
 				return nil
@@ -135,41 +136,72 @@ func segUnit(s *hseg, bm *bitmap.Bitmap, aux func(slot int64) core.UnitAux) core
 
 func noAux(int64) core.UnitAux { return core.UnitAux{} }
 
+// pinGroup tracks the segments a partition references: each is pinned
+// under the engine lock at partition time, and the release func hands
+// the pins back once the scan's units have all finished, letting a
+// concurrent compaction retire replaced files only after every
+// in-flight reader drains.
+type pinGroup struct {
+	pinned []*store.Segment
+}
+
+func (g *pinGroup) pin(s *hseg) {
+	if s == nil {
+		return
+	}
+	s.Segment.Pin()
+	g.pinned = append(g.pinned, s.Segment)
+}
+
+func (g *pinGroup) release() {
+	for _, sg := range g.pinned {
+		sg.Unpin()
+	}
+}
+
 // PartitionScan implements core.ParallelScanner: one unit per segment
 // holding live records of the request, in the order the sequential
 // scans visit them, with all shared state (bitmaps, checkout
-// snapshots) captured under the engine lock at partition time.
-func (e *Engine) PartitionScan(req core.ScanRequest) ([]core.ScanUnit, error) {
+// snapshots) captured under the engine lock at partition time. Every
+// segment a unit references is pinned until release is called.
+func (e *Engine) PartitionScan(req core.ScanRequest) ([]core.ScanUnit, func(), error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	g := &pinGroup{}
 	switch req.Kind {
 	case core.ScanKindBranch:
 		segs := e.branchSegmentsLocked(req.Branch)
 		units := make([]core.ScanUnit, 0, len(segs))
 		for _, s := range segs {
+			g.pin(s)
 			units = append(units, segUnit(s, s.local[req.Branch].Clone(), noAux))
 		}
-		return units, nil
+		return units, g.release, nil
 
 	case core.ScanKindCommit:
 		snap, err := e.checkoutLocked(req.Commit.Branch, req.Commit.Seq)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		var segs []*hseg
-		for id := range snap {
-			segs = append(segs, e.segs[id])
+		// Visit in segment-table order, the scan order every other shape
+		// uses (ids alone no longer encode it after a compaction merge).
+		units := make([]core.ScanUnit, 0, len(snap))
+		for _, s := range e.segs {
+			bm, ok := snap[s.id]
+			if !ok {
+				continue
+			}
+			g.pin(s)
+			units = append(units, segUnit(s, bm, noAux))
 		}
-		sort.Slice(segs, func(i, j int) bool { return segs[i].id < segs[j].id })
-		units := make([]core.ScanUnit, 0, len(segs))
-		for _, s := range segs {
-			units = append(units, segUnit(s, snap[s.id], noAux))
-		}
-		return units, nil
+		return units, g.release, nil
 
 	case core.ScanKindDiff:
 		var units []core.ScanUnit
 		for _, s := range e.segs {
+			if s == nil {
+				continue
+			}
 			colA, okA := s.local[req.A]
 			colB, okB := s.local[req.B]
 			if !okA && !okB {
@@ -186,15 +218,19 @@ func (e *Engine) PartitionScan(req core.ScanRequest) ([]core.ScanUnit, error) {
 				continue
 			}
 			inA := colA.Clone()
+			g.pin(s)
 			units = append(units, segUnit(s, x, func(slot int64) core.UnitAux {
 				return core.UnitAux{InA: inA.Get(int(slot))}
 			}))
 		}
-		return units, nil
+		return units, g.release, nil
 
 	case core.ScanKindMulti:
 		var units []core.ScanUnit
 		for _, s := range e.segs {
+			if s == nil {
+				continue
+			}
 			cols := make([]*bitmap.Bitmap, len(req.Branches))
 			union := bitmap.New(0)
 			any := false
@@ -211,6 +247,7 @@ func (e *Engine) PartitionScan(req core.ScanRequest) ([]core.ScanUnit, error) {
 			// member is per-unit scratch: each parallel worker owns its
 			// unit's bitmap, and consumers clone what they retain.
 			member := bitmap.New(len(req.Branches))
+			g.pin(s)
 			units = append(units, segUnit(s, union, func(slot int64) core.UnitAux {
 				for i, col := range cols {
 					member.SetTo(i, col != nil && col.Get(int(slot)))
@@ -218,26 +255,28 @@ func (e *Engine) PartitionScan(req core.ScanRequest) ([]core.ScanUnit, error) {
 				return core.UnitAux{Member: member}
 			}))
 		}
-		return units, nil
+		return units, g.release, nil
 	}
-	return nil, nil
+	return nil, g.release, nil
 }
 
 // ScanBranchPushdown implements core.PushdownScanner.
 func (e *Engine) ScanBranchPushdown(branch vgraph.BranchID, spec *core.ScanSpec, fn core.ScanFunc) error {
-	units, err := e.PartitionScan(core.ScanRequest{Kind: core.ScanKindBranch, Branch: branch})
+	units, release, err := e.PartitionScan(core.ScanRequest{Kind: core.ScanKindBranch, Branch: branch})
 	if err != nil {
 		return err
 	}
+	defer release()
 	return core.RunUnitsSequential(units, spec, func(rec *record.Record, _ core.UnitAux) bool { return fn(rec) })
 }
 
 // ScanCommitPushdown implements core.PushdownScanner.
 func (e *Engine) ScanCommitPushdown(c *vgraph.Commit, spec *core.ScanSpec, fn core.ScanFunc) error {
-	units, err := e.PartitionScan(core.ScanRequest{Kind: core.ScanKindCommit, Commit: c})
+	units, release, err := e.PartitionScan(core.ScanRequest{Kind: core.ScanKindCommit, Commit: c})
 	if err != nil {
 		return err
 	}
+	defer release()
 	return core.RunUnitsSequential(units, spec, func(rec *record.Record, _ core.UnitAux) bool { return fn(rec) })
 }
 
@@ -246,19 +285,21 @@ func (e *Engine) ScanCommitPushdown(c *vgraph.Commit, spec *core.ScanSpec, fn co
 // pruning and the spec evaluated on the raw buffer before either
 // output side materializes a record.
 func (e *Engine) ScanDiffPushdown(a, b vgraph.BranchID, spec *core.ScanSpec, fn core.DiffFunc) error {
-	units, err := e.PartitionScan(core.ScanRequest{Kind: core.ScanKindDiff, A: a, B: b})
+	units, release, err := e.PartitionScan(core.ScanRequest{Kind: core.ScanKindDiff, A: a, B: b})
 	if err != nil {
 		return err
 	}
+	defer release()
 	return core.RunUnitsSequential(units, spec, func(rec *record.Record, aux core.UnitAux) bool { return fn(rec, aux.InA) })
 }
 
 // ScanMultiPushdown implements core.PushdownScanner: one pass per
 // qualifying segment under the union of its local branch bitmaps.
 func (e *Engine) ScanMultiPushdown(branches []vgraph.BranchID, spec *core.ScanSpec, fn core.MultiScanFunc) error {
-	units, err := e.PartitionScan(core.ScanRequest{Kind: core.ScanKindMulti, Branches: branches})
+	units, release, err := e.PartitionScan(core.ScanRequest{Kind: core.ScanKindMulti, Branches: branches})
 	if err != nil {
 		return err
 	}
+	defer release()
 	return core.RunUnitsSequential(units, spec, func(rec *record.Record, aux core.UnitAux) bool { return fn(rec, aux.Member) })
 }

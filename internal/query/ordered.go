@@ -1,0 +1,400 @@
+package query
+
+// Order-aware segment visiting for OrderBy+Limit plans. The gather in
+// EmitOrdered visits every segment in storage order and lets the top-k
+// heap discard what does not rank; this executor instead partitions the
+// scan into per-segment units (the same core.ScanUnit partition the
+// parallel executor fans out), visits them sorted by the order column's
+// zone bound — most favorable bound first — and, once the heap holds
+// `limit` rows, skips every unit whose bound proves it cannot beat the
+// heap's worst retained row.
+//
+// The output is byte-identical to the gather path. Ordering ties break
+// by arrival order there, and sequential arrival order is exactly
+// lexicographic (unit index, position within unit) — so the visitor
+// tags each retained row with that coordinate and compares it directly,
+// making the result independent of the permuted visit order. Skipping
+// is strict (a unit is skipped only when its best possible value is
+// strictly worse than the heap root): a unit whose bound merely ties
+// the root could hold a row with an earlier arrival coordinate that
+// wins the tie, so it must be visited.
+//
+// Units without a usable bound — mutable branch heads, segments whose
+// layout predates the order column, zones poisoned by NaN — sort first
+// and always run; they are also the cheapest way to seed the heap with
+// real rows before the bounded skip test starts paying off. Units whose
+// zone is empty (tombstones only) can emit nothing and are skipped
+// outright. The expvar counter decibel.ordered_skips totals the units
+// skipped either way.
+
+import (
+	"bytes"
+	"container/heap"
+	"context"
+	"expvar"
+	"sort"
+	"sync/atomic"
+
+	"decibel/internal/bitmap"
+	"decibel/internal/core"
+	"decibel/internal/record"
+	"decibel/internal/vgraph"
+)
+
+// orderedSkips counts scan units the ordered visitor skipped — by zone
+// bound against the top-k heap root, or because their zone was empty.
+var orderedSkips atomic.Int64
+
+func init() {
+	expvar.Publish("decibel.ordered_skips", expvar.Func(func() any {
+		return orderedSkips.Load()
+	}))
+}
+
+// CountOrderedSkips returns the cumulative number of scan units the
+// order-aware visitor skipped (the expvar decibel.ordered_skips exposes
+// the same number).
+func CountOrderedSkips() int64 { return orderedSkips.Load() }
+
+// EmitRows runs the plan's row terminal — the single-version scan, or
+// the multi-branch scan when the plan names several branches — with
+// OrderBy/Limit applied. OrderBy+Limit plans try the order-aware unit
+// visit first; everything else (and engines without partitioned scans)
+// takes the EmitOrdered gather above the plain scan.
+func (c *Compiled) EmitRows(ctx context.Context, fn core.ScanFunc) error {
+	multi := c.plan.AllHeads || len(c.plan.Branches) > 1
+	if req, ok := c.orderedRowsRequest(multi); ok {
+		if handled, err := c.tryOrderedVisit(ctx, req, nil, fn); handled {
+			return err
+		}
+	}
+	return c.EmitOrdered(func(f core.ScanFunc) error {
+		if multi {
+			return c.ScanMulti(ctx, func(rec *record.Record, _ *bitmap.Bitmap) bool { return f(rec) })
+		}
+		return c.Scan(ctx, f)
+	}, fn)
+}
+
+// orderedRowsRequest builds the partition request of the plan's row
+// shape, reporting ok=false when the plan should not (or cannot) take
+// the ordered visit: no OrderBy+Limit, a baseline flag, a shape the
+// plain path must validate (multi at a commit), or a point-pk read the
+// index fast path serves better.
+func (c *Compiled) orderedRowsRequest(multi bool) (core.ScanRequest, bool) {
+	if !c.orderedVisitApplies() {
+		return core.ScanRequest{}, false
+	}
+	if multi {
+		if c.commit != nil {
+			return core.ScanRequest{}, false // ScanMulti rejects At(); let it
+		}
+		ids := make([]vgraph.BranchID, len(c.branches))
+		for i, b := range c.branches {
+			ids[i] = b.ID
+		}
+		return core.ScanRequest{Kind: core.ScanKindMulti, Branches: ids}, true
+	}
+	if c.commit != nil {
+		return core.ScanRequest{Kind: core.ScanKindCommit, Commit: c.commit}, true
+	}
+	if _, pk := c.pointPK(); pk {
+		return core.ScanRequest{}, false
+	}
+	return core.ScanRequest{Kind: core.ScanKindBranch, Branch: c.branches[0].ID}, true
+}
+
+// EmitDiffRows runs the plan's positive-diff terminal with
+// OrderBy/Limit applied, trying the order-aware unit visit first (the
+// diff partition's B-side units run but their rows fail the keep
+// filter, exactly as in the pushdown diff loop).
+func (c *Compiled) EmitDiffRows(ctx context.Context, fn core.ScanFunc) error {
+	if c.orderedVisitApplies() {
+		if err := c.pair(); err != nil {
+			return err
+		}
+		req := core.ScanRequest{Kind: core.ScanKindDiff, A: c.branches[0].ID, B: c.branches[1].ID}
+		keep := func(aux core.UnitAux) bool { return aux.InA }
+		if handled, err := c.tryOrderedVisit(ctx, req, keep, fn); handled {
+			return err
+		}
+	}
+	return c.EmitOrdered(func(f core.ScanFunc) error { return c.Diff(ctx, f) }, fn)
+}
+
+// orderedVisitApplies reports whether the plan opted into the ordered
+// visit: OrderBy+Limit set, and neither baseline flag — NoPrune
+// disables every zone-map-derived skip, NoParallel pins the plan to the
+// plain sequential walk.
+func (c *Compiled) orderedVisitApplies() bool {
+	return c.Ordered() && c.plan.Limit > 0 && !c.plan.NoPrune && !c.plan.NoParallel
+}
+
+// unitBound is the most favorable order-column value any emitted row of
+// one unit can carry, read from its segment's zone map: the zone lower
+// bound ascending, the upper bound descending. exclusive marks a bytes
+// upper bound reconstructed from a truncated zone prefix — every stored
+// value is strictly below it.
+type unitBound struct {
+	i         int64
+	f         float64
+	b         []byte
+	exclusive bool
+}
+
+// orderedVisitPlan is one unit's visit decision inputs: its original
+// index (the arrival coordinate ties break by) and its bound, if any.
+type orderedVisitPlan struct {
+	idx     int
+	bounded bool
+	empty   bool
+	bound   unitBound
+}
+
+// unitOrderBound derives a unit's bound on the order column. bounded is
+// false when the zone cannot bound it: a mutable head (its zone moves
+// under concurrent appends even though this snapshot would be covered —
+// unbounded is simpler and the head runs anyway), a nil or foreign
+// zone, a layout that predates the column (rows widen with defaults at
+// scan time), or a NaN/Inf-poisoned float zone. empty means the zone
+// saw only tombstones: the unit cannot emit and is skipped whole.
+func unitOrderBound(u core.ScanUnit, srcIdx int, ctype record.Type, desc bool) (bound unitBound, bounded, empty bool) {
+	if !u.Frozen || u.Zone == nil || srcIdx >= u.PhysCols {
+		return unitBound{}, false, false
+	}
+	cz, ok := u.Zone.Col(srcIdx)
+	if !ok {
+		return unitBound{}, false, false
+	}
+	if cz.Empty {
+		return unitBound{}, false, true
+	}
+	if cz.Unbounded {
+		return unitBound{}, false, false
+	}
+	switch ctype {
+	case record.Int32, record.Int64:
+		if desc {
+			return unitBound{i: cz.MaxI}, true, false
+		}
+		return unitBound{i: cz.MinI}, true, false
+	case record.Float64:
+		if desc {
+			return unitBound{f: cz.MaxF}, true, false
+		}
+		return unitBound{f: cz.MinF}, true, false
+	case record.Bytes:
+		if desc {
+			ub, excl, ok := cz.BytesUpper()
+			if !ok {
+				return unitBound{}, false, false
+			}
+			return unitBound{b: ub, exclusive: excl}, true, false
+		}
+		return unitBound{b: cz.MinB}, true, false
+	}
+	return unitBound{}, false, false
+}
+
+// boundCmp returns the visit-order comparator over unit bounds: smaller
+// means more favorable under the plan's direction, so sorting ascending
+// visits the most promising units first. For descending bytes, an
+// exclusive bound ties below an inclusive one at the same value (its
+// true supremum lies strictly beneath).
+func boundCmp(ctype record.Type, desc bool) func(a, b unitBound) int {
+	switch ctype {
+	case record.Float64:
+		if desc {
+			return func(a, b unitBound) int { return cmpF(b.f, a.f) }
+		}
+		return func(a, b unitBound) int { return cmpF(a.f, b.f) }
+	case record.Bytes:
+		if desc {
+			return func(a, b unitBound) int {
+				if d := bytes.Compare(b.b, a.b); d != 0 {
+					return d
+				}
+				switch {
+				case a.exclusive && !b.exclusive:
+					return 1
+				case !a.exclusive && b.exclusive:
+					return -1
+				}
+				return 0
+			}
+		}
+		return func(a, b unitBound) int { return bytes.Compare(a.b, b.b) }
+	default:
+		if desc {
+			return func(a, b unitBound) int { return cmpI(b.i, a.i) }
+		}
+		return func(a, b unitBound) int { return cmpI(a.i, b.i) }
+	}
+}
+
+// boundWorse returns the skip test: whether a unit whose best possible
+// value is `bound` is strictly worse than the heap root's value — no
+// row it holds can enter the top-k, not even on an arrival-order tie.
+// Float roots may be NaN (NaN orders below every number): ascending, a
+// numeric bound is then strictly worse; descending, nothing is.
+func boundWorse(ctype record.Type, desc bool, orderIdx int) func(bound unitBound, root *record.Record) bool {
+	switch ctype {
+	case record.Float64:
+		if desc {
+			return func(b unitBound, root *record.Record) bool {
+				return cmpFloatOrder(b.f, root.GetFloat64(orderIdx)) < 0
+			}
+		}
+		return func(b unitBound, root *record.Record) bool {
+			return cmpFloatOrder(b.f, root.GetFloat64(orderIdx)) > 0
+		}
+	case record.Bytes:
+		if desc {
+			return func(b unitBound, root *record.Record) bool {
+				d := bytes.Compare(b.b, root.GetBytes(orderIdx))
+				return d < 0 || (d == 0 && b.exclusive)
+			}
+		}
+		return func(b unitBound, root *record.Record) bool {
+			return bytes.Compare(b.b, root.GetBytes(orderIdx)) > 0
+		}
+	default:
+		if desc {
+			return func(b unitBound, root *record.Record) bool {
+				return b.i < root.Get(orderIdx)
+			}
+		}
+		return func(b unitBound, root *record.Record) bool {
+			return b.i > root.Get(orderIdx)
+		}
+	}
+}
+
+// visitRec is one retained row tagged with its sequential arrival
+// coordinate: (unit index, position among the unit's kept rows).
+type visitRec struct {
+	rec  *record.Record
+	unit int
+	seq  int
+}
+
+// visitHeap is a max-heap under the plan comparator with arrival-
+// coordinate tie-breaking: the root is the worst retained row.
+type visitHeap struct {
+	recs []visitRec
+	cmp  func(a, b visitRec) int
+}
+
+func (h *visitHeap) Len() int           { return len(h.recs) }
+func (h *visitHeap) Less(i, j int) bool { return h.cmp(h.recs[i], h.recs[j]) > 0 }
+func (h *visitHeap) Swap(i, j int)      { h.recs[i], h.recs[j] = h.recs[j], h.recs[i] }
+func (h *visitHeap) Push(x any)         { h.recs = append(h.recs, x.(visitRec)) }
+func (h *visitHeap) Pop() any {
+	n := len(h.recs)
+	r := h.recs[n-1]
+	h.recs = h.recs[:n-1]
+	return r
+}
+
+// tryOrderedVisit drives one OrderBy+Limit row terminal as an
+// order-aware unit walk. handled=false means the engine cannot
+// partition this scan and the caller must take the gather path.
+func (c *Compiled) tryOrderedVisit(ctx context.Context, req core.ScanRequest, keep func(core.UnitAux) bool, fn core.ScanFunc) (bool, error) {
+	units, release, ok, err := c.table.PartitionUnits(req)
+	if !ok {
+		return false, nil
+	}
+	if err != nil {
+		return true, err
+	}
+	defer release()
+
+	limit := c.plan.Limit
+	srcIdx := c.schema.ColumnIndex(c.plan.OrderCol)
+	ctype := c.schema.Column(srcIdx).Type
+	desc := c.plan.OrderDesc
+
+	visits := make([]orderedVisitPlan, len(units))
+	for i, u := range units {
+		v := orderedVisitPlan{idx: i}
+		v.bound, v.bounded, v.empty = unitOrderBound(u, srcIdx, ctype, desc)
+		visits[i] = v
+	}
+	// Unbounded units first (they always run), then bounded units by
+	// ascending bound favorability; arrival order breaks ties so equal
+	// bounds keep their sequential relative order.
+	bcmp := boundCmp(ctype, desc)
+	sort.SliceStable(visits, func(i, j int) bool {
+		a, b := visits[i], visits[j]
+		if a.bounded != b.bounded {
+			return !a.bounded
+		}
+		if !a.bounded {
+			return a.idx < b.idx
+		}
+		if d := bcmp(a.bound, b.bound); d != 0 {
+			return d < 0
+		}
+		return a.idx < b.idx
+	})
+
+	cmp := c.orderCmp()
+	vcmp := func(a, b visitRec) int {
+		if d := cmp(a.rec, b.rec); d != 0 {
+			return d
+		}
+		if d := a.unit - b.unit; d != 0 {
+			return d
+		}
+		return a.seq - b.seq
+	}
+	worse := boundWorse(ctype, desc, c.orderIdx)
+	h := &visitHeap{cmp: vcmp}
+	spec := c.execSpec()
+	skipped := 0
+	for _, v := range visits {
+		if err := ctx.Err(); err != nil {
+			return true, err
+		}
+		if v.empty || (v.bounded && h.Len() == limit && worse(v.bound, h.recs[0].rec)) {
+			skipped++
+			continue
+		}
+		seq := 0
+		err := units[v.idx].Run(spec, func(rec *record.Record, aux core.UnitAux) bool {
+			if ctx.Err() != nil {
+				return false
+			}
+			if keep != nil && !keep(aux) {
+				return true
+			}
+			r := visitRec{rec: rec, unit: v.idx, seq: seq}
+			seq++
+			if h.Len() < limit {
+				r.rec = rec.Clone()
+				heap.Push(h, r)
+			} else if vcmp(r, h.recs[0]) < 0 {
+				r.rec = rec.Clone()
+				h.recs[0] = r
+				heap.Fix(h, 0)
+			}
+			return true
+		})
+		if err != nil {
+			return true, err
+		}
+	}
+	if skipped > 0 {
+		orderedSkips.Add(int64(skipped))
+	}
+	if err := ctx.Err(); err != nil {
+		return true, err
+	}
+	sort.Slice(h.recs, func(i, j int) bool { return vcmp(h.recs[i], h.recs[j]) < 0 })
+	for _, r := range h.recs {
+		if !fn(r.rec) {
+			return true, nil
+		}
+	}
+	return true, nil
+}

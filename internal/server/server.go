@@ -55,6 +55,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/branch", s.count(s.handleBranch))
 	s.mux.HandleFunc("POST /v1/merge", s.count(s.handleMerge))
 	s.mux.HandleFunc("POST /v1/alter", s.count(s.handleAlter))
+	s.mux.HandleFunc("POST /v1/compact", s.count(s.handleCompact))
 	s.mux.HandleFunc("GET /v1/tables", s.count(s.handleTables))
 	s.mux.HandleFunc("GET /v1/branches", s.count(s.handleBranches))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)

@@ -1,0 +1,55 @@
+package store
+
+import "os"
+
+// Compaction helpers shared by the three engines' passes: re-encoding
+// a frozen segment into the compressed page layout, and retiring a
+// replaced segment once its pinned readers drain. The catalog-swap
+// protocol itself (temp write, fsync, rename, unlink) belongs to the
+// engines — each owns its own catalog invariants.
+
+// Pages returns the number of compressed pages flushed so far; after
+// WriteFile it is the file's final page count.
+func (w *CompressedWriter) Pages() int { return len(w.index) }
+
+// CompressSegment re-encodes the first count rows of segment s into a
+// compressed .dcz file at newPath (written and fsynced in full) and
+// opens it as a frozen replacement segment sharing s's schema-version
+// id. count normally equals s.File.Count(); tuple-first passes the
+// sealed extent length, dropping rows past the seal that no global
+// slot can address. The returned page count feeds the pass's
+// PagesCompressed stat. The caller is responsible for swapping the
+// replacement into its catalog and retiring s.
+func (st *Store) CompressSegment(s *Segment, newPath string, count int64) (*Segment, int, error) {
+	w := NewCompressedWriter(s.Schema, s.File.PerPage())
+	var aerr error
+	err := s.File.Scan(0, count, func(_ int64, rec []byte) bool {
+		aerr = w.Append(rec)
+		return aerr == nil
+	})
+	if err == nil {
+		err = aerr
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := w.WriteFile(newPath); err != nil {
+		return nil, 0, err
+	}
+	ns, err := st.Open(newPath, SegMeta{Cols: s.Cols, Frozen: true, Encoding: EncDCZ, Zone: s.zone}, -1)
+	if err != nil {
+		os.Remove(newPath)
+		return nil, 0, err
+	}
+	return ns, w.Pages(), nil
+}
+
+// Retire schedules the segment's cleanup — close its file and remove
+// path — for when the last pinned reader drains (immediately when
+// nothing is pinned). See Segment.Retire for the pinning protocol.
+func (s *Segment) RetireAndRemove(path string) {
+	s.Retire(func() {
+		s.File.Close()
+		os.Remove(path)
+	})
+}

@@ -3,23 +3,61 @@ package store
 import (
 	"expvar"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"decibel/internal/heap"
 	"decibel/internal/record"
 )
 
+// Segment encodings. The empty string means heap (the legacy value:
+// catalogs written before page compression carry no tag and read
+// transparently as heap files).
+const (
+	// EncHeap is the uncompressed paged heap-file layout.
+	EncHeap = "heap"
+	// EncDCZ is the compressed per-column page layout of cfile.go
+	// (dictionary for low-cardinality planes, delta+varint for int64,
+	// CRC-checked pages).
+	EncDCZ = "dcz"
+)
+
+// SegFile is the file surface a segment reads and writes through —
+// the full method set of heap.File, which compressed segment files
+// (CompressedFile) implement read-only. Engines address segments only
+// through this interface, so a compacted, compressed segment scans
+// exactly like a heap one.
+type SegFile interface {
+	Path() string
+	Count() int64
+	RecordSize() int
+	SizeBytes() int64
+	DiskBytes() int64
+	PerPage() int
+	Freeze()
+	Append(rec []byte) (int64, error)
+	Read(slot int64, dst []byte) error
+	Scan(from, to int64, fn func(slot int64, rec []byte) bool) error
+	ScanLive(live heap.Bitmapper, fn func(slot int64, rec []byte) bool) error
+	ScanLiveRange(live heap.Bitmapper, from, to int64, fn func(slot int64, rec []byte) bool) error
+	Truncate(n int64) error
+	Sync() error
+	Flush() error
+	Close() error
+}
+
 // SegMeta is the persisted, engine-independent part of a segment's
 // catalog entry. Engines embed it in their own catalog JSON (tf's
 // extent table, vf's and hy's segment lists) so the shared state —
-// the physical schema-version id, the freeze flag and the zone map —
-// serializes alongside the engine-specific fields. Catalogs written
-// before this layer existed lack the zone (and may record Cols 0 for
-// "full layout"); Open rebuilds transparently.
+// the physical schema-version id, the freeze flag, the encoding tag
+// and the zone map — serializes alongside the engine-specific fields.
+// Catalogs written before this layer existed lack the zone (and may
+// record Cols 0 for "full layout"); Open rebuilds transparently.
 type SegMeta struct {
-	Cols   int      `json:"cols,omitempty"`
-	Frozen bool     `json:"frozen,omitempty"`
-	Zone   *ZoneMap `json:"zone,omitempty"`
+	Cols     int      `json:"cols,omitempty"`
+	Frozen   bool     `json:"frozen,omitempty"`
+	Encoding string   `json:"enc,omitempty"` // "", EncHeap or EncDCZ
+	Zone     *ZoneMap `json:"zone,omitempty"`
 }
 
 // Segment is one append target: a fixed-width heap file tagged with
@@ -28,12 +66,22 @@ type SegMeta struct {
 // add layout-specific state (tf's global slot base, vf's lineage link,
 // hy's local bitmaps).
 type Segment struct {
-	File   *heap.File
-	Cols   int            // physical schema columns records here are encoded with
-	Schema *record.Schema // layout of Cols columns
-	Frozen bool
-	zone   *ZoneMap
-	pages  *PageZones // optional page-granularity zones (EnablePageZones)
+	File     SegFile
+	Cols     int            // physical schema columns records here are encoded with
+	Schema   *record.Schema // layout of Cols columns
+	Frozen   bool
+	Encoding string // "" (heap), EncHeap or EncDCZ
+	zone     *ZoneMap
+	pages    *PageZones // optional page-granularity zones (EnablePageZones)
+
+	// Reader pinning: scans that snapshot the segment table outside the
+	// engine lock pin each segment they will read; compaction retires
+	// replaced segments, deferring close+unlink until the last pinned
+	// reader drains.
+	pinMu   sync.Mutex
+	pins    int
+	retired bool
+	cleanup func()
 }
 
 // Store owns the shared segment mechanics for one engine instance:
@@ -71,7 +119,19 @@ func (st *Store) Open(path string, m SegMeta, safeCount int64) (*Segment, error)
 	if err != nil {
 		return nil, err
 	}
-	f, err := heap.Open(st.Pool, path, schema.RecordSize())
+	var f SegFile
+	switch m.Encoding {
+	case "", EncHeap:
+		f, err = heap.Open(st.Pool, path, schema.RecordSize())
+	case EncDCZ:
+		f, err = OpenCompressed(path)
+		if err == nil && f.RecordSize() != schema.RecordSize() {
+			f.Close()
+			err = fmt.Errorf("store: %s: compressed record size %d, schema wants %d", path, f.RecordSize(), schema.RecordSize())
+		}
+	default:
+		err = fmt.Errorf("store: %s: unknown segment encoding %q", path, m.Encoding)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -81,7 +141,7 @@ func (st *Store) Open(path string, m SegMeta, safeCount int64) (*Segment, error)
 			return nil, err
 		}
 	}
-	s := &Segment{File: f, Cols: cols, Schema: schema, zone: m.Zone}
+	s := &Segment{File: f, Cols: cols, Schema: schema, Encoding: m.Encoding, zone: m.Zone}
 	if m.Frozen {
 		s.Freeze()
 	}
@@ -123,7 +183,53 @@ func (st *Store) extendZone(s *Segment) error {
 // shared, not copied; its JSON marshaling snapshots it under its own
 // lock.
 func (s *Segment) Meta() SegMeta {
-	return SegMeta{Cols: s.Cols, Frozen: s.Frozen, Zone: s.zone}
+	return SegMeta{Cols: s.Cols, Frozen: s.Frozen, Encoding: s.Encoding, Zone: s.zone}
+}
+
+// Pin marks the segment in use by a reader whose liveness snapshot was
+// taken under the engine lock but whose page reads run outside it.
+// Every Pin must be matched by one Unpin.
+func (s *Segment) Pin() {
+	s.pinMu.Lock()
+	s.pins++
+	s.pinMu.Unlock()
+}
+
+// Unpin releases one reader pin. If the segment was retired while
+// pinned, the last Unpin runs the deferred cleanup.
+func (s *Segment) Unpin() {
+	s.pinMu.Lock()
+	if s.pins <= 0 {
+		s.pinMu.Unlock()
+		panic("store: segment unpin without pin")
+	}
+	s.pins--
+	var cl func()
+	if s.pins == 0 && s.retired {
+		cl, s.cleanup = s.cleanup, nil
+	}
+	s.pinMu.Unlock()
+	if cl != nil {
+		cl()
+	}
+}
+
+// Retire marks a segment replaced by compaction: cleanup (close the
+// file, unlink it) runs immediately when no reader holds a pin, or on
+// the last Unpin otherwise. The caller must have removed the segment
+// from every structure new scans resolve through before retiring it.
+func (s *Segment) Retire(cleanup func()) {
+	s.pinMu.Lock()
+	s.retired = true
+	if s.pins == 0 {
+		s.pinMu.Unlock()
+		if cleanup != nil {
+			cleanup()
+		}
+		return
+	}
+	s.cleanup = cleanup
+	s.pinMu.Unlock()
 }
 
 // Zone returns the segment's zone map.
@@ -244,16 +350,32 @@ type ColZoneStat struct {
 // SegmentStat is the per-segment summary behind the CLI's
 // `stats <table>` output.
 type SegmentStat struct {
-	Name   string
-	Rows   int64
-	Cols   int
-	Frozen bool
-	Zones  []ColZoneStat
+	Name       string
+	Rows       int64
+	Cols       int
+	Frozen     bool
+	Encoding   string // "heap" or "dcz"
+	RawBytes   int64  // logical record bytes (rows * record size)
+	DiskBytes  int64  // bytes the segment file occupies on disk
+	Tombstones int64  // tombstone slots (reclaimable by compaction)
+	Zones      []ColZoneStat
 }
 
 // Stat summarizes the segment under the given display name.
 func (s *Segment) Stat(name string) SegmentStat {
-	st := SegmentStat{Name: name, Rows: s.File.Count(), Cols: s.Cols, Frozen: s.Frozen}
+	enc := s.Encoding
+	if enc == "" {
+		enc = EncHeap
+	}
+	st := SegmentStat{
+		Name: name, Rows: s.File.Count(), Cols: s.Cols, Frozen: s.Frozen,
+		Encoding:  enc,
+		RawBytes:  s.File.SizeBytes(),
+		DiskBytes: s.File.DiskBytes(),
+	}
+	if s.zone != nil {
+		st.Tombstones = s.zone.Tombstones()
+	}
 	for i := 0; i < s.Schema.NumColumns(); i++ {
 		cz, ok := s.zone.Col(i)
 		zs := ColZoneStat{Column: s.Schema.Column(i).Name, Min: "-", Max: "-"}

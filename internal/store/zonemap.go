@@ -64,15 +64,17 @@ type ColZone struct {
 // in time, never narrower in range) view of rows their liveness
 // snapshot predates.
 type ZoneMap struct {
-	mu   sync.RWMutex
-	rows int64
-	cols []ColZone
+	mu    sync.RWMutex
+	rows  int64
+	tombs int64
+	cols  []ColZone
 }
 
 // zoneJSON is the persisted form.
 type zoneJSON struct {
-	Rows int64     `json:"rows"`
-	Cols []ColZone `json:"cols"`
+	Rows  int64     `json:"rows"`
+	Tombs int64     `json:"tombs,omitempty"`
+	Cols  []ColZone `json:"cols"`
 }
 
 // NewZoneMap returns an empty zone map for a segment of numCols
@@ -91,7 +93,7 @@ func NewZoneMap(numCols int) *ZoneMap {
 func (z *ZoneMap) MarshalJSON() ([]byte, error) {
 	z.mu.RLock()
 	defer z.mu.RUnlock()
-	return json.Marshal(zoneJSON{Rows: z.rows, Cols: z.cols})
+	return json.Marshal(zoneJSON{Rows: z.rows, Tombs: z.tombs, Cols: z.cols})
 }
 
 // UnmarshalJSON restores a persisted zone map.
@@ -103,6 +105,7 @@ func (z *ZoneMap) UnmarshalJSON(data []byte) error {
 	z.mu.Lock()
 	defer z.mu.Unlock()
 	z.rows = j.Rows
+	z.tombs = j.Tombs
 	z.cols = j.Cols
 	return nil
 }
@@ -112,6 +115,15 @@ func (z *ZoneMap) Rows() int64 {
 	z.mu.RLock()
 	defer z.mu.RUnlock()
 	return z.rows
+}
+
+// Tombstones returns the number of tombstone slots among the rows the
+// map covers — rows a scan can never emit, and what compaction can
+// reclaim from a frozen segment.
+func (z *ZoneMap) Tombstones() int64 {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	return z.tombs
 }
 
 // Col returns a copy of the zone of physical column i; ok is false
@@ -143,6 +155,7 @@ func (z *ZoneMap) Update(schema *record.Schema, buf []byte) {
 	defer z.mu.Unlock()
 	z.rows++
 	if record.TombstoneOf(buf) {
+		z.tombs++
 		return
 	}
 	n := schema.NumColumns()

@@ -25,19 +25,24 @@ import (
 )
 
 // extent is one fixed-width run of the shared heap: a store segment
-// plus the global slot of its slot 0.
+// plus the global slot of its slot 0. name is the extent's data file
+// basename when it differs from the positional default (compaction
+// rewrites sealed extents under data.e<i>.dcz).
 type extent struct {
 	*store.Segment
 	base int64
+	name string
 }
 
 // extMeta is the persisted extent table entry: the shared segment
 // state (schema-version id, freeze flag, zone map) plus the sealed
 // extent's final slot count (0 and unused for the open tail extent,
-// whose count comes from the file length).
+// whose count comes from the file length) and, for rewritten extents,
+// the data file basename (empty = the positional extPath name).
 type extMeta struct {
 	store.SegMeta
-	Count int64 `json:"count,omitempty"`
+	Count int64  `json:"count,omitempty"`
+	Name  string `json:"name,omitempty"`
 }
 
 type extFile struct {
@@ -76,7 +81,11 @@ func (e *Engine) openExtents() error {
 	for i, m := range metas {
 		sealed := i < len(metas)-1
 		m.Frozen = sealed // positional; ignore whatever the catalog says
-		seg, err := e.st.Open(e.extPath(i), m.SegMeta, -1)
+		path := e.extPath(i)
+		if m.Name != "" {
+			path = filepath.Join(e.env.Dir, m.Name)
+		}
+		seg, err := e.st.Open(path, m.SegMeta, -1)
 		if err != nil {
 			return fmt.Errorf("tf: extent %d: %w", i, err)
 		}
@@ -90,13 +99,14 @@ func (e *Engine) openExtents() error {
 			seg.File.Close()
 			return fmt.Errorf("tf: extent %d page zones: %w", i, err)
 		}
-		e.exts = append(e.exts, &extent{Segment: seg, base: base})
+		e.exts = append(e.exts, &extent{Segment: seg, base: base, name: m.Name})
 		if sealed {
 			base += m.Count
 		} else {
 			base += seg.File.Count()
 		}
 	}
+	e.sweepOrphans()
 	return nil
 }
 
@@ -105,7 +115,7 @@ func (e *Engine) openExtents() error {
 func (e *Engine) persistExtentsLocked() error {
 	ef := extFile{}
 	for _, x := range e.exts {
-		m := extMeta{SegMeta: x.Meta()}
+		m := extMeta{SegMeta: x.Meta(), Name: x.name}
 		if x.Frozen {
 			m.Count = x.File.Count()
 		}

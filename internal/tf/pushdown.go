@@ -167,7 +167,9 @@ func scanExtentSpec(ext *extent, bm *bitmap.Bitmap, spec *core.ScanSpec, fn func
 // bitmapped prefix) and safe on any goroutine.
 func extUnit(ext *extent, bm *bitmap.Bitmap, aux func(slot int64) core.UnitAux) core.ScanUnit {
 	return core.ScanUnit{
-		Frozen: ext.Frozen,
+		Frozen:   ext.Frozen,
+		Zone:     ext.Zone(),
+		PhysCols: ext.Cols,
 		Run: func(spec *core.ScanSpec, fn core.UnitFunc) error {
 			return scanExtentSpec(ext, bm, spec, func(slot int64, rec *record.Record) bool {
 				return fn(rec, aux(slot))
@@ -195,32 +197,48 @@ func bitmapUnits(exts []*extent, bm *bitmap.Bitmap, aux func(slot int64) core.Un
 // multi-branch layout has no cheap branch columns — its per-row
 // membership lookups need the engine lock — so its units all stay
 // non-frozen (caller's goroutine), preserving the sequential walk.
-func (e *Engine) PartitionScan(req core.ScanRequest) ([]core.ScanUnit, error) {
+func (e *Engine) PartitionScan(req core.ScanRequest) ([]core.ScanUnit, func(), error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	exts := e.exts
+	// Pin every extent the partition can touch until release: a
+	// concurrent compaction swapping an extent's file retires the old
+	// one only after the pins drain.
+	release := func() {
+		for _, x := range exts {
+			x.Segment.Unpin()
+		}
+	}
+	pin := func() {
+		for _, x := range exts {
+			x.Segment.Pin()
+		}
+	}
 	switch req.Kind {
 	case core.ScanKindBranch:
-		return bitmapUnits(exts, e.idx.column(req.Branch), noAux), nil
+		pin()
+		return bitmapUnits(exts, e.idx.column(req.Branch), noAux), release, nil
 
 	case core.ScanKindCommit:
 		log, err := e.openLog(req.Commit.Branch)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		bm, err := log.Checkout(req.Commit.Seq)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return bitmapUnits(exts, bm, noAux), nil
+		pin()
+		return bitmapUnits(exts, bm, noAux), release, nil
 
 	case core.ScanKindDiff:
 		colA := e.idx.column(req.A)
 		colB := e.idx.column(req.B)
 		x := bitmap.Xor(colA, colB)
+		pin()
 		return bitmapUnits(exts, x, func(slot int64) core.UnitAux {
 			return core.UnitAux{InA: colA.Get(int(slot))}
-		}), nil
+		}), release, nil
 
 	case core.ScanKindMulti:
 		if _, tupleOriented := e.idx.(*tupleIndex); tupleOriented {
@@ -228,7 +246,8 @@ func (e *Engine) PartitionScan(req core.ScanRequest) ([]core.ScanUnit, error) {
 			for _, x := range exts {
 				units = append(units, e.tupleMultiUnit(x, req.Branches))
 			}
-			return units, nil
+			pin()
+			return units, release, nil
 		}
 		cols := make([]*bitmap.Bitmap, len(req.Branches))
 		union := bitmap.New(0)
@@ -247,9 +266,10 @@ func (e *Engine) PartitionScan(req core.ScanRequest) ([]core.ScanUnit, error) {
 				return core.UnitAux{Member: member}
 			}))
 		}
-		return units, nil
+		pin()
+		return units, release, nil
 	}
-	return nil, nil
+	return nil, func() {}, nil
 }
 
 // tupleMultiUnit is the tuple-oriented multi-branch walk of one
@@ -299,19 +319,21 @@ func (e *Engine) tupleMultiUnit(ext *extent, branches []vgraph.BranchID) core.Sc
 
 // ScanBranchPushdown implements core.PushdownScanner.
 func (e *Engine) ScanBranchPushdown(branch vgraph.BranchID, spec *core.ScanSpec, fn core.ScanFunc) error {
-	units, err := e.PartitionScan(core.ScanRequest{Kind: core.ScanKindBranch, Branch: branch})
+	units, release, err := e.PartitionScan(core.ScanRequest{Kind: core.ScanKindBranch, Branch: branch})
 	if err != nil {
 		return err
 	}
+	defer release()
 	return core.RunUnitsSequential(units, spec, func(rec *record.Record, _ core.UnitAux) bool { return fn(rec) })
 }
 
 // ScanCommitPushdown implements core.PushdownScanner.
 func (e *Engine) ScanCommitPushdown(c *vgraph.Commit, spec *core.ScanSpec, fn core.ScanFunc) error {
-	units, err := e.PartitionScan(core.ScanRequest{Kind: core.ScanKindCommit, Commit: c})
+	units, release, err := e.PartitionScan(core.ScanRequest{Kind: core.ScanKindCommit, Commit: c})
 	if err != nil {
 		return err
 	}
+	defer release()
 	return core.RunUnitsSequential(units, spec, func(rec *record.Record, _ core.UnitAux) bool { return fn(rec) })
 }
 
@@ -320,10 +342,11 @@ func (e *Engine) ScanCommitPushdown(c *vgraph.Commit, spec *core.ScanSpec, fn co
 // extent pruning and the predicate evaluated on the raw buffer before
 // either output side materializes a record.
 func (e *Engine) ScanDiffPushdown(a, b vgraph.BranchID, spec *core.ScanSpec, fn core.DiffFunc) error {
-	units, err := e.PartitionScan(core.ScanRequest{Kind: core.ScanKindDiff, A: a, B: b})
+	units, release, err := e.PartitionScan(core.ScanRequest{Kind: core.ScanKindDiff, A: a, B: b})
 	if err != nil {
 		return err
 	}
+	defer release()
 	return core.RunUnitsSequential(units, spec, func(rec *record.Record, aux core.UnitAux) bool { return fn(rec, aux.InA) })
 }
 
@@ -334,9 +357,10 @@ func (e *Engine) ScanDiffPushdown(a, b vgraph.BranchID, spec *core.ScanSpec, fn 
 // predicate evaluated on the raw buffer before the per-row membership
 // lookup. Either way, zone-pruned extents are skipped whole.
 func (e *Engine) ScanMultiPushdown(branches []vgraph.BranchID, spec *core.ScanSpec, fn core.MultiScanFunc) error {
-	units, err := e.PartitionScan(core.ScanRequest{Kind: core.ScanKindMulti, Branches: branches})
+	units, release, err := e.PartitionScan(core.ScanRequest{Kind: core.ScanKindMulti, Branches: branches})
 	if err != nil {
 		return err
 	}
+	defer release()
 	return core.RunUnitsSequential(units, spec, func(rec *record.Record, aux core.UnitAux) bool { return fn(rec, aux.Member) })
 }

@@ -7,6 +7,7 @@ import (
 	"decibel/internal/bitmap"
 	"decibel/internal/core"
 	"decibel/internal/record"
+	"decibel/internal/store"
 	"decibel/internal/vgraph"
 )
 
@@ -55,7 +56,9 @@ func (e *Engine) passSpec(epoch int) *core.ScanSpec {
 // between, so each touched page is pinned once.
 func segUnit(s *segment, slots []int64, frozen bool, aux func(at pos) core.UnitAux) core.ScanUnit {
 	return core.ScanUnit{
-		Frozen: frozen,
+		Frozen:   frozen,
+		Zone:     s.Zone(),
+		PhysCols: s.Cols,
 		Run: func(spec *core.ScanSpec, fn core.UnitFunc) error {
 			if spec.SkipSegment(s.Zone(), s.Cols) {
 				return nil
@@ -149,40 +152,71 @@ func groupLive(live map[int64]pos) map[segID][]int64 {
 	return bySeg
 }
 
+// pinAll pins (under the engine lock, which the caller holds) every
+// segment a partition's units reference and returns the release func
+// handing the pins back; a concurrent compaction retires replaced
+// files only after the pins drain.
+func pinAll(segs []*segment, groups ...map[segID][]int64) func() {
+	var pinned []*store.Segment
+	seen := make(map[segID]bool)
+	for _, g := range groups {
+		for id := range g {
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			segs[id].Segment.Pin()
+			pinned = append(pinned, segs[id].Segment)
+		}
+	}
+	return func() {
+		for _, sg := range pinned {
+			sg.Unpin()
+		}
+	}
+}
+
 // PartitionScan implements core.ParallelScanner: live sets are
 // resolved under the engine lock exactly as the sequential scans
-// resolve them, then partitioned into per-segment units.
-func (e *Engine) PartitionScan(req core.ScanRequest) ([]core.ScanUnit, error) {
+// resolve them, then partitioned into per-segment units. Every segment
+// a unit references is pinned until release is called.
+func (e *Engine) PartitionScan(req core.ScanRequest) ([]core.ScanUnit, func(), error) {
 	switch req.Kind {
 	case core.ScanKindBranch:
 		e.mu.Lock()
 		s, cut, err := e.headLocked(req.Branch)
 		if err != nil {
 			e.mu.Unlock()
-			return nil, err
+			return nil, nil, err
 		}
 		live, err := e.resolveLive(pos{Seg: s.id, Slot: cut})
-		segs, heads := e.segs, e.headsLocked()
-		e.mu.Unlock()
 		if err != nil {
-			return nil, err
+			e.mu.Unlock()
+			return nil, nil, err
 		}
-		return unitsFor(groupLive(live), segs, heads, noAux), nil
+		bySeg := groupLive(live)
+		segs, heads := e.segs, e.headsLocked()
+		release := pinAll(segs, bySeg)
+		e.mu.Unlock()
+		return unitsFor(bySeg, segs, heads, noAux), release, nil
 
 	case core.ScanKindCommit:
 		e.mu.Lock()
 		p, ok := e.commits[req.Commit.ID]
 		if !ok {
 			e.mu.Unlock()
-			return nil, fmt.Errorf("vf: commit %d has no recorded offset", req.Commit.ID)
+			return nil, nil, fmt.Errorf("vf: commit %d has no recorded offset", req.Commit.ID)
 		}
 		live, err := e.resolveLive(p)
-		segs, heads := e.segs, e.headsLocked()
-		e.mu.Unlock()
 		if err != nil {
-			return nil, err
+			e.mu.Unlock()
+			return nil, nil, err
 		}
-		return unitsFor(groupLive(live), segs, heads, noAux), nil
+		bySeg := groupLive(live)
+		segs, heads := e.segs, e.headsLocked()
+		release := pinAll(segs, bySeg)
+		e.mu.Unlock()
+		return unitsFor(bySeg, segs, heads, noAux), release, nil
 
 	case core.ScanKindMulti:
 		e.mu.Lock()
@@ -191,12 +225,12 @@ func (e *Engine) PartitionScan(req core.ScanRequest) ([]core.ScanUnit, error) {
 			s, cut, err := e.headLocked(b)
 			if err != nil {
 				e.mu.Unlock()
-				return nil, err
+				return nil, nil, err
 			}
 			live, err := e.resolveLive(pos{Seg: s.id, Slot: cut})
 			if err != nil {
 				e.mu.Unlock()
-				return nil, err
+				return nil, nil, err
 			}
 			for _, p := range live {
 				m := union[p]
@@ -207,40 +241,40 @@ func (e *Engine) PartitionScan(req core.ScanRequest) ([]core.ScanUnit, error) {
 				m.Set(i)
 			}
 		}
-		segs, heads := e.segs, e.headsLocked()
-		e.mu.Unlock()
 		bySeg := make(map[segID][]int64)
 		for p := range union {
 			bySeg[p.Seg] = append(bySeg[p.Seg], p.Slot)
 		}
+		segs, heads := e.segs, e.headsLocked()
+		release := pinAll(segs, bySeg)
+		e.mu.Unlock()
 		// union is read-only from here on: per-pos bitmaps are safe to
 		// hand out across units.
 		return unitsFor(bySeg, segs, heads, func(at pos) core.UnitAux {
 			return core.UnitAux{Member: union[at]}
-		}), nil
+		}), release, nil
 
 	case core.ScanKindDiff:
 		e.mu.Lock()
 		sa, cuta, err := e.headLocked(req.A)
 		if err != nil {
 			e.mu.Unlock()
-			return nil, err
+			return nil, nil, err
 		}
 		sb, cutb, err := e.headLocked(req.B)
 		if err != nil {
 			e.mu.Unlock()
-			return nil, err
+			return nil, nil, err
 		}
 		liveA, err := e.resolveLive(pos{Seg: sa.id, Slot: cuta})
 		if err != nil {
 			e.mu.Unlock()
-			return nil, err
+			return nil, nil, err
 		}
 		liveB, err := e.resolveLive(pos{Seg: sb.id, Slot: cutb})
-		segs, heads := e.segs, e.headsLocked()
-		e.mu.Unlock()
 		if err != nil {
-			return nil, err
+			e.mu.Unlock()
+			return nil, nil, err
 		}
 		onlyA := make(map[int64]pos)
 		onlyB := make(map[int64]pos)
@@ -254,38 +288,45 @@ func (e *Engine) PartitionScan(req core.ScanRequest) ([]core.ScanUnit, error) {
 				onlyB[pk] = p
 			}
 		}
+		byA, byB := groupLive(onlyA), groupLive(onlyB)
+		segs, heads := e.segs, e.headsLocked()
+		release := pinAll(segs, byA, byB)
+		e.mu.Unlock()
 		inA := func(pos) core.UnitAux { return core.UnitAux{InA: true} }
 		inB := func(pos) core.UnitAux { return core.UnitAux{InA: false} }
-		units := unitsFor(groupLive(onlyA), segs, heads, inA)
-		return append(units, unitsFor(groupLive(onlyB), segs, heads, inB)...), nil
+		units := unitsFor(byA, segs, heads, inA)
+		return append(units, unitsFor(byB, segs, heads, inB)...), release, nil
 	}
-	return nil, nil
+	return nil, func() {}, nil
 }
 
 // ScanBranchPushdown implements core.PushdownScanner.
 func (e *Engine) ScanBranchPushdown(branch vgraph.BranchID, spec *core.ScanSpec, fn core.ScanFunc) error {
-	units, err := e.PartitionScan(core.ScanRequest{Kind: core.ScanKindBranch, Branch: branch})
+	units, release, err := e.PartitionScan(core.ScanRequest{Kind: core.ScanKindBranch, Branch: branch})
 	if err != nil {
 		return err
 	}
+	defer release()
 	return core.RunUnitsSequential(units, spec, func(rec *record.Record, _ core.UnitAux) bool { return fn(rec) })
 }
 
 // ScanCommitPushdown implements core.PushdownScanner.
 func (e *Engine) ScanCommitPushdown(c *vgraph.Commit, spec *core.ScanSpec, fn core.ScanFunc) error {
-	units, err := e.PartitionScan(core.ScanRequest{Kind: core.ScanKindCommit, Commit: c})
+	units, release, err := e.PartitionScan(core.ScanRequest{Kind: core.ScanKindCommit, Commit: c})
 	if err != nil {
 		return err
 	}
+	defer release()
 	return core.RunUnitsSequential(units, spec, func(rec *record.Record, _ core.UnitAux) bool { return fn(rec) })
 }
 
 // ScanMultiPushdown implements core.PushdownScanner.
 func (e *Engine) ScanMultiPushdown(branches []vgraph.BranchID, spec *core.ScanSpec, fn core.MultiScanFunc) error {
-	units, err := e.PartitionScan(core.ScanRequest{Kind: core.ScanKindMulti, Branches: branches})
+	units, release, err := e.PartitionScan(core.ScanRequest{Kind: core.ScanKindMulti, Branches: branches})
 	if err != nil {
 		return err
 	}
+	defer release()
 	return core.RunUnitsSequential(units, spec, func(rec *record.Record, aux core.UnitAux) bool { return fn(rec, aux.Member) })
 }
 
@@ -295,10 +336,11 @@ func (e *Engine) ScanMultiPushdown(branches []vgraph.BranchID, spec *core.ScanSp
 // — zone-map segment pruning included — evaluated during the emit of
 // each side.
 func (e *Engine) ScanDiffPushdown(a, b vgraph.BranchID, spec *core.ScanSpec, fn core.DiffFunc) error {
-	units, err := e.PartitionScan(core.ScanRequest{Kind: core.ScanKindDiff, A: a, B: b})
+	units, release, err := e.PartitionScan(core.ScanRequest{Kind: core.ScanKindDiff, A: a, B: b})
 	if err != nil {
 		return err
 	}
+	defer release()
 	return core.RunUnitsSequential(units, spec, func(rec *record.Record, aux core.UnitAux) bool { return fn(rec, aux.InA) })
 }
 

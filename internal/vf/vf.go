@@ -128,28 +128,7 @@ func (e *Engine) segPath(id segID) string {
 // reopen (Section 2.2.3 — updates are "rolled back if the client
 // crashes or disconnects before committing").
 func (e *Engine) persistLocked() error {
-	safe := make(map[segID]int64, len(e.segs))
-	for _, p := range e.commits {
-		if p.Slot > safe[p.Seg] {
-			safe[p.Seg] = p.Slot
-		}
-	}
-	for _, s := range e.segs {
-		if !s.hasLink {
-			continue
-		}
-		if s.link.ParentSlot > safe[s.link.ParentSeg] {
-			safe[s.link.ParentSeg] = s.link.ParentSlot
-		}
-		if s.link.IsMerge && s.link.OtherSlot > safe[s.link.OtherSeg] {
-			safe[s.link.OtherSeg] = s.link.OtherSlot
-		}
-		for _, ov := range s.overrides {
-			if !ov.Deleted && ov.Slot+1 > safe[ov.Seg] {
-				safe[ov.Seg] = ov.Slot + 1
-			}
-		}
-	}
+	safe := e.safeCountsLocked()
 	m := meta{ByBranch: e.byBranch, Commits: e.commits}
 	for _, s := range e.segs {
 		m.Segments = append(m.Segments, segMeta{
@@ -202,7 +181,7 @@ func (e *Engine) recover() error {
 		// versioning) to the table's full layout, rolls back uncommitted
 		// appends past SafeCount, and restores — or rebuilds, for
 		// catalogs from before zone maps — the segment's zone map.
-		seg, err := e.st.Open(e.segPath(sm.ID), sm.SegMeta, sm.SafeCount)
+		seg, err := e.st.Open(e.segFilePath(sm.ID, sm.Encoding), sm.SegMeta, sm.SafeCount)
 		if err != nil {
 			return fmt.Errorf("vf: segment %d: %w", sm.ID, err)
 		}
@@ -219,6 +198,7 @@ func (e *Engine) recover() error {
 	if e.commits == nil {
 		e.commits = make(map[vgraph.CommitID]pos)
 	}
+	e.sweepOrphans()
 	return nil
 }
 

@@ -1,6 +1,11 @@
 package decibel
 
-import "decibel/internal/core"
+import (
+	"time"
+
+	"decibel/internal/compact"
+	"decibel/internal/core"
+)
 
 // DefaultEngine is the storage engine Open uses when WithEngine is not
 // given. The hybrid scheme is the paper's headline design (Section 3.4).
@@ -61,4 +66,50 @@ func WithTupleOrientedBitmaps(on bool) Option {
 // 1 disables parallel scans.
 func WithScanWorkers(n int) Option {
 	return func(c *config) { c.opt.ScanWorkers = n }
+}
+
+// WithCompaction enables the background compaction subsystem with page
+// compression on: "manual" runs a pass only on DB.Compact (or the CLI
+// `compact` subcommand / the server's /v1/compact endpoint), "auto"
+// additionally runs passes on a background ticker, and "off" (the
+// default) disables compaction entirely. Unknown modes read as "off".
+func WithCompaction(mode string) Option {
+	return func(c *config) {
+		switch mode {
+		case "manual":
+			c.opt.Compaction.Mode = compact.ModeManual
+		case "auto":
+			c.opt.Compaction.Mode = compact.ModeAuto
+		default:
+			c.opt.Compaction.Mode = compact.ModeOff
+		}
+		c.opt.Compaction.Compress = c.opt.Compaction.Mode != compact.ModeOff
+	}
+}
+
+// WithCompactionInterval sets the auto-mode compaction ticker period
+// (0 = default 5s). It has no effect outside auto mode.
+func WithCompactionInterval(d time.Duration) Option {
+	return func(c *config) { c.opt.Compaction.Interval = d }
+}
+
+// WithCompactionFailPoint injects a crash point into every compaction
+// pass: "after-temp" aborts after new segment files are written and
+// fsynced but before the catalog swap, "before-unlink" after the swap
+// but before replaced files are unlinked. The pass fails with an error
+// compact.ErrFailPoint recognizes and disk is left exactly as a crash
+// there would leave it — the crash-recovery tests reopen and verify.
+// An empty string (the default) disables injection.
+func WithCompactionFailPoint(point string) Option {
+	return func(c *config) { c.opt.Compaction.FailPoint = point }
+}
+
+// WithCompactionThresholds tunes what a merge pass considers worth
+// merging: runs of at least minRun adjacent frozen segments, each
+// under smallRows rows (0 keeps the respective default: 2 and 4096).
+func WithCompactionThresholds(minRun int, smallRows int64) Option {
+	return func(c *config) {
+		c.opt.Compaction.MinRun = minRun
+		c.opt.Compaction.SmallRows = smallRows
+	}
 }

@@ -1,0 +1,83 @@
+package decibel_test
+
+// Order-aware segment visiting: an OrderBy+Limit query visits scan
+// units sorted by the order column's zone bound and skips units that
+// provably cannot reach the top-k — and its output must stay
+// byte-identical to the Sequential() gather baseline, including
+// arrival-order tie-breaks, for every engine, order column, direction,
+// limit and predicate. The test also asserts units were actually
+// skipped (decibel.ordered_skips moved), so a silently disabled visit
+// path cannot pass.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"decibel"
+	iquery "decibel/internal/query"
+)
+
+func TestOrderedVisitEquivalence(t *testing.T) {
+	skipsBefore := iquery.CountOrderedSkips()
+	for _, engine := range facadeEngines {
+		t.Run(engine, func(t *testing.T) {
+			db := buildPruningDB(t, engine)
+
+			type ordered struct {
+				col  string
+				desc bool
+			}
+			orders := []ordered{
+				{"id", false}, {"id", true},
+				{"v", false}, {"v", true},
+				{"price", false}, {"price", true}, // widened default + duplicates: heavy ties
+				{"sku", false}, {"sku", true}, // bytes bounds, truncated prefixes
+			}
+			limits := []int{1, 3, 17, 1000} // beyond-result-size limit keeps everything
+
+			preds := []iquery.Expr{
+				{},
+				iquery.Col("v").Ge(60),
+				iquery.Col("sku").HasPrefix("b"),
+			}
+			rng := rand.New(rand.NewSource(0x0bdeed))
+			for i := 0; i < 8; i++ {
+				preds = append(preds, randExpr(rng, 1))
+			}
+
+			run := func(q *decibel.Query) ([]string, error) { return collectRows(q.Rows()) }
+			diff := func(q *decibel.Query) ([]string, error) { return collectRows(q.Diff("master", "b1")) }
+
+			for pi, where := range preds {
+				for _, o := range orders {
+					for _, limit := range limits {
+						label := fmt.Sprintf("pred[%d] %s desc=%v limit=%d", pi, o.col, o.desc, limit)
+						build := func(q *decibel.Query) *decibel.Query {
+							return q.Where(where).OrderBy(o.col, o.desc).Limit(limit)
+						}
+						// Single-branch head scan.
+						got, gotErr := run(build(db.Query("r").On("master")))
+						want, wantErr := run(build(db.Query("r").On("master")).Sequential())
+						compareStreams(t, label+" scan", got, want, gotErr, wantErr)
+						// Historical commit scan.
+						got, gotErr = run(build(db.Query("r").On("master").At(2)))
+						want, wantErr = run(build(db.Query("r").On("master").At(2)).Sequential())
+						compareStreams(t, label+" at", got, want, gotErr, wantErr)
+						// Multi-branch heads scan.
+						got, gotErr = run(build(db.Query("r").Heads()))
+						want, wantErr = run(build(db.Query("r").Heads()).Sequential())
+						compareStreams(t, label+" heads", got, want, gotErr, wantErr)
+						// Positive diff.
+						got, gotErr = diff(build(db.Query("r")))
+						want, wantErr = diff(build(db.Query("r")).Sequential())
+						compareStreams(t, label+" diff", got, want, gotErr, wantErr)
+					}
+				}
+			}
+		})
+	}
+	if skipsAfter := iquery.CountOrderedSkips(); skipsAfter == skipsBefore {
+		t.Fatalf("ordered visitor never skipped a unit (ordered_skips stuck at %d)", skipsBefore)
+	}
+}

@@ -28,7 +28,14 @@ import (
 // few deletes and a merge.
 func buildPruningDB(t *testing.T, engine string, opts ...decibel.Option) *decibel.DB {
 	t.Helper()
-	db, err := decibel.Open(t.TempDir(), append([]decibel.Option{decibel.WithEngine(engine)}, opts...)...)
+	return buildPruningDBIn(t, t.TempDir(), engine, opts...)
+}
+
+// buildPruningDBIn is buildPruningDB against a caller-owned directory,
+// for tests that close and reopen the dataset (compaction recovery).
+func buildPruningDBIn(t *testing.T, dir, engine string, opts ...decibel.Option) *decibel.DB {
+	t.Helper()
+	db, err := decibel.Open(dir, append([]decibel.Option{decibel.WithEngine(engine)}, opts...)...)
 	if err != nil {
 		t.Fatal(err)
 	}

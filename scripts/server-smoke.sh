@@ -53,7 +53,24 @@ var() {
 
 # Mixed traffic; the loadgen exits non-zero if any operation failed.
 "$WORK/decibel-loadgen" -url "http://$ADDR" -table r -branch master \
-    -clients "$CLIENTS" -duration "$DURATION" -commit-frac 0.2 -json "$OUT"
+    -clients "$CLIENTS" -duration "$DURATION" -commit-frac 0.2 -json "$OUT" &
+LOAD_PID=$!
+
+# Mid-load, trigger a compaction pass over the live dataset: segment
+# merges and page re-encoding must retire files under the 32 clients
+# without a single failed request.
+sleep 2
+COMPACT_BEFORE="$(var decibel.compactions)"
+curl -fsS -X POST "http://$ADDR/v1/compact" >/dev/null
+COMPACT_AFTER="$(var decibel.compactions)"
+
+# set -eu: a loadgen failure (any errored operation) aborts here.
+wait "$LOAD_PID"
+
+[ "$COMPACT_AFTER" -gt "$COMPACT_BEFORE" ] || {
+    echo "server-smoke: compaction counter never moved ($COMPACT_BEFORE -> $COMPACT_AFTER)" >&2
+    exit 1
+}
 
 REQUESTS="$(var decibel.server.requests)"
 COMMITS="$(var decibel.server.commits)"

@@ -51,6 +51,19 @@ func TestConcurrentServingParallelScans(t *testing.T) {
 	runConcurrentServing(t, decibel.WithScanWorkers(4))
 }
 
+// TestConcurrentServingAutoCompaction is the same stress run with the
+// compactor ticking aggressively in the background: segment merges,
+// tombstone GC and page compression retire segment files while the 32
+// clients read and write, so snapshot isolation and the reader-pinning
+// retire protocol are asserted against concurrent compaction (CI runs
+// this under -race).
+func TestConcurrentServingAutoCompaction(t *testing.T) {
+	runConcurrentServing(t,
+		decibel.WithCompaction("auto"),
+		decibel.WithCompactionInterval(5*time.Millisecond),
+		decibel.WithCompactionThresholds(2, 1<<20))
+}
+
 func runConcurrentServing(t *testing.T, opts ...decibel.Option) {
 	const (
 		keys       = 48
