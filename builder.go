@@ -33,10 +33,57 @@ func Col(name string) ColRef { return iquery.Col(name) }
 // behaves the same).
 func MatchAll() Expr { return iquery.All() }
 
+// JoinKey is the equi-join condition JoinOn composes on, built with On:
+// Left names a column of the relations already in the query (the root
+// table or an earlier JoinOn leg), Right a column of the newly joined
+// query's table.
+type JoinKey struct{ Left, Right string }
+
+// On builds the equi-join key for JoinOn:
+//
+//	db.Query("orders").On("master").
+//		JoinOn(db.Query("users"), decibel.On("user_id", "id")).
+//		Tuples()
+//
+// joins each order to the user whose id equals the order's user_id.
+// Keys must be integer or byte-string columns — Float64 keys fail at
+// plan time with ErrBadQuery (float equality is ill-defined), and
+// mixing the two families fails with ErrTypeMismatch.
+func On(left, right string) JoinKey { return JoinKey{Left: left, Right: right} }
+
+// JoinTuple is one joined output row: one record per relation in the
+// order the query composed them (index 0 is the root table).
+type JoinTuple = iquery.JoinTuple
+
+// GroupRow is one group of a grouped aggregation: the GroupBy column
+// values (int64, float64 or []byte, in GroupBy order) and one float64
+// result per aggregate passed to Groups, in argument order.
+type GroupRow = iquery.GroupRow
+
+// Agg names one per-group aggregate for the Groups terminal, built
+// with the Count, Sum, Min, Max and Avg constructors.
+type Agg = iquery.AggSpec
+
+// Count is the per-group row count for Groups.
+func Count() Agg { return Agg{Kind: iquery.AggCount} }
+
+// Sum folds the named numeric column per group.
+func Sum(col string) Agg { return Agg{Kind: iquery.AggSum, Col: col} }
+
+// Min keeps the named numeric column's smallest value per group.
+func Min(col string) Agg { return Agg{Kind: iquery.AggMin, Col: col} }
+
+// Max keeps the named numeric column's largest value per group.
+func Max(col string) Agg { return Agg{Kind: iquery.AggMax, Col: col} }
+
+// Avg folds the named numeric column's mean per group.
+func Avg(col string) Agg { return Agg{Kind: iquery.AggAvg, Col: col} }
+
 // Query is a fluent, name-based versioned query over one table,
-// started with DB.Query. Configure it with On/At/Heads/Where/Select,
-// then run one terminal: Rows, Annotated, Diff, Join, Count, Sum, Min
-// or Max (each with a Context variant). A Query is cheap to build and
+// started with DB.Query. Configure it with On/At/Heads/Where/Select —
+// and compose relations with JoinOn and GroupBy — then run one
+// terminal: Rows, Annotated, Diff, Tuples, Groups, Count, Sum, Min,
+// Max or Avg (each with a Context variant). A Query is cheap to build and
 // reusable — every terminal compiles the logical plan afresh against
 // the catalog and version graph, so plan-time validation errors
 // (ErrNoSuchBranch, ErrNoSuchColumn, ErrTypeMismatch, ErrBadQuery, ...)
@@ -52,6 +99,7 @@ type Query struct {
 	db       *DB
 	plan     iquery.Plan
 	hasWhere bool
+	err      error // sticky builder error, surfaced by the terminals
 }
 
 // Query starts a query over the named table:
@@ -147,8 +195,68 @@ func (q *Query) Sequential() *Query {
 	return q
 }
 
+// JoinOn composes an N-way equi-join: the rows of other's table whose
+// key.Right column equals the key.Left column of the relations already
+// in the query. Each JoinOn adds one relation; other carries its own
+// branch, Where and Select (a leg without On inherits this query's
+// branch), and its predicate/projection push into its own scan. The
+// planner orders the relations greedily by zone-map row estimate —
+// smallest first, hash-build on the accumulated side, streaming-probe
+// the larger — unless DeclaredJoinOrder pins the composed order; the
+// joined tuples are identical either way, emitted in ascending
+// composite primary-key order through Tuples (or grouped through
+// GroupBy and Groups). other's configuration is captured at the
+// JoinOn call.
+func (q *Query) JoinOn(other *Query, key JoinKey) *Query {
+	if other == nil {
+		q.fail(fmt.Errorf("%w: JoinOn with a nil query", ErrBadQuery))
+		return q
+	}
+	if other.db != q.db {
+		q.fail(fmt.Errorf("%w: JoinOn composes queries of the same DB", ErrBadQuery))
+		return q
+	}
+	if other.err != nil {
+		q.fail(other.err)
+		return q
+	}
+	q.plan.Joins = append(q.plan.Joins, iquery.JoinLeg{Plan: other.plan, LeftCol: key.Left, RightCol: key.Right})
+	return q
+}
+
+// GroupBy makes the query a grouped aggregation: rows (or joined
+// tuples) bucket by the named columns and the Groups terminal streams
+// one row per distinct key with the requested aggregates, in
+// first-arrival order. Grouping is bounded hash aggregation — state
+// per distinct group, not per row — pushed through the parallel
+// executor like the scalar aggregates. GroupBy cannot combine with
+// OrderBy or Limit.
+func (q *Query) GroupBy(cols ...string) *Query {
+	q.plan.GroupCols = append(q.plan.GroupCols, cols...)
+	return q
+}
+
+// DeclaredJoinOrder pins join execution to the order the relations
+// were composed in, bypassing the greedy zone-map ordering. Results
+// are identical; this exists as the explicit baseline for the
+// join-ordering benchmarks.
+func (q *Query) DeclaredJoinOrder() *Query {
+	q.plan.NoReorder = true
+	return q
+}
+
+// fail records the first builder error; terminals surface it.
+func (q *Query) fail(err error) {
+	if q.err == nil {
+		q.err = err
+	}
+}
+
 // compile resolves the plan against the database.
 func (q *Query) compile() (*iquery.Compiled, error) {
+	if q.err != nil {
+		return nil, q.err
+	}
 	return q.plan.Compile(q.db.Database)
 }
 
@@ -159,6 +267,10 @@ func errSeq(err error) (iter.Seq[*Record], func() error) {
 
 func errSeq2[A, B any](err error) (iter.Seq2[A, B], func() error) {
 	return func(func(A, B) bool) {}, func() error { return err }
+}
+
+func errSeq1[T any](err error) (iter.Seq[T], func() error) {
+	return func(func(T) bool) {}, func() error { return err }
 }
 
 // Rows runs the query and iterates its records: the single-version
@@ -245,12 +357,23 @@ func (q *Query) DiffContext(ctx context.Context, a, b string) (iter.Seq[*Record]
 // Join runs the primary-key version join of Query 3 between two branch
 // heads: pairs (left record, right record) sharing a primary key,
 // where the left record satisfies Where. Select applies to both sides.
-// Like Diff, Join provides the two versions itself.
+// Like Diff, Join provides the two versions itself. Pairs emit in
+// ascending primary-key order.
+//
+// Deprecated: Join is the fixed two-branch configuration of the
+// general join node and is retained for compatibility. Compose joins
+// with JoinOn and decibel.On, and consume them with Tuples:
+//
+//	db.Query("t").On("master").
+//		JoinOn(db.Query("t").On("branch"), decibel.On("id", "id")).
+//		Tuples()
 func (q *Query) Join(left, right string) (iter.Seq2[*Record, *Record], func() error) {
 	return q.JoinContext(context.Background(), left, right)
 }
 
 // JoinContext is Join bounded by a context.
+//
+// Deprecated: see Join; use JoinOn with TuplesContext.
 func (q *Query) JoinContext(ctx context.Context, left, right string) (iter.Seq2[*Record, *Record], func() error) {
 	c, err := q.pairCompile(left, right)
 	if err != nil {
@@ -317,10 +440,69 @@ func (q *Query) MaxContext(ctx context.Context, col string) (float64, error) {
 	return q.agg(ctx, iquery.AggMax, col)
 }
 
+// Avg returns the mean of the named numeric column over the matching
+// records; an empty scan fails with ErrNoRows.
+func (q *Query) Avg(col string) (float64, error) { return q.AvgContext(context.Background(), col) }
+
+// AvgContext is Avg bounded by a context.
+func (q *Query) AvgContext(ctx context.Context, col string) (float64, error) {
+	return q.agg(ctx, iquery.AggAvg, col)
+}
+
 func (q *Query) agg(ctx context.Context, kind iquery.AggKind, col string) (float64, error) {
 	c, err := q.compile()
 	if err != nil {
 		return 0, err
 	}
 	return c.Aggregate(ctx, kind, col)
+}
+
+// Tuples runs the composed join (JoinOn) and iterates its joined
+// tuples — one record per relation, in composition order, emitted in
+// ascending composite primary-key order. Tuple records are cloned:
+// safe to retain across iterations. The trailing error accessor is
+// valid once iteration finishes.
+func (q *Query) Tuples() (iter.Seq[JoinTuple], func() error) {
+	return q.TuplesContext(context.Background())
+}
+
+// TuplesContext is Tuples bounded by a context.
+func (q *Query) TuplesContext(ctx context.Context) (iter.Seq[JoinTuple], func() error) {
+	c, err := q.compile()
+	if err != nil {
+		return errSeq1[JoinTuple](err)
+	}
+	var scanErr error
+	seq := func(yield func(JoinTuple) bool) {
+		scanErr = c.JoinTuples(ctx, func(t iquery.JoinTuple) bool { return yield(t) })
+	}
+	return seq, func() error { return scanErr }
+}
+
+// Groups runs the grouped aggregation (GroupBy) and iterates one
+// GroupRow per distinct key in first-arrival order, folding the given
+// aggregates per group:
+//
+//	groups, gErr := db.Query("orders").On("master").
+//		GroupBy("sku").
+//		Groups(decibel.Count(), decibel.Avg("price"))
+//
+// With no aggregates Groups degenerates to DISTINCT over the GroupBy
+// columns. The trailing error accessor is valid once iteration
+// finishes.
+func (q *Query) Groups(aggs ...Agg) (iter.Seq[*GroupRow], func() error) {
+	return q.GroupsContext(context.Background(), aggs...)
+}
+
+// GroupsContext is Groups bounded by a context.
+func (q *Query) GroupsContext(ctx context.Context, aggs ...Agg) (iter.Seq[*GroupRow], func() error) {
+	c, err := q.compile()
+	if err != nil {
+		return errSeq1[*GroupRow](err)
+	}
+	var scanErr error
+	seq := func(yield func(*GroupRow) bool) {
+		scanErr = c.GroupScan(ctx, aggs, func(g *iquery.GroupRow) bool { return yield(g) })
+	}
+	return seq, func() error { return scanErr }
 }

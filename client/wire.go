@@ -43,8 +43,57 @@ type QueryRequest struct {
 	Desc    bool     `json:"desc,omitempty"`
 	Limit   int      `json:"limit,omitempty"`
 
-	Agg    string `json:"agg,omitempty"` // count | sum | min | max
+	Agg    string `json:"agg,omitempty"` // count | sum | min | max | avg
 	AggCol string `json:"aggCol,omitempty"`
+
+	// Join composes N-way equi-joins (the builder's JoinOn): each
+	// clause adds one relation joined to the ones before it. The root
+	// table is relation 0; tuples come back in the Tuples field, one
+	// row per relation in composition order. Join excludes diff/heads
+	// and orderBy/limit.
+	Join []JoinClause `json:"join,omitempty"`
+
+	// DeclaredOrder pins join execution to the composed relation order
+	// instead of the greedy zone-map ordering (the builder's
+	// DeclaredJoinOrder). Results are identical either way.
+	DeclaredOrder bool `json:"declaredOrder,omitempty"`
+
+	// GroupBy makes the query a grouped aggregation over the named
+	// columns (the builder's GroupBy): groups come back in the Groups
+	// field in first-arrival order, folding Aggs per group. Excludes
+	// the scalar Agg and orderBy/limit.
+	GroupBy []string    `json:"groupBy,omitempty"`
+	Aggs    []AggClause `json:"aggs,omitempty"`
+}
+
+// JoinClause is one joined relation (the builder's JoinOn leg): its
+// table, the branch to scan (empty inherits the root query's branch),
+// the equi-join key On = [leftCol, rightCol] — leftCol names a column
+// of the relations composed before this one, rightCol a column of this
+// clause's table — plus the leg's own predicate and projection, pushed
+// into the leg's scan.
+type JoinClause struct {
+	Table  string    `json:"table"`
+	Branch string    `json:"branch,omitempty"`
+	On     [2]string `json:"on"`
+	Where  *Expr     `json:"where,omitempty"`
+	Select []string  `json:"select,omitempty"`
+}
+
+// AggClause is one per-group aggregate for a GroupBy query:
+// count | sum | min | max | avg, with Col naming the folded column
+// (unused for count).
+type AggClause struct {
+	Agg string `json:"agg"`
+	Col string `json:"col,omitempty"`
+}
+
+// GroupWire is one group of a GroupBy query: the group-by column
+// values in GroupBy order (numbers, or strings for byte-string
+// columns) and one float64 per requested aggregate, in Aggs order.
+type GroupWire struct {
+	Key  []any     `json:"key"`
+	Aggs []float64 `json:"aggs,omitempty"`
 }
 
 // Row is one emitted record, keyed by column name. Integer columns
@@ -64,7 +113,16 @@ type QueryResponse struct {
 	Branch string  `json:"branch,omitempty"` // the branch it is (or was) the head of
 	Rows   []Row   `json:"rows,omitempty"`
 	Agg    float64 `json:"agg,omitempty"` // aggregate result when Agg was set
-	Count  int     `json:"count"`         // rows emitted (== Agg for count)
+
+	// Tuples answers join queries: one entry per joined tuple, itself
+	// one Row per relation in composition order (index 0 = the root
+	// table), emitted in ascending composite primary-key order.
+	Tuples [][]Row `json:"tuples,omitempty"`
+
+	// Groups answers groupBy queries, in first-arrival order.
+	Groups []GroupWire `json:"groups,omitempty"`
+
+	Count int `json:"count"` // rows/tuples/groups emitted (== Agg for count)
 }
 
 // Op is one write inside a commit: op "insert" upserts Values as a

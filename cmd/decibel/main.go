@@ -84,6 +84,16 @@ commands:
                                -order col[:desc]  sort the output by a column
                                -limit <n>         emit at most n rows
                                -count             print the count only
+                               -join t:l[=r][@b]  equi-join table t: left col l
+                                                  matches t's col r (default l),
+                                                  scanning t's branch b (default:
+                                                  the query's); repeat for N-way
+                               -declared-order    pin joins to the declared order
+                                                  (skip greedy zone-map ordering)
+                               -group-by a[,b]    group rows (or joined tuples)
+                                                  by the named columns
+                               -agg <list>        grouped aggregates, e.g.
+                                                  count,sum:price,avg:price
   compact                    run one compaction pass: merge runs of small
                              frozen segments, drop unreachable tombstones,
                              re-encode frozen segments as compressed pages
@@ -587,6 +597,70 @@ func run(dir, engine, table string, args []string) error {
 	}
 }
 
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+// parseJoin parses one -join spec, table:left_col[=right_col][@branch],
+// into the leg query and its join key. The right column defaults to
+// the left one; the branch defaults to the root query's.
+func parseJoin(db *decibel.DB, spec string) (*decibel.Query, decibel.JoinKey, error) {
+	tbl, rest, ok := strings.Cut(spec, ":")
+	if !ok || tbl == "" || rest == "" {
+		return nil, decibel.JoinKey{}, fmt.Errorf("-join wants table:left_col[=right_col][@branch], got %q", spec)
+	}
+	branch := ""
+	if i := strings.LastIndexByte(rest, '@'); i >= 0 {
+		rest, branch = rest[:i], rest[i+1:]
+	}
+	left, right, ok := strings.Cut(rest, "=")
+	if !ok {
+		right = left
+	}
+	if left == "" || right == "" {
+		return nil, decibel.JoinKey{}, fmt.Errorf("-join %q: empty join column", spec)
+	}
+	jq := db.Query(tbl)
+	if branch != "" {
+		jq = jq.On(branch)
+	}
+	return jq, decibel.On(left, right), nil
+}
+
+// parseAggs parses the -agg list (count,sum:col,min:col,max:col,avg:col)
+// into aggregate specs plus the labels the group output prints.
+func parseAggs(s string) ([]decibel.Agg, []string, error) {
+	if s == "" {
+		return nil, nil, nil
+	}
+	var aggs []decibel.Agg
+	var labels []string
+	for _, part := range strings.Split(s, ",") {
+		name, col, _ := strings.Cut(part, ":")
+		if name != "count" && col == "" {
+			return nil, nil, fmt.Errorf("-agg %q wants a column: %s:col", part, name)
+		}
+		switch name {
+		case "count":
+			aggs = append(aggs, decibel.Count())
+		case "sum":
+			aggs = append(aggs, decibel.Sum(col))
+		case "min":
+			aggs = append(aggs, decibel.Min(col))
+		case "max":
+			aggs = append(aggs, decibel.Max(col))
+		case "avg":
+			aggs = append(aggs, decibel.Avg(col))
+		default:
+			return nil, nil, fmt.Errorf("-agg %q: unknown aggregate %q", part, name)
+		}
+		labels = append(labels, part)
+	}
+	return aggs, labels, nil
+}
+
 // runSelect implements the select command: a versioned query through
 // the facade's fluent builder, with branches, predicate and projection
 // taken from flags. An explicit positional argument overrides the
@@ -602,6 +676,11 @@ func runSelect(db *decibel.DB, table string, args []string) error {
 	order := fs.String("order", "", "column to sort the output by; append ':desc' to reverse")
 	limit := fs.Int("limit", 0, "emit at most this many rows (0 = all)")
 	count := fs.Bool("count", false, "print only the matching record count")
+	var joins multiFlag
+	fs.Var(&joins, "join", "equi-join another table: table:left_col[=right_col][@branch] (repeatable)")
+	declared := fs.Bool("declared-order", false, "pin joins to the declared order (skip greedy reordering)")
+	groupBy := fs.String("group-by", "", "comma-separated columns to group by")
+	aggList := fs.String("agg", "", "grouped aggregates: count,sum:col,min:col,max:col,avg:col")
 	// Accept "select <table> -flags" and "select -flags <table>".
 	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
 		table = args[0]
@@ -664,6 +743,75 @@ func runSelect(db *decibel.DB, table string, args []string) error {
 	}
 	if *limit > 0 {
 		q = q.Limit(*limit)
+	}
+
+	if len(joins) > 0 {
+		if isDiff || *heads {
+			return fmt.Errorf("-join cannot combine with -diff or -heads")
+		}
+		for _, spec := range joins {
+			jq, key, err := parseJoin(db, spec)
+			if err != nil {
+				return err
+			}
+			q = q.JoinOn(jq, key)
+		}
+		if *declared {
+			q = q.DeclaredJoinOrder()
+		}
+	}
+	if *aggList != "" && *groupBy == "" {
+		return fmt.Errorf("-agg requires -group-by")
+	}
+
+	if *groupBy != "" {
+		if isDiff {
+			return fmt.Errorf("-group-by cannot combine with -diff")
+		}
+		gcols := strings.Split(*groupBy, ",")
+		aggs, labels, err := parseAggs(*aggList)
+		if err != nil {
+			return err
+		}
+		groups, gErr := q.GroupBy(gcols...).Groups(aggs...)
+		n := 0
+		for g := range groups {
+			parts := make([]string, 0, len(g.Key)+len(g.Aggs))
+			for i, v := range g.Key {
+				if b, ok := v.([]byte); ok {
+					v = string(b)
+				}
+				parts = append(parts, fmt.Sprintf("%s=%v", gcols[i], v))
+			}
+			for i, a := range g.Aggs {
+				parts = append(parts, fmt.Sprintf("%s=%g", labels[i], a))
+			}
+			fmt.Println(strings.Join(parts, " "))
+			n++
+		}
+		if err := gErr(); err != nil {
+			return err
+		}
+		fmt.Printf("%d groups\n", n)
+		return nil
+	}
+
+	if len(joins) > 0 && !*count {
+		tuples, tErr := q.Tuples()
+		n := 0
+		for tup := range tuples {
+			parts := make([]string, len(tup))
+			for i, rec := range tup {
+				parts[i] = rec.String()
+			}
+			fmt.Println(strings.Join(parts, " | "))
+			n++
+		}
+		if err := tErr(); err != nil {
+			return err
+		}
+		fmt.Printf("%d joined tuples\n", n)
+		return nil
 	}
 
 	if isDiff {

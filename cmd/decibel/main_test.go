@@ -1,0 +1,188 @@
+package main
+
+// CLI coverage for the join/group-by flags: the -join spec grammar,
+// the -agg list grammar, and select round-trips through run() whose
+// failure modes must surface the facade's sentinel errors (the same
+// taxonomy the server maps to stable wire codes).
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"decibel"
+)
+
+// buildCLIDataset creates a small orders/users dataset in dir with the
+// facade, closed again so run() can reopen it.
+func buildCLIDataset(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	db, err := decibel.Open(dir, decibel.WithEngine(decibel.DefaultEngine))
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := decibel.NewSchema().Int64("id").Int64("region").Bytes("name", 12).MustBuild()
+	orders := decibel.NewSchema().Int64("id").Int64("user_id").Int64("qty").Float64("price").MustBuild()
+	if _, err := db.CreateTable("users", users); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable("orders", orders); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := db.Init("init"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Commit("master", func(tx *decibel.Tx) error {
+		for pk := int64(0); pk < 8; pk++ {
+			rec := decibel.NewRecord(users)
+			rec.SetPK(pk)
+			rec.Set(1, pk%3)
+			if err := rec.SetBytes(2, []byte(fmt.Sprintf("user-%d", pk))); err != nil {
+				return err
+			}
+			if err := tx.Insert("users", rec); err != nil {
+				return err
+			}
+		}
+		for pk := int64(0); pk < 40; pk++ {
+			rec := decibel.NewRecord(orders)
+			rec.SetPK(pk)
+			rec.Set(1, pk%8)
+			rec.Set(2, pk%5)
+			rec.SetFloat64(3, float64(pk)+0.5)
+			if err := tx.Insert("orders", rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Branch("master", "dev"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestParseJoinSpec(t *testing.T) {
+	dir := buildCLIDataset(t)
+	db, err := decibel.Open(dir, decibel.WithEngine(decibel.DefaultEngine))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	for _, tc := range []struct {
+		spec        string
+		left, right string
+		ok          bool
+	}{
+		{"users:user_id=id", "user_id", "id", true},
+		{"users:id", "id", "id", true}, // right defaults to left
+		{"users:user_id=id@dev", "user_id", "id", true},
+		{"users", "", "", false},  // no column
+		{"users:", "", "", false}, // empty column
+		{":user_id", "", "", false},
+		{"users:=id", "", "", false},
+	} {
+		jq, key, err := parseJoin(db, tc.spec)
+		if tc.ok != (err == nil) {
+			t.Fatalf("parseJoin(%q): err = %v, want ok=%v", tc.spec, err, tc.ok)
+		}
+		if !tc.ok {
+			continue
+		}
+		if jq == nil || key.Left != tc.left || key.Right != tc.right {
+			t.Fatalf("parseJoin(%q) = (%v, %v)", tc.spec, key.Left, key.Right)
+		}
+	}
+}
+
+func TestParseAggsSpec(t *testing.T) {
+	aggs, labels, err := parseAggs("count,sum:price,avg:price,min:qty,max:qty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aggs) != 5 || len(labels) != 5 {
+		t.Fatalf("parsed %d aggs, %d labels, want 5", len(aggs), len(labels))
+	}
+	if labels[1] != "sum:price" || labels[2] != "avg:price" {
+		t.Fatalf("labels = %v", labels)
+	}
+	for _, bad := range []string{"median:price", "sum", "min", "sum:,count"} {
+		if _, _, err := parseAggs(bad); err == nil {
+			t.Fatalf("parseAggs(%q) accepted", bad)
+		}
+	}
+	if aggs, labels, err = parseAggs(""); err != nil || aggs != nil || labels != nil {
+		t.Fatalf("empty -agg should parse to nothing, got (%v, %v, %v)", aggs, labels, err)
+	}
+}
+
+func TestSelectJoinGroupCLI(t *testing.T) {
+	dir := buildCLIDataset(t)
+	engine := decibel.DefaultEngine
+	sel := func(args ...string) error {
+		return run(dir, engine, "orders", append([]string{"select"}, args...))
+	}
+
+	// Happy paths: joined tuples, joined count, declared order, grouped
+	// aggregates plain and over a join, branch-pinned leg.
+	for _, args := range [][]string{
+		{"-branch", "master", "-join", "users:user_id=id"},
+		{"-branch", "master", "-join", "users:user_id=id", "-count"},
+		{"-branch", "master", "-join", "users:user_id=id", "-declared-order"},
+		{"-branch", "master", "-join", "users:user_id=id@dev"},
+		{"-branch", "master", "-group-by", "qty", "-agg", "count,sum:price,avg:price"},
+		{"-branch", "master", "-group-by", "qty"}, // DISTINCT
+		{"-branch", "master", "-join", "users:user_id=id", "-group-by", "region", "-agg", "count,sum:qty"},
+		{"-branch", "master", "-where", "qty<3", "-join", "users:user_id=id", "-count"},
+	} {
+		if err := sel(args...); err != nil {
+			t.Fatalf("select %v: %v", args, err)
+		}
+	}
+
+	// Error taxonomy: the CLI surfaces the facade's sentinels.
+	for _, tc := range []struct {
+		args []string
+		want error
+	}{
+		{[]string{"-branch", "master", "-join", "users:qty=region"}, nil}, // joinable int key: control
+		{[]string{"-branch", "master", "-join", "users:price=id"}, decibel.ErrBadQuery},
+		{[]string{"-branch", "master", "-join", "users:user_id=name"}, decibel.ErrTypeMismatch},
+		{[]string{"-branch", "master", "-join", "users:nope=id"}, decibel.ErrNoSuchColumn},
+		{[]string{"-branch", "master", "-group-by", "nope", "-agg", "count"}, decibel.ErrNoSuchColumn},
+		{[]string{"-branch", "master", "-order", "qty", "-group-by", "qty", "-agg", "count"}, decibel.ErrBadQuery},
+		{[]string{"-branch", "master", "-group-by", "qty,qty", "-agg", "count"}, decibel.ErrBadQuery},
+	} {
+		err := sel(tc.args...)
+		if tc.want == nil {
+			if err != nil {
+				t.Fatalf("select %v: %v", tc.args, err)
+			}
+			continue
+		}
+		if !errors.Is(err, tc.want) {
+			t.Fatalf("select %v: err = %v, want %v", tc.args, err, tc.want)
+		}
+	}
+
+	// Flag-level misuse is rejected before any query runs.
+	for _, args := range [][]string{
+		{"-branch", "master", "-agg", "count"},                         // -agg without -group-by
+		{"-diff", "master,dev", "-join", "users:user_id=id"},           // join over diff
+		{"-heads", "-join", "users:user_id=id"},                        // join over heads
+		{"-diff", "master,dev", "-group-by", "qty", "-agg", "count"},   // group over diff
+		{"-branch", "master", "-join", "users"},                        // malformed spec
+		{"-branch", "master", "-group-by", "qty", "-agg", "median:id"}, // unknown aggregate
+	} {
+		if err := sel(args...); err == nil {
+			t.Fatalf("select %v unexpectedly succeeded", args)
+		}
+	}
+}

@@ -378,3 +378,126 @@ func ExampleTx_AddColumn() {
 	// price at master@1: true
 	// master rows at the default price: 1
 }
+
+// exampleJoinDB loads a two-table orders/users dataset the join and
+// grouping examples share.
+func exampleJoinDB(dir string) (*decibel.DB, error) {
+	db, err := decibel.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	users := decibel.NewSchema().Int64("id").Int64("region").Bytes("name", 8).MustBuild()
+	orders := decibel.NewSchema().Int64("id").Int64("user_id").Int64("qty").Float64("price").MustBuild()
+	if _, err := db.CreateTable("users", users); err != nil {
+		return nil, err
+	}
+	if _, err := db.CreateTable("orders", orders); err != nil {
+		return nil, err
+	}
+	if _, _, err := db.Init("init"); err != nil {
+		return nil, err
+	}
+	_, err = db.Commit("master", func(tx *decibel.Tx) error {
+		for _, u := range []struct {
+			pk, region int64
+			name       string
+		}{{1, 1, "amy"}, {2, 2, "bo"}} {
+			rec := decibel.NewRecord(users)
+			rec.SetPK(u.pk)
+			rec.Set(1, u.region)
+			if err := rec.SetBytes(2, []byte(u.name)); err != nil {
+				return err
+			}
+			if err := tx.Insert("users", rec); err != nil {
+				return err
+			}
+		}
+		for _, o := range []struct {
+			pk, user, qty int64
+			price         float64
+		}{{10, 1, 3, 5.00}, {11, 2, 1, 12.50}, {12, 1, 2, 8.25}} {
+			rec := decibel.NewRecord(orders)
+			rec.SetPK(o.pk)
+			rec.Set(1, o.user)
+			rec.Set(2, o.qty)
+			rec.SetFloat64(3, o.price)
+			if err := tx.Insert("orders", rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	return db, err
+}
+
+// ExampleDB_Query_join composes an equi-join across two tables with
+// JoinOn: each leg is its own query, and tuples emit one record per
+// relation in ascending composite primary-key order.
+func ExampleDB_Query_join() {
+	dir, _ := os.MkdirTemp("", "decibel-example-*")
+	defer os.RemoveAll(dir)
+	db, err := exampleJoinDB(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	tuples, tErr := db.Query("orders").
+		On("master").
+		Where(decibel.Col("qty").Ge(2)).
+		JoinOn(db.Query("users"), decibel.On("user_id", "id")).
+		Tuples()
+	for tup := range tuples {
+		order, user := tup[0], tup[1]
+		fmt.Printf("order %d x%d -> %s\n", order.PK(), order.Get(2), user.GetBytes(2))
+	}
+	if err := tErr(); err != nil {
+		log.Fatal(err)
+	}
+	// Output:
+	// order 10 x3 -> amy
+	// order 12 x2 -> amy
+}
+
+// ExampleDB_Query_groupBy folds streaming per-group aggregates with
+// GroupBy and the Count/Sum/Min/Max/Avg constructors; groups emit in
+// first-arrival order. Group columns may come from any joined relation.
+func ExampleDB_Query_groupBy() {
+	dir, _ := os.MkdirTemp("", "decibel-example-*")
+	defer os.RemoveAll(dir)
+	db, err := exampleJoinDB(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	groups, gErr := db.Query("orders").
+		On("master").
+		GroupBy("user_id").
+		Groups(decibel.Count(), decibel.Sum("qty"), decibel.Avg("price"))
+	for g := range groups {
+		fmt.Printf("user %v: %v orders, %v items, avg %.3f\n",
+			g.Key[0], g.Aggs[0], g.Aggs[1], g.Aggs[2])
+	}
+	if err := gErr(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Group a join by a column of the joined relation.
+	joined, jErr := db.Query("orders").
+		On("master").
+		JoinOn(db.Query("users"), decibel.On("user_id", "id")).
+		GroupBy("region").
+		Groups(decibel.Sum("qty"))
+	for g := range joined {
+		fmt.Printf("region %v: %v items\n", g.Key[0], g.Aggs[0])
+	}
+	if err := jErr(); err != nil {
+		log.Fatal(err)
+	}
+	// Output:
+	// user 1: 2 orders, 5 items, avg 6.625
+	// user 2: 1 orders, 1 items, avg 12.500
+	// region 1: 5 items
+	// region 2: 1 items
+}

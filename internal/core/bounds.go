@@ -69,6 +69,15 @@ func (sp *ScanSpec) SkipSegment(z *store.ZoneMap, physCols int) bool {
 // scans consult it before paying for per-page zone checks.
 func (sp *ScanSpec) HasBounds() bool { return len(sp.bounds) > 0 }
 
+// ExcludesSegment is SkipSegment's verdict without the side effects:
+// it does not feed the segment-scan counters. The join planner uses it
+// for cardinality estimates — counting the rows of the segments a
+// relation's bounds cannot exclude — where no scan takes place and the
+// pruning counters must not move.
+func (sp *ScanSpec) ExcludesSegment(z *store.ZoneMap, physCols int) bool {
+	return sp.skipSegment(z, physCols)
+}
+
 // SkipPage is SkipSegment at page granularity: z is one chunk of a
 // segment's PageZones index. It feeds the shared page-scan counters
 // instead of the segment ones.

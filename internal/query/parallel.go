@@ -186,6 +186,23 @@ func (t *aggPart) merge(p *aggPart) {
 	}
 }
 
+// tryParallelGroups offers a grouped aggregation to the parallel
+// executor: one groupFold per unit, merged into total in unit order —
+// first-arrival emission order is preserved exactly (see group.go).
+func (c *Compiled) tryParallelGroups(ctx context.Context, req core.ScanRequest, spec *core.ScanSpec, total *groupFold) (bool, error) {
+	if c.plan.NoParallel {
+		return false, nil
+	}
+	sink := func(int, int) core.UnitSink {
+		p := total.fresh()
+		return core.UnitSink{
+			Fn:    func(rec *record.Record, _ core.UnitAux) bool { p.add(rec); return true },
+			Flush: func() bool { total.mergeFrom(p); return true },
+		}
+	}
+	return c.table.ParallelScanContext(ctx, req, spec, sink)
+}
+
 // tryParallelAggregate offers an aggregate scan to the parallel
 // executor: per-unit partials, no record cloning, merged in unit
 // order on the caller's goroutine.

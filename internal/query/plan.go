@@ -56,6 +56,23 @@ type Plan struct {
 	// the equivalence tests and the parallel-scan benchmarks compare
 	// against.
 	NoParallel bool
+
+	// Joins composes N-way equi-joins: each leg is a single-table
+	// sub-plan joined to the relations declared before it (the root
+	// plan is relation 0). The executor reorders the relations greedily
+	// by zone-map row estimate unless NoReorder is set; the result is
+	// identical either way (see join.go).
+	Joins []JoinLeg
+
+	// NoReorder pins the join execution to the declared relation order,
+	// bypassing the greedy zone-map ordering: the baseline the
+	// join-ordering benchmarks compare against.
+	NoReorder bool
+
+	// GroupCols makes the plan a grouped aggregation: rows bucket by
+	// the named columns and the Groups terminal folds per-group
+	// aggregates (see group.go). Mutually exclusive with OrderBy/Limit.
+	GroupCols []string
 }
 
 // Compiled is a plan resolved against one database: names bound, the
@@ -79,6 +96,14 @@ type Compiled struct {
 	cols     []int          // resolved projection (nil = all)
 	proto    *core.ScanSpec // pred + projection + bounds; cloned per execution
 	orderIdx int            // OrderCol's index in the output schema; -1 = unordered
+	join     *joinPlan      // non-nil when the plan composes joins
+
+	// GroupCols resolved: schema column indices for a single-table plan;
+	// for a join-composed plan groupRels names the relation each group
+	// column comes from and groupIdx its index in that relation's output
+	// schema (groupRels is nil for single-table plans).
+	groupIdx  []int
+	groupRels []int
 }
 
 // Compile resolves and validates the plan against db. All validation
@@ -192,6 +217,16 @@ func (p Plan) Compile(db *core.Database) (*Compiled, error) {
 	if p.Limit < 0 {
 		return nil, fmt.Errorf("%w: negative Limit %d", core.ErrBadQuery, p.Limit)
 	}
+	if len(p.Joins) > 0 {
+		if err := c.compileJoins(db); err != nil {
+			return nil, err
+		}
+	}
+	if len(p.GroupCols) > 0 {
+		if err := c.compileGroupBy(); err != nil {
+			return nil, err
+		}
+	}
 	return c, nil
 }
 
@@ -219,6 +254,18 @@ func (c *Compiled) single() error {
 	return nil
 }
 
+// rowShape rejects row/scalar terminals on plans composed with joins
+// or GroupBy — those run through the Tuples and Groups terminals.
+func (c *Compiled) rowShape(terminal string) error {
+	if c.join != nil {
+		return fmt.Errorf("%w: %s does not apply to a join-composed query; use Tuples or Groups", core.ErrBadQuery, terminal)
+	}
+	if len(c.plan.GroupCols) > 0 {
+		return fmt.Errorf("%w: %s does not apply to a grouped query; use Groups", core.ErrBadQuery, terminal)
+	}
+	return nil
+}
+
 // pair checks the plan addresses exactly two branch heads.
 func (c *Compiled) pair() error {
 	if c.plan.AllHeads || len(c.branches) != 2 || c.commit != nil {
@@ -234,6 +281,9 @@ func (c *Compiled) pair() error {
 // the engine has the capability; the full predicate and projection
 // still run on the looked-up record, so the result is identical.
 func (c *Compiled) Scan(ctx context.Context, fn core.ScanFunc) error {
+	if err := c.rowShape("Rows"); err != nil {
+		return err
+	}
 	if err := c.single(); err != nil {
 		return err
 	}
@@ -277,6 +327,9 @@ func (c *Compiled) pointPK() (int64, bool) {
 // branches (or every head with AllHeads) as one engine pass; bit i of
 // the membership bitmap corresponds to Branches()[i].
 func (c *Compiled) ScanMulti(ctx context.Context, fn core.MultiScanFunc) error {
+	if err := c.rowShape("Annotated"); err != nil {
+		return err
+	}
 	if c.commit != nil {
 		return fmt.Errorf("%w: At() cannot combine with a multi-branch scan", core.ErrBadQuery)
 	}
@@ -340,6 +393,9 @@ func (c *Compiled) ScanMultiRescan(ctx context.Context, fn core.MultiScanFunc) e
 // zone-map pruning pushed into the engine's diff loop (engines without
 // the DiffScanner capability post-filter above their plain Diff).
 func (c *Compiled) Diff(ctx context.Context, fn core.ScanFunc) error {
+	if err := c.rowShape("Diff"); err != nil {
+		return err
+	}
 	if err := c.pair(); err != nil {
 		return err
 	}
@@ -389,35 +445,59 @@ func (c *Compiled) DiffPostFilter(ctx context.Context, fn core.ScanFunc) error {
 // Join executes a primary-key version join (Query 3) between the two
 // branch heads: pairs of records sharing a primary key, the left
 // satisfying the predicate. The projection applies to both sides.
+//
+// Since the relational-algebra generalization this is one
+// configuration of the general join node: the same table's two branch
+// heads as relations 0 and 1, joined on the primary key, with the
+// predicate pushed into the left leg only (the historical Query 3
+// semantics). Pairs emit in ascending primary-key order — the
+// canonical tuple order of the general node.
 func (c *Compiled) Join(ctx context.Context, fn func(JoinedPair) bool) error {
+	if err := c.rowShape("Join"); err != nil {
+		return err
+	}
 	if err := c.pair(); err != nil {
 		return err
 	}
 	if err := c.noOrdering("Join"); err != nil {
 		return err
 	}
-	build := make(map[int64]*record.Record)
-	if err := c.table.ScanPushdownContext(ctx, c.branches[0].ID, c.execSpec(), func(rec *record.Record) bool {
-		build[rec.PK()] = rec.Clone()
-		return true
-	}); err != nil {
-		return err
-	}
-	if len(build) == 0 {
-		return nil
-	}
-	// Probe side: projection only — the predicate selects left records.
-	probe, err := core.NewScanSpecAt(c.table.History(), c.epoch, nil, c.cols)
+	left, err := c.branchLeg(0, true)
 	if err != nil {
 		return err
 	}
-	return c.table.ScanPushdownContext(ctx, c.branches[1].ID, probe, func(rec *record.Record) bool {
-		l, ok := build[rec.PK()]
-		if !ok {
-			return true
-		}
-		return fn(JoinedPair{Left: l, Right: rec})
+	right, err := c.branchLeg(1, false)
+	if err != nil {
+		return err
+	}
+	jp := &joinPlan{
+		rels:  []*Compiled{left, right},
+		edges: []joinEdge{{left: 0, leftCol: 0, right: 1, rightCol: 0}},
+	}
+	jp.estimate()
+	return jp.run(ctx, c.plan.NoReorder, func(tup JoinTuple) bool {
+		return fn(JoinedPair{Left: tup[0], Right: tup[1]})
 	})
+}
+
+// branchLeg derives a single-branch relation from a pair-compiled
+// plan: branch i of the pair, keeping the compiled predicate and
+// bounds only when keepPred is set (the version join's left side).
+func (c *Compiled) branchLeg(i int, keepPred bool) (*Compiled, error) {
+	leg := *c
+	leg.plan.Branches = []string{c.branches[i].Name}
+	leg.plan.Joins = nil
+	leg.branches = c.branches[i : i+1]
+	if !keepPred {
+		leg.pred = nil
+		leg.bounds = nil
+		proto, err := core.NewScanSpecAt(c.table.History(), c.epoch, nil, c.cols)
+		if err != nil {
+			return nil, err
+		}
+		leg.proto = proto
+	}
+	return &leg, nil
 }
 
 // AggKind selects an aggregate terminal.
@@ -429,6 +509,7 @@ const (
 	AggSum
 	AggMin
 	AggMax
+	AggAvg
 )
 
 // Aggregate folds one numeric column (ignored for AggCount) over the
@@ -439,6 +520,21 @@ const (
 func (c *Compiled) Aggregate(ctx context.Context, kind AggKind, col string) (float64, error) {
 	if err := c.noOrdering("aggregates"); err != nil {
 		return 0, err
+	}
+	if len(c.plan.GroupCols) > 0 {
+		return 0, fmt.Errorf("%w: scalar aggregates do not apply to a grouped query; use Groups", core.ErrBadQuery)
+	}
+	if c.join != nil {
+		// Count is the one scalar fold defined over a join-composed
+		// query: the number of joined tuples.
+		if kind != AggCount {
+			return 0, fmt.Errorf("%w: only Count folds over a join-composed query; use Groups for per-group aggregates", core.ErrBadQuery)
+		}
+		n := 0
+		if err := c.JoinTuples(ctx, func(JoinTuple) bool { n++; return true }); err != nil {
+			return 0, err
+		}
+		return float64(n), nil
 	}
 	schema := c.schema
 	ci := -1
@@ -533,6 +629,14 @@ func (c *Compiled) Aggregate(ctx context.Context, kind AggKind, col string) (flo
 			return fsum, nil
 		}
 		return float64(isum), nil
+	case AggAvg:
+		if n == 0 {
+			return 0, fmt.Errorf("%w: %s over empty scan", core.ErrNoRows, col)
+		}
+		if isFloat {
+			return fsum / float64(n), nil
+		}
+		return float64(isum) / float64(n), nil
 	default:
 		if n == 0 {
 			return 0, fmt.Errorf("%w: %s over empty scan", core.ErrNoRows, col)

@@ -61,6 +61,40 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) error {
 	}
 	plan.AtCommit = vgraph.CommitID(req.AtCommit)
 
+	if len(req.Join) > 0 {
+		if isDiff || req.Heads {
+			return badRequestf("join does not combine with diff or heads")
+		}
+		for _, jc := range req.Join {
+			jt, err := s.db.TableByName(jc.Table)
+			if err != nil {
+				return err
+			}
+			jw, err := decodeExpr(jc.Where, jt.Schema())
+			if err != nil {
+				return err
+			}
+			leg := iquery.Plan{Table: jc.Table, Where: jw, Cols: jc.Select, AtSeq: -1}
+			if jc.Branch != "" {
+				leg.Branches = []string{jc.Branch}
+			}
+			plan.Joins = append(plan.Joins, iquery.JoinLeg{Plan: leg, LeftCol: jc.On[0], RightCol: jc.On[1]})
+		}
+		plan.NoReorder = req.DeclaredOrder
+	}
+	if len(req.Aggs) > 0 && len(req.GroupBy) == 0 {
+		return badRequestf("aggs require groupBy")
+	}
+	if len(req.GroupBy) > 0 {
+		if req.Agg != "" {
+			return badRequestf("agg and groupBy do not combine; use aggs")
+		}
+		if isDiff {
+			return badRequestf("groupBy does not combine with diff")
+		}
+		plan.GroupCols = req.GroupBy
+	}
+
 	resp := client.QueryResponse{}
 	// Pin single-branch head reads to the head resolved now.
 	if !isDiff && !req.Heads && len(plan.Branches) == 1 && plan.AtSeq < 0 {
@@ -87,18 +121,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) error {
 	ctx := r.Context()
 
 	if req.Agg != "" {
-		var kind iquery.AggKind
-		switch req.Agg {
-		case "count":
-			kind = iquery.AggCount
-		case "sum":
-			kind = iquery.AggSum
-		case "min":
-			kind = iquery.AggMin
-		case "max":
-			kind = iquery.AggMax
-		default:
-			return badRequestf("unknown aggregate %q", req.Agg)
+		kind, err := aggKindOf(req.Agg)
+		if err != nil {
+			return err
 		}
 		v, err := c.Aggregate(ctx, kind, req.AggCol)
 		if err != nil {
@@ -108,6 +133,50 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) error {
 		if kind != iquery.AggCount {
 			resp.Count = 0
 		}
+		return reply(w, &resp)
+	}
+
+	if len(plan.GroupCols) > 0 {
+		specs := make([]iquery.AggSpec, len(req.Aggs))
+		for i, a := range req.Aggs {
+			kind, err := aggKindOf(a.Agg)
+			if err != nil {
+				return err
+			}
+			specs[i] = iquery.AggSpec{Kind: kind, Col: a.Col}
+		}
+		err = c.GroupScan(ctx, specs, func(g *iquery.GroupRow) bool {
+			gw := client.GroupWire{Key: make([]any, len(g.Key)), Aggs: g.Aggs}
+			for i, v := range g.Key {
+				if b, ok := v.([]byte); ok {
+					gw.Key[i] = string(b)
+				} else {
+					gw.Key[i] = v
+				}
+			}
+			resp.Groups = append(resp.Groups, gw)
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		resp.Count = len(resp.Groups)
+		return reply(w, &resp)
+	}
+
+	if len(plan.Joins) > 0 {
+		err = c.JoinTuples(ctx, func(t iquery.JoinTuple) bool {
+			rows := make([]client.Row, len(t))
+			for i, rec := range t {
+				rows[i] = rowOf(rec)
+			}
+			resp.Tuples = append(resp.Tuples, rows)
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		resp.Count = len(resp.Tuples)
 		return reply(w, &resp)
 	}
 
@@ -147,6 +216,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) error {
 	}
 	resp.Count = len(resp.Rows)
 	return reply(w, &resp)
+}
+
+// aggKindOf maps a wire aggregate name to its plan kind.
+func aggKindOf(name string) (iquery.AggKind, error) {
+	switch name {
+	case "count":
+		return iquery.AggCount, nil
+	case "sum":
+		return iquery.AggSum, nil
+	case "min":
+		return iquery.AggMin, nil
+	case "max":
+		return iquery.AggMax, nil
+	case "avg":
+		return iquery.AggAvg, nil
+	}
+	return 0, badRequestf("unknown aggregate %q", name)
 }
 
 // handleCommit is POST /v1/commit: one transaction against a branch

@@ -1,0 +1,736 @@
+package decibel_test
+
+// Equivalence harness for the relational-algebra generalization: the
+// greedy-ordered N-way join must emit exactly what a naive nested-loop
+// reference computes (and exactly what the declared-order and
+// sequential runs emit — byte-identical streams), and grouped
+// streaming aggregates must equal a post-hoc fold over the plain row
+// scan — across the pruning predicate corpus, the three engines, and
+// worker counts {1,2,8}. The harness also asserts the new shapes
+// respect Sequential()/Plan.NoParallel and that the parallel pool
+// actually engages for them, so a silently declined (or silently
+// engaged) path cannot pass.
+
+import (
+	"errors"
+	"fmt"
+	"iter"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"decibel"
+	"decibel/internal/core"
+	iquery "decibel/internal/query"
+)
+
+// buildJoinDB loads three joinable tables — orders (400 rows),
+// users (40), items (15) — in two waves with a head-freezing branch
+// between them, so every engine has multiple frozen, zone-mapped
+// segments per table: what the greedy orderer estimates from and the
+// parallel executor fans out over. An "alt" branch diverges from
+// master by deleting some orders, for branch-targeted join legs.
+func buildJoinDB(t *testing.T, engine string, opts ...decibel.Option) *decibel.DB {
+	t.Helper()
+	db, err := decibel.Open(t.TempDir(), append([]decibel.Option{decibel.WithEngine(engine)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+
+	users := decibel.NewSchema().Int64("id").Int64("region").Bytes("name", 12).MustBuild()
+	items := decibel.NewSchema().Int64("id").Float64("price").Bytes("tag", 8).MustBuild()
+	orders := decibel.NewSchema().Int64("id").Int64("user_id").Int64("item_id").Int64("qty").MustBuild()
+	for _, tb := range []struct {
+		name string
+		s    *decibel.Schema
+	}{{"users", users}, {"items", items}, {"orders", orders}} {
+		if _, err := db.CreateTable(tb.name, tb.s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := db.Init("init"); err != nil {
+		t.Fatal(err)
+	}
+
+	loadUsers := func(lo, hi int64) {
+		t.Helper()
+		if _, err := db.Commit("master", func(tx *decibel.Tx) error {
+			recs := make([]*decibel.Record, 0, hi-lo)
+			for pk := lo; pk < hi; pk++ {
+				rec := decibel.NewRecord(users)
+				rec.SetPK(pk)
+				rec.Set(1, pk%4)
+				if err := rec.SetBytes(2, []byte(fmt.Sprintf("user-%04d", pk))); err != nil {
+					return err
+				}
+				recs = append(recs, rec)
+			}
+			return tx.InsertBatch("users", recs)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loadItems := func(lo, hi int64) {
+		t.Helper()
+		if _, err := db.Commit("master", func(tx *decibel.Tx) error {
+			recs := make([]*decibel.Record, 0, hi-lo)
+			for pk := lo; pk < hi; pk++ {
+				rec := decibel.NewRecord(items)
+				rec.SetPK(pk)
+				rec.SetFloat64(1, float64(pk)+0.5)
+				if err := rec.SetBytes(2, []byte(fmt.Sprintf("it-%03d", pk))); err != nil {
+					return err
+				}
+				recs = append(recs, rec)
+			}
+			return tx.InsertBatch("items", recs)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loadOrders := func(lo, hi int64) {
+		t.Helper()
+		if _, err := db.Commit("master", func(tx *decibel.Tx) error {
+			recs := make([]*decibel.Record, 0, hi-lo)
+			for pk := lo; pk < hi; pk++ {
+				rec := decibel.NewRecord(orders)
+				rec.SetPK(pk)
+				rec.Set(1, pk%40) // user_id
+				rec.Set(2, pk%15) // item_id
+				rec.Set(3, pk%5)  // qty
+				recs = append(recs, rec)
+			}
+			return tx.InsertBatch("orders", recs)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	loadUsers(0, 20)
+	loadItems(0, 8)
+	loadOrders(0, 200)
+	if _, err := db.Branch("master", "freeze1"); err != nil {
+		t.Fatal(err)
+	}
+	loadUsers(20, 40)
+	loadItems(8, 15)
+	loadOrders(200, 400)
+	if _, err := db.Branch("master", "freeze2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Branch("master", "alt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Commit("alt", func(tx *decibel.Tx) error {
+		for pk := int64(0); pk < 30; pk++ {
+			if err := tx.Delete("orders", pk); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// collectTuples drains a Tuples iterator into one line per tuple.
+func collectTuples(seq iter.Seq[decibel.JoinTuple], errFn func() error) ([]string, error) {
+	var out []string
+	for tup := range seq {
+		parts := make([]string, len(tup))
+		for i, rec := range tup {
+			parts[i] = rec.String()
+		}
+		out = append(out, strings.Join(parts, " | "))
+	}
+	return out, errFn()
+}
+
+// collectGroups drains a Groups iterator into one line per group.
+func collectGroups(seq iter.Seq[*decibel.GroupRow], errFn func() error) ([]string, error) {
+	var out []string
+	for g := range seq {
+		out = append(out, formatGroup(g.Key, g.Aggs))
+	}
+	return out, errFn()
+}
+
+func formatGroup(key []any, aggs []float64) string {
+	parts := make([]string, len(key))
+	for i, v := range key {
+		if b, ok := v.([]byte); ok {
+			v = string(b)
+		}
+		parts[i] = fmt.Sprintf("%v", v)
+	}
+	return strings.Join(parts, "|") + " => " + fmt.Sprint(aggs)
+}
+
+// legRows materializes one relation the naive reference joins over.
+func legRows(t *testing.T, q *decibel.Query) []*decibel.Record {
+	t.Helper()
+	rows, errFn := q.Sequential().Rows()
+	var out []*decibel.Record
+	for rec := range rows {
+		out = append(out, rec.Clone())
+	}
+	if err := errFn(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// refTuple3 is one nested-loop 3-way tuple (orders ⋈ users ⋈ items).
+type refTuple3 struct{ o, u, i *decibel.Record }
+
+// nestedLoop3 is the naive reference join: triple loop over the
+// materialized relations, sorted into the canonical composite-pk
+// order the executor emits in.
+func nestedLoop3(orows, urows, irows []*decibel.Record) []refTuple3 {
+	var ref []refTuple3
+	for _, o := range orows {
+		for _, u := range urows {
+			if o.Get(1) != u.PK() {
+				continue
+			}
+			for _, it := range irows {
+				if o.Get(2) != it.PK() {
+					continue
+				}
+				ref = append(ref, refTuple3{o: o, u: u, i: it})
+			}
+		}
+	}
+	sort.Slice(ref, func(a, b int) bool {
+		x, y := ref[a], ref[b]
+		if x.o.PK() != y.o.PK() {
+			return x.o.PK() < y.o.PK()
+		}
+		if x.u.PK() != y.u.PK() {
+			return x.u.PK() < y.u.PK()
+		}
+		return x.i.PK() < y.i.PK()
+	})
+	return ref
+}
+
+func fmtRef3(ref []refTuple3) []string {
+	out := make([]string, len(ref))
+	for i, r := range ref {
+		out[i] = r.o.String() + " | " + r.u.String() + " | " + r.i.String()
+	}
+	return out
+}
+
+func TestJoinEquivalence3Way(t *testing.T) {
+	type preds struct {
+		label                  string
+		oWhere, uWhere, iWhere decibel.Expr
+		oHas, uHas, iHas       bool
+	}
+	cases := []preds{
+		{label: "all"},
+		{label: "orders-qty", oWhere: decibel.Col("qty").Lt(2), oHas: true},
+		{label: "users-region", uWhere: decibel.Col("region").Eq(int64(1)), uHas: true},
+		{label: "items-price", iWhere: decibel.Col("price").Lt(8.5), iHas: true},
+		{label: "all-three",
+			oWhere: decibel.Col("qty").Ge(1), oHas: true,
+			uWhere: decibel.Col("region").Ne(int64(3)), uHas: true,
+			iWhere: decibel.Col("price").Gt(3), iHas: true},
+	}
+	for _, engine := range facadeEngines {
+		for _, workers := range []int{1, 2, 8} {
+			t.Run(fmt.Sprintf("%s/workers=%d", engine, workers), func(t *testing.T) {
+				db := buildJoinDB(t, engine, decibel.WithScanWorkers(workers))
+				for _, pc := range cases {
+					mk := func() *decibel.Query {
+						q := db.Query("orders").On("master")
+						if pc.oHas {
+							q = q.Where(pc.oWhere)
+						}
+						uq := db.Query("users")
+						if pc.uHas {
+							uq = uq.Where(pc.uWhere)
+						}
+						iq := db.Query("items")
+						if pc.iHas {
+							iq = iq.Where(pc.iWhere)
+						}
+						return q.JoinOn(uq, decibel.On("user_id", "id")).JoinOn(iq, decibel.On("item_id", "id"))
+					}
+
+					greedy, gErr := collectTuples(mk().Tuples())
+					declared, dErr := collectTuples(mk().DeclaredJoinOrder().Tuples())
+					sequential, sErr := collectTuples(mk().Sequential().Tuples())
+					compareStreams(t, pc.label+" greedy-vs-declared", greedy, declared, gErr, dErr)
+					compareStreams(t, pc.label+" greedy-vs-sequential", greedy, sequential, gErr, sErr)
+
+					mkLeg := func(table string, has bool, w decibel.Expr) *decibel.Query {
+						q := db.Query(table).On("master")
+						if has {
+							q = q.Where(w)
+						}
+						return q
+					}
+					ref := nestedLoop3(
+						legRows(t, mkLeg("orders", pc.oHas, pc.oWhere)),
+						legRows(t, mkLeg("users", pc.uHas, pc.uWhere)),
+						legRows(t, mkLeg("items", pc.iHas, pc.iWhere)))
+					compareStreams(t, pc.label+" greedy-vs-nested-loop", greedy, fmtRef3(ref), gErr, nil)
+
+					// Grouped join: group the 3-way tuples by the user's
+					// region, folding across relations (qty from orders,
+					// price from items), against a fold over the reference
+					// tuples in the same canonical order.
+					aggs := []decibel.Agg{decibel.Count(), decibel.Sum("qty"), decibel.Avg("price")}
+					got, gotErr := collectGroups(mk().GroupBy("region").Groups(aggs...))
+					seqG, seqGErr := collectGroups(mk().GroupBy("region").Sequential().Groups(aggs...))
+					compareStreams(t, pc.label+" grouped-join parallel-vs-sequential", got, seqG, gotErr, seqGErr)
+					type acc struct {
+						n    int
+						qsum int64
+						psum float64
+					}
+					m := map[int64]*acc{}
+					var order []int64
+					for _, r := range ref {
+						region := r.u.Get(1)
+						a := m[region]
+						if a == nil {
+							a = &acc{}
+							m[region] = a
+							order = append(order, region)
+						}
+						a.n++
+						a.qsum += r.o.Get(3)
+						a.psum += r.i.GetFloat64(1)
+					}
+					want := make([]string, len(order))
+					for i, region := range order {
+						a := m[region]
+						want[i] = formatGroup([]any{region},
+							[]float64{float64(a.n), float64(a.qsum), a.psum / float64(a.n)})
+					}
+					compareStreams(t, pc.label+" grouped-join-vs-ref", got, want, gotErr, nil)
+				}
+
+				// The greedy order must lead with the smallest-estimate
+				// relation — items (15 rows), not the declared root
+				// orders (400 rows).
+				c, err := iquery.Plan{Table: "orders", Branches: []string{"master"}, AtSeq: -1, Joins: []iquery.JoinLeg{
+					{Plan: iquery.Plan{Table: "users", AtSeq: -1}, LeftCol: "user_id", RightCol: "id"},
+					{Plan: iquery.Plan{Table: "items", AtSeq: -1}, LeftCol: "item_id", RightCol: "id"},
+				}}.Compile(db.Database)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ord, ests := c.JoinOrder(), c.JoinEstimates()
+				for i := range ests {
+					if ests[ord[0]] > ests[i] {
+						t.Fatalf("greedy order %v does not lead with the smallest estimate %v", ord, ests)
+					}
+				}
+				if ord[0] == 0 {
+					t.Fatalf("greedy order %v starts at the declared root despite estimates %v", ord, ests)
+				}
+			})
+		}
+	}
+}
+
+// TestJoinCorpusEquivalence runs the version-join configuration of the
+// general node — the same table's two branch heads joined on the
+// primary key — under the pruning predicate corpus, against both a
+// nested-loop reference and the deprecated two-branch Join terminal.
+func TestJoinCorpusEquivalence(t *testing.T) {
+	for _, engine := range facadeEngines {
+		for _, workers := range []int{1, 2, 8} {
+			t.Run(fmt.Sprintf("%s/workers=%d", engine, workers), func(t *testing.T) {
+				db := buildPruningDB(t, engine, decibel.WithScanWorkers(workers))
+				rng := rand.New(rand.NewSource(0x10b5))
+				preds := []iquery.Expr{
+					decibel.Col("price").Lt(7.5),
+					decibel.Col("sku").HasPrefix("b"),
+					decibel.Col("v").Ge(120),
+				}
+				for i := 0; i < 15; i++ {
+					preds = append(preds, randExpr(rng, 2))
+				}
+				for i, where := range preds {
+					label := fmt.Sprintf("pred[%d]", i)
+					mk := func() *decibel.Query {
+						return db.Query("r").On("master").Where(where).
+							JoinOn(db.Query("r").On("b1"), decibel.On("id", "id"))
+					}
+					greedy, gErr := collectTuples(mk().Tuples())
+					declared, dErr := collectTuples(mk().DeclaredJoinOrder().Tuples())
+					sequential, sErr := collectTuples(mk().Sequential().Tuples())
+					compareStreams(t, label+" greedy-vs-declared", greedy, declared, gErr, dErr)
+					compareStreams(t, label+" greedy-vs-sequential", greedy, sequential, gErr, sErr)
+
+					// Nested loop over the two materialized sides.
+					left := legRows(t, db.Query("r").On("master").Where(where))
+					right := legRows(t, db.Query("r").On("b1"))
+					byPK := map[int64]*decibel.Record{}
+					for _, r := range right {
+						byPK[r.PK()] = r
+					}
+					type pair struct{ l, r *decibel.Record }
+					var ref []pair
+					for _, l := range left {
+						if r, ok := byPK[l.PK()]; ok {
+							ref = append(ref, pair{l, r})
+						}
+					}
+					sort.Slice(ref, func(a, b int) bool { return ref[a].l.PK() < ref[b].l.PK() })
+					want := make([]string, len(ref))
+					for j, p := range ref {
+						want[j] = p.l.String() + " | " + p.r.String()
+					}
+					compareStreams(t, label+" greedy-vs-nested-loop", greedy, want, gErr, nil)
+
+					// The deprecated version-join terminal must agree with
+					// the general node it now wraps on which pairs join and
+					// in what order. (Record width can differ: the pair
+					// terminal reads both branches at their union schema
+					// epoch, while the general node compiles each leg at
+					// its own branch's epoch — b1 never grew "price".)
+					pairs, pErr := db.Query("r").Where(where).Join("master", "b1")
+					var old []string
+					for l, r := range pairs {
+						old = append(old, fmt.Sprintf("%s | pk=%d", l.String(), r.PK()))
+					}
+					tuples, tErr := mk().Tuples()
+					var niu []string
+					for tup := range tuples {
+						niu = append(niu, fmt.Sprintf("%s | pk=%d", tup[0].String(), tup[1].PK()))
+					}
+					compareStreams(t, label+" new-vs-deprecated", niu, old, tErr(), pErr())
+				}
+			})
+		}
+	}
+}
+
+// refAgg mirrors one Agg for the post-hoc reference fold.
+type refAgg struct {
+	kind byte // c,s,m,M,a
+	col  string
+}
+
+// refGroupFold folds the rows of a sequential ungrouped scan post hoc,
+// replicating the streaming fold's arithmetic exactly (int columns
+// accumulate as int64, first-arrival emission order).
+func refGroupFold(rows []*decibel.Record, groupCols []string, aggs []refAgg) []string {
+	type acc struct {
+		key  []any
+		n    []int
+		isum []int64
+		fsum []float64
+		fmin []float64
+		fmax []float64
+	}
+	m := map[string]*acc{}
+	var order []string
+	isFloat := make([]bool, len(aggs))
+	for _, rec := range rows {
+		sch := rec.Schema()
+		keyParts := make([]string, len(groupCols))
+		keyVals := make([]any, len(groupCols))
+		for i, name := range groupCols {
+			ci := sch.ColumnIndex(name)
+			var v any
+			switch sch.Column(ci).Type {
+			case decibel.Float64:
+				v = rec.GetFloat64(ci)
+			case decibel.Bytes:
+				v = string(append([]byte(nil), rec.GetBytes(ci)...))
+			default:
+				v = rec.Get(ci)
+			}
+			keyVals[i] = v
+			keyParts[i] = fmt.Sprintf("%v", v)
+		}
+		key := strings.Join(keyParts, "|")
+		a := m[key]
+		if a == nil {
+			a = &acc{key: keyVals,
+				n: make([]int, len(aggs)), isum: make([]int64, len(aggs)),
+				fsum: make([]float64, len(aggs)), fmin: make([]float64, len(aggs)), fmax: make([]float64, len(aggs))}
+			m[key] = a
+			order = append(order, key)
+		}
+		for i, ag := range aggs {
+			a.n[i]++
+			if ag.kind == 'c' {
+				continue
+			}
+			ci := sch.ColumnIndex(ag.col)
+			var f float64
+			if sch.Column(ci).Type == decibel.Float64 {
+				isFloat[i] = true
+				f = rec.GetFloat64(ci)
+				a.fsum[i] += f
+			} else {
+				iv := rec.Get(ci)
+				a.isum[i] += iv
+				f = float64(iv)
+			}
+			if a.n[i] == 1 || f < a.fmin[i] {
+				a.fmin[i] = f
+			}
+			if a.n[i] == 1 || f > a.fmax[i] {
+				a.fmax[i] = f
+			}
+		}
+	}
+	out := make([]string, len(order))
+	for j, key := range order {
+		a := m[key]
+		res := make([]float64, len(aggs))
+		for i, ag := range aggs {
+			sum := float64(a.isum[i])
+			if isFloat[i] {
+				sum = a.fsum[i]
+			}
+			switch ag.kind {
+			case 'c':
+				res[i] = float64(a.n[i])
+			case 's':
+				res[i] = sum
+			case 'm':
+				res[i] = a.fmin[i]
+			case 'M':
+				res[i] = a.fmax[i]
+			default: // avg
+				res[i] = sum / float64(a.n[i])
+			}
+		}
+		out[j] = formatGroup(a.key, res)
+	}
+	return out
+}
+
+func TestGroupByEquivalence(t *testing.T) {
+	aggs := []decibel.Agg{decibel.Count(), decibel.Sum("v"), decibel.Min("price"), decibel.Max("price"), decibel.Avg("price")}
+	refs := []refAgg{{'c', ""}, {'s', "v"}, {'m', "price"}, {'M', "price"}, {'a', "price"}}
+	type shape struct {
+		label    string
+		branches []string
+		heads    bool
+	}
+	shapes := []shape{
+		{"master", []string{"master"}, false},
+		{"b2", []string{"b2"}, false},
+		{"multi", []string{"master", "b1"}, false},
+		{"heads", nil, true},
+	}
+	groupings := [][]string{{"price"}, {"sku"}, {"price", "sku"}}
+	for _, engine := range facadeEngines {
+		for _, workers := range []int{1, 2, 8} {
+			t.Run(fmt.Sprintf("%s/workers=%d", engine, workers), func(t *testing.T) {
+				db := buildPruningDB(t, engine, decibel.WithScanWorkers(workers))
+				preds := []iquery.Expr{
+					{},
+					decibel.Col("price").Lt(7.5),
+					decibel.Col("price").Ge(7.5),
+					decibel.Col("sku").HasPrefix("c"),
+					decibel.Col("v").Ge(120).And(decibel.Col("sku").HasPrefix("b")),
+				}
+				rng := rand.New(rand.NewSource(0x96f0))
+				for i := 0; i < 20; i++ {
+					preds = append(preds, randExpr(rng, 2))
+				}
+				for pi, where := range preds {
+					for _, sh := range shapes {
+						mk := func() *decibel.Query {
+							q := db.Query("r").Where(where)
+							if sh.heads {
+								return q.Heads()
+							}
+							return q.On(sh.branches...)
+						}
+						for gi, gcols := range groupings {
+							label := fmt.Sprintf("pred[%d] %s group[%d]", pi, sh.label, gi)
+							par, parErr := collectGroups(mk().GroupBy(gcols...).Groups(aggs...))
+							seq, seqErr := collectGroups(mk().GroupBy(gcols...).Sequential().Groups(aggs...))
+							compareStreams(t, label+" parallel-vs-sequential", par, seq, parErr, seqErr)
+							if seqErr != nil {
+								continue
+							}
+							want := refGroupFold(legRows(t, mk()), gcols, refs)
+							compareStreams(t, label+" streaming-vs-posthoc", seq, want, seqErr, nil)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestJoinGroupByPoolDiscipline asserts the fix of this PR's satellite:
+// joined and grouped scans must stay off the parallel pool under
+// Sequential()/Plan.NoParallel — strictly, per engine — and must engage
+// it when parallel-eligible. Engagement is asserted across the engine
+// set (like TestParallelScanEquivalence): whether a given scan
+// partitions into enough units is an engine property, but a pool that
+// never engages for the new shapes at all is a silently disabled path.
+func TestJoinGroupByPoolDiscipline(t *testing.T) {
+	var groupDelta, joinDelta int64
+	for _, engine := range facadeEngines {
+		t.Run(engine, func(t *testing.T) {
+			db := buildPruningDB(t, engine, decibel.WithScanWorkers(4))
+			jdb := buildJoinDB(t, engine, decibel.WithScanWorkers(4))
+
+			runGroup := func(db *decibel.DB, seq bool) {
+				t.Helper()
+				q := db.Query("r").On("master")
+				if seq {
+					q = q.Sequential()
+				}
+				groups, errFn := q.GroupBy("price").Groups(decibel.Count(), decibel.Avg("v"))
+				for range groups {
+				}
+				if err := errFn(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			runJoin := func(seq bool) {
+				t.Helper()
+				q := jdb.Query("orders").On("master")
+				if seq {
+					q = q.Sequential()
+				}
+				tuples, errFn := q.JoinOn(jdb.Query("users"), decibel.On("user_id", "id")).Tuples()
+				for range tuples {
+				}
+				if err := errFn(); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			before, _ := core.ParallelScanCounters()
+			runGroup(db, true)
+			runJoin(true)
+			after, _ := core.ParallelScanCounters()
+			if after != before {
+				t.Fatalf("Sequential() joined/grouped scans engaged the parallel pool (%d→%d scans)", before, after)
+			}
+			runGroup(db, false)
+			mid, _ := core.ParallelScanCounters()
+			groupDelta += mid - after
+			runJoin(false)
+			end, _ := core.ParallelScanCounters()
+			joinDelta += end - mid
+		})
+	}
+	if groupDelta == 0 {
+		t.Fatalf("grouped scans never engaged the parallel pool on any engine")
+	}
+	if joinDelta == 0 {
+		t.Fatalf("joined scans never engaged the parallel pool on any engine")
+	}
+}
+
+// TestJoinGroupByErrors pins the plan-time error taxonomy of the new
+// shapes — the same table the server's error-code mapping serves from.
+func TestJoinGroupByErrors(t *testing.T) {
+	db := buildJoinDB(t, "hybrid")
+	pdb := buildPruningDB(t, "hybrid")
+
+	drainT := func(s iter.Seq[decibel.JoinTuple], e func() error) error {
+		for range s {
+		}
+		return e()
+	}
+	drainG := func(s iter.Seq[*decibel.GroupRow], e func() error) error {
+		for range s {
+		}
+		return e()
+	}
+	drainR := func(s iter.Seq[*decibel.Record], e func() error) error {
+		for range s {
+		}
+		return e()
+	}
+
+	cases := []struct {
+		label string
+		want  error
+		run   func() error
+	}{
+		{"float join key", decibel.ErrBadQuery, func() error {
+			return drainT(db.Query("orders").On("master").JoinOn(db.Query("items"), decibel.On("qty", "price")).Tuples())
+		}},
+		{"int-bytes key mismatch", decibel.ErrTypeMismatch, func() error {
+			return drainT(db.Query("orders").On("master").JoinOn(db.Query("users"), decibel.On("user_id", "name")).Tuples())
+		}},
+		{"unknown join key", decibel.ErrNoSuchColumn, func() error {
+			return drainT(db.Query("orders").On("master").JoinOn(db.Query("users"), decibel.On("nope", "id")).Tuples())
+		}},
+		{"join key projected out", decibel.ErrBadQuery, func() error {
+			return drainT(db.Query("orders").On("master").Select("id", "qty").
+				JoinOn(db.Query("users"), decibel.On("user_id", "id")).Tuples())
+		}},
+		{"group col missing from Select", decibel.ErrBadQuery, func() error {
+			return drainG(pdb.Query("r").On("master").Select("id", "v").GroupBy("sku").Groups(decibel.Count()))
+		}},
+		{"unknown group col", decibel.ErrNoSuchColumn, func() error {
+			return drainG(pdb.Query("r").On("master").GroupBy("nope").Groups(decibel.Count()))
+		}},
+		{"groupBy with OrderBy", decibel.ErrBadQuery, func() error {
+			return drainG(pdb.Query("r").On("master").OrderBy("v", false).GroupBy("sku").Groups(decibel.Count()))
+		}},
+		{"Rows on joined query", decibel.ErrBadQuery, func() error {
+			return drainR(db.Query("orders").On("master").JoinOn(db.Query("users"), decibel.On("user_id", "id")).Rows())
+		}},
+		{"Rows on grouped query", decibel.ErrBadQuery, func() error {
+			return drainR(pdb.Query("r").On("master").GroupBy("sku").Rows())
+		}},
+		{"scalar Sum over join", decibel.ErrBadQuery, func() error {
+			_, err := db.Query("orders").On("master").JoinOn(db.Query("users"), decibel.On("user_id", "id")).Sum("qty")
+			return err
+		}},
+		{"Tuples without join", decibel.ErrBadQuery, func() error {
+			return drainT(db.Query("orders").On("master").Tuples())
+		}},
+		{"Groups without GroupBy", decibel.ErrBadQuery, func() error {
+			return drainG(db.Query("orders").On("master").Groups(decibel.Count()))
+		}},
+		{"join leg scans every head", decibel.ErrBadQuery, func() error {
+			return drainT(db.Query("orders").On("master").JoinOn(db.Query("users").Heads(), decibel.On("user_id", "id")).Tuples())
+		}},
+		{"join over multi-branch root", decibel.ErrBadQuery, func() error {
+			return drainT(db.Query("orders").On("master", "alt").JoinOn(db.Query("users"), decibel.On("user_id", "id")).Tuples())
+		}},
+		{"aggregate over bytes column", decibel.ErrTypeMismatch, func() error {
+			return drainG(db.Query("users").On("master").GroupBy("region").Groups(decibel.Sum("name")))
+		}},
+	}
+	for _, tc := range cases {
+		if err := tc.run(); !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.label, err, tc.want)
+		}
+	}
+
+	// Count is the one scalar fold defined over a join, and the joined
+	// tuples it counts must agree with the tuple stream.
+	n, err := db.Query("orders").On("master").JoinOn(db.Query("users"), decibel.On("user_id", "id")).Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples, errFn := db.Query("orders").On("master").JoinOn(db.Query("users"), decibel.On("user_id", "id")).Tuples()
+	m := 0
+	for range tuples {
+		m++
+	}
+	if err := errFn(); err != nil {
+		t.Fatal(err)
+	}
+	if n != m || n != 400 {
+		t.Fatalf("join Count %d, tuple stream %d (want 400)", n, m)
+	}
+}

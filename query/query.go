@@ -13,6 +13,13 @@
 //		Select("sku", "price").
 //		Rows()
 //
+// Since the relational-algebra generalization the builder also
+// composes N-way equi-joins across tables (decibel.Query.JoinOn with
+// decibel.On, consumed by Tuples) and grouped streaming aggregates
+// (decibel.Query.GroupBy with Groups and the decibel.Count / Sum /
+// Min / Max / Avg aggregate constructors); the fixed two-branch
+// version join of Query 3 is one configuration of that join node.
+//
 // The free functions below are the original ID-based operators, kept
 // for callers that already hold vgraph IDs. They are thin wrappers
 // over the same pushdown-capable scan paths the builder compiles to,
@@ -108,7 +115,10 @@ func PositiveDiff(t *decibel.Table, a, b decibel.BranchID, fn decibel.ScanFunc) 
 // VersionJoin is Query 3: a primary-key join between two branch heads,
 // emitting pairs whose left record satisfies the predicate.
 //
-// Deprecated: use db.Query(table).Where(...).Join(left, right).
+// Deprecated: use the general join node —
+// db.Query(table).On(left).Where(...).JoinOn(db.Query(table).On(right),
+// decibel.On("pk", "pk")).Tuples() — or the compatibility terminal
+// db.Query(table).Where(...).Join(left, right), itself deprecated.
 func VersionJoin(t *decibel.Table, left, right decibel.BranchID, pred Predicate, fn func(JoinedPair) bool) error {
 	return iquery.VersionJoin(t, left, right, pred, fn)
 }

@@ -67,6 +67,21 @@ COMPACT_AFTER="$(var decibel.compactions)"
 # set -eu: a loadgen failure (any errored operation) aborts here.
 wait "$LOAD_PID"
 
+# One join and one group-by over /v1/query: the relational-algebra
+# clauses must serve against the freshly written dataset. The self-join
+# on the primary key pairs every master row with itself; the grouped
+# aggregate buckets by qty. Both must report a positive count.
+JOIN_COUNT="$(curl -fsS -X POST "http://$ADDR/v1/query" \
+    -d '{"table":"r","branches":["master"],"join":[{"table":"r","on":["id","id"]}]}' |
+    grep -o '"count":[0-9][0-9]*' | grep -o '[0-9][0-9]*$')"
+[ "$JOIN_COUNT" -gt 0 ] || { echo "server-smoke: join query returned no tuples" >&2; exit 1; }
+
+GROUP_COUNT="$(curl -fsS -X POST "http://$ADDR/v1/query" \
+    -d '{"table":"r","branches":["master"],"groupBy":["qty"],"aggs":[{"agg":"count"},{"agg":"avg","col":"price"}]}' |
+    grep -o '"count":[0-9][0-9]*' | grep -o '[0-9][0-9]*$')"
+[ "$GROUP_COUNT" -gt 0 ] || { echo "server-smoke: group-by query returned no groups" >&2; exit 1; }
+echo "server-smoke: join tuples=$JOIN_COUNT groups=$GROUP_COUNT"
+
 [ "$COMPACT_AFTER" -gt "$COMPACT_BEFORE" ] || {
     echo "server-smoke: compaction counter never moved ($COMPACT_BEFORE -> $COMPACT_AFTER)" >&2
     exit 1
