@@ -583,8 +583,14 @@ func run(dir, engine, table string, args []string) error {
 			segs := t.SegmentStats()
 			fmt.Printf("\ntable %q: %d segments (zone maps; * marks open append heads)\n", rest[0], len(segs))
 			for _, sg := range segs {
-				fmt.Printf("  %-22s rows=%-7d schema-cols=%d enc=%-4s raw=%-9d disk=%-9d tombstones=%d\n",
-					sg.Name, sg.Rows, sg.Cols, sg.Encoding, sg.RawBytes, sg.DiskBytes, sg.Tombstones)
+				lineage := ""
+				if sg.LineageDepth > 0 {
+					// Version-first: the lineage depth a scan rooted here
+					// resolves through, and the merge override-table size.
+					lineage = fmt.Sprintf(" lineage=%d ovr=%d", sg.LineageDepth, sg.Overrides)
+				}
+				fmt.Printf("  %-22s rows=%-7d schema-cols=%d enc=%-4s raw=%-9d disk=%-9d tombstones=%d%s\n",
+					sg.Name, sg.Rows, sg.Cols, sg.Encoding, sg.RawBytes, sg.DiskBytes, sg.Tombstones, lineage)
 				for _, z := range sg.Zones {
 					fmt.Printf("    %-14s [%s .. %s]\n", z.Column, z.Min, z.Max)
 				}

@@ -138,6 +138,13 @@ type Options struct {
 	Fsync         bool // fsync on commit (off for benchmarks, like the paper's load phase)
 	ScanWorkers   int  // parallel scan pool size (0 = DECIBEL_SCAN_WORKERS env or GOMAXPROCS; 1 disables)
 
+	// VFLineageCache bounds the version-first lineage/live-set cache by
+	// resident key count: >0 sets the budget, 0 takes the
+	// DECIBEL_VF_CACHE environment variable (else the engine default),
+	// and <0 disables the cache (every resolution takes the full
+	// lineage walk). Only the version-first engine consults it.
+	VFLineageCache int
+
 	// Compaction configures the background compaction subsystem; the
 	// zero value (compact.ModeOff) disables it entirely.
 	Compaction compact.Options

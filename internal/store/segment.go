@@ -358,7 +358,12 @@ type SegmentStat struct {
 	RawBytes   int64  // logical record bytes (rows * record size)
 	DiskBytes  int64  // bytes the segment file occupies on disk
 	Tombstones int64  // tombstone slots (reclaimable by compaction)
-	Zones      []ColZoneStat
+	// Version-first lineage shape (zero on other engines): the number
+	// of lineage steps a scan rooted at this segment's tip resolves
+	// through, and the size of the segment's merge override table.
+	LineageDepth int
+	Overrides    int
+	Zones        []ColZoneStat
 }
 
 // Stat summarizes the segment under the given display name.

@@ -139,6 +139,15 @@ func (e *Engine) CompactSegments(opt compact.Options) (compact.Stats, error) {
 		abort()
 		return st, err
 	}
+	// Compression preserves slot numbering, so cached resolutions
+	// pointing into replaced segments would stay readable; drop the
+	// entries rooted at them anyway so the cache's validity never
+	// depends on the re-encoder's internals. Interval tables keyed on
+	// the replaced segments are dropped for the same reason.
+	for _, r := range repls {
+		e.invalidateResolvedLocked(r.old.id)
+		e.invalidateSeg(r.old.id)
+	}
 	for _, r := range repls {
 		st.SegmentsCompressed++
 		st.PagesCompressed += int64(r.pages)

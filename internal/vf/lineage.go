@@ -100,8 +100,37 @@ func (e *Engine) lineageAt(p pos) ([]step, error) {
 	return out, nil
 }
 
-// rawLineage returns the rank-ordered steps, possibly overlapping.
+// maxLineMemo bounds the rawLineage memo; the map is cleared wholesale
+// when it fills (entries are cheap to recompute one level at a time).
+const maxLineMemo = 8192
+
+// rawLineage returns the rank-ordered steps, possibly overlapping,
+// memoized per position when the lineage cache is enabled: a
+// position's raw lineage depends only on immutable links and override
+// tables (see cache.go for the validity argument), and the recursion
+// re-visits the same parent and LCA positions at every merge level, so
+// memoization makes chained merges linear instead of quadratic.
 func (e *Engine) rawLineage(p pos) ([]step, error) {
+	if e.lineMemo == nil {
+		return e.rawLineageUncached(p)
+	}
+	if steps, ok := e.lineMemo[p]; ok {
+		return steps, nil
+	}
+	steps, err := e.rawLineageUncached(p)
+	if err != nil {
+		return nil, err
+	}
+	if len(e.lineMemo) >= maxLineMemo {
+		clear(e.lineMemo)
+	}
+	e.lineMemo[p] = steps
+	return steps, nil
+}
+
+// rawLineageUncached computes the rank-ordered steps from the segment
+// links; recursive calls go through the memoized rawLineage.
+func (e *Engine) rawLineageUncached(p pos) ([]step, error) {
 	if int(p.Seg) >= len(e.segs) {
 		return nil, fmt.Errorf("vf: segment %d out of range", p.Seg)
 	}
@@ -212,11 +241,76 @@ func (e *Engine) table(iv interval) (intervalTable, error) {
 	return t, nil
 }
 
-// resolveLive computes the live set (pk -> record copy position) of the
-// version at p: walk the lineage steps in rank order, first claim of a
-// key wins, tombstones and deletion overrides claim without
-// contributing a live copy. Caller holds e.mu.
+// resolveLive returns the live set (pk -> record copy position) of the
+// version at p. The returned map is SHARED with the cache and with
+// other callers — it must be treated as read-only.
+//
+// Resolution is tiered: an exact-position cache hit returns the cached
+// map; a miss with a cached base lower in the same segment clones the
+// base and overlays only the slot window between the two cuts (commit
+// windows apply through their recorded RLE deltas, gaps through
+// interval tables); a cold miss pays the full lineage walk and primes
+// the cache. With the cache disabled every call takes the full walk.
+// Caller holds e.mu.
 func (e *Engine) resolveLive(p pos) (map[int64]pos, error) {
+	if e.lcache == nil {
+		return e.resolveLiveFull(p)
+	}
+	if m := e.lcache.get(p); m != nil {
+		vfCacheHits.Add(1)
+		return m, nil
+	}
+	vfCacheMisses.Add(1)
+	if int(p.Seg) >= len(e.segs) {
+		return nil, fmt.Errorf("vf: segment %d out of range", p.Seg)
+	}
+	if base := e.lcache.base(p.Seg, p.Slot); base != nil {
+		vfDeltaResolves.Add(1)
+		live := make(map[int64]pos, len(base.live)+int(p.Slot-base.pos.Slot)/2)
+		for pk, q := range base.live {
+			live[pk] = q
+		}
+		if err := e.applyWindowLocked(live, p.Seg, base.pos.Slot, p.Slot); err != nil {
+			return nil, err
+		}
+		e.lcache.put(p, live)
+		return live, nil
+	}
+	live, err := e.resolveLiveFull(p)
+	if err != nil {
+		return nil, err
+	}
+	e.lcache.put(p, live)
+	return live, nil
+}
+
+// invalidateResolvedLocked drops every cached resolution and memoized
+// lineage rooted at the segment. Two callers: Merge, whose new head
+// segment gains overrides after its first resolution; and compaction,
+// which replaces segment objects (slot numbering is preserved, so the
+// drop is conservative rather than required — see cache.go). Caller
+// holds e.mu.
+func (e *Engine) invalidateResolvedLocked(id segID) {
+	if e.lcache != nil {
+		e.lcache.invalidateSeg(id)
+	}
+	// Scan plans can reference any number of segments, so the plan tier
+	// is cleared wholesale rather than filtered by root.
+	if e.pcache != nil {
+		e.pcache.clear()
+	}
+	for p := range e.lineMemo {
+		if p.Seg == id {
+			delete(e.lineMemo, p)
+		}
+	}
+}
+
+// resolveLiveFull computes the live set with a full lineage walk: the
+// steps in rank order, first claim of a key wins, tombstones and
+// deletion overrides claim without contributing a live copy. Caller
+// holds e.mu.
+func (e *Engine) resolveLiveFull(p pos) (map[int64]pos, error) {
 	lineage, err := e.lineageAt(p)
 	if err != nil {
 		return nil, err
@@ -251,6 +345,99 @@ func (e *Engine) resolveLive(p pos) (map[int64]pos, error) {
 		}
 	}
 	return live, nil
+}
+
+// stepEq reports whether two lineage steps are the same step: the same
+// override table, or the same slot interval of the same segment.
+func stepEq(a, b step) bool {
+	if a.isOvr != b.isOvr {
+		return false
+	}
+	if a.isOvr {
+		return a.ovr == b.ovr
+	}
+	return a.iv == b.iv
+}
+
+// diffLiveLocked computes the two exclusive sides of diff(A, B) — the
+// record copies live in exactly one of the two positions — from the
+// lineage delta instead of a full comparison of both live maps.
+//
+// The two step lists share their ancestry as a common suffix. A key
+// not claimed by any step above that suffix resolves through the same
+// first-claiming suffix step on both sides, so its outcome is
+// identical and it cannot appear in the diff. The candidate set is
+// therefore the keys claimed by the non-common steps of either side —
+// for a branch freshly forked off an unchanged parent, just the keys
+// touched in the fork's own head — and only candidates pay the
+// per-key live-map comparison. Clipping can shorten the detected
+// suffix (the two sides subtract different coverage from shared
+// ranges), which only grows the candidate set, never drops a
+// differing key. Caller holds e.mu.
+func (e *Engine) diffLiveLocked(pa, pb pos) (onlyA, onlyB map[int64]pos, err error) {
+	la, err := e.resolveLive(pa)
+	if err != nil {
+		return nil, nil, err
+	}
+	lb, err := e.resolveLive(pb)
+	if err != nil {
+		return nil, nil, err
+	}
+	stepsA, err := e.lineageAt(pa)
+	if err != nil {
+		return nil, nil, err
+	}
+	stepsB, err := e.lineageAt(pb)
+	if err != nil {
+		return nil, nil, err
+	}
+	i, j := len(stepsA), len(stepsB)
+	for i > 0 && j > 0 && stepEq(stepsA[i-1], stepsB[j-1]) {
+		i--
+		j--
+	}
+	onlyA = make(map[int64]pos)
+	onlyB = make(map[int64]pos)
+	seen := make(map[int64]bool)
+	check := func(pk int64) {
+		if seen[pk] {
+			return
+		}
+		seen[pk] = true
+		qa, okA := la[pk]
+		qb, okB := lb[pk]
+		if okA && (!okB || qa != qb) {
+			onlyA[pk] = qa
+		}
+		if okB && (!okA || qa != qb) {
+			onlyB[pk] = qb
+		}
+	}
+	collect := func(steps []step) error {
+		for _, st := range steps {
+			if st.isOvr {
+				for _, ov := range e.segs[st.ovr].overrides {
+					check(ov.PK)
+				}
+				continue
+			}
+			t, err := e.table(st.iv)
+			if err != nil {
+				return err
+			}
+			for pk := range t {
+				check(pk)
+			}
+		}
+		return nil
+	}
+	if err := collect(stepsA[:i]); err != nil {
+		return nil, nil, err
+	}
+	if err := collect(stepsB[:j]); err != nil {
+		return nil, nil, err
+	}
+	return onlyA, onlyB, nil
 }
 
 // span is a half-open slot range.

@@ -221,5 +221,10 @@ func (e *Engine) Merge(into, other vgraph.BranchID, mc *vgraph.Commit, kind core
 		}
 		ensure(pk, want, deleted)
 	}
+	// The pure-scan resolution of the new head (scanOut) was computed —
+	// and possibly cached — before the override table above was filled;
+	// drop every resolution rooted at the merged segment so later reads
+	// re-resolve with the overrides in place.
+	e.invalidateResolvedLocked(d.id)
 	return st, e.commitLocked(mc)
 }

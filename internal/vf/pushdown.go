@@ -125,20 +125,29 @@ func (e *Engine) headsLocked() map[segID]bool {
 	return heads
 }
 
-// unitsFor groups resolved positions by segment — ids ascending, slots
-// ascending, mirroring the sequential emit order — and builds one unit
-// per segment. segs and heads were snapshotted under e.mu.
-func unitsFor(bySeg map[segID][]int64, segs []*segment, heads map[segID]bool, aux func(at pos) core.UnitAux) []core.ScanUnit {
-	ids := make([]segID, 0, len(bySeg))
-	for id := range bySeg {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	units := make([]core.ScanUnit, 0, len(ids))
-	for _, id := range ids {
-		slots := bySeg[id]
+// sortedGroups turns a per-segment slot bucketing into the canonical
+// scan-plan form: one group per segment, ids ascending, slots
+// ascending, mirroring the sequential emit order. This is the shape
+// the plan cache retains, so the grouping and sorting cost is paid
+// once per distinct position vector instead of once per scan.
+func sortedGroups(bySeg map[segID][]int64) []planGroup {
+	groups := make([]planGroup, 0, len(bySeg))
+	for id, slots := range bySeg {
 		sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
-		units = append(units, segUnit(segs[id], slots, !heads[id], aux))
+		groups = append(groups, planGroup{id: id, slots: slots})
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i].id < groups[j].id })
+	return groups
+}
+
+// unitsFor builds one scan unit per plan group. segs and heads were
+// snapshotted under e.mu; head status is never cached with the plan —
+// it is re-read per scan so a segment that froze since the plan was
+// built becomes eligible for parallel fan-out (and never the reverse).
+func unitsFor(groups []planGroup, segs []*segment, heads map[segID]bool, aux func(at pos) core.UnitAux) []core.ScanUnit {
+	units := make([]core.ScanUnit, 0, len(groups))
+	for _, g := range groups {
+		units = append(units, segUnit(segs[g.id], g.slots, !heads[g.id], aux))
 	}
 	return units
 }
@@ -156,17 +165,17 @@ func groupLive(live map[int64]pos) map[segID][]int64 {
 // segment a partition's units reference and returns the release func
 // handing the pins back; a concurrent compaction retires replaced
 // files only after the pins drain.
-func pinAll(segs []*segment, groups ...map[segID][]int64) func() {
+func pinAll(segs []*segment, groupLists ...[]planGroup) func() {
 	var pinned []*store.Segment
 	seen := make(map[segID]bool)
-	for _, g := range groups {
-		for id := range g {
-			if seen[id] {
+	for _, gs := range groupLists {
+		for _, g := range gs {
+			if seen[g.id] {
 				continue
 			}
-			seen[id] = true
-			segs[id].Segment.Pin()
-			pinned = append(pinned, segs[id].Segment)
+			seen[g.id] = true
+			segs[g.id].Segment.Pin()
+			pinned = append(pinned, segs[g.id].Segment)
 		}
 	}
 	return func() {
@@ -174,6 +183,40 @@ func pinAll(segs []*segment, groups ...map[segID][]int64) func() {
 			sg.Unpin()
 		}
 	}
+}
+
+// planFor looks up the scan-plan cache (counting a hit as a lineage
+// cache hit: the plan embeds the resolutions) and falls back to build,
+// caching the result. build runs under e.mu, like the caller.
+func (e *Engine) planFor(key string, build func() (*planEntry, error)) (*planEntry, error) {
+	if e.pcache != nil {
+		if en := e.pcache.get(key); en != nil {
+			vfCacheHits.Add(1)
+			return en, nil
+		}
+	}
+	en, err := build()
+	if err != nil {
+		return nil, err
+	}
+	en.key = key
+	if e.pcache != nil {
+		e.pcache.put(en)
+	}
+	return en, nil
+}
+
+// singlePlanLocked returns the scan plan of one resolved position
+// (branch-head and commit scans share it: same position, same plan).
+// Caller holds e.mu.
+func (e *Engine) singlePlanLocked(p pos) (*planEntry, error) {
+	return e.planFor(planKey('s', p), func() (*planEntry, error) {
+		live, err := e.resolveLive(p)
+		if err != nil {
+			return nil, err
+		}
+		return &planEntry{groups: sortedGroups(groupLive(live))}, nil
+	})
 }
 
 // PartitionScan implements core.ParallelScanner: live sets are
@@ -189,16 +232,15 @@ func (e *Engine) PartitionScan(req core.ScanRequest) ([]core.ScanUnit, func(), e
 			e.mu.Unlock()
 			return nil, nil, err
 		}
-		live, err := e.resolveLive(pos{Seg: s.id, Slot: cut})
+		en, err := e.singlePlanLocked(pos{Seg: s.id, Slot: cut})
 		if err != nil {
 			e.mu.Unlock()
 			return nil, nil, err
 		}
-		bySeg := groupLive(live)
 		segs, heads := e.segs, e.headsLocked()
-		release := pinAll(segs, bySeg)
+		release := pinAll(segs, en.groups)
 		e.mu.Unlock()
-		return unitsFor(bySeg, segs, heads, noAux), release, nil
+		return unitsFor(en.groups, segs, heads, noAux), release, nil
 
 	case core.ScanKindCommit:
 		e.mu.Lock()
@@ -207,51 +249,61 @@ func (e *Engine) PartitionScan(req core.ScanRequest) ([]core.ScanUnit, func(), e
 			e.mu.Unlock()
 			return nil, nil, fmt.Errorf("vf: commit %d has no recorded offset", req.Commit.ID)
 		}
-		live, err := e.resolveLive(p)
+		en, err := e.singlePlanLocked(p)
 		if err != nil {
 			e.mu.Unlock()
 			return nil, nil, err
 		}
-		bySeg := groupLive(live)
 		segs, heads := e.segs, e.headsLocked()
-		release := pinAll(segs, bySeg)
+		release := pinAll(segs, en.groups)
 		e.mu.Unlock()
-		return unitsFor(bySeg, segs, heads, noAux), release, nil
+		return unitsFor(en.groups, segs, heads, noAux), release, nil
 
 	case core.ScanKindMulti:
 		e.mu.Lock()
-		union := make(map[pos]*bitmap.Bitmap)
+		positions := make([]pos, len(req.Branches))
 		for i, b := range req.Branches {
 			s, cut, err := e.headLocked(b)
 			if err != nil {
 				e.mu.Unlock()
 				return nil, nil, err
 			}
-			live, err := e.resolveLive(pos{Seg: s.id, Slot: cut})
-			if err != nil {
-				e.mu.Unlock()
-				return nil, nil, err
-			}
-			for _, p := range live {
-				m := union[p]
-				if m == nil {
-					m = bitmap.New(len(req.Branches))
-					union[p] = m
-				}
-				m.Set(i)
-			}
+			positions[i] = pos{Seg: s.id, Slot: cut}
 		}
-		bySeg := make(map[segID][]int64)
-		for p := range union {
-			bySeg[p.Seg] = append(bySeg[p.Seg], p.Slot)
+		en, err := e.planFor(planKey('m', positions...), func() (*planEntry, error) {
+			union := make(map[pos]*bitmap.Bitmap)
+			for i, p := range positions {
+				live, err := e.resolveLive(p)
+				if err != nil {
+					return nil, err
+				}
+				for _, q := range live {
+					m := union[q]
+					if m == nil {
+						m = bitmap.New(len(positions))
+						union[q] = m
+					}
+					m.Set(i)
+				}
+			}
+			bySeg := make(map[segID][]int64)
+			for q := range union {
+				bySeg[q.Seg] = append(bySeg[q.Seg], q.Slot)
+			}
+			return &planEntry{groups: sortedGroups(bySeg), member: union}, nil
+		})
+		if err != nil {
+			e.mu.Unlock()
+			return nil, nil, err
 		}
 		segs, heads := e.segs, e.headsLocked()
-		release := pinAll(segs, bySeg)
+		release := pinAll(segs, en.groups)
 		e.mu.Unlock()
-		// union is read-only from here on: per-pos bitmaps are safe to
-		// hand out across units.
-		return unitsFor(bySeg, segs, heads, func(at pos) core.UnitAux {
-			return core.UnitAux{Member: union[at]}
+		// en.member is read-only from here on: per-pos bitmaps are safe
+		// to hand out across units.
+		member := en.member
+		return unitsFor(en.groups, segs, heads, func(at pos) core.UnitAux {
+			return core.UnitAux{Member: member[at]}
 		}), release, nil
 
 	case core.ScanKindDiff:
@@ -266,36 +318,32 @@ func (e *Engine) PartitionScan(req core.ScanRequest) ([]core.ScanUnit, func(), e
 			e.mu.Unlock()
 			return nil, nil, err
 		}
-		liveA, err := e.resolveLive(pos{Seg: sa.id, Slot: cuta})
+		pa, pb := pos{Seg: sa.id, Slot: cuta}, pos{Seg: sb.id, Slot: cutb}
+		en, err := e.planFor(planKey('d', pa, pb), func() (*planEntry, error) {
+			// The exclusive sides come from the lineage delta: only keys
+			// claimed by the non-shared steps of either branch are
+			// compared, so a diff's cost scales with what actually changed
+			// since the fork instead of the full live-set size.
+			onlyA, onlyB, err := e.diffLiveLocked(pa, pb)
+			if err != nil {
+				return nil, err
+			}
+			return &planEntry{
+				groups:  sortedGroups(groupLive(onlyA)),
+				groupsB: sortedGroups(groupLive(onlyB)),
+			}, nil
+		})
 		if err != nil {
 			e.mu.Unlock()
 			return nil, nil, err
 		}
-		liveB, err := e.resolveLive(pos{Seg: sb.id, Slot: cutb})
-		if err != nil {
-			e.mu.Unlock()
-			return nil, nil, err
-		}
-		onlyA := make(map[int64]pos)
-		onlyB := make(map[int64]pos)
-		for pk, p := range liveA {
-			if q, ok := liveB[pk]; !ok || q != p {
-				onlyA[pk] = p
-			}
-		}
-		for pk, p := range liveB {
-			if q, ok := liveA[pk]; !ok || q != p {
-				onlyB[pk] = p
-			}
-		}
-		byA, byB := groupLive(onlyA), groupLive(onlyB)
 		segs, heads := e.segs, e.headsLocked()
-		release := pinAll(segs, byA, byB)
+		release := pinAll(segs, en.groups, en.groupsB)
 		e.mu.Unlock()
 		inA := func(pos) core.UnitAux { return core.UnitAux{InA: true} }
 		inB := func(pos) core.UnitAux { return core.UnitAux{InA: false} }
-		units := unitsFor(byA, segs, heads, inA)
-		return append(units, unitsFor(byB, segs, heads, inB)...), release, nil
+		units := unitsFor(en.groups, segs, heads, inA)
+		return append(units, unitsFor(en.groupsB, segs, heads, inB)...), release, nil
 	}
 	return nil, func() {}, nil
 }

@@ -94,6 +94,21 @@ type Engine struct {
 	// cache holds resolved per-interval key tables for frozen intervals;
 	// entries for a segment are dropped when it takes new appends.
 	cache map[intervalKey]intervalTable
+
+	// Lineage/live-set cache (see cache.go). lcache holds resolved live
+	// sets keyed by exact position; lineMemo memoizes rawLineage;
+	// deltas is the per-segment log of per-commit RLE slot deltas with
+	// deltaTail the highest slot each segment's log covers. All nil/empty
+	// when the cache is disabled (Options.VFLineageCache < 0 or
+	// DECIBEL_VF_CACHE=off), which forces every resolution onto the
+	// full-walk baseline path.
+	// pcache is the scan-plan tier above lcache: grouped, sorted,
+	// scan-ready forms keyed by the exact resolved position vector.
+	lcache    *liveCache
+	pcache    *planCache
+	lineMemo  map[pos][]step
+	deltas    map[segID][]segDelta
+	deltaTail map[segID]int64
 }
 
 func init() { core.RegisterEngine("version-first", Factory, "vf") }
@@ -107,6 +122,13 @@ func Factory(env *core.Env) (core.Engine, error) {
 		byBranch: make(map[vgraph.BranchID]segID),
 		commits:  make(map[vgraph.CommitID]pos),
 		cache:    make(map[intervalKey]intervalTable),
+	}
+	if budget := resolveCacheBudget(env.Opt); budget > 0 {
+		e.lcache = newLiveCache(budget)
+		e.pcache = newPlanCache(budget)
+		e.lineMemo = make(map[pos][]step)
+		e.deltas = make(map[segID][]segDelta)
+		e.deltaTail = make(map[segID]int64)
 	}
 	if err := e.recover(); err != nil {
 		return nil, err
@@ -189,6 +211,12 @@ func (e *Engine) recover() error {
 			Segment: seg, id: sm.ID, branch: sm.Branch,
 			hasLink: sm.HasLink, link: sm.Link, overrides: sm.Overrides,
 		})
+		if e.deltaTail != nil {
+			// The delta log is in-memory only: start it at the recovered
+			// count so the first commit after reopen records just its own
+			// window (older history resolves through the full walk).
+			e.deltaTail[sm.ID] = seg.File.Count()
+		}
 	}
 	e.byBranch = m.ByBranch
 	if e.byBranch == nil {
@@ -264,7 +292,16 @@ func (e *Engine) commitLocked(c *vgraph.Commit) error {
 	if !ok {
 		return fmt.Errorf("vf: unknown branch %d", c.Branch)
 	}
-	e.commits[c.ID] = pos{Seg: id, Slot: e.segs[id].File.Count()}
+	cut := e.segs[id].File.Count()
+	if e.deltas != nil {
+		// Record the commit's live-set delta (the RLE bitmap of newest-
+		// copy slots in the committed window) so later head resolutions
+		// extend a cached base instead of re-walking the lineage.
+		if err := e.recordDeltaLocked(id, cut); err != nil {
+			return err
+		}
+	}
+	e.commits[c.ID] = pos{Seg: id, Slot: cut}
 	return e.persistLocked()
 }
 
@@ -431,7 +468,15 @@ func (e *Engine) SegmentStats() []store.SegmentStat {
 	defer e.mu.Unlock()
 	out := make([]store.SegmentStat, 0, len(e.segs))
 	for _, s := range e.segs {
-		out = append(out, s.Stat(fmt.Sprintf("seg%d[branch=%d]", s.id, s.branch)))
+		st := s.Stat(fmt.Sprintf("seg%d[branch=%d]", s.id, s.branch))
+		// The lineage shape behind the segment: how many steps a scan
+		// rooted at its tip walks (the cost the lineage cache
+		// amortizes) and how many merge overrides it carries.
+		if steps, err := e.lineageAt(pos{Seg: s.id, Slot: s.File.Count()}); err == nil {
+			st.LineageDepth = len(steps)
+		}
+		st.Overrides = len(s.overrides)
+		out = append(out, st)
 	}
 	return out
 }

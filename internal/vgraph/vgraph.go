@@ -166,7 +166,8 @@ func (g *Graph) Init(message string) (*Branch, *Commit, error) {
 	g.commits[c.ID] = c
 	g.branches[b.ID] = b
 	g.byName[b.Name] = b.ID
-	return b, c, g.persistLocked()
+	cp := *b
+	return &cp, c, g.persistLocked()
 }
 
 // Initialized reports whether Init has run.
@@ -192,7 +193,8 @@ func (g *Graph) NewBranch(name string, from CommitID) (*Branch, error) {
 	g.nextB++
 	g.branches[b.ID] = b
 	g.byName[name] = b.ID
-	return b, g.persistLocked()
+	cp := *b
+	return &cp, g.persistLocked()
 }
 
 // NewCommit appends a commit to the branch, advancing its head.
@@ -234,10 +236,10 @@ func (g *Graph) NewCommitSchema(branch BranchID, message string, schemaVer int) 
 	return c, g.persistLocked()
 }
 
-// Head returns the branch's current head commit under the graph lock.
-// Lock-free readers (the server's snapshot pinning) must use this
-// instead of reading the live Branch struct, whose Head field commits
-// advance in place.
+// Head returns the branch's current head commit under the graph lock —
+// the cheap way to re-read just the head when a Branch snapshot may
+// have gone stale (the server's snapshot pinning, head-coherence
+// checks before scans).
 func (g *Graph) Head(branch BranchID) (CommitID, bool) {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
@@ -342,12 +344,20 @@ func (g *Graph) Commit(id CommitID) (*Commit, bool) {
 	return c, ok
 }
 
-// Branch returns the branch with the given ID.
+// Branch returns the branch with the given ID. Branch accessors
+// return snapshot copies, never the live struct: commits advance Head
+// in place under the graph lock, so a shared pointer would race with
+// every unlocked field read. A snapshot may go stale — callers that
+// need the freshest head re-read via Head or a fresh Branch call.
 func (g *Graph) Branch(id BranchID) (*Branch, bool) {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	b, ok := g.branches[id]
-	return b, ok
+	if !ok {
+		return nil, false
+	}
+	cp := *b
+	return &cp, true
 }
 
 // BranchByName resolves a branch name.
@@ -358,7 +368,8 @@ func (g *Graph) BranchByName(name string) (*Branch, bool) {
 	if !ok {
 		return nil, false
 	}
-	return g.branches[id], true
+	cp := *g.branches[id]
+	return &cp, true
 }
 
 // Branches returns all branches ordered by ID.
@@ -367,7 +378,8 @@ func (g *Graph) Branches() []*Branch {
 	defer g.mu.RUnlock()
 	out := make([]*Branch, 0, len(g.branches))
 	for _, b := range g.branches {
-		out = append(out, b)
+		cp := *b
+		out = append(out, &cp)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
@@ -498,7 +510,8 @@ func (g *Graph) BranchOf(head CommitID) (*Branch, bool) {
 	defer g.mu.RUnlock()
 	for _, b := range g.branches {
 		if b.Head == head {
-			return b, true
+			cp := *b
+			return &cp, true
 		}
 	}
 	return nil, false

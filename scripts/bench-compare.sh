@@ -4,12 +4,20 @@
 # baseline on the geometric mean across shared benchmarks. This is the
 # CI regression gate guarding the pushdown fast paths.
 #
+# Benchmarks matching PER_BENCH_REGEX are additionally gated
+# individually at PER_BENCH_THRESHOLD_PCT: the geomean can hide a
+# single benchmark regressing badly while the rest hold, and the vf
+# resolution benches exist precisely to catch the cached fast paths
+# silently degrading to the full-walk baseline.
+#
 # Usage: sh scripts/bench-compare.sh BENCH_baseline.json BENCH_pr.json
 set -eu
 
 BASE="${1:?usage: bench-compare.sh baseline.json candidate.json}"
 CAND="${2:?usage: bench-compare.sh baseline.json candidate.json}"
 THRESHOLD_PCT="${THRESHOLD_PCT:-25}"
+PER_BENCH_REGEX="${PER_BENCH_REGEX:-BenchmarkMultiBranchScan/vf/pushdown|BenchmarkDiffPushdown/vf/pushdown|BenchmarkVFResolve/.*/warm}"
+PER_BENCH_THRESHOLD_PCT="${PER_BENCH_THRESHOLD_PCT:-75}"
 
 # Flatten {"benchmarks":[{"name":...,"ns_per_op":...}]} to "name ns" lines.
 flat() {
@@ -21,7 +29,8 @@ flat "$BASE" > /tmp/bench_base.$$
 flat "$CAND" > /tmp/bench_cand.$$
 trap 'rm -f /tmp/bench_base.$$ /tmp/bench_cand.$$' EXIT
 
-awk -v threshold="$THRESHOLD_PCT" '
+awk -v threshold="$THRESHOLD_PCT" \
+    -v per_regex="$PER_BENCH_REGEX" -v per_threshold="$PER_BENCH_THRESHOLD_PCT" '
 NR == FNR { base[$1] = $2; next }
 {
     if (!($1 in base) || base[$1] <= 0 || $2 <= 0) next
@@ -29,11 +38,20 @@ NR == FNR { base[$1] = $2; next }
     printf "%-70s %12.1f -> %12.1f ns/op  (%+.1f%%)\n", $1, base[$1], $2, (ratio - 1) * 100
     logsum += log(ratio)
     n++
+    if (per_regex != "" && $1 ~ per_regex && ratio > 1 + per_threshold / 100) {
+        printf "bench-compare: FAIL — %s is %.1f%% slower than baseline (per-bench threshold %s%%)\n", \
+            $1, (ratio - 1) * 100, per_threshold
+        perfail++
+    }
 }
 END {
     if (n == 0) { print "bench-compare: no shared benchmarks between the two files"; exit 1 }
     geo = exp(logsum / n)
     printf "geomean ratio: %.3f over %d benchmarks (gate: %.2f)\n", geo, n, 1 + threshold / 100
+    if (perfail > 0) {
+        printf "bench-compare: FAIL — %d benchmark(s) over the per-bench gate\n", perfail
+        exit 1
+    }
     if (geo > 1 + threshold / 100) {
         printf "bench-compare: FAIL — candidate is %.1f%% slower than baseline (threshold %s%%)\n", (geo - 1) * 100, threshold
         exit 1

@@ -17,7 +17,7 @@
 set -eu
 
 OUT="${1:-BENCH_pr.json}"
-BENCH="${BENCH:-BenchmarkMultiBranchScan|BenchmarkQueryShapes|BenchmarkSegmentSkipWhere|BenchmarkDiffPushdown|BenchmarkPointLookup|BenchmarkParallelScanCount|BenchmarkParallelScanRows|BenchmarkParallelDiff|BenchmarkCompactionPass|BenchmarkCompactedScan|BenchmarkJoin2Way|BenchmarkJoin3Way|BenchmarkGroupBy}"
+BENCH="${BENCH:-BenchmarkMultiBranchScan|BenchmarkQueryShapes|BenchmarkSegmentSkipWhere|BenchmarkDiffPushdown|BenchmarkPointLookup|BenchmarkParallelScanCount|BenchmarkParallelScanRows|BenchmarkParallelDiff|BenchmarkCompactionPass|BenchmarkCompactedScan|BenchmarkJoin2Way|BenchmarkJoin3Way|BenchmarkGroupBy|BenchmarkVFResolve}"
 BENCHTIME="${BENCHTIME:-3x}"
 COUNT="${COUNT:-3}"
 PKG="${PKG:-./bench}"

@@ -3,7 +3,9 @@
 # CLI and the load generator, init a dataset, start `decibel serve`,
 # drive ~5s of mixed read/commit traffic with 32 concurrent clients,
 # then assert zero errors, that the server's counters moved, and that
-# SIGTERM shuts the server down cleanly.
+# SIGTERM shuts the server down cleanly. A second, shorter phase serves
+# a version-first dataset and asserts the lineage cache engages
+# (decibel.vf.lineage_cache_hits moves) with zero errors.
 #
 # Usage: sh scripts/server-smoke.sh [latency.json]
 #
@@ -45,9 +47,9 @@ until curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; do
     sleep 0.1
 done
 
-# var NAME — read one integer counter off /debug/vars.
+# var NAME [ADDR] — read one integer counter off /debug/vars.
 var() {
-    curl -fsS "http://$ADDR/debug/vars" |
+    curl -fsS "http://${2:-$ADDR}/debug/vars" |
         tr '{,}' '\n' | grep "\"$1\"" | grep -o '[0-9][0-9]*$'
 }
 
@@ -99,6 +101,42 @@ echo "server-smoke: requests=$REQUESTS commits=$COMMITS errors=$ERRORS"
 kill -TERM "$SRV_PID"
 if ! wait "$SRV_PID"; then
     echo "server-smoke: serve did not exit cleanly on SIGTERM" >&2
+    exit 1
+fi
+SRV_PID=""
+
+# Version-first phase: serve a vf dataset and assert the lineage cache
+# engages under live traffic — repeated head resolutions must hit the
+# cache, so a silently disabled cache fails the smoke.
+VF_ADDR="${VF_ADDR:-127.0.0.1:18528}"
+VF_DURATION="${VF_DURATION:-2s}"
+
+"$WORK/decibel" -dir "$WORK/data-vf" -engine vf init qty,price:float64,sku:bytes8
+"$WORK/decibel" -dir "$WORK/data-vf" -engine vf serve -addr "$VF_ADDR" &
+SRV_PID=$!
+
+i=0
+until curl -fsS "http://$VF_ADDR/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "server-smoke: vf server never became healthy" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+"$WORK/decibel-loadgen" -url "http://$VF_ADDR" -table r -branch master \
+    -clients 8 -duration "$VF_DURATION" -commit-frac 0.2 -json "$WORK/vf-latency.json"
+
+VF_HITS="$(var decibel.vf.lineage_cache_hits "$VF_ADDR")"
+VF_ERRORS="$(var decibel.server.errors "$VF_ADDR")"
+echo "server-smoke: vf lineage_cache_hits=$VF_HITS errors=$VF_ERRORS"
+[ "$VF_HITS" -gt 0 ] || { echo "server-smoke: vf lineage cache never hit" >&2; exit 1; }
+[ "$VF_ERRORS" -eq 0 ] || { echo "server-smoke: vf server counted $VF_ERRORS errors" >&2; exit 1; }
+
+kill -TERM "$SRV_PID"
+if ! wait "$SRV_PID"; then
+    echo "server-smoke: vf serve did not exit cleanly on SIGTERM" >&2
     exit 1
 fi
 SRV_PID=""
